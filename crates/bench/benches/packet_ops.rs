@@ -1,0 +1,99 @@
+//! Hot-path micro-benchmarks: packet build/parse, filtering, hashing and
+//! pcap encode/decode. These are the per-packet operations of the
+//! monitor and generator datapaths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osnt_mon::{FilterAction, FilterTable};
+use osnt_packet::hash::{crc32, toeplitz_five_tuple, MS_RSS_KEY};
+use osnt_packet::pcap::{self, PcapRecord, TsResolution};
+use osnt_packet::{MacAddr, Packet, PacketBuilder, ParsedPacket, WildcardRule};
+use std::net::Ipv4Addr;
+
+fn test_frame(len: usize) -> Packet {
+    PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+        .udp(5001, 9001)
+        .pad_to_frame(len)
+        .build()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    for len in [64usize, 1518] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("udp_frame_{len}"), |b| {
+            b.iter(|| black_box(test_frame(black_box(len))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let frame = test_frame(1518);
+    let mut g = c.benchmark_group("parse");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("headers", |b| {
+        b.iter(|| black_box(ParsedPacket::parse(black_box(frame.data()))))
+    });
+    g.bench_function("five_tuple", |b| {
+        b.iter(|| black_box(frame.parse().five_tuple()))
+    });
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let frame = test_frame(256);
+    let mut table = FilterTable::drop_by_default();
+    // 32 near-miss rules then the hit.
+    for p in 0..32u16 {
+        table.push(
+            WildcardRule::any().with_dst_port(10_000 + p),
+            FilterAction::Capture,
+        );
+    }
+    table.push(
+        WildcardRule::any().with_dst_port(9001),
+        FilterAction::Capture,
+    );
+    c.bench_function("filter/33_rules", |b| {
+        b.iter(|| black_box(table.classify(&frame.parse())))
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let frame = test_frame(1518);
+    let ft = frame.parse().five_tuple().unwrap();
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("crc32_1514B", |b| b.iter(|| black_box(crc32(frame.data()))));
+    g.finish();
+    c.bench_function("hash/toeplitz_tuple", |b| {
+        b.iter(|| black_box(toeplitz_five_tuple(&MS_RSS_KEY, &ft)))
+    });
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let records: Vec<PcapRecord> = (0..256)
+        .map(|i| PcapRecord::full(i * 1_000_000, test_frame(512).into_vec()))
+        .collect();
+    let image = pcap::to_bytes(&records, TsResolution::Nano);
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("encode_256", |b| {
+        b.iter(|| black_box(pcap::to_bytes(black_box(&records), TsResolution::Nano)))
+    });
+    g.bench_function("decode_256", |b| {
+        b.iter(|| black_box(pcap::from_bytes(black_box(&image)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_parse,
+    bench_filter,
+    bench_hash,
+    bench_pcap
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Simulator-core benchmarks: event throughput of the DES and the cost
+//! of a simulated line-rate second. The simulator is the substrate every
+//! experiment stands on; these numbers say how much wall-clock a
+//! simulated workload costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osnt_gen::workload::FixedTemplate;
+use osnt_gen::{GenConfig, GeneratorPort, Schedule};
+use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt_packet::Packet;
+use osnt_time::{HwClock, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Sink;
+impl Component for Sink {
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+}
+
+/// Run `n_frames` of back-to-back 1518B traffic through one link.
+fn linerate_run(n_frames: u64) {
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let (gen, _) = GeneratorPort::new(
+        Box::new(FixedTemplate::new(FixedTemplate::udp_frame(1518))),
+        GenConfig {
+            schedule: Schedule::BackToBack,
+            count: Some(n_frames),
+            ..GenConfig::default()
+        },
+        clock,
+    );
+    let g = b.add_component("gen", Box::new(gen), 1);
+    let s = b.add_component("sink", Box::new(Sink), 1);
+    b.connect(g, 0, s, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_to_quiescence(n_frames * 10 + 1000);
+}
+
+/// Timer-only event churn (no packets): the raw event-queue cost.
+struct TimerSpinner {
+    remaining: u64,
+}
+impl Component for TimerSpinner {
+    fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+        k.schedule_timer(me, osnt_time::SimDuration::from_ns(10), 0);
+    }
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+    fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, _tag: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            k.schedule_timer(me, osnt_time::SimDuration::from_ns(10), 0);
+        }
+    }
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("timers_100k", |b| {
+        b.iter(|| {
+            let mut builder = SimBuilder::new();
+            builder.add_component(
+                "spin",
+                Box::new(TimerSpinner { remaining: 100_000 }),
+                0,
+            );
+            let mut sim = builder.build();
+            sim.run_until(SimTime::from_ms(100));
+            black_box(sim.kernel().events_dispatched())
+        })
+    });
+    g.finish();
+}
+
+fn bench_linerate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("linerate_10k_frames", |b| {
+        b.iter(|| linerate_run(black_box(10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_events, bench_linerate);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Switch-model benchmarks: flow-table lookup scaling and OpenFlow
+//! message codec throughput — the per-packet and per-message costs of
+//! the device-under-test models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use osnt_openflow::messages::{FlowMod, Message};
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::{MacAddr, PacketBuilder};
+use osnt_switch::{FlowEntry, FlowTable};
+use osnt_time::SimTime;
+use std::net::Ipv4Addr;
+
+fn rule_ip(i: usize) -> Ipv4Addr {
+    let v = (i + 1) as u16;
+    Ipv4Addr::new(10, 1, (v >> 8) as u8, v as u8)
+}
+
+fn bench_flowtable_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable/lookup");
+    for n in [16usize, 128, 1024] {
+        let mut table = FlowTable::new(n + 1);
+        for i in 0..n {
+            table
+                .add(FlowEntry::new(
+                    OfMatch::ipv4_dst(rule_ip(i)),
+                    100,
+                    vec![Action::Output {
+                        port: 2,
+                        max_len: 0,
+                    }],
+                    SimTime::ZERO,
+                ))
+                .unwrap();
+        }
+        // The worst case: the last-installed rule's traffic.
+        let frame = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), rule_ip(n - 1))
+            .udp(1, 9001)
+            .build();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(table.lookup(1, &frame.parse()).is_some()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_openflow_codec(c: &mut Criterion) {
+    let msg = Message::FlowMod(FlowMod::add(
+        OfMatch::ipv4_dst(Ipv4Addr::new(10, 1, 0, 1)),
+        100,
+        vec![Action::Output {
+            port: 2,
+            max_len: 0,
+        }],
+    ));
+    let wire = msg.encode(7);
+    c.bench_function("openflow/encode_flow_mod", |b| {
+        b.iter(|| black_box(msg.encode(black_box(7))))
+    });
+    c.bench_function("openflow/decode_flow_mod", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&wire)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_flowtable_lookup, bench_openflow_codec);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2 — "64-bit timestamp … resolution is 6.25 nsec with clock drift and
+//! phase coordination maintained by a GPS input" (paper §1).
+//!
+//! Part A measures the quantisation error of the hardware timestamp
+//! format over a sweep of instants. Part B runs a commodity oscillator
+//! free and GPS-disciplined for five simulated minutes and reports the
+//! clock offset over time — the ablation behind the sub-µs claim.
+
+use osnt_bench::Table;
+use osnt_time::gps::run_pps_session;
+use osnt_time::{DriftModel, GpsDiscipline, HwClock, HwTimestamp, SimTime, DATAPATH_TICK_PS};
+
+fn main() {
+    println!("E2a: timestamp quantisation error (32.32 format, 6.25 ns tick)\n");
+    let mut max_err = 0u64;
+    let mut t: u64 = 1;
+    for _ in 0..200_000 {
+        let ts = HwTimestamp::from_sim_time(SimTime::from_ps(t));
+        let err = t - ts.to_ps();
+        max_err = max_err.max(err);
+        t = t.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % (100 * 1_000_000_000_000);
+    }
+    println!(
+        "max quantisation error over 200k instants: {} ps (tick = {} ps, encode unit ≈ 233 ps)\n",
+        max_err, DATAPATH_TICK_PS
+    );
+
+    println!("E2b: clock offset vs time — free-running vs GPS-disciplined\n");
+    let mut free = HwClock::new(DriftModel::commodity_xo(), 42);
+    let mut gps_clock = HwClock::new(DriftModel::commodity_xo(), 42);
+    let mut disc = GpsDiscipline::default();
+    let offsets = run_pps_session(&mut gps_clock, &mut disc, SimTime::ZERO, 300);
+
+    let mut table = Table::new(["t(s)", "free-running(ns)", "gps-held(ns)"]);
+    for &s in &[1u64, 5, 10, 30, 60, 120, 180, 240, 300] {
+        free.advance_to(SimTime::from_secs(s));
+        let held = offsets[(s - 1) as usize] / 1000.0;
+        table.row([
+            s.to_string(),
+            format!("{:.1}", free.offset_ps() / 1000.0),
+            format!("{held:.1}"),
+        ]);
+    }
+    table.print();
+
+    let worst_held = offsets[30..]
+        .iter()
+        .map(|o| o.abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nlock: {}  worst steady-state |offset|: {:.1} ns (sub-µs: {})",
+        disc.is_locked(),
+        worst_held / 1000.0,
+        worst_held < 1e6
+    );
+    println!(
+        "Shape check: free-running drift reaches milliseconds within\n\
+         minutes; the GPS servo holds it sub-microsecond — the paper's\n\
+         'sub-usec time precision … corrected using an external GPS device'."
+    );
+}

@@ -1,0 +1,120 @@
+//! E4 — "packet capture filtering and packet thinning in hardware" with
+//! "a loss-limited path that gets (a subset of) captured packets into
+//! the host" (paper §1/abstract).
+//!
+//! Sweep the offered load into a monitor port and report what fraction
+//! of filter-passing packets the host actually receives: (a) full
+//! frames, (b) thinned to 64 bytes, (c) with a hardware filter selecting
+//! a 1-in-8 subset. Reproduction holds when the full-frame capture is
+//! loss-limited above the DMA rate while thinning/filtering restore
+//! lossless capture of what was asked for.
+
+use osnt_bench::Table;
+use osnt_gen::workload::FlowPool;
+use osnt_gen::{GenConfig, GeneratorPort, Schedule};
+use osnt_mon::{FilterAction, FilterTable, MonConfig, MonitorPort, ThinConfig};
+use osnt_netsim::{LinkSpec, SimBuilder};
+use osnt_packet::WildcardRule;
+use osnt_time::{HwClock, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run(frame_len: usize, load: f64, mon_cfg: MonConfig) -> (u64, u64, u64, u64) {
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let cfg = GenConfig {
+        schedule: Schedule::Utilization {
+            fraction: load,
+            line_rate_bps: 10_000_000_000,
+        },
+        stop_at: Some(SimTime::from_ms(40)),
+        ..GenConfig::default()
+    };
+    // 64 flows so the filter experiment has subsets to select.
+    let (gen, _gs) = GeneratorPort::new(
+        Box::new(FlowPool::new(64, frame_len, 7)),
+        cfg,
+        clock.clone(),
+    );
+    let (mon, _buffer, stats) = MonitorPort::new(mon_cfg, clock);
+    let g = b.add_component("gen", Box::new(gen), 1);
+    let m = b.add_component("mon", Box::new(mon), 1);
+    b.connect(g, 0, m, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_ms(45));
+    let s = *stats.borrow();
+    (s.rx_frames, s.filtered_out, s.host_frames, s.host_drops)
+}
+
+fn one_in_eight_filter() -> FilterTable {
+    // Capture only flows whose source port ends in 0b000 (8 of 64).
+    let mut f = FilterTable::drop_by_default();
+    for flow in (0u16..64).filter(|f| f % 8 == 0) {
+        f.push(
+            WildcardRule::any().with_src_port(10_000 + flow),
+            FilterAction::Capture,
+        );
+    }
+    f
+}
+
+fn main() {
+    println!("E4: loss-limited host path — filtering and thinning (40 ms runs, 8 Gb/s DMA)\n");
+    let mut table = Table::new([
+        "frame(B)",
+        "load(%)",
+        "config",
+        "rx",
+        "passed-filter",
+        "host",
+        "host-drops",
+        "delivery(%)",
+    ]);
+    for &frame in &[64usize, 512, 1518] {
+        for &load in &[0.25f64, 0.5, 1.0] {
+            let configs: Vec<(&str, MonConfig)> = vec![
+                ("full", MonConfig::default()),
+                (
+                    "thin64",
+                    MonConfig {
+                        thin: ThinConfig::cut_with_hash(64),
+                        ..MonConfig::default()
+                    },
+                ),
+                (
+                    "filter1/8",
+                    MonConfig {
+                        filter: one_in_eight_filter(),
+                        ..MonConfig::default()
+                    },
+                ),
+            ];
+            for (name, cfg) in configs {
+                let (rx, filtered, host, drops) = run(frame, load, cfg);
+                let passed = rx - filtered;
+                let pct = if passed > 0 {
+                    host as f64 / passed as f64 * 100.0
+                } else {
+                    100.0
+                };
+                table.row([
+                    frame.to_string(),
+                    format!("{:.0}", load * 100.0),
+                    name.to_string(),
+                    rx.to_string(),
+                    passed.to_string(),
+                    host.to_string(),
+                    drops.to_string(),
+                    format!("{pct:.1}"),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "\nShape check: full-frame capture above the DMA rate is lossy\n\
+         (the loss-limited path); thinning to 64 B or filtering to a\n\
+         subset restores ~100% delivery of what was requested. Small\n\
+         frames at line rate stress the per-packet descriptor cost."
+    );
+}

@@ -1,0 +1,94 @@
+//! E5 — Demo Part I (paper §2, Fig. 2): "accurately measure the
+//! packet-processing latency of a legacy switch under different load
+//! conditions".
+//!
+//! The probe stream crosses a store-and-forward learning switch whose
+//! shared output port also carries a Poisson background load. Latency
+//! percentiles vs offered load trace the classic curve: flat (switch
+//! pipeline + serialisation), queueing growth near saturation, loss past
+//! it.
+
+use osnt_bench::Table;
+use osnt_core::experiment::LatencyExperiment;
+use osnt_switch::LegacyConfig;
+use osnt_time::SimDuration;
+
+fn main() {
+    println!("E5: legacy switch latency vs offered load (512 B frames, Fig. 2 topology)\n");
+    let mut table = Table::new([
+        "bg load(%)",
+        "probes",
+        "loss(%)",
+        "min(ns)",
+        "p50(ns)",
+        "mean(ns)",
+        "p99(ns)",
+        "max(ns)",
+    ]);
+    for &load in &[0.0f64, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98, 1.02] {
+        let exp = LatencyExperiment {
+            background_load: load,
+            duration: SimDuration::from_ms(30),
+            warmup: SimDuration::from_ms(8),
+            ..LatencyExperiment::default()
+        };
+        let r = exp.run_legacy(LegacyConfig::default());
+        match r.latency {
+            Some(s) => table.row([
+                format!("{:.0}", load * 100.0),
+                r.probe_sent.to_string(),
+                format!("{:.2}", r.loss * 100.0),
+                format!("{:.0}", s.min_ns),
+                format!("{:.0}", s.p50_ns),
+                format!("{:.0}", s.mean_ns),
+                format!("{:.0}", s.p99_ns),
+                format!("{:.0}", s.max_ns),
+            ]),
+            None => table.row([
+                format!("{:.0}", load * 100.0),
+                r.probe_sent.to_string(),
+                format!("{:.2}", r.loss * 100.0),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    table.print();
+
+    println!(
+        "\nFrame-size dependence at idle — fabric-architecture ablation\n\
+         (store-and-forward pays serialisation twice; cut-through credits\n\
+         the ingress one back):\n"
+    );
+    let mut t2 = Table::new(["frame(B)", "store&fwd p50(ns)", "cut-through p50(ns)"]);
+    for &frame in &[64usize, 256, 512, 1024, 1518] {
+        let p50 = |cfg: LegacyConfig| {
+            let exp = LatencyExperiment {
+                frame_len: frame,
+                duration: SimDuration::from_ms(10),
+                warmup: SimDuration::from_ms(2),
+                ..LatencyExperiment::default()
+            };
+            exp.run_legacy(cfg)
+                .latency
+                .map(|s| s.p50_ns)
+                .unwrap_or(f64::NAN)
+        };
+        t2.row([
+            frame.to_string(),
+            format!("{:.0}", p50(LegacyConfig::default())),
+            format!("{:.0}", p50(LegacyConfig::cut_through())),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nShape check: latency is flat until ~90% load, grows sharply\n\
+         toward saturation (bounded by the output buffer), and loss\n\
+         appears past 100%. Idle latency grows linearly with frame size\n\
+         under store-and-forward; cut-through flattens the dependence —\n\
+         the architectural signature a precise tester can distinguish."
+    );
+}

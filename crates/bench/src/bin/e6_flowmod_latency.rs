@@ -1,0 +1,94 @@
+//! E6 — Demo Part II: "a test which measures the latency to modify the
+//! entries of the switch flow table through control and data plane
+//! measurements" (paper §2).
+//!
+//! For each batch size, a burst of FLOW_MOD ADDs is followed by a
+//! barrier. The control-plane estimate (barrier reply) is compared with
+//! the data-plane truth (first probe forwarded per rule, captured with
+//! OSNT hardware stamps). Run twice: against the default switch (which,
+//! like the switches OFLOPS measured, acks barriers from the CPU before
+//! hardware converges) and against an honest-barrier build.
+
+use oflops_turbo::modules::{AddLatencyModule, AddLatencyReport, RoundRobinDst};
+use oflops_turbo::{Testbed, TestbedSpec};
+use osnt_bench::Table;
+use osnt_gen::txstamp::StampConfig;
+use osnt_gen::{GenConfig, Schedule};
+use osnt_switch::OfSwitchConfig;
+use osnt_time::{SimDuration, SimTime};
+
+fn run(n_rules: usize, honest: bool) -> AddLatencyReport {
+    let (module, state) = AddLatencyModule::new(n_rules, SimTime::from_ms(10));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig {
+            honest_barrier: honest,
+            ..OfSwitchConfig::default()
+        },
+        probe: Some((
+            Box::new(RoundRobinDst::new(n_rules, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(2_000_000.0),
+                start_at: SimTime::from_ms(5),
+                stop_at: Some(SimTime::from_ms(40)),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(50));
+    let st = state.borrow();
+    AddLatencyReport::analyze(&tb, &st, n_rules)
+}
+
+fn us(d: Option<SimDuration>) -> String {
+    d.map(|x| format!("{:.1}", x.as_ns_f64() / 1000.0))
+        .unwrap_or_else(|| "-".into())
+}
+
+fn main() {
+    println!(
+        "E6: flow-table update latency — control plane (barrier) vs data\n\
+         plane (first forwarded probe), per batch size\n"
+    );
+    for honest in [false, true] {
+        println!(
+            "switch barrier mode: {}",
+            if honest {
+                "honest (reply after hardware commit)"
+            } else {
+                "default (reply from management CPU — as OFLOPS observed)"
+            }
+        );
+        let mut table = Table::new([
+            "batch",
+            "barrier(us)",
+            "median act(us)",
+            "max act(us)",
+            "rules act after barrier",
+        ]);
+        for &n in &[1usize, 10, 25, 50, 100] {
+            let r = run(n, honest);
+            table.row([
+                n.to_string(),
+                us(r.barrier_latency),
+                us(r.median_activation()),
+                us(r.max_activation()),
+                format!("{}/{}", r.activated_after_barrier, n),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "Shape check: both views grow with batch size (serial management\n\
+         CPU). On the default switch the LAST rules of every batch become\n\
+         active only ~1 ms (the hardware install delay) after the barrier\n\
+         reply — for small batches that is every rule; for large batches\n\
+         the early rules commit while the CPU is still draining the rest,\n\
+         but the barrier still understates completion by the install\n\
+         delay. The honest switch closes the gap (≤1 rule, bounded by\n\
+         probe resolution)."
+    );
+}

@@ -1,0 +1,80 @@
+//! E7 — Demo Part II: "forwarding consistency during large flow table
+//! updates" (paper §2).
+//!
+//! All installed rules are rewritten from output A to output B while a
+//! probe stream keeps every rule warm. The table reports, per update
+//! size: the barrier latency, how long the data plane took to converge,
+//! and how many packets the switch still forwarded per the *old* rules
+//! after acknowledging the update.
+
+use oflops_turbo::modules::{ConsistencyModule, ConsistencyReport, RoundRobinDst};
+use oflops_turbo::{Testbed, TestbedSpec};
+use osnt_bench::Table;
+use osnt_gen::txstamp::StampConfig;
+use osnt_gen::{GenConfig, Schedule};
+use osnt_switch::OfSwitchConfig;
+use osnt_time::{SimDuration, SimTime};
+
+fn run(n_rules: usize) -> ConsistencyReport {
+    let (module, state) = ConsistencyModule::new(n_rules, SimTime::from_ms(20));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig::default(),
+        probe: Some((
+            Box::new(RoundRobinDst::new(n_rules, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(2_000_000.0),
+                start_at: SimTime::from_ms(5),
+                stop_at: Some(SimTime::from_ms(60)),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(70));
+    let st = state.borrow();
+    ConsistencyReport::analyze(&tb, &st, n_rules)
+}
+
+fn us(d: Option<SimDuration>) -> String {
+    d.map(|x| format!("{:.1}", x.as_ns_f64() / 1000.0))
+        .unwrap_or_else(|| "-".into())
+}
+
+fn main() {
+    println!("E7: forwarding consistency during large table updates (A→B rewrite)\n");
+    let mut table = Table::new([
+        "rules",
+        "barrier(us)",
+        "max migration(us)",
+        "stale pkts after barrier",
+        "max stale lag(us)",
+        "migrated",
+    ]);
+    for &n in &[10usize, 50, 100, 200] {
+        let r = run(n);
+        let migrated = r.activation.iter().filter(|a| a.is_some()).count();
+        table.row([
+            n.to_string(),
+            us(r.barrier_latency),
+            us(r.max_activation()),
+            r.stale_after_barrier.to_string(),
+            us(r.max_stale_lag),
+            format!("{migrated}/{n}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape check: data-plane convergence (max migration) grows\n\
+         linearly with update size while the barrier claims completion\n\
+         ~1 ms (the hardware install delay) too early — every run shows\n\
+         packets still forwarded per the OLD rules after the barrier\n\
+         reply, with a worst-case stale lag pinned at the install delay.\n\
+         The stale *count* scales with the per-rule probe rate (the\n\
+         aggregate probe rate is fixed, so more rules = fewer packets\n\
+         each), which is itself a measurement-methodology lesson the\n\
+         OFLOPS papers stress: dataplane verification needs per-rule\n\
+         probe coverage."
+    );
+}

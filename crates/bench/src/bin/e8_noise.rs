@@ -1,0 +1,103 @@
+//! E8 — "the design associates packets with a 64-bit timestamp on
+//! receipt by the MAC module, thus minimising queueing noise" (paper §1).
+//!
+//! The same switch-latency measurement is taken three ways:
+//!
+//! 1. **ground truth** — the simulator's own event times;
+//! 2. **OSNT** — hardware stamps (MAC receipt, 6.25 ns quantisation,
+//!    GPS-disciplined commodity oscillator);
+//! 3. **software tester** — the identical packets, but timestamped in a
+//!    host at both ends (base path delay + heavy-tailed OS noise).
+//!
+//! The comparison quantifies what hardware timestamping buys: the OSNT
+//! error budget is nanoseconds; the host's is tens of microseconds with
+//! hundred-µs outliers — useless for switch latencies of ~2 µs.
+
+use osnt_bench::Table;
+use osnt_core::baseline::SoftwareStamper;
+use osnt_core::experiment::LatencyExperiment;
+use osnt_core::latency::Summary;
+use osnt_switch::LegacyConfig;
+use osnt_time::{DriftModel, SimDuration};
+
+fn main() {
+    println!("E8: measurement noise — MAC (hardware) vs host (software) timestamping\n");
+    // One run, analysed three ways. The experiment returns hardware-stamp
+    // latencies; ground truth and the software baseline are derived from
+    // the same probe stream statistics.
+    let exp = LatencyExperiment {
+        background_load: 0.5,
+        duration: SimDuration::from_ms(30),
+        warmup: SimDuration::from_ms(8),
+        clock_model: DriftModel::commodity_xo(),
+        seed: 11,
+        ..LatencyExperiment::default()
+    };
+    let r = exp.run_legacy(LegacyConfig::default());
+    let hw = r.latency.expect("hardware-stamp summary");
+
+    // Ground truth and software view share the hw run's true latencies:
+    // reconstruct them by re-running with an ideal clock (identical
+    // seeds → identical packet timeline), then perturb with host noise.
+    let exp_truth = LatencyExperiment {
+        clock_model: DriftModel::ideal(),
+        ..exp.clone()
+    };
+    let rt = exp_truth.run_legacy(LegacyConfig::default());
+    let truth = rt.latency.expect("ground truth summary");
+
+    // Software tester: true latency + TX-side and RX-side host noise.
+    let mut tx_noise = SoftwareStamper::commodity(21);
+    let mut rx_noise = SoftwareStamper::commodity(22);
+    let zero = osnt_time::SimTime::ZERO;
+    let sw_samples: Vec<SimDuration> = (0..truth.count)
+        .map(|_| {
+            // Each stamp call returns arrival + noise; the difference of
+            // two independent noises rides on top of the true latency.
+            let tx_delay = tx_noise.stamp(zero).to_ps();
+            let rx_delay = rx_noise.stamp(zero).to_ps();
+            // Software TX stamps are taken *before* the NIC (earlier
+            // than the wire), RX stamps *after* the host path (later):
+            // both inflate the measured latency.
+            SimDuration::from_ps((truth.mean_ns * 1000.0) as u64 + tx_delay + rx_delay)
+        })
+        .collect();
+    let sw = Summary::from_durations(&sw_samples).unwrap();
+
+    let mut table = Table::new([
+        "method",
+        "mean(ns)",
+        "p50(ns)",
+        "p99(ns)",
+        "max(ns)",
+        "stddev(ns)",
+        "jitter(ns)",
+    ]);
+    for (name, s) in [("ground truth", &truth), ("OSNT (MAC stamps)", &hw), ("software tester", &sw)] {
+        table.row([
+            name.to_string(),
+            format!("{:.1}", s.mean_ns),
+            format!("{:.1}", s.p50_ns),
+            format!("{:.1}", s.p99_ns),
+            format!("{:.1}", s.max_ns),
+            format!("{:.1}", s.stddev_ns),
+            format!("{:.1}", s.jitter_ns),
+        ]);
+    }
+    table.print();
+
+    let hw_err = (hw.mean_ns - truth.mean_ns).abs();
+    let sw_err = (sw.mean_ns - truth.mean_ns).abs();
+    println!(
+        "\nmean-latency error vs truth: OSNT {:.1} ns, software {:.1} ns ({}x)",
+        hw_err,
+        sw_err,
+        (sw_err / hw_err.max(1.0)).round()
+    );
+    println!(
+        "\nShape check: OSNT's error is bounded by stamp quantisation and\n\
+         residual clock offset (nanoseconds); the software tester's own\n\
+         noise dwarfs the quantity being measured — the paper's rationale\n\
+         for stamping at the MAC."
+    );
+}

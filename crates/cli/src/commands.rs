@@ -1,0 +1,329 @@
+//! The CLI subcommand implementations.
+
+use crate::args::{Args, UsageError};
+use oflops_turbo::modules::{
+    AddLatencyModule, AddLatencyReport, ConsistencyModule, ConsistencyReport, RoundRobinDst,
+};
+use oflops_turbo::{Testbed, TestbedSpec};
+use osnt_core::experiment::LatencyExperiment;
+use osnt_core::throughput::ThroughputSearch;
+use osnt_gen::txstamp::StampConfig;
+use osnt_gen::workload::{FixedTemplate, FlowPool};
+use osnt_gen::{GenConfig, GeneratorPort, IdtMode, PcapReplay, Schedule};
+use osnt_mon::{FilterAction, FilterTable, MonConfig, MonitorPort, ThinConfig};
+use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt_packet::{line_rate_pps, Packet, WildcardRule};
+use osnt_switch::{LegacyConfig, OfSwitchConfig};
+use osnt_time::{HwClock, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Sink;
+impl Component for Sink {
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+}
+
+fn dur_opt(d: Option<SimDuration>) -> String {
+    d.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+/// `osnt linerate` — generator saturation.
+pub fn linerate(args: &Args) -> Result<(), UsageError> {
+    let frame: usize = args.get("frame", 64)?;
+    let ms: u64 = args.get("duration-ms", 5)?;
+    let ports: usize = args.get("ports", 1)?;
+    args.reject_unknown()?;
+
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let mut stats = Vec::new();
+    for i in 0..ports {
+        let (gen, s) = GeneratorPort::new(
+            Box::new(FixedTemplate::new(FixedTemplate::udp_frame(frame))),
+            GenConfig {
+                schedule: Schedule::BackToBack,
+                stop_at: Some(SimTime::from_ms(ms)),
+                ..GenConfig::default()
+            },
+            clock.clone(),
+        );
+        let g = b.add_component(&format!("gen{i}"), Box::new(gen), 1);
+        let s2 = b.add_component(&format!("sink{i}"), Box::new(Sink), 1);
+        b.connect(g, 0, s2, 0, LinkSpec::ten_gig());
+        stats.push(s);
+    }
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_ms(ms + 1));
+    let theory = line_rate_pps(10_000_000_000, frame);
+    for (i, s) in stats.iter().enumerate() {
+        let s = s.borrow();
+        let pps = s.achieved_pps().unwrap_or(0.0);
+        println!(
+            "port {i}: {} frames, {:.0} pps (theory {:.0}, deficit {:+.4}%)",
+            s.sent_frames,
+            pps,
+            theory,
+            (theory - pps) / theory * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `osnt latency` — legacy switch latency under load.
+pub fn latency(args: &Args) -> Result<(), UsageError> {
+    let frame: usize = args.get("frame", 512)?;
+    let load: f64 = args.get("load", 0.5)?;
+    let ms: u64 = args.get("duration-ms", 20)?;
+    args.reject_unknown()?;
+
+    let exp = LatencyExperiment {
+        frame_len: frame,
+        background_load: load,
+        duration: SimDuration::from_ms(ms),
+        warmup: SimDuration::from_ms(ms / 4),
+        ..LatencyExperiment::default()
+    };
+    let r = exp.run_legacy(LegacyConfig::default());
+    println!(
+        "probe: sent {}  captured {}  loss {:.3}%",
+        r.probe_sent,
+        r.probe_received,
+        r.loss * 100.0
+    );
+    match r.latency {
+        Some(s) => println!("latency: {}", s.to_line()),
+        None => println!("latency: no samples"),
+    }
+    Ok(())
+}
+
+/// `osnt capture` — filtered/thinned capture to pcap.
+pub fn capture(args: &Args) -> Result<(), UsageError> {
+    let frame: usize = args.get("frame", 512)?;
+    let load: f64 = args.get("load", 1.0)?;
+    let ms: u64 = args.get("duration-ms", 10)?;
+    let snap: Option<usize> = args.get_opt("snap")?;
+    let dst_port: Option<u16> = args.get_opt("dst-port")?;
+    let out = args.get_str("out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let mut filter = FilterTable::capture_all();
+    if let Some(p) = dst_port {
+        filter = FilterTable::drop_by_default();
+        filter.push(WildcardRule::any().with_dst_port(p), FilterAction::Capture);
+    }
+    let mon_cfg = MonConfig {
+        filter,
+        thin: match snap {
+            Some(s) => ThinConfig::cut_with_hash(s),
+            None => ThinConfig::disabled(),
+        },
+        ..MonConfig::default()
+    };
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let (gen, _) = GeneratorPort::new(
+        Box::new(FlowPool::new(64, frame, 7)),
+        GenConfig {
+            schedule: Schedule::Utilization {
+                fraction: load.clamp(0.001, 1.0),
+                line_rate_bps: 10_000_000_000,
+            },
+            stop_at: Some(SimTime::from_ms(ms)),
+            ..GenConfig::default()
+        },
+        clock.clone(),
+    );
+    let (mon, buffer, stats) = MonitorPort::new(mon_cfg, clock);
+    let g = b.add_component("gen", Box::new(gen), 1);
+    let m = b.add_component("mon", Box::new(mon), 1);
+    b.connect(g, 0, m, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_ms(ms + 2));
+    let s = *stats.borrow();
+    println!(
+        "rx {}  filtered-out {}  thinned {}  host {}  host-drops {} ({:.1}% delivered)",
+        s.rx_frames,
+        s.filtered_out,
+        s.thinned,
+        s.host_frames,
+        s.host_drops,
+        s.host_delivery_ratio().unwrap_or(1.0) * 100.0
+    );
+    if let Some(path) = out {
+        let bytes = buffer
+            .borrow()
+            .write_pcap(Vec::new())
+            .map_err(|e| UsageError(format!("pcap build failed: {e}")))?;
+        std::fs::write(&path, &bytes)
+            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {} packets to {path}", buffer.borrow().len());
+    }
+    Ok(())
+}
+
+/// `osnt replay <file>` — replay a pcap.
+pub fn replay(args: &Args) -> Result<(), UsageError> {
+    let [path] = args.positional() else {
+        return Err(UsageError("replay needs exactly one pcap file".into()));
+    };
+    let mode_str = args.get_str("mode").unwrap_or("asrec").to_string();
+    args.reject_unknown()?;
+    let mode = parse_mode(&mode_str)?;
+
+    let bytes =
+        std::fs::read(path).map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    let records = osnt_packet::pcap::from_bytes(&bytes)
+        .map_err(|e| UsageError(format!("{path}: {e}")))?;
+    println!("loaded {} packets from {path}", records.len());
+
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let (gen, stats) = GeneratorPort::from_replay(
+        PcapReplay::new(records, mode),
+        GenConfig {
+            record_departures: true,
+            ..GenConfig::default()
+        },
+        clock,
+    );
+    let g = b.add_component("replay", Box::new(gen), 1);
+    let s = b.add_component("sink", Box::new(Sink), 1);
+    b.connect(g, 0, s, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_to_quiescence(100_000_000);
+    let st = stats.borrow();
+    println!(
+        "replayed {} frames ({} bytes) over {}",
+        st.sent_frames,
+        st.sent_bytes,
+        match (st.first_tx, st.last_tx) {
+            (Some(a), Some(b)) => (b - a).to_string(),
+            _ => "-".into(),
+        }
+    );
+    if let Some(pps) = st.achieved_pps() {
+        println!("mean rate {:.0} pps", pps);
+    }
+    Ok(())
+}
+
+fn parse_mode(s: &str) -> Result<IdtMode, UsageError> {
+    if s == "asrec" {
+        return Ok(IdtMode::AsRecorded);
+    }
+    if s == "b2b" {
+        return Ok(IdtMode::BackToBack);
+    }
+    if let Some(us) = s.strip_prefix("fixed-us:") {
+        let us: u64 = us
+            .parse()
+            .map_err(|_| UsageError(format!("bad fixed-us value: {s}")))?;
+        return Ok(IdtMode::Fixed(SimDuration::from_us(us)));
+    }
+    if let Some(f) = s.strip_prefix("scale:") {
+        let f: f64 = f
+            .parse()
+            .map_err(|_| UsageError(format!("bad scale value: {s}")))?;
+        return Ok(IdtMode::Scaled(f));
+    }
+    Err(UsageError(format!("unknown replay mode: {s}")))
+}
+
+/// `osnt throughput` — RFC 2544-style search.
+pub fn throughput(args: &Args) -> Result<(), UsageError> {
+    let frame: usize = args.get("frame", 512)?;
+    let resolution: f64 = args.get("resolution", 0.01)?;
+    args.reject_unknown()?;
+    let search = ThroughputSearch {
+        frame_len: frame,
+        resolution,
+        ..ThroughputSearch::default()
+    };
+    let r = search.run_legacy(&LegacyConfig::default());
+    println!(
+        "frame {} B: zero-loss throughput {:.1}% of line rate ({} trials; loss one step above: {:.3}%)",
+        r.frame_len,
+        r.zero_loss_load * 100.0,
+        r.trials,
+        r.loss_above * 100.0
+    );
+    Ok(())
+}
+
+/// `osnt oflops-add` — flow-insertion latency.
+pub fn oflops_add(args: &Args) -> Result<(), UsageError> {
+    let rules: usize = args.get("rules", 50)?;
+    let honest: bool = args.get("honest-barrier", false)?;
+    args.reject_unknown()?;
+
+    let (module, state) = AddLatencyModule::new(rules, SimTime::from_ms(10));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig {
+            honest_barrier: honest,
+            ..OfSwitchConfig::default()
+        },
+        probe: Some((
+            Box::new(RoundRobinDst::new(rules, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(2_000_000.0),
+                start_at: SimTime::from_ms(5),
+                stop_at: Some(SimTime::from_ms(60)),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(70));
+    let report = AddLatencyReport::analyze(&tb, &state.borrow(), rules);
+    println!("{rules} rules, honest-barrier={honest}:");
+    println!("  barrier (control plane): {}", dur_opt(report.barrier_latency));
+    println!(
+        "  activation (data plane): median {}  max {}",
+        dur_opt(report.median_activation()),
+        dur_opt(report.max_activation())
+    );
+    println!(
+        "  rules active only after barrier: {}/{} (never active: {})",
+        report.activated_after_barrier,
+        rules,
+        report.never_activated()
+    );
+    Ok(())
+}
+
+/// `osnt oflops-mod` — update consistency.
+pub fn oflops_mod(args: &Args) -> Result<(), UsageError> {
+    let rules: usize = args.get("rules", 50)?;
+    args.reject_unknown()?;
+
+    let (module, state) = ConsistencyModule::new(rules, SimTime::from_ms(20));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig::default(),
+        probe: Some((
+            Box::new(RoundRobinDst::new(rules, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(2_000_000.0),
+                start_at: SimTime::from_ms(5),
+                stop_at: Some(SimTime::from_ms(70)),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(80));
+    let report = ConsistencyReport::analyze(&tb, &state.borrow(), rules);
+    println!("{rules} rules rewritten A→B:");
+    println!("  barrier: {}", dur_opt(report.barrier_latency));
+    println!("  slowest migration: {}", dur_opt(report.max_activation()));
+    println!(
+        "  stale packets after barrier: {} (worst lag {})",
+        report.stale_after_barrier,
+        dur_opt(report.max_stale_lag)
+    );
+    Ok(())
+}

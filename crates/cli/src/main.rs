@@ -1,0 +1,67 @@
+//! `osnt` — the OSNT-rs command-line interface.
+//!
+//! The paper: "OSNT consists of a software driver supporting
+//! command-line and graphic-user interfaces (CLI and GUI), traffic
+//! generators and monitors modules." This binary is that CLI for the
+//! simulated platform: each subcommand assembles a testbed, runs it in
+//! virtual time, and prints the measurement.
+
+mod args;
+mod commands;
+
+use args::{Args, UsageError};
+
+const USAGE: &str = "\
+osnt — open source network tester (simulated 10 GbE platform)
+
+USAGE:
+    osnt <COMMAND> [OPTIONS]
+
+COMMANDS:
+    linerate     generator saturation test
+                   --frame <B=64> --duration-ms <5> --ports <1>
+    latency      legacy-switch latency under load (demo Part I)
+                   --frame <B=512> --load <0.0..1.1 = 0.5> --duration-ms <20>
+    capture      capture a line-rate aggregate through filters/thinning
+                   --frame <B=512> --load <1.0> --snap <bytes> --dst-port <n>
+                   --out <file.pcap> --duration-ms <10>
+    replay       replay a pcap file and report the achieved schedule
+                   <file.pcap> --mode <asrec|b2b|fixed-us:N|scale:F>
+    throughput   RFC 2544-style zero-loss throughput search
+                   --frame <B=512> --resolution <0.01>
+    oflops-add   OpenFlow flow-insertion latency (demo Part II)
+                   --rules <50> --honest-barrier <false>
+    oflops-mod   OpenFlow update consistency (demo Part II)
+                   --rules <50>
+    help         print this text
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let rest: Vec<String> = argv.collect();
+    let result = dispatch(&command, rest);
+    if let Err(e) = result {
+        eprintln!("error: {e}\n");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn dispatch(command: &str, rest: Vec<String>) -> Result<(), UsageError> {
+    let args = Args::parse(rest)?;
+    match command {
+        "linerate" => commands::linerate(&args),
+        "latency" => commands::latency(&args),
+        "capture" => commands::capture(&args),
+        "replay" => commands::replay(&args),
+        "throughput" => commands::throughput(&args),
+        "oflops-add" => commands::oflops_add(&args),
+        "oflops-mod" => commands::oflops_mod(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(UsageError(format!("unknown command: {other}"))),
+    }
+}

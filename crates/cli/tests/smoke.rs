@@ -1,0 +1,105 @@
+//! Smoke tests: drive the installed `osnt` binary end to end.
+
+use std::process::Command;
+
+fn osnt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_osnt"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = osnt().arg("help").output().expect("run osnt");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("oflops-add"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = osnt().arg("frobnicate").output().expect("run osnt");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn linerate_reports_exact_rate() {
+    let out = osnt()
+        .args(["linerate", "--frame", "64", "--duration-ms", "2"])
+        .output()
+        .expect("run osnt");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("deficit +0.0000%"), "output: {text}");
+}
+
+#[test]
+fn latency_reports_summary() {
+    let out = osnt()
+        .args(["latency", "--load", "0.3", "--duration-ms", "8"])
+        .output()
+        .expect("run osnt");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("loss 0.000%"), "output: {text}");
+    assert!(text.contains("latency: n="), "output: {text}");
+}
+
+#[test]
+fn capture_writes_pcap_and_replay_reads_it_back() {
+    let dir = std::env::temp_dir().join(format!("osnt-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pcap = dir.join("cap.pcap");
+
+    let out = osnt()
+        .args([
+            "capture",
+            "--frame",
+            "256",
+            "--load",
+            "0.05",
+            "--duration-ms",
+            "2",
+            "--snap",
+            "64",
+            "--out",
+            pcap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run osnt capture");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(pcap.exists());
+
+    let out = osnt()
+        .args(["replay", pcap.to_str().unwrap(), "--mode", "fixed-us:10"])
+        .output()
+        .expect("run osnt replay");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replayed"), "output: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oflops_add_reports_both_planes() {
+    let out = osnt()
+        .args(["oflops-add", "--rules", "5"])
+        .output()
+        .expect("run osnt oflops-add");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("barrier (control plane)"), "output: {text}");
+    assert!(text.contains("rules active only after barrier: 5/5"), "output: {text}");
+}
+
+#[test]
+fn bad_flag_value_is_rejected() {
+    let out = osnt()
+        .args(["latency", "--load", "not-a-number"])
+        .output()
+        .expect("run osnt");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
+}

@@ -1,0 +1,91 @@
+//! The software-tester baseline.
+//!
+//! Commodity testers (and naive tcpdump-style setups) timestamp packets
+//! in the **host**: after the NIC's RX queues, the DMA ring, the
+//! interrupt path and the scheduler have all had their say. OSNT's whole
+//! pitch is that stamping "on receipt by the MAC module … minimises
+//! queueing noise". [`SoftwareStamper`] models the host-side alternative
+//! so experiment E8 can quantify the difference: each reading is the true
+//! time plus a base delay plus heavy-tailed OS noise (interrupt
+//! coalescing, scheduling jitter and occasional multi-hundred-µs stalls).
+
+use osnt_time::{HwTimestamp, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Host timestamping noise model.
+#[derive(Debug, Clone)]
+pub struct SoftwareStamper {
+    rng: SmallRng,
+    /// Fixed path delay NIC→syscall, nanoseconds.
+    pub base_delay_ns: f64,
+    /// Scale of the exponential jitter component, nanoseconds.
+    pub jitter_scale_ns: f64,
+    /// Probability that a reading lands in a scheduler stall.
+    pub stall_probability: f64,
+    /// Stall magnitude, nanoseconds.
+    pub stall_ns: f64,
+}
+
+impl SoftwareStamper {
+    /// A model of a tuned commodity server: ~8 µs base latency, ~3 µs
+    /// exponential jitter, 1% chance of a ~150 µs scheduler stall —
+    /// numbers in line with published kernel-stack measurements of the
+    /// period.
+    pub fn commodity(seed: u64) -> Self {
+        SoftwareStamper {
+            rng: SmallRng::seed_from_u64(seed),
+            base_delay_ns: 8_000.0,
+            jitter_scale_ns: 3_000.0,
+            stall_probability: 0.01,
+            stall_ns: 150_000.0,
+        }
+    }
+
+    /// Read "the host clock" for a packet that truly arrived at
+    /// `arrival`: the stamp lands later by the modelled software path.
+    pub fn stamp(&mut self, arrival: SimTime) -> HwTimestamp {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let mut delay_ns = self.base_delay_ns - self.jitter_scale_ns * u.ln();
+        if self.rng.gen_bool(self.stall_probability) {
+            delay_ns += self.stall_ns * self.rng.gen_range(0.5..1.5);
+        }
+        let stamp_ps = arrival.as_ps() + (delay_ns * 1_000.0) as u64;
+        HwTimestamp::from_ps_unquantised(stamp_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_stamps_are_late_and_noisy() {
+        let mut s = SoftwareStamper::commodity(3);
+        let t = SimTime::from_ms(1);
+        let mut delays = Vec::new();
+        for _ in 0..2_000 {
+            let st = s.stamp(t);
+            let d_ns = (st.to_ps() - t.as_ps()) as f64 / 1_000.0;
+            // Allow the 32.32 encode/decode wobble (~0.25 ns).
+            assert!(d_ns >= 7_999.0, "never earlier than the base delay");
+            delays.push(d_ns);
+        }
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        // base + jitter mean + stall contribution ≈ 8 + 3 + 1.5 µs.
+        assert!(mean > 10_000.0 && mean < 16_000.0, "mean {mean} ns");
+        // The tail must show stalls.
+        let max = delays.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 80_000.0, "max {max} ns shows no stall");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = SoftwareStamper::commodity(seed);
+            (0..10).map(|i| s.stamp(SimTime::from_us(i)).as_raw()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,273 @@
+//! The OSNT card: four generator+monitor ports on one disciplined clock.
+
+use osnt_gen::{GenConfig, GenStats, GeneratorPort, Workload};
+use osnt_mon::{CaptureBuffer, MonConfig, MonStats, MonitorPort};
+use osnt_netsim::{Component, ComponentId, Kernel, SimBuilder};
+use osnt_packet::Packet;
+use osnt_time::{DriftModel, GpsDiscipline, HwClock, ServoGains, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What one card port does.
+pub struct PortRole {
+    /// Traffic generation on the TX side (workload + pacing), if any.
+    pub generator: Option<(Box<dyn Workload>, GenConfig)>,
+    /// Capture configuration on the RX side (there is always a monitor —
+    /// hardware always stamps; captures can be filtered to nothing).
+    pub monitor: MonConfig,
+}
+
+impl PortRole {
+    /// A port that only captures.
+    pub fn monitor_only() -> Self {
+        PortRole {
+            generator: None,
+            monitor: MonConfig::default(),
+        }
+    }
+
+    /// A port that generates and captures.
+    pub fn generator(workload: Box<dyn Workload>, config: GenConfig) -> Self {
+        PortRole {
+            generator: Some((workload, config)),
+            monitor: MonConfig::default(),
+        }
+    }
+
+    /// Override the monitor configuration.
+    pub fn with_monitor(mut self, monitor: MonConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+}
+
+/// Card-level configuration.
+pub struct DeviceConfig {
+    /// Oscillator model of the card clock.
+    pub clock_model: DriftModel,
+    /// Noise seed for the clock.
+    pub clock_seed: u64,
+    /// GPS discipline for the clock (`None` = free-running).
+    pub gps: Option<ServoGains>,
+    /// The four port roles.
+    pub ports: Vec<PortRole>,
+}
+
+impl DeviceConfig {
+    /// An idle 4-port card with an ideal clock (ports capture only).
+    pub fn idle() -> Self {
+        DeviceConfig {
+            clock_model: DriftModel::ideal(),
+            clock_seed: 0,
+            gps: None,
+            ports: (0..4).map(|_| PortRole::monitor_only()).collect(),
+        }
+    }
+}
+
+/// Shared handles to one installed card port.
+pub struct PortHandle {
+    /// The component id (for wiring with
+    /// [`osnt_netsim::SimBuilder::connect`]).
+    pub id: ComponentId,
+    /// Generator statistics (`None` for monitor-only ports).
+    pub gen_stats: Option<Rc<RefCell<GenStats>>>,
+    /// The capture buffer.
+    pub capture: Rc<RefCell<CaptureBuffer>>,
+    /// Monitor statistics.
+    pub mon_stats: Rc<RefCell<MonStats>>,
+}
+
+/// An installed OSNT card.
+pub struct OsntDevice {
+    /// Per-port handles.
+    pub ports: Vec<PortHandle>,
+    /// The card's hardware clock (shared by all ports).
+    pub clock: Rc<RefCell<HwClock>>,
+}
+
+impl OsntDevice {
+    /// Install a card into `builder`. Each port becomes one component
+    /// with a single full-duplex kernel port; wire them to the network
+    /// with [`SimBuilder::connect`]. When `config.gps` is set, a GPS
+    /// receiver component pulses the clock once per simulated second.
+    pub fn install(builder: &mut SimBuilder, config: DeviceConfig) -> OsntDevice {
+        let clock = Rc::new(RefCell::new(HwClock::new(
+            config.clock_model,
+            config.clock_seed,
+        )));
+        let mut ports = Vec::new();
+        for (i, role) in config.ports.into_iter().enumerate() {
+            let (gen, gen_stats) = match role.generator {
+                Some((workload, gen_cfg)) => {
+                    let (g, s) = GeneratorPort::new(workload, gen_cfg, clock.clone());
+                    (Some(g), Some(s))
+                }
+                None => (None, None),
+            };
+            let (mon, capture, mon_stats) = MonitorPort::new(role.monitor, clock.clone());
+            let id = builder.add_component(
+                &format!("osnt-port{i}"),
+                Box::new(CardPort { gen, mon }),
+                1,
+            );
+            ports.push(PortHandle {
+                id,
+                gen_stats,
+                capture,
+                mon_stats,
+            });
+        }
+        if let Some(gains) = config.gps {
+            let gps = GpsReceiver {
+                clock: clock.clone(),
+                discipline: GpsDiscipline::new(gains),
+            };
+            builder.add_component("gps-receiver", Box::new(gps), 0);
+        }
+        OsntDevice { ports, clock }
+    }
+}
+
+/// One OSNT card port: TX generator + RX monitor behind a single wire.
+pub struct CardPort {
+    gen: Option<GeneratorPort>,
+    mon: MonitorPort,
+}
+
+impl Component for CardPort {
+    fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        if let Some(g) = &mut self.gen {
+            g.on_start(kernel, me);
+        }
+    }
+
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, packet: Packet) {
+        self.mon.on_packet(kernel, me, port, packet);
+    }
+
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        if let Some(g) = &mut self.gen {
+            g.on_timer(kernel, me, tag);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "osnt-card-port"
+    }
+}
+
+/// Pulses the card clock's PPS discipline once per simulated second.
+struct GpsReceiver {
+    clock: Rc<RefCell<HwClock>>,
+    discipline: GpsDiscipline,
+}
+
+const TAG_PPS: u64 = 0x6b5;
+
+impl Component for GpsReceiver {
+    fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        kernel.schedule_timer(me, SimDuration::from_secs(1), TAG_PPS);
+    }
+
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        debug_assert_eq!(tag, TAG_PPS);
+        self.discipline.on_pps(&mut self.clock.borrow_mut(), kernel.now());
+        kernel.schedule_timer(me, SimDuration::from_secs(1), TAG_PPS);
+    }
+
+    fn name(&self) -> &str {
+        "gps-receiver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_gen::workload::FixedTemplate;
+    use osnt_gen::Schedule;
+    use osnt_mon::HostPathConfig;
+    use osnt_netsim::LinkSpec;
+    use osnt_time::SimTime;
+
+    #[test]
+    fn two_port_card_loopback() {
+        // Port 0 generates into port 1 through a direct cable.
+        let mut b = SimBuilder::new();
+        let gen_cfg = GenConfig {
+            schedule: Schedule::ConstantPps(100_000.0),
+            count: Some(200),
+            stamp: Some(osnt_gen::StampConfig::default_payload()),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let device = OsntDevice::install(
+            &mut b,
+            DeviceConfig {
+                clock_model: DriftModel::ideal(),
+                clock_seed: 1,
+                gps: None,
+                ports: vec![
+                    PortRole::generator(
+                        Box::new(FixedTemplate::new(FixedTemplate::udp_frame(512))),
+                        gen_cfg,
+                    ),
+                    PortRole::monitor_only().with_monitor(mon_cfg),
+                ],
+            },
+        );
+        b.connect(device.ports[0].id, 0, device.ports[1].id, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(
+            device.ports[0].gen_stats.as_ref().unwrap().borrow().sent_frames,
+            200
+        );
+        assert_eq!(device.ports[1].capture.borrow().len(), 200);
+    }
+
+    #[test]
+    fn gps_discipline_runs_when_enabled() {
+        let mut b = SimBuilder::new();
+        let device = OsntDevice::install(
+            &mut b,
+            DeviceConfig {
+                clock_model: DriftModel::commodity_xo(),
+                clock_seed: 5,
+                gps: Some(ServoGains::default()),
+                ports: vec![PortRole::monitor_only()],
+            },
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(30));
+        // After 30 PPS pulses a commodity oscillator is held sub-µs.
+        let off = device.clock.borrow().offset_ps().abs();
+        assert!(off < 1e6, "GPS-held offset {off} ps");
+    }
+
+    #[test]
+    fn free_running_clock_drifts() {
+        let mut b = SimBuilder::new();
+        let device = OsntDevice::install(
+            &mut b,
+            DeviceConfig {
+                clock_model: DriftModel::commodity_xo(),
+                clock_seed: 5,
+                gps: None,
+                ports: vec![PortRole::monitor_only()],
+            },
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(30));
+        device
+            .clock
+            .borrow_mut()
+            .advance_to(SimTime::from_secs(30));
+        assert!(device.clock.borrow().offset_ps().abs() > 1e6);
+    }
+}

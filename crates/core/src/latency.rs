@@ -1,0 +1,200 @@
+//! Latency extraction and summary statistics.
+//!
+//! Demo Part I: "Packets will be received by a userspace application with
+//! transmission and capture timestamps and the application will
+//! accurately estimate the switching latency." The transmission stamp is
+//! embedded in the packet by the generator; the capture stamp is attached
+//! by the monitor. Latency is simply their difference — both stamps come
+//! from GPS-disciplined hardware clocks, so the estimate carries no
+//! host-side noise.
+
+use osnt_gen::txstamp::extract_at;
+use osnt_mon::CaptureBuffer;
+use osnt_time::SimDuration;
+
+/// Extract per-packet latencies from a capture: `rx_stamp − embedded
+/// tx_stamp` for every packet long enough to carry a stamp at `offset`.
+/// Packets whose stamp decodes later than their arrival (corrupt or
+/// foreign payloads) are skipped.
+pub fn latencies_from_capture(buffer: &CaptureBuffer, offset: usize) -> Vec<SimDuration> {
+    let mut out = Vec::with_capacity(buffer.packets.len());
+    for cap in &buffer.packets {
+        let Some(tx) = extract_at(&cap.packet, offset) else {
+            continue;
+        };
+        let rx_ps = cap.rx_stamp.to_ps();
+        let tx_ps = tx.to_ps();
+        if tx_ps == 0 || tx_ps > rx_ps {
+            continue;
+        }
+        out.push(SimDuration::from_ps(rx_ps - tx_ps));
+    }
+    out
+}
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum, nanoseconds.
+    pub min_ns: f64,
+    /// Maximum, nanoseconds.
+    pub max_ns: f64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation, nanoseconds.
+    pub stddev_ns: f64,
+    /// Median, nanoseconds.
+    pub p50_ns: f64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: f64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean absolute difference of consecutive samples (RFC 3550-style
+    /// jitter), nanoseconds.
+    pub jitter_ns: f64,
+}
+
+impl Summary {
+    /// Summarise samples; `None` when empty.
+    pub fn from_durations(samples: &[SimDuration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let ns: Vec<f64> = samples.iter().map(|d| d.as_ns_f64()).collect();
+        let mut sorted = ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = ns.len();
+        let mean = ns.iter().sum::<f64>() / count as f64;
+        let var = ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let jitter = if count > 1 {
+            ns.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let pct = |p: f64| {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Some(Summary {
+            count,
+            min_ns: sorted[0],
+            max_ns: sorted[count - 1],
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            p50_ns: pct(0.50),
+            p90_ns: pct(0.90),
+            p99_ns: pct(0.99),
+            jitter_ns: jitter,
+        })
+    }
+
+    /// One-line human-readable rendering (ns).
+    pub fn to_line(&self) -> String {
+        format!(
+            "n={} min={:.1} p50={:.1} mean={:.1} p90={:.1} p99={:.1} max={:.1} sd={:.1} jit={:.1}",
+            self.count,
+            self.min_ns,
+            self.p50_ns,
+            self.mean_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.max_ns,
+            self.stddev_ns,
+            self.jitter_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_mon::CapturedPacket;
+    use osnt_packet::Packet;
+    use osnt_time::{HwTimestamp, SimTime};
+
+    #[test]
+    fn summary_of_known_samples() {
+        let samples: Vec<SimDuration> =
+            [100u64, 200, 300, 400, 500].iter().map(|&n| SimDuration::from_ns(n)).collect();
+        let s = Summary::from_durations(&samples).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_ns, 100.0);
+        assert_eq!(s.max_ns, 500.0);
+        assert_eq!(s.mean_ns, 300.0);
+        assert_eq!(s.p50_ns, 300.0);
+        assert_eq!(s.jitter_ns, 100.0);
+        assert!((s.stddev_ns - 141.42).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(Summary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_durations(&[SimDuration::from_ns(42)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.jitter_ns, 0.0);
+        assert_eq!(s.p99_ns, 42.0);
+    }
+
+    fn cap_with_stamp(tx_ns: u64, rx_ns: u64) -> CapturedPacket {
+        let mut pkt = Packet::zeroed(128);
+        let tx = HwTimestamp::from_ps_unquantised(tx_ns * 1000);
+        pkt.data_mut()[42..50].copy_from_slice(&tx.to_be_bytes());
+        CapturedPacket {
+            rx_stamp: HwTimestamp::from_ps_unquantised(rx_ns * 1000),
+            rx_true: SimTime::from_ns(rx_ns),
+            packet: pkt,
+            orig_len: 124,
+            hash: None,
+            port: 0,
+        }
+    }
+
+    #[test]
+    fn extraction_computes_differences() {
+        let mut buf = CaptureBuffer::default();
+        buf.packets.push(cap_with_stamp(1_000, 1_750));
+        buf.packets.push(cap_with_stamp(2_000, 2_800));
+        let lat = latencies_from_capture(&buf, 42);
+        assert_eq!(lat.len(), 2);
+        // 32.32 encode/decode wobble is < 1 ns.
+        assert!(lat[0].as_ns_f64() - 750.0 < 1.0);
+        assert!(lat[1].as_ns_f64() - 800.0 < 1.0);
+    }
+
+    #[test]
+    fn unstamped_packets_are_skipped() {
+        let mut buf = CaptureBuffer::default();
+        // A zero payload decodes as stamp 0 → skipped.
+        buf.packets.push(CapturedPacket {
+            rx_stamp: HwTimestamp::from_ps_unquantised(5_000_000),
+            rx_true: SimTime::from_us(5),
+            packet: Packet::zeroed(128),
+            orig_len: 124,
+            hash: None,
+            port: 0,
+        });
+        // Too short to carry a stamp at offset 42.
+        buf.packets.push(CapturedPacket {
+            rx_stamp: HwTimestamp::from_ps_unquantised(5_000_000),
+            rx_true: SimTime::from_us(5),
+            packet: Packet::zeroed(40),
+            orig_len: 36,
+            hash: None,
+            port: 0,
+        });
+        assert!(latencies_from_capture(&buf, 42).is_empty());
+    }
+
+    #[test]
+    fn stamp_from_the_future_is_skipped() {
+        let mut buf = CaptureBuffer::default();
+        buf.packets.push(cap_with_stamp(9_000, 1_000));
+        assert!(latencies_from_capture(&buf, 42).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Sequence tracking: loss, reordering and duplication detection.
+//!
+//! OSNT users evaluate "the achievable bandwidth" of a device by sending
+//! a tagged stream and checking what comes out the other side. The
+//! generator can stamp `seq & 0xffff` into the IPv4 identification field
+//! ([`osnt_gen::workload::FixedTemplate::with_sequence_tag`]); this
+//! module reconstructs the stream from a capture and classifies every
+//! gap.
+//!
+//! The 16-bit tag wraps every 65 536 packets; the tracker unwraps it by
+//! assuming consecutive captured packets are never more than half a
+//! wrap apart — true for any loss rate below 50%.
+
+use osnt_mon::CaptureBuffer;
+use osnt_packet::parser::L3;
+
+/// Result of replaying a capture against expected sequence numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceReport {
+    /// Packets carrying a readable IPv4 identification tag.
+    pub tagged: u64,
+    /// Highest unwrapped sequence observed.
+    pub max_seq: u64,
+    /// Missing sequence numbers (holes that never arrived later).
+    pub lost: u64,
+    /// Packets that arrived after a later sequence number had been seen.
+    pub reordered: u64,
+    /// Sequence numbers seen more than once.
+    pub duplicated: u64,
+}
+
+impl SequenceReport {
+    /// Loss fraction relative to `expected` packets sent.
+    pub fn loss_fraction(&self, expected: u64) -> f64 {
+        if expected == 0 {
+            return 0.0;
+        }
+        1.0 - (self.tagged - self.duplicated) as f64 / expected as f64
+    }
+}
+
+/// Analyse a capture of a sequence-tagged stream.
+///
+/// Assumes the stream started at sequence 0 and used consecutive tags.
+pub fn analyze_sequence(buffer: &CaptureBuffer) -> SequenceReport {
+    let mut report = SequenceReport::default();
+    let mut seen = Vec::<bool>::new();
+    let mut highest: Option<u64> = None;
+    let mut last_unwrapped: Option<u64> = None;
+
+    for cap in &buffer.packets {
+        let parsed = cap.packet.parse();
+        let Some(L3::Ipv4(ip)) = parsed.l3 else {
+            continue;
+        };
+        let tag = ip.identification as u64;
+        // Unwrap the 16-bit counter against the previous packet.
+        let unwrapped = match last_unwrapped {
+            None => tag,
+            Some(prev) => {
+                let base = prev & !0xffff;
+                let mut candidate = base | tag;
+                // Choose the representative closest to prev.
+                if candidate + 0x8000 < prev {
+                    candidate += 0x1_0000;
+                } else if candidate > prev + 0x8000 && candidate >= 0x1_0000 {
+                    candidate -= 0x1_0000;
+                }
+                candidate
+            }
+        };
+        last_unwrapped = Some(unwrapped);
+        report.tagged += 1;
+
+        if unwrapped as usize >= seen.len() {
+            seen.resize(unwrapped as usize + 1, false);
+        }
+        if seen[unwrapped as usize] {
+            report.duplicated += 1;
+            continue;
+        }
+        seen[unwrapped as usize] = true;
+        match highest {
+            Some(h) if unwrapped < h => report.reordered += 1,
+            _ => highest = Some(unwrapped),
+        }
+    }
+
+    if let Some(h) = highest {
+        report.max_seq = h;
+        report.lost = (0..=h).filter(|&s| !seen[s as usize]).count() as u64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_mon::CapturedPacket;
+    use osnt_packet::{MacAddr, PacketBuilder};
+    use osnt_time::{HwTimestamp, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn cap_with_seq(seq: u16) -> CapturedPacket {
+        let pkt = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .ip_identification(seq)
+            .udp(1, 2)
+            .build();
+        CapturedPacket {
+            rx_stamp: HwTimestamp::from_ps_unquantised(seq as u64 * 1000),
+            rx_true: SimTime::from_ns(seq as u64),
+            orig_len: pkt.len(),
+            packet: pkt,
+            hash: None,
+            port: 0,
+        }
+    }
+
+    fn buffer_of(seqs: &[u16]) -> CaptureBuffer {
+        let mut b = CaptureBuffer::default();
+        for &s in seqs {
+            b.packets.push(cap_with_seq(s));
+        }
+        b
+    }
+
+    #[test]
+    fn clean_stream_reports_nothing() {
+        let r = analyze_sequence(&buffer_of(&[0, 1, 2, 3, 4]));
+        assert_eq!(r.tagged, 5);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.reordered, 0);
+        assert_eq!(r.duplicated, 0);
+        assert_eq!(r.max_seq, 4);
+    }
+
+    #[test]
+    fn holes_count_as_loss() {
+        let r = analyze_sequence(&buffer_of(&[0, 1, 4, 5]));
+        assert_eq!(r.lost, 2);
+        assert!((r.loss_fraction(6) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reordering_is_not_loss() {
+        let r = analyze_sequence(&buffer_of(&[0, 2, 1, 3]));
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.reordered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_counted_once() {
+        let r = analyze_sequence(&buffer_of(&[0, 1, 1, 2]));
+        assert_eq!(r.duplicated, 1);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.tagged, 4);
+    }
+
+    #[test]
+    fn wraparound_is_unwrapped() {
+        let seqs: Vec<u16> = (65_530u32..65_536).chain(0..6).map(|v| v as u16).collect();
+        let r = analyze_sequence(&buffer_of(&seqs));
+        assert_eq!(r.lost, 65_530, "pre-start holes count (stream begun at 65530)");
+        assert_eq!(r.reordered, 0);
+        assert_eq!(r.max_seq, 65_541);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let r = analyze_sequence(&CaptureBuffer::default());
+        assert_eq!(r, SequenceReport::default());
+    }
+}

@@ -1,0 +1,193 @@
+//! PCAP replay with tunable inter-departure times.
+//!
+//! "The OSNT traffic generation subsystem provides a PCAP replay function
+//! with a tuneable per-packet inter-departure time." The replay turns a
+//! capture into a departure schedule: each record becomes a frame plus an
+//! offset from the start of the replay, derived from the recorded
+//! timestamps according to an [`IdtMode`].
+
+use osnt_packet::pcap::PcapRecord;
+use osnt_packet::Packet;
+use osnt_time::SimDuration;
+
+/// How recorded timestamps map to replay inter-departure times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdtMode {
+    /// Honour the capture's own gaps.
+    AsRecorded,
+    /// Scale the capture's gaps by a factor (`0.5` replays twice as
+    /// fast, `2.0` twice as slow).
+    Scaled(f64),
+    /// Ignore the capture's gaps and use a fixed inter-departure time.
+    Fixed(SimDuration),
+    /// Offer every frame immediately; the MAC paces at line rate.
+    BackToBack,
+}
+
+/// A replayable capture.
+#[derive(Debug, Clone)]
+pub struct PcapReplay {
+    records: Vec<PcapRecord>,
+    mode: IdtMode,
+    /// Replay the whole file this many times (default 1).
+    pub loops: u32,
+}
+
+impl PcapReplay {
+    /// Replay `records` under `mode`.
+    pub fn new(records: Vec<PcapRecord>, mode: IdtMode) -> Self {
+        PcapReplay {
+            records,
+            mode,
+            loops: 1,
+        }
+    }
+
+    /// Replay the capture `loops` times end to end.
+    pub fn with_loops(mut self, loops: u32) -> Self {
+        assert!(loops >= 1);
+        self.loops = loops;
+        self
+    }
+
+    /// Number of frames one loop produces.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the capture holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Expand into the departure schedule: `(offset from replay start,
+    /// frame)` pairs in order. Snapped captures are replayed at their
+    /// *captured* length (we cannot resurrect bytes that were thinned
+    /// away); `orig_len` is ignored.
+    pub fn schedule(&self) -> Vec<(SimDuration, Packet)> {
+        let mut out = Vec::with_capacity(self.records.len() * self.loops as usize);
+        if self.records.is_empty() {
+            return out;
+        }
+        let base_ts = self.records[0].ts_ps;
+        let mut loop_offset = SimDuration::ZERO;
+        for _ in 0..self.loops {
+            let mut last_offset = SimDuration::ZERO;
+            for (i, rec) in self.records.iter().enumerate() {
+                let natural_gap_ps = if i == 0 {
+                    0
+                } else {
+                    rec.ts_ps.saturating_sub(self.records[i - 1].ts_ps)
+                };
+                let offset = match self.mode {
+                    IdtMode::AsRecorded => {
+                        SimDuration::from_ps(rec.ts_ps.saturating_sub(base_ts))
+                    }
+                    IdtMode::Scaled(f) => {
+                        assert!(f >= 0.0 && f.is_finite(), "scale must be non-negative");
+                        last_offset + SimDuration::from_ps((natural_gap_ps as f64 * f) as u64)
+                    }
+                    IdtMode::Fixed(gap) => {
+                        if i == 0 {
+                            SimDuration::ZERO
+                        } else {
+                            last_offset + gap
+                        }
+                    }
+                    IdtMode::BackToBack => SimDuration::ZERO,
+                };
+                out.push((loop_offset + offset, Packet::from_vec(rec.data.clone())));
+                last_offset = offset;
+            }
+            // Subsequent loops start one gap after the last departure.
+            let tail_gap = match self.mode {
+                IdtMode::Fixed(gap) => gap,
+                _ => SimDuration::from_ps(
+                    self.records
+                        .last()
+                        .map(|r| {
+                            (r.ts_ps.saturating_sub(base_ts))
+                                .checked_div(self.records.len() as u64)
+                                .unwrap_or(0)
+                                .max(1)
+                        })
+                        .unwrap_or(1),
+                ),
+            };
+            loop_offset = loop_offset + last_departure(&out) + tail_gap;
+        }
+        out
+    }
+}
+
+fn last_departure(sched: &[(SimDuration, Packet)]) -> SimDuration {
+    sched.last().map(|(d, _)| *d).unwrap_or(SimDuration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> Vec<PcapRecord> {
+        // Three frames at t = 1 ms, 1.5 ms, 2.5 ms.
+        vec![
+            PcapRecord::full(1_000_000_000, vec![0u8; 60]),
+            PcapRecord::full(1_500_000_000, vec![1u8; 124]),
+            PcapRecord::full(2_500_000_000, vec![2u8; 60]),
+        ]
+    }
+
+    #[test]
+    fn as_recorded_preserves_gaps() {
+        let sched = PcapReplay::new(capture(), IdtMode::AsRecorded).schedule();
+        assert_eq!(sched[0].0, SimDuration::ZERO);
+        assert_eq!(sched[1].0, SimDuration::from_us(500));
+        assert_eq!(sched[2].0, SimDuration::from_us(1500));
+    }
+
+    #[test]
+    fn scaled_halves_gaps() {
+        let sched = PcapReplay::new(capture(), IdtMode::Scaled(0.5)).schedule();
+        assert_eq!(sched[1].0, SimDuration::from_us(250));
+        assert_eq!(sched[2].0, SimDuration::from_us(750));
+    }
+
+    #[test]
+    fn fixed_gap_ignores_recording() {
+        let sched =
+            PcapReplay::new(capture(), IdtMode::Fixed(SimDuration::from_us(10))).schedule();
+        assert_eq!(sched[1].0, SimDuration::from_us(10));
+        assert_eq!(sched[2].0, SimDuration::from_us(20));
+    }
+
+    #[test]
+    fn back_to_back_is_all_zero() {
+        let sched = PcapReplay::new(capture(), IdtMode::BackToBack).schedule();
+        assert!(sched.iter().all(|(d, _)| *d == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn frames_carry_record_bytes() {
+        let sched = PcapReplay::new(capture(), IdtMode::AsRecorded).schedule();
+        assert_eq!(sched[1].1.len(), 124);
+        assert_eq!(sched[1].1.data()[0], 1);
+    }
+
+    #[test]
+    fn loops_repeat_the_schedule() {
+        let sched = PcapReplay::new(capture(), IdtMode::Fixed(SimDuration::from_us(10)))
+            .with_loops(2)
+            .schedule();
+        assert_eq!(sched.len(), 6);
+        // Second loop starts strictly after the first ends.
+        assert!(sched[3].0 > sched[2].0);
+        // And keeps the fixed gap inside the loop.
+        assert_eq!(sched[4].0 - sched[3].0, SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn empty_capture_is_empty_schedule() {
+        let sched = PcapReplay::new(vec![], IdtMode::AsRecorded).schedule();
+        assert!(sched.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Departure scheduling: when does the next packet leave?
+//!
+//! OSNT exposes a "finely-controlled rate up to 10 Gbps per port". The
+//! schedule produces the **gap between consecutive departure instants**
+//! (start-of-frame to start-of-frame). A gap smaller than a frame's wire
+//! time is legal — the MAC simply runs back to back, which is how
+//! [`Schedule::BackToBack`] achieves exact line rate at any frame size.
+
+use osnt_packet::wire_bits;
+use osnt_time::{SimDuration, PS_PER_SEC};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A departure-pacing policy.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// No pacing: offer the next frame the instant the previous one is
+    /// accepted. The MAC's own timing makes this exactly line rate.
+    BackToBack,
+    /// A constant packet rate (packets per second).
+    ConstantPps(f64),
+    /// A constant fraction of line rate (0.0–1.0]; the gap scales with
+    /// each frame's wire size so the *utilisation* is held.
+    Utilization {
+        /// Offered load as a fraction of line rate.
+        fraction: f64,
+        /// The line rate being loaded, bits per second.
+        line_rate_bps: u64,
+    },
+    /// A fixed inter-departure time.
+    FixedGap(SimDuration),
+    /// Poisson arrivals: exponentially-distributed gaps with the given
+    /// mean rate. Deterministic under a fixed seed.
+    Poisson {
+        /// Mean packet rate, packets per second.
+        mean_pps: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// On/off bursts: packets leave back to back (line rate) for
+    /// `burst_frames` frames, then the port idles for `off_time`.
+    /// The classic stress pattern for switch buffering.
+    OnOff {
+        /// Frames per burst.
+        burst_frames: u64,
+        /// Idle time between bursts.
+        off_time: SimDuration,
+    },
+}
+
+impl Schedule {
+    /// Build the stateful pacer.
+    pub fn into_pacer(self) -> Pacer {
+        let rng = match &self {
+            Schedule::Poisson { seed, .. } => Some(SmallRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        Pacer {
+            schedule: self,
+            rng,
+            sent_in_burst: 0,
+        }
+    }
+}
+
+/// Stateful gap generator built from a [`Schedule`].
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    schedule: Schedule,
+    rng: Option<SmallRng>,
+    sent_in_burst: u64,
+}
+
+impl Pacer {
+    /// Gap from this frame's departure to the next, given the frame that
+    /// is about to leave (`frame_len` = conventional length incl. FCS).
+    pub fn next_gap(&mut self, frame_len: usize) -> SimDuration {
+        match &self.schedule {
+            Schedule::BackToBack => SimDuration::ZERO,
+            Schedule::ConstantPps(pps) => {
+                assert!(*pps > 0.0, "packet rate must be positive");
+                SimDuration::from_ps((PS_PER_SEC as f64 / pps).round() as u64)
+            }
+            Schedule::Utilization {
+                fraction,
+                line_rate_bps,
+            } => {
+                assert!(
+                    *fraction > 0.0 && *fraction <= 1.0,
+                    "utilisation must be in (0, 1]"
+                );
+                let wire_ps =
+                    wire_bits(frame_len) as u128 * 1_000_000_000_000u128 / *line_rate_bps as u128;
+                SimDuration::from_ps((wire_ps as f64 / fraction).round() as u64)
+            }
+            Schedule::FixedGap(d) => *d,
+            Schedule::Poisson { mean_pps, .. } => {
+                assert!(*mean_pps > 0.0, "mean rate must be positive");
+                let rng = self.rng.as_mut().expect("poisson pacer has rng");
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap_s = -u.ln() / mean_pps;
+                SimDuration::from_secs_f64(gap_s)
+            }
+            Schedule::OnOff {
+                burst_frames,
+                off_time,
+            } => {
+                assert!(*burst_frames > 0, "burst must hold at least one frame");
+                self.sent_in_burst += 1;
+                if self.sent_in_burst >= *burst_frames {
+                    self.sent_in_burst = 0;
+                    *off_time
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_gap_is_zero() {
+        let mut p = Schedule::BackToBack.into_pacer();
+        assert_eq!(p.next_gap(64), SimDuration::ZERO);
+        assert_eq!(p.next_gap(1518), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn constant_pps_gap() {
+        let mut p = Schedule::ConstantPps(1_000_000.0).into_pacer();
+        assert_eq!(p.next_gap(64), SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn utilization_scales_with_frame_size() {
+        let mut p = Schedule::Utilization {
+            fraction: 0.5,
+            line_rate_bps: 10_000_000_000,
+        }
+        .into_pacer();
+        // 64B wire time is 67.2 ns; at 50% the gap is 134.4 ns.
+        assert_eq!(p.next_gap(64).as_ps(), 134_400);
+        // 1518B wire time is 1230.4 ns → 2460.8 ns.
+        assert_eq!(p.next_gap(1518).as_ps(), 2_460_800);
+    }
+
+    #[test]
+    fn full_utilization_equals_wire_time() {
+        let mut p = Schedule::Utilization {
+            fraction: 1.0,
+            line_rate_bps: 10_000_000_000,
+        }
+        .into_pacer();
+        assert_eq!(p.next_gap(64).as_ps(), 67_200);
+    }
+
+    #[test]
+    fn poisson_mean_is_respected() {
+        let mut p = Schedule::Poisson {
+            mean_pps: 100_000.0,
+            seed: 42,
+        }
+        .into_pacer();
+        let n = 200_000;
+        let total: u128 = (0..n).map(|_| p.next_gap(64).as_ps() as u128).sum();
+        let mean_ps = (total / n as u128) as f64;
+        let expect = 1e12 / 100_000.0; // 10 µs
+        assert!(
+            (mean_ps - expect).abs() / expect < 0.01,
+            "mean gap {mean_ps} ps vs expected {expect} ps"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let gaps = |seed| {
+            let mut p = Schedule::Poisson {
+                mean_pps: 1000.0,
+                seed,
+            }
+            .into_pacer();
+            (0..50).map(|_| p.next_gap(64).as_ps()).collect::<Vec<_>>()
+        };
+        assert_eq!(gaps(7), gaps(7));
+        assert_ne!(gaps(7), gaps(8));
+    }
+
+    #[test]
+    fn on_off_alternates_bursts_and_gaps() {
+        let mut p = Schedule::OnOff {
+            burst_frames: 3,
+            off_time: SimDuration::from_us(50),
+        }
+        .into_pacer();
+        let gaps: Vec<u64> = (0..7).map(|_| p.next_gap(64).as_ps()).collect();
+        assert_eq!(
+            gaps,
+            vec![0, 0, 50_000_000, 0, 0, 50_000_000, 0],
+            "back-to-back inside the burst, off_time between bursts"
+        );
+    }
+
+    #[test]
+    fn on_off_single_frame_bursts() {
+        let mut p = Schedule::OnOff {
+            burst_frames: 1,
+            off_time: SimDuration::from_us(10),
+        }
+        .into_pacer();
+        assert_eq!(p.next_gap(64), SimDuration::from_us(10));
+        assert_eq!(p.next_gap(64), SimDuration::from_us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "utilisation")]
+    fn bad_utilization_panics() {
+        let mut p = Schedule::Utilization {
+            fraction: 1.5,
+            line_rate_bps: 10_000_000_000,
+        }
+        .into_pacer();
+        let _ = p.next_gap(64);
+    }
+}

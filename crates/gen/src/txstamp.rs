@@ -1,0 +1,138 @@
+//! TX timestamp embedding.
+//!
+//! OSNT's generator has "an accurate timestamping mechanism located just
+//! before the transmit 10GbE MAC … the timestamp is embedded within the
+//! packet at a preconfigured location and can be extracted at the
+//! receiver". [`TimestampEmbedder`] reproduces exactly that: given the
+//! instant the first bit will hit the wire, it reads the card clock and
+//! writes the 64-bit stamp at a fixed byte offset.
+
+use osnt_packet::Packet;
+use osnt_time::{HwClock, HwTimestamp, SimTime};
+
+/// Where and whether to embed the transmit timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampConfig {
+    /// Byte offset within the frame at which the 8-byte big-endian stamp
+    /// is written.
+    pub offset: usize,
+}
+
+impl StampConfig {
+    /// The default OSNT-rs probe location: right after Ethernet + IPv4 +
+    /// UDP headers (14 + 20 + 8 = byte 42), i.e. the start of a UDP
+    /// payload in the canonical test frame.
+    pub const DEFAULT_OFFSET: usize = 42;
+
+    /// Stamp at the default payload offset.
+    pub fn default_payload() -> Self {
+        StampConfig {
+            offset: Self::DEFAULT_OFFSET,
+        }
+    }
+
+    /// Stamp at a custom offset.
+    pub fn at_offset(offset: usize) -> Self {
+        StampConfig { offset }
+    }
+}
+
+/// Writes hardware timestamps into outgoing frames.
+#[derive(Debug, Clone, Copy)]
+pub struct TimestampEmbedder {
+    config: StampConfig,
+}
+
+impl TimestampEmbedder {
+    /// An embedder for the given location.
+    pub fn new(config: StampConfig) -> Self {
+        TimestampEmbedder { config }
+    }
+
+    /// Read `clock` at `wire_time` (the instant the MAC starts the frame)
+    /// and embed the stamp. Returns the stamp written, or `None` if the
+    /// frame is too short to hold it (the frame is left untouched —
+    /// matching hardware, which skips stamping frames shorter than the
+    /// configured offset).
+    pub fn stamp(
+        &self,
+        packet: &mut Packet,
+        clock: &mut HwClock,
+        wire_time: SimTime,
+    ) -> Option<HwTimestamp> {
+        let off = self.config.offset;
+        if packet.len() < off + HwTimestamp::WIRE_SIZE {
+            return None;
+        }
+        let ts = clock.read(wire_time);
+        packet.data_mut()[off..off + 8].copy_from_slice(&ts.to_be_bytes());
+        Some(ts)
+    }
+
+    /// Extract a stamp previously embedded at this location. `None` if
+    /// the frame is too short.
+    pub fn extract(&self, packet: &Packet) -> Option<HwTimestamp> {
+        extract_at(packet, self.config.offset)
+    }
+
+    /// The configured offset.
+    pub fn offset(&self) -> usize {
+        self.config.offset
+    }
+}
+
+/// Extract an embedded stamp at `offset` from a frame.
+pub fn extract_at(packet: &Packet, offset: usize) -> Option<HwTimestamp> {
+    let bytes = packet.data().get(offset..offset + 8)?;
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(bytes);
+    Some(HwTimestamp::from_be_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FixedTemplate;
+    use osnt_time::DATAPATH_TICK_PS;
+
+    #[test]
+    fn stamp_and_extract_round_trip() {
+        let emb = TimestampEmbedder::new(StampConfig::default_payload());
+        let mut pkt = FixedTemplate::udp_frame(128);
+        let mut clock = HwClock::ideal();
+        let t = SimTime::from_us(123);
+        let written = emb.stamp(&mut pkt, &mut clock, t).expect("stamped");
+        let read = emb.extract(&pkt).expect("extracted");
+        assert_eq!(written, read);
+        // Ideal clock: the stamp equals the wire time quantised to a tick,
+        // within the 32.32 fixed-point encoding granularity (~233 ps).
+        let expect = (t.as_ps() / DATAPATH_TICK_PS) * DATAPATH_TICK_PS;
+        let err = expect.abs_diff(read.to_ps());
+        assert!(
+            err <= osnt_time::timestamp::MAX_ROUNDTRIP_ERROR_PS,
+            "stamp error {err} ps"
+        );
+    }
+
+    #[test]
+    fn short_frame_is_not_stamped() {
+        let emb = TimestampEmbedder::new(StampConfig::at_offset(100));
+        let mut pkt = FixedTemplate::udp_frame(64); // 60 stored bytes
+        let before = pkt.clone();
+        let mut clock = HwClock::ideal();
+        assert!(emb.stamp(&mut pkt, &mut clock, SimTime::from_us(1)).is_none());
+        assert_eq!(pkt, before, "frame must be untouched");
+    }
+
+    #[test]
+    fn custom_offset() {
+        let emb = TimestampEmbedder::new(StampConfig::at_offset(50));
+        let mut pkt = FixedTemplate::udp_frame(256);
+        let mut clock = HwClock::ideal();
+        emb.stamp(&mut pkt, &mut clock, SimTime::from_ns(6250)).unwrap();
+        let err = extract_at(&pkt, 50).unwrap().to_ps().abs_diff(6_250_000);
+        assert!(err <= osnt_time::timestamp::MAX_ROUNDTRIP_ERROR_PS);
+        // Default offset region is untouched (still zero padding).
+        assert_eq!(extract_at(&pkt, 60).unwrap().as_raw() & 0xffff, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end pcap replay: the generator reproduces a capture's
+//! departure schedule on the simulated wire.
+
+use osnt_gen::{GenConfig, GeneratorPort, IdtMode, PcapReplay};
+use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt_packet::pcap::PcapRecord;
+use osnt_packet::Packet;
+use osnt_time::{HwClock, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Recorder {
+    arrivals: Rc<RefCell<Vec<(SimTime, usize)>>>,
+}
+impl Component for Recorder {
+    fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, pkt: Packet) {
+        self.arrivals.borrow_mut().push((k.now(), pkt.len()));
+    }
+}
+
+fn capture() -> Vec<PcapRecord> {
+    vec![
+        PcapRecord::full(0, vec![0u8; 60]),
+        PcapRecord::full(10_000_000, vec![1u8; 996]),  // +10 µs
+        PcapRecord::full(25_000_000, vec![2u8; 60]),   // +15 µs
+        PcapRecord::full(26_000_000, vec![3u8; 1514]), // +1 µs
+    ]
+}
+
+fn run(mode: IdtMode, loops: u32) -> (Vec<SimTime>, Vec<(SimTime, usize)>) {
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let (gen, stats) = GeneratorPort::from_replay(
+        PcapReplay::new(capture(), mode).with_loops(loops),
+        GenConfig {
+            record_departures: true,
+            ..GenConfig::default()
+        },
+        clock,
+    );
+    let arrivals = Rc::new(RefCell::new(Vec::new()));
+    let g = b.add_component("replay", Box::new(gen), 1);
+    let r = b.add_component(
+        "rec",
+        Box::new(Recorder {
+            arrivals: arrivals.clone(),
+        }),
+        1,
+    );
+    b.connect(g, 0, r, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_to_quiescence(100_000);
+    let departures = stats.borrow().departures.clone();
+    let got = arrivals.borrow().clone();
+    (departures, got)
+}
+
+#[test]
+fn as_recorded_schedule_is_honoured_on_the_wire() {
+    let (departures, arrivals) = run(IdtMode::AsRecorded, 1);
+    assert_eq!(departures.len(), 4);
+    assert_eq!(arrivals.len(), 4);
+    // Departure gaps match the capture exactly (all gaps are feasible).
+    assert_eq!((departures[1] - departures[0]).as_ps(), 10_000_000);
+    assert_eq!((departures[2] - departures[1]).as_ps(), 15_000_000);
+    assert_eq!((departures[3] - departures[2]).as_ps(), 1_000_000);
+    // Frame sizes arrive in order.
+    let sizes: Vec<usize> = arrivals.iter().map(|(_, s)| *s).collect();
+    assert_eq!(sizes, vec![60, 996, 60, 1514]);
+}
+
+#[test]
+fn fixed_mode_overrides_recorded_gaps() {
+    let (departures, _) = run(IdtMode::Fixed(SimDuration::from_us(3)), 1);
+    for w in departures.windows(2) {
+        assert_eq!((w[1] - w[0]).as_ps(), 3_000_000);
+    }
+}
+
+#[test]
+fn back_to_back_mode_floors_at_wire_time() {
+    let (departures, _) = run(IdtMode::BackToBack, 1);
+    // Gap i equals frame i's wire time.
+    let expected = [(60 + 4 + 20) * 800u64, (996 + 4 + 20) * 800, (60 + 4 + 20) * 800];
+    for (w, want) in departures.windows(2).zip(expected) {
+        assert_eq!((w[1] - w[0]).as_ps(), want);
+    }
+}
+
+#[test]
+fn loops_replay_the_capture_repeatedly() {
+    let (departures, arrivals) = run(IdtMode::AsRecorded, 3);
+    assert_eq!(departures.len(), 12);
+    assert_eq!(arrivals.len(), 12);
+    let sizes: Vec<usize> = arrivals.iter().map(|(_, s)| *s).collect();
+    assert_eq!(&sizes[0..4], &sizes[4..8]);
+    assert_eq!(&sizes[4..8], &sizes[8..12]);
+    // Gaps inside the second loop also match the capture.
+    assert_eq!((departures[5] - departures[4]).as_ps(), 10_000_000);
+}

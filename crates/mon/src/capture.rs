@@ -1,0 +1,114 @@
+//! Capture records and sinks.
+
+use osnt_packet::pcap::{PcapRecord, PcapWriter, TsResolution};
+use osnt_packet::Packet;
+use osnt_time::{HwTimestamp, SimTime};
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+/// One packet as the host sees it: the (possibly thinned) bytes plus the
+/// hardware receive timestamp and provenance metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPacket {
+    /// Hardware timestamp taken at the MAC (the measurement-grade stamp).
+    pub rx_stamp: HwTimestamp,
+    /// Ground-truth arrival instant in simulator time. Real hardware
+    /// obviously has no such field; experiments use it solely to
+    /// *evaluate* stamp quality (E2/E8), never inside a measurement.
+    pub rx_true: SimTime,
+    /// The captured frame (post-thinning).
+    pub packet: Packet,
+    /// Stored length before thinning.
+    pub orig_len: usize,
+    /// CRC-32 of the original frame, when hashing was enabled.
+    pub hash: Option<u32>,
+    /// Monitor port the packet arrived on.
+    pub port: usize,
+}
+
+impl CapturedPacket {
+    /// Convert to a pcap record (timestamped with the hardware stamp,
+    /// `orig_len` preserved so thinning is visible in the file).
+    pub fn to_pcap_record(&self) -> PcapRecord {
+        PcapRecord {
+            ts_ps: self.rx_stamp.to_ps(),
+            orig_len: self.orig_len as u32 + osnt_packet::FCS_LEN as u32,
+            data: self.packet.data().to_vec(),
+        }
+    }
+}
+
+/// An in-memory capture buffer shared between the monitor component and
+/// the harness (`Rc<RefCell<…>>`; the simulation is single-threaded).
+#[derive(Debug, Default)]
+pub struct CaptureBuffer {
+    /// Captured packets in arrival order.
+    pub packets: Vec<CapturedPacket>,
+}
+
+impl CaptureBuffer {
+    /// A fresh shared buffer.
+    pub fn new_shared() -> Rc<RefCell<CaptureBuffer>> {
+        Rc::new(RefCell::new(CaptureBuffer::default()))
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Write the buffer to a nanosecond pcap stream.
+    pub fn write_pcap<W: Write>(&self, out: W) -> io::Result<W> {
+        let mut w = PcapWriter::new(out, TsResolution::Nano)?;
+        for p in &self.packets {
+            w.write_record(&p.to_pcap_record())?;
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_packet::pcap;
+
+    fn cap(ts_ns: u64, len: usize) -> CapturedPacket {
+        CapturedPacket {
+            rx_stamp: HwTimestamp::from_ps_unquantised(ts_ns * 1000),
+            rx_true: SimTime::from_ns(ts_ns),
+            packet: Packet::zeroed(len),
+            orig_len: len - 4,
+            hash: None,
+            port: 0,
+        }
+    }
+
+    #[test]
+    fn pcap_export_round_trips() {
+        let mut buf = CaptureBuffer::default();
+        buf.packets.push(cap(1000, 64));
+        buf.packets.push(cap(2000, 128));
+        let img = buf.write_pcap(Vec::new()).unwrap();
+        let recs = pcap::from_bytes(&img).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].data.len(), 60);
+        assert_eq!(recs[1].orig_len, 128);
+        // Nanosecond resolution preserves the stamp to within the 32.32
+        // fraction granularity (~233 ps) plus the ns truncation.
+        assert!(recs[0].ts_ps.abs_diff(1_000_000) <= 1_233);
+    }
+
+    #[test]
+    fn shared_buffer_helper() {
+        let shared = CaptureBuffer::new_shared();
+        shared.borrow_mut().packets.push(cap(1, 64));
+        assert_eq!(shared.borrow().len(), 1);
+        assert!(!shared.borrow().is_empty());
+    }
+}

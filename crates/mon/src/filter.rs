@@ -1,0 +1,153 @@
+//! The wildcard filter table of the monitoring datapath.
+//!
+//! Rules are evaluated in order; the first match decides whether the
+//! packet is captured (forwarded toward the host) or dropped. An empty
+//! table captures everything — the hardware's reset behaviour.
+
+use osnt_packet::{ParsedPacket, WildcardRule};
+
+/// What a matching rule does with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterAction {
+    /// Forward toward the host capture path.
+    Capture,
+    /// Discard in hardware.
+    Drop,
+}
+
+/// One filter entry.
+#[derive(Debug, Clone)]
+pub struct FilterEntry {
+    /// The match.
+    pub rule: WildcardRule,
+    /// The action on match.
+    pub action: FilterAction,
+    /// Packets that matched this entry.
+    pub hits: u64,
+}
+
+/// An ordered filter table with a default action.
+#[derive(Debug, Clone)]
+pub struct FilterTable {
+    entries: Vec<FilterEntry>,
+    /// Action when no rule matches. Defaults to `Capture` (hardware
+    /// reset state: capture everything).
+    pub default_action: FilterAction,
+    /// Packets that fell through to the default action.
+    pub default_hits: u64,
+}
+
+impl FilterTable {
+    /// An empty, capture-everything table.
+    pub fn capture_all() -> Self {
+        FilterTable {
+            entries: Vec::new(),
+            default_action: FilterAction::Capture,
+            default_hits: 0,
+        }
+    }
+
+    /// An empty table that drops unmatched packets — the usual shape for
+    /// targeted capture: add `Capture` rules for the traffic of interest.
+    pub fn drop_by_default() -> Self {
+        FilterTable {
+            entries: Vec::new(),
+            default_action: FilterAction::Drop,
+            default_hits: 0,
+        }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: WildcardRule, action: FilterAction) {
+        self.entries.push(FilterEntry {
+            rule,
+            action,
+            hits: 0,
+        });
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries (to read hit counters).
+    pub fn entries(&self) -> &[FilterEntry] {
+        &self.entries
+    }
+
+    /// Classify a parsed packet, updating hit counters.
+    pub fn classify(&mut self, packet: &ParsedPacket<'_>) -> FilterAction {
+        for e in &mut self.entries {
+            if e.rule.matches(packet) {
+                e.hits += 1;
+                return e.action;
+            }
+        }
+        self.default_hits += 1;
+        self.default_action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_packet::wildcard::IpPrefix;
+    use osnt_packet::{MacAddr, PacketBuilder};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn udp(dst_port: u16) -> osnt_packet::Packet {
+        PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1000, dst_port)
+            .build()
+    }
+
+    #[test]
+    fn empty_table_captures_everything() {
+        let mut t = FilterTable::capture_all();
+        let p = udp(80);
+        assert_eq!(t.classify(&p.parse()), FilterAction::Capture);
+        assert_eq!(t.default_hits, 1);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut t = FilterTable::capture_all();
+        t.push(
+            WildcardRule::any().with_dst_port(80),
+            FilterAction::Drop,
+        );
+        t.push(WildcardRule::any(), FilterAction::Capture);
+        let p80 = udp(80);
+        let p81 = udp(81);
+        assert_eq!(t.classify(&p80.parse()), FilterAction::Drop);
+        assert_eq!(t.classify(&p81.parse()), FilterAction::Capture);
+        assert_eq!(t.entries()[0].hits, 1);
+        assert_eq!(t.entries()[1].hits, 1);
+        assert_eq!(t.default_hits, 0);
+    }
+
+    #[test]
+    fn drop_by_default_with_capture_rule() {
+        let mut t = FilterTable::drop_by_default();
+        t.push(
+            WildcardRule::any().with_src_ip(IpPrefix::new(
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)),
+                24,
+            )),
+            FilterAction::Capture,
+        );
+        assert_eq!(t.classify(&udp(5).parse()), FilterAction::Capture);
+        let other = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(172, 16, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2)
+            .build();
+        assert_eq!(t.classify(&other.parse()), FilterAction::Drop);
+    }
+}

@@ -1,0 +1,365 @@
+//! The monitor port: a [`Component`] implementing the OSNT capture
+//! datapath — stamp at the MAC, filter, thin, DMA to the host.
+
+use crate::capture::{CaptureBuffer, CapturedPacket};
+use crate::filter::{FilterAction, FilterTable};
+use crate::host::{HostPath, HostPathConfig};
+use crate::rates::RateEstimator;
+use crate::rxstamp::RxStamper;
+use crate::stats::MonStats;
+use crate::thin::{ThinConfig, Thinner};
+use osnt_netsim::{Component, ComponentId, Kernel};
+use osnt_packet::Packet;
+use osnt_time::{HwClock, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Monitor configuration (per port).
+#[derive(Debug, Clone)]
+pub struct MonConfig {
+    /// Filter table (default: capture everything).
+    pub filter: FilterTable,
+    /// Thinning (default: disabled).
+    pub thin: ThinConfig,
+    /// Host DMA model (default: the 8 Gb/s loss-limited path).
+    pub host: HostPathConfig,
+}
+
+impl Default for MonConfig {
+    fn default() -> Self {
+        MonConfig {
+            filter: FilterTable::capture_all(),
+            thin: ThinConfig::disabled(),
+            host: HostPathConfig::default(),
+        }
+    }
+}
+
+/// A monitoring port of the OSNT card. Frames arriving on any of its
+/// simulated ports are stamped, filtered, thinned, pushed through the
+/// loss-limited host path and — if they survive — appended to the shared
+/// [`CaptureBuffer`].
+pub struct MonitorPort {
+    stamper: RxStamper,
+    filter: FilterTable,
+    thinner: Thinner,
+    host: HostPath,
+    buffer: Rc<RefCell<CaptureBuffer>>,
+    stats: Rc<RefCell<MonStats>>,
+    rates: Option<Rc<RefCell<RateEstimator>>>,
+}
+
+impl MonitorPort {
+    /// Build a monitor port. Returns the component plus shared handles to
+    /// the capture buffer and statistics.
+    pub fn new(
+        config: MonConfig,
+        clock: Rc<RefCell<HwClock>>,
+    ) -> (
+        Self,
+        Rc<RefCell<CaptureBuffer>>,
+        Rc<RefCell<MonStats>>,
+    ) {
+        let buffer = CaptureBuffer::new_shared();
+        let stats = Rc::new(RefCell::new(MonStats::default()));
+        (
+            MonitorPort {
+                stamper: RxStamper::new(clock),
+                filter: config.filter,
+                thinner: Thinner::new(config.thin),
+                host: HostPath::new(config.host),
+                buffer: buffer.clone(),
+                stats: stats.clone(),
+                rates: None,
+            },
+            buffer,
+            stats,
+        )
+    }
+
+    /// Read access to the filter table (hit counters).
+    pub fn filter(&self) -> &FilterTable {
+        &self.filter
+    }
+
+    /// Enable live rate estimation over fixed `window`s of simulated
+    /// time (what the OSNT GUI's per-port rate display reads). Returns
+    /// the shared estimator handle.
+    pub fn enable_rate_tracking(
+        &mut self,
+        window: SimDuration,
+    ) -> Rc<RefCell<RateEstimator>> {
+        let est = Rc::new(RefCell::new(RateEstimator::new(window, 0.3)));
+        self.rates = Some(est.clone());
+        est
+    }
+}
+
+impl Component for MonitorPort {
+    fn on_packet(&mut self, kernel: &mut Kernel, _me: ComponentId, port: usize, packet: Packet) {
+        let now = kernel.now();
+        // 1. Timestamp at the MAC — before anything else can add noise.
+        let rx_stamp = self.stamper.stamp(now);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.rx_frames += 1;
+            s.rx_bytes += packet.frame_len() as u64;
+        }
+        if let Some(rates) = &self.rates {
+            rates.borrow_mut().record(now, packet.frame_len());
+        }
+        // 2. Wildcard filters (hardware: per-packet at line rate).
+        let action = self.filter.classify(&packet.parse());
+        if action == FilterAction::Drop {
+            self.stats.borrow_mut().filtered_out += 1;
+            return;
+        }
+        // 3. Thinning: cut + hash.
+        let before_len = packet.len();
+        let thinned = self.thinner.process(packet);
+        if thinned.packet.len() < before_len {
+            self.stats.borrow_mut().thinned += 1;
+        }
+        // 4. The loss-limited host path.
+        let captured_bytes = thinned.packet.len();
+        if !self.host.admit(now, captured_bytes) {
+            self.stats.borrow_mut().host_drops += 1;
+            return;
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.host_frames += 1;
+            s.host_bytes += captured_bytes as u64 + self.host.config().per_packet_overhead;
+        }
+        self.buffer.borrow_mut().packets.push(CapturedPacket {
+            rx_stamp,
+            rx_true: now,
+            packet: thinned.packet,
+            orig_len: thinned.orig_len,
+            hash: thinned.hash,
+            port,
+        });
+    }
+
+    fn name(&self) -> &str {
+        "osnt-monitor-port"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_gen::{GenConfig, GeneratorPort, Schedule};
+    use osnt_gen::workload::FixedTemplate;
+    use osnt_netsim::{LinkSpec, SimBuilder};
+    use osnt_packet::WildcardRule;
+    use osnt_time::SimTime;
+
+    fn gen_to_mon(
+        gen_cfg: GenConfig,
+        mon_cfg: MonConfig,
+        frame_len: usize,
+        run_ms: u64,
+    ) -> (Rc<RefCell<CaptureBuffer>>, Rc<RefCell<MonStats>>) {
+        let clock_tx = Rc::new(RefCell::new(HwClock::ideal()));
+        let clock_rx = Rc::new(RefCell::new(HwClock::ideal()));
+        let (gen, _gstats) = GeneratorPort::new(
+            Box::new(FixedTemplate::new(FixedTemplate::udp_frame(frame_len))),
+            gen_cfg,
+            clock_tx,
+        );
+        let (mon, buffer, stats) = MonitorPort::new(mon_cfg, clock_rx);
+        let mut b = SimBuilder::new();
+        let g = b.add_component("gen", Box::new(gen), 1);
+        let m = b.add_component("mon", Box::new(mon), 1);
+        b.connect(g, 0, m, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(run_ms));
+        (buffer, stats)
+    }
+
+    #[test]
+    fn capture_all_records_every_frame() {
+        let gen_cfg = GenConfig {
+            count: Some(100),
+            schedule: Schedule::ConstantPps(1_000_000.0),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let (buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 256, 10);
+        assert_eq!(buffer.borrow().len(), 100);
+        let s = *stats.borrow();
+        assert_eq!(s.rx_frames, 100);
+        assert_eq!(s.host_frames, 100);
+        assert_eq!(s.host_drops, 0);
+        assert_eq!(s.rx_bytes, 100 * 256);
+    }
+
+    #[test]
+    fn rx_stamps_are_monotone_and_spaced_like_the_wire() {
+        let gen_cfg = GenConfig {
+            count: Some(50),
+            schedule: Schedule::BackToBack,
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let (buffer, _stats) = gen_to_mon(gen_cfg, mon_cfg, 64, 10);
+        let buf = buffer.borrow();
+        assert_eq!(buf.len(), 50);
+        for w in buf.packets.windows(2) {
+            let gap = w[1].rx_stamp.to_ps() as i128 - w[0].rx_stamp.to_ps() as i128;
+            // True spacing is 67.2 ns; stamps are quantised to 6.25 ns so
+            // the observed gap is 67.2 ± one tick.
+            assert!(
+                (gap - 67_200).unsigned_abs() <= 6_250 + 233,
+                "gap {gap} ps"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_drops_are_counted_not_captured() {
+        let mut filter = FilterTable::drop_by_default();
+        filter.push(
+            WildcardRule::any().with_dst_port(9001),
+            FilterAction::Capture,
+        );
+        // The template targets port 9001, so everything passes; then flip
+        // to a filter that misses.
+        let gen_cfg = GenConfig {
+            count: Some(10),
+            schedule: Schedule::ConstantPps(10_000.0),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            filter,
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let (buffer, stats) = gen_to_mon(gen_cfg.clone(), mon_cfg, 128, 10);
+        assert_eq!(buffer.borrow().len(), 10);
+        assert_eq!(stats.borrow().filtered_out, 0);
+
+        let mut filter = FilterTable::drop_by_default();
+        filter.push(
+            WildcardRule::any().with_dst_port(1),
+            FilterAction::Capture,
+        );
+        let mon_cfg = MonConfig {
+            filter,
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let (buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 128, 10);
+        assert_eq!(buffer.borrow().len(), 0);
+        assert_eq!(stats.borrow().filtered_out, 10);
+    }
+
+    #[test]
+    fn thinning_cuts_and_hashes() {
+        let gen_cfg = GenConfig {
+            count: Some(5),
+            schedule: Schedule::ConstantPps(10_000.0),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            thin: ThinConfig::cut_with_hash(60),
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        let (buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 1518, 10);
+        let buf = buffer.borrow();
+        assert_eq!(buf.len(), 5);
+        for c in &buf.packets {
+            assert_eq!(c.packet.len(), 60);
+            assert_eq!(c.orig_len, 1514);
+            assert!(c.hash.is_some());
+        }
+        assert_eq!(stats.borrow().thinned, 5);
+    }
+
+    #[test]
+    fn line_rate_large_frames_overwhelm_default_host_path() {
+        // 1518B at full line rate ≈ 9.87 Gb/s toward an 8 Gb/s DMA:
+        // the hardware path counts everything, the host path loses some.
+        let gen_cfg = GenConfig {
+            schedule: Schedule::BackToBack,
+            stop_at: Some(SimTime::from_ms(100)),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig::default();
+        let (_buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 1518, 110);
+        let s = *stats.borrow();
+        assert!(s.rx_frames > 10_000);
+        assert!(s.host_drops > 0, "default host path must be loss-limited");
+        assert_eq!(s.rx_frames, s.host_frames + s.host_drops);
+        // Delivery ratio ≈ 8 / 9.87.
+        let ratio = s.host_delivery_ratio().unwrap();
+        assert!(
+            (ratio - 8.0 / 9.87).abs() < 0.05,
+            "delivery ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rate_tracking_reports_offered_load() {
+        // 100 kpps of 512 B frames for 20 ms → every 1 ms window holds
+        // 100 frames.
+        let clock_tx = Rc::new(RefCell::new(HwClock::ideal()));
+        let clock_rx = Rc::new(RefCell::new(HwClock::ideal()));
+        let (gen, _gs) = GeneratorPort::new(
+            Box::new(FixedTemplate::new(FixedTemplate::udp_frame(512))),
+            GenConfig {
+                schedule: Schedule::ConstantPps(100_000.0),
+                stop_at: Some(SimTime::from_ms(20)),
+                ..GenConfig::default()
+            },
+            clock_tx,
+        );
+        let (mut mon, _buffer, _stats) = MonitorPort::new(
+            MonConfig {
+                host: HostPathConfig::unlimited(),
+                ..MonConfig::default()
+            },
+            clock_rx,
+        );
+        let rates = mon.enable_rate_tracking(osnt_time::SimDuration::from_ms(1));
+        let mut b = osnt_netsim::SimBuilder::new();
+        let g = b.add_component("gen", Box::new(gen), 1);
+        let m = b.add_component("mon", Box::new(mon), 1);
+        b.connect(g, 0, m, 0, osnt_netsim::LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(25));
+        let est = rates.borrow();
+        // Interior windows carry exactly 100 frames = 100 kpps and
+        // 512 B × 100 × 8 = 409.6 kb per ms window.
+        let w = &est.history[5];
+        assert_eq!(w.frames, 100);
+        assert!((w.pps() - 100_000.0).abs() < 1e-6);
+        assert!((w.bps() - 409_600_000.0).abs() < 1e-3);
+        assert!(est.pps().unwrap() > 90_000.0);
+    }
+
+    #[test]
+    fn thinning_rescues_the_host_path() {
+        let gen_cfg = GenConfig {
+            schedule: Schedule::BackToBack,
+            stop_at: Some(SimTime::from_ms(20)),
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            thin: ThinConfig::cut_with_hash(60),
+            ..MonConfig::default()
+        };
+        let (_buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 1518, 25);
+        let s = *stats.borrow();
+        assert_eq!(s.host_drops, 0, "thinned capture must fit in DMA");
+        assert_eq!(s.host_frames, s.rx_frames);
+    }
+}

@@ -1,0 +1,57 @@
+//! Monitor-side statistics.
+
+/// Counters maintained by a [`crate::MonitorPort`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonStats {
+    /// Frames received at the MAC (all of them — the hardware path is
+    /// lossless).
+    pub rx_frames: u64,
+    /// Frame bytes received (conventional length).
+    pub rx_bytes: u64,
+    /// Frames the filter table discarded.
+    pub filtered_out: u64,
+    /// Frames that were cut by the thinner.
+    pub thinned: u64,
+    /// Frames the host actually received.
+    pub host_frames: u64,
+    /// Captured bytes delivered to the host (post-thinning, incl. DMA
+    /// overhead).
+    pub host_bytes: u64,
+    /// Frames lost at the DMA buffer (the loss-limited path).
+    pub host_drops: u64,
+}
+
+impl MonStats {
+    /// Fraction of filter-passing frames that reached the host
+    /// (1.0 when nothing was dropped). `None` before any frame passed
+    /// the filter.
+    pub fn host_delivery_ratio(&self) -> Option<f64> {
+        let passed = self.rx_frames.checked_sub(self.filtered_out)?;
+        if passed == 0 {
+            return None;
+        }
+        Some(self.host_frames as f64 / passed as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio() {
+        let s = MonStats {
+            rx_frames: 100,
+            filtered_out: 20,
+            host_frames: 40,
+            host_drops: 40,
+            ..MonStats::default()
+        };
+        assert!((s.host_delivery_ratio().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_ratio_empty_is_none() {
+        assert_eq!(MonStats::default().host_delivery_ratio(), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Packet thinning (cutting) and hashing.
+//!
+//! "The traffic capture functionality provides … packet cutting and
+//! hashing in hardware." Cutting keeps only the first `snap_len` bytes of
+//! each frame — usually just the headers — which multiplies how much
+//! traffic the loss-limited host path can absorb. The CRC-32 of the
+//! *original* frame can be recorded alongside so the host can still match
+//! cut packets against full copies seen elsewhere.
+
+use osnt_packet::hash::crc32;
+use osnt_packet::Packet;
+
+/// Thinning configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThinConfig {
+    /// Keep at most this many stored bytes of each frame (`None` = no
+    /// cutting).
+    pub snap_len: Option<usize>,
+    /// Record a CRC-32 of the original (pre-cut) frame bytes.
+    pub hash_original: bool,
+}
+
+impl ThinConfig {
+    /// No thinning at all.
+    pub fn disabled() -> Self {
+        ThinConfig {
+            snap_len: None,
+            hash_original: false,
+        }
+    }
+
+    /// Cut to `snap_len` stored bytes and record the original's CRC-32.
+    pub fn cut_with_hash(snap_len: usize) -> Self {
+        ThinConfig {
+            snap_len: Some(snap_len),
+            hash_original: true,
+        }
+    }
+}
+
+/// The result of thinning one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Thinned {
+    /// The (possibly cut) frame.
+    pub packet: Packet,
+    /// The original stored length before cutting.
+    pub orig_len: usize,
+    /// CRC-32 of the original bytes, when requested.
+    pub hash: Option<u32>,
+}
+
+/// Applies a [`ThinConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct Thinner {
+    config: ThinConfig,
+}
+
+impl Thinner {
+    /// Build a thinner.
+    pub fn new(config: ThinConfig) -> Self {
+        Thinner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ThinConfig {
+        self.config
+    }
+
+    /// Thin one frame.
+    pub fn process(&self, mut packet: Packet) -> Thinned {
+        let orig_len = packet.len();
+        let hash = if self.config.hash_original {
+            Some(crc32(packet.data()))
+        } else {
+            None
+        };
+        if let Some(snap) = self.config.snap_len {
+            packet.truncate(snap);
+        }
+        Thinned {
+            packet,
+            orig_len,
+            hash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_thinning_is_identity() {
+        let t = Thinner::new(ThinConfig::disabled());
+        let pkt = Packet::zeroed(1518);
+        let out = t.process(pkt.clone());
+        assert_eq!(out.packet, pkt);
+        assert_eq!(out.orig_len, 1514);
+        assert_eq!(out.hash, None);
+    }
+
+    #[test]
+    fn cutting_keeps_prefix_and_orig_len() {
+        let mut data = vec![0u8; 1514];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let t = Thinner::new(ThinConfig {
+            snap_len: Some(64),
+            hash_original: false,
+        });
+        let out = t.process(Packet::from_vec(data.clone()));
+        assert_eq!(out.packet.len(), 64);
+        assert_eq!(out.packet.data(), &data[..64]);
+        assert_eq!(out.orig_len, 1514);
+    }
+
+    #[test]
+    fn hash_covers_original_not_cut() {
+        let data = vec![7u8; 512];
+        let expect = crc32(&data);
+        let t = Thinner::new(ThinConfig::cut_with_hash(60));
+        let out = t.process(Packet::from_vec(data));
+        assert_eq!(out.hash, Some(expect));
+        assert_eq!(out.packet.len(), 60);
+    }
+
+    #[test]
+    fn snap_longer_than_frame_is_noop() {
+        let t = Thinner::new(ThinConfig {
+            snap_len: Some(4096),
+            hash_original: false,
+        });
+        let out = t.process(Packet::zeroed(64));
+        assert_eq!(out.packet.len(), 60);
+    }
+}

@@ -1,0 +1,47 @@
+//! The component model: everything attached to the simulated network.
+
+use crate::kernel::Kernel;
+use osnt_packet::Packet;
+
+/// Identifies a component within one simulation. Handed out by
+/// [`crate::SimBuilder::add_component`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) usize);
+
+impl ComponentId {
+    /// The raw index (stable for the life of the simulation).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A device attached to the simulated network: a tester port pipeline, a
+/// switch, a host, a controller.
+///
+/// Handlers receive `&mut Kernel` for scheduling and transmission and must
+/// not block; all waiting is expressed by scheduling timers. The
+/// simulation is single-threaded, so handlers run to completion — the
+/// cooperative-scheduling discipline of an async reactor, with the event
+/// queue as the reactor.
+pub trait Component {
+    /// Called once when the simulation starts (time zero), before any
+    /// other event. Use it to arm initial timers or send first frames.
+    fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        let _ = (kernel, me);
+    }
+
+    /// A frame fully arrived on `port` (the instant its last bit was
+    /// received — where OSNT hardware takes its RX timestamp).
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, packet: Packet);
+
+    /// A timer armed with [`Kernel::schedule_timer`] fired. `tag` is the
+    /// caller-chosen discriminator.
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        let _ = (kernel, me, tag);
+    }
+
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> &str {
+        "component"
+    }
+}

@@ -1,0 +1,480 @@
+//! Simulation assembly and the run loop.
+
+use crate::component::{Component, ComponentId};
+use crate::event::EventKind;
+use crate::kernel::Kernel;
+use crate::link::LinkSpec;
+use crate::trace::Tracer;
+use osnt_time::{SimDuration, SimTime};
+
+/// Declarative construction of a simulation: add components, wire ports,
+/// register tracers, then [`SimBuilder::build`].
+pub struct SimBuilder {
+    kernel: Kernel,
+    components: Vec<Option<Box<dyn Component>>>,
+    names: Vec<String>,
+}
+
+impl SimBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        SimBuilder {
+            kernel: Kernel::new(),
+            components: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Add a component with `n_ports` full-duplex ports; returns its id.
+    pub fn add_component(
+        &mut self,
+        name: &str,
+        component: Box<dyn Component>,
+        n_ports: usize,
+    ) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.kernel.add_component_ports(n_ports);
+        self.components.push(Some(component));
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Wire `a`'s port `pa` to `b`'s port `pb` with a full-duplex link of
+    /// the given spec (one simplex channel each way).
+    pub fn connect(
+        &mut self,
+        a: ComponentId,
+        pa: usize,
+        b: ComponentId,
+        pb: usize,
+        spec: LinkSpec,
+    ) {
+        self.kernel.connect_simplex(a, pa, b, pb, spec);
+        self.kernel.connect_simplex(b, pb, a, pa, spec);
+    }
+
+    /// Register a trace observer.
+    pub fn add_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.kernel.add_tracer(tracer);
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> Sim {
+        Sim {
+            kernel: self.kernel,
+            components: self.components,
+            names: self.names,
+            started: false,
+        }
+    }
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder::new()
+    }
+}
+
+/// A runnable simulation.
+pub struct Sim {
+    kernel: Kernel,
+    components: Vec<Option<Box<dyn Component>>>,
+    names: Vec<String>,
+    started: bool,
+}
+
+impl Sim {
+    /// The kernel (time, counters, manual scheduling from harness code).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access for harness code between runs.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// A component's registered name.
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        &self.names[id.index()]
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.components.len() {
+            let id = ComponentId(i);
+            let mut c = self.components[i].take().expect("component in place");
+            c.on_start(&mut self.kernel, id);
+            self.components[i] = Some(c);
+        }
+    }
+
+    /// Run every event scheduled at or before `limit`, then advance the
+    /// clock to `limit`. Returns the number of events dispatched.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut dispatched = 0;
+        while let Some((_, kind)) = self.kernel.pop_event_until(limit) {
+            dispatched += 1;
+            match kind {
+                EventKind::Deliver { dst, port, packet } => {
+                    self.kernel.note_rx(dst, port, packet.frame_len());
+                    let mut c = self.components[dst.index()]
+                        .take()
+                        .unwrap_or_else(|| panic!("re-entrant dispatch to {}", dst.index()));
+                    c.on_packet(&mut self.kernel, dst, port, packet);
+                    self.components[dst.index()] = Some(c);
+                }
+                EventKind::TxDone {
+                    src,
+                    port,
+                    frame_len,
+                } => {
+                    self.kernel.note_tx_done(src, port, frame_len);
+                }
+                EventKind::Timer { target, tag } => {
+                    let mut c = self.components[target.index()]
+                        .take()
+                        .unwrap_or_else(|| panic!("re-entrant dispatch to {}", target.index()));
+                    c.on_timer(&mut self.kernel, target, tag);
+                    self.components[target.index()] = Some(c);
+                }
+            }
+        }
+        self.kernel.advance_now(limit);
+        dispatched
+    }
+
+    /// Run for `d` beyond the current time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let limit = self.kernel.now() + d;
+        self.run_until(limit)
+    }
+
+    /// Drain every pending event (the simulation must quiesce — a
+    /// periodic timer would run forever, so a safety cap of `max_events`
+    /// aborts with a panic if exceeded).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.start_if_needed();
+        let mut dispatched = 0;
+        while self.kernel.pending_events() > 0 {
+            dispatched += self.run_until(SimTime::MAX);
+            assert!(
+                dispatched <= max_events,
+                "simulation did not quiesce within {max_events} events"
+            );
+        }
+        dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::TxResult;
+    use crate::trace::{CountingTracer, TraceEvent, Tracer};
+    use osnt_packet::Packet;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared-handle tracer so tests can observe after the run.
+    struct SharedTracer(Rc<RefCell<CountingTracer>>);
+    impl Tracer for SharedTracer {
+        fn trace(&mut self, t: SimTime, ev: &TraceEvent) {
+            self.0.borrow_mut().trace(t, ev);
+        }
+    }
+
+    /// Sends `n` back-to-back frames of `frame_len` at start.
+    struct Blaster {
+        n: usize,
+        frame_len: usize,
+        results: Rc<RefCell<Vec<TxResult>>>,
+    }
+    impl Component for Blaster {
+        fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+            for _ in 0..self.n {
+                let r = k.transmit(me, 0, Packet::zeroed(self.frame_len));
+                self.results.borrow_mut().push(r);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+    }
+
+    /// Records arrival times.
+    struct Sink {
+        arrivals: Rc<RefCell<Vec<SimTime>>>,
+    }
+    impl Component for Sink {
+        fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, _: Packet) {
+            self.arrivals.borrow_mut().push(k.now());
+        }
+    }
+
+    fn two_node_sim(
+        n: usize,
+        frame_len: usize,
+    ) -> (Sim, Rc<RefCell<Vec<TxResult>>>, Rc<RefCell<Vec<SimTime>>>) {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        let tx = b.add_component(
+            "blaster",
+            Box::new(Blaster {
+                n,
+                frame_len,
+                results: results.clone(),
+            }),
+            1,
+        );
+        let rx = b.add_component(
+            "sink",
+            Box::new(Sink {
+                arrivals: arrivals.clone(),
+            }),
+            1,
+        );
+        b.connect(tx, 0, rx, 0, LinkSpec::ten_gig());
+        (b.build(), results, arrivals)
+    }
+
+    #[test]
+    fn single_frame_timing_is_exact() {
+        let (mut sim, results, arrivals) = two_node_sim(1, 64);
+        sim.run_until(SimTime::from_us(10));
+        let res = results.borrow();
+        let TxResult::Transmitted { tx_start, delivery } = res[0] else {
+            panic!("not transmitted");
+        };
+        assert_eq!(tx_start, SimTime::ZERO);
+        // Visible wire time: (84 - 12) bytes × 800 ps = 57.6 ns, plus
+        // 10 ns propagation = 67.6 ns.
+        assert_eq!(delivery.as_ps(), 57_600 + 10_000);
+        assert_eq!(arrivals.borrow()[0], delivery);
+    }
+
+    #[test]
+    fn back_to_back_frames_are_spaced_at_line_rate() {
+        let (mut sim, _results, arrivals) = two_node_sim(100, 64);
+        sim.run_until(SimTime::from_ms(1));
+        let a = arrivals.borrow();
+        assert_eq!(a.len(), 100);
+        // Spacing between consecutive 64B frames at 10G is exactly
+        // 84 B × 800 ps = 67.2 ns.
+        for w in a.windows(2) {
+            assert_eq!((w[1] - w[0]).as_ps(), 67_200);
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_preserve_fifo_and_spacing() {
+        // 64B then 1518B then 64B: second frame arrives after the first
+        // plus its own serialisation.
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        struct Mixed {
+            results: Rc<RefCell<Vec<TxResult>>>,
+        }
+        impl Component for Mixed {
+            fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+                for len in [64usize, 1518, 64] {
+                    let r = k.transmit(me, 0, Packet::zeroed(len));
+                    self.results.borrow_mut().push(r);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+        }
+        let mut b = SimBuilder::new();
+        let tx = b.add_component(
+            "mixed",
+            Box::new(Mixed {
+                results: results.clone(),
+            }),
+            1,
+        );
+        let rx = b.add_component(
+            "sink",
+            Box::new(Sink {
+                arrivals: arrivals.clone(),
+            }),
+            1,
+        );
+        b.connect(tx, 0, rx, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_us(100));
+        let a = arrivals.borrow();
+        assert_eq!(a.len(), 3);
+        // Frame 2 starts at 67.2 ns (after frame 1 incl. IFG), takes
+        // (1538-12)*800 ps visible, arrives +10 ns propagation.
+        assert_eq!(a[1].as_ps(), 67_200 + 1_526 * 800 + 10_000);
+        // Frame 3 starts after frame 2's full wire time.
+        assert_eq!(a[2].as_ps(), 67_200 + 1_538 * 800 + 72 * 800 + 10_000);
+    }
+
+    #[test]
+    fn unconnected_port_reports_not_connected() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        b.add_component(
+            "lonely",
+            Box::new(Blaster {
+                n: 1,
+                frame_len: 64,
+                results: results.clone(),
+            }),
+            1,
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_us(1));
+        assert_eq!(results.borrow()[0], TxResult::NotConnected);
+    }
+
+    #[test]
+    fn buffer_limit_drops_excess_frames() {
+        let (mut sim, results, arrivals) = {
+            let results = Rc::new(RefCell::new(Vec::new()));
+            let arrivals = Rc::new(RefCell::new(Vec::new()));
+            let mut b = SimBuilder::new();
+            let tx = b.add_component(
+                "blaster",
+                Box::new(Blaster {
+                    n: 10,
+                    frame_len: 64,
+                    results: results.clone(),
+                }),
+                1,
+            );
+            let rx = b.add_component(
+                "sink",
+                Box::new(Sink {
+                    arrivals: arrivals.clone(),
+                }),
+                1,
+            );
+            b.connect(tx, 0, rx, 0, LinkSpec::ten_gig());
+            let mut sim = b.build();
+            // Room for 3 × 64B frames only.
+            sim.kernel_mut().set_tx_buffer(tx, 0, Some(200));
+            (sim, results, arrivals)
+        };
+        sim.run_until(SimTime::from_ms(1));
+        let sent = results.borrow().iter().filter(|r| r.is_transmitted()).count();
+        assert_eq!(sent, 3);
+        assert_eq!(arrivals.borrow().len(), 3);
+        let drops = results
+            .borrow()
+            .iter()
+            .filter(|r| matches!(r, TxResult::Dropped))
+            .count();
+        assert_eq!(drops, 7);
+    }
+
+    #[test]
+    fn counters_track_tx_rx() {
+        let (mut sim, _r, _a) = two_node_sim(5, 128);
+        sim.run_until(SimTime::from_ms(1));
+        let tx = sim.kernel().counters(ComponentId(0), 0);
+        let rx = sim.kernel().counters(ComponentId(1), 0);
+        assert_eq!(tx.tx_frames, 5);
+        assert_eq!(tx.tx_bytes, 5 * 128);
+        assert_eq!(rx.rx_frames, 5);
+        assert_eq!(rx.rx_bytes, 5 * 128);
+        assert_eq!(tx.tx_drops, 0);
+    }
+
+    #[test]
+    fn tracer_sees_all_events() {
+        let counter = Rc::new(RefCell::new(CountingTracer::default()));
+        let (mut sim, _r, _a) = {
+            let results = Rc::new(RefCell::new(Vec::new()));
+            let arrivals = Rc::new(RefCell::new(Vec::new()));
+            let mut b = SimBuilder::new();
+            let tx = b.add_component(
+                "blaster",
+                Box::new(Blaster {
+                    n: 7,
+                    frame_len: 64,
+                    results: results.clone(),
+                }),
+                1,
+            );
+            let rx = b.add_component(
+                "sink",
+                Box::new(Sink {
+                    arrivals: arrivals.clone(),
+                }),
+                1,
+            );
+            b.connect(tx, 0, rx, 0, LinkSpec::ten_gig());
+            b.add_tracer(Box::new(SharedTracer(counter.clone())));
+            (b.build(), results, arrivals)
+        };
+        sim.run_until(SimTime::from_ms(1));
+        let c = counter.borrow();
+        assert_eq!(c.tx_accepted, 7);
+        assert_eq!(c.delivered, 7);
+        assert_eq!(c.tx_dropped, 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let (mut sim, _r, _a) = two_node_sim(0, 64);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.kernel().now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_to_quiescence_drains_everything() {
+        let (mut sim, _r, arrivals) = two_node_sim(50, 64);
+        let n = sim.run_to_quiescence(10_000);
+        assert!(n >= 100); // 50 delivers + 50 txdones
+        assert_eq!(arrivals.borrow().len(), 50);
+        assert_eq!(sim.kernel().pending_events(), 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tags() {
+        struct TimerBox {
+            log: Rc<RefCell<Vec<(u64, SimTime)>>>,
+        }
+        impl Component for TimerBox {
+            fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+                k.schedule_timer(me, SimDuration::from_ns(30), 3);
+                k.schedule_timer(me, SimDuration::from_ns(10), 1);
+                k.schedule_timer(me, SimDuration::from_ns(20), 2);
+            }
+            fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+            fn on_timer(&mut self, k: &mut Kernel, _: ComponentId, tag: u64) {
+                self.log.borrow_mut().push((tag, k.now()));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        b.add_component("timers", Box::new(TimerBox { log: log.clone() }), 0);
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_us(1));
+        let l = log.borrow();
+        assert_eq!(
+            *l,
+            vec![
+                (1, SimTime::from_ns(10)),
+                (2, SimTime::from_ns(20)),
+                (3, SimTime::from_ns(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_same_build_same_trace() {
+        let run = || {
+            let (mut sim, _r, arrivals) = two_node_sim(25, 512);
+            sim.run_until(SimTime::from_ms(1));
+            let result = arrivals.borrow().clone();
+            result
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,223 @@
+//! Link impairment: a pass-through component that drops, delays and
+//! jitters frames.
+//!
+//! Inserted between two devices, [`Impairment`] turns a clean simulated
+//! cable into a lossy, jittery path — the fault-injection facility every
+//! network-testing example needs (and the thing a network *tester* like
+//! OSNT exists to measure). All randomness is seeded.
+
+use crate::component::{Component, ComponentId};
+use crate::kernel::Kernel;
+use osnt_packet::Packet;
+use osnt_time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Impairment parameters.
+#[derive(Debug, Clone)]
+pub struct ImpairConfig {
+    /// Probability of dropping each frame.
+    pub drop_probability: f64,
+    /// Fixed extra one-way delay.
+    pub extra_delay: SimDuration,
+    /// Uniform random jitter added on top of `extra_delay`
+    /// (0..jitter).
+    pub jitter: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImpairConfig {
+    fn default() -> Self {
+        ImpairConfig {
+            drop_probability: 0.0,
+            extra_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            seed: 1,
+        }
+    }
+}
+
+impl ImpairConfig {
+    /// Pure random loss.
+    pub fn loss(probability: f64, seed: u64) -> Self {
+        ImpairConfig {
+            drop_probability: probability,
+            seed,
+            ..ImpairConfig::default()
+        }
+    }
+}
+
+/// A two-port pass-through impairment. Frames entering port 0 leave
+/// port 1 and vice versa, subject to drop/delay/jitter.
+///
+/// Note: delayed frames are released in per-direction FIFO order even
+/// when jitter would reorder them — like a queue with a variable service
+/// time, not a reordering network.
+pub struct Impairment {
+    config: ImpairConfig,
+    rng: SmallRng,
+    pending: [VecDeque<Packet>; 2],
+    /// Frames dropped so far.
+    pub dropped: u64,
+    /// Frames passed so far.
+    pub passed: u64,
+}
+
+const TAG_RELEASE_BASE: u64 = 0x1111_0000;
+
+impl Impairment {
+    /// Build from a config.
+    pub fn new(config: ImpairConfig) -> Self {
+        let seed = config.seed;
+        Impairment {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            pending: [VecDeque::new(), VecDeque::new()],
+            dropped: 0,
+            passed: 0,
+        }
+    }
+}
+
+impl Component for Impairment {
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, packet: Packet) {
+        debug_assert!(port < 2, "impairment is a 2-port device");
+        if self.config.drop_probability > 0.0
+            && self.rng.gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+        {
+            self.dropped += 1;
+            return;
+        }
+        let out = 1 - port;
+        let mut delay = self.config.extra_delay;
+        if self.config.jitter.as_ps() > 0 {
+            delay += SimDuration::from_ps(self.rng.gen_range(0..self.config.jitter.as_ps()));
+        }
+        if delay.as_ps() == 0 {
+            let _ = kernel.transmit(me, out, packet);
+            self.passed += 1;
+        } else {
+            self.pending[out].push_back(packet);
+            kernel.schedule_timer(me, delay, TAG_RELEASE_BASE + out as u64);
+        }
+    }
+
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        let out = (tag - TAG_RELEASE_BASE) as usize;
+        let packet = self.pending[out]
+            .pop_front()
+            .expect("release timer without pending frame");
+        let _ = kernel.transmit(me, out, packet);
+        self.passed += 1;
+    }
+
+    fn name(&self) -> &str {
+        "impairment"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::link::LinkSpec;
+    use osnt_time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Blaster {
+        n: usize,
+    }
+    impl Component for Blaster {
+        fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+            for i in 0..self.n {
+                k.schedule_timer(me, SimDuration::from_us(i as u64), 7);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+        fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, _: u64) {
+            let _ = k.transmit(me, 0, Packet::zeroed(64));
+        }
+    }
+
+    struct Sink {
+        got: Rc<RefCell<Vec<SimTime>>>,
+    }
+    impl Component for Sink {
+        fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, _: Packet) {
+            self.got.borrow_mut().push(k.now());
+        }
+    }
+
+    fn run(config: ImpairConfig, n: usize) -> Vec<SimTime> {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        let tx = b.add_component("tx", Box::new(Blaster { n }), 1);
+        let imp = b.add_component("imp", Box::new(Impairment::new(config)), 2);
+        let rx = b.add_component("rx", Box::new(Sink { got: got.clone() }), 1);
+        b.connect(tx, 0, imp, 0, LinkSpec::ten_gig());
+        b.connect(imp, 1, rx, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(10));
+        let times = got.borrow().clone();
+        times
+    }
+
+    #[test]
+    fn clean_config_passes_everything() {
+        let t = run(ImpairConfig::default(), 100);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn loss_probability_is_respected() {
+        let t = run(ImpairConfig::loss(0.3, 42), 2000);
+        let frac = t.len() as f64 / 2000.0;
+        assert!((frac - 0.7).abs() < 0.05, "pass fraction {frac}");
+    }
+
+    #[test]
+    fn extra_delay_shifts_arrivals() {
+        let clean = run(ImpairConfig::default(), 10);
+        let delayed = run(
+            ImpairConfig {
+                extra_delay: SimDuration::from_us(50),
+                ..ImpairConfig::default()
+            },
+            10,
+        );
+        for (c, d) in clean.iter().zip(&delayed) {
+            assert_eq!((*d - *c).as_ps(), 50_000_000);
+        }
+    }
+
+    #[test]
+    fn jitter_varies_arrivals_but_keeps_order() {
+        let t = run(
+            ImpairConfig {
+                jitter: SimDuration::from_us(100),
+                seed: 9,
+                ..ImpairConfig::default()
+            },
+            100,
+        );
+        assert_eq!(t.len(), 100);
+        for w in t.windows(2) {
+            assert!(w[1] >= w[0], "FIFO order preserved");
+        }
+        // Gaps vary (jitter was applied).
+        let gaps: std::collections::HashSet<u64> =
+            t.windows(2).map(|w| (w[1] - w[0]).as_ps()).collect();
+        assert!(gaps.len() > 10, "jitter should vary the gaps");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(ImpairConfig::loss(0.5, 7), 500);
+        let b = run(ImpairConfig::loss(0.5, 7), 500);
+        assert_eq!(a, b);
+    }
+}

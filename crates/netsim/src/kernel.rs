@@ -1,0 +1,426 @@
+//! The simulation kernel: virtual time, the event queue, the MAC/link
+//! timing model and per-port accounting.
+
+use crate::component::ComponentId;
+use crate::event::{EventEntry, EventKind};
+use crate::link::LinkSpec;
+use crate::stats::PortCounters;
+use crate::trace::{TraceEvent, Tracer};
+use osnt_packet::{Packet, IFG_LEN};
+use osnt_time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// Outcome of [`Kernel::transmit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxResult {
+    /// The frame was accepted by the MAC.
+    Transmitted {
+        /// Instant the first bit goes on the wire (now, or when the MAC
+        /// finishes earlier frames).
+        tx_start: SimTime,
+        /// Instant the last bit arrives at the peer.
+        delivery: SimTime,
+    },
+    /// The output buffer was full; the frame was tail-dropped.
+    Dropped,
+    /// The port has no link attached; the frame went nowhere.
+    NotConnected,
+}
+
+impl TxResult {
+    /// True when the frame made it onto the wire.
+    pub fn is_transmitted(&self) -> bool {
+        matches!(self, TxResult::Transmitted { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    spec: LinkSpec,
+    peer: ComponentId,
+    peer_port: usize,
+}
+
+#[derive(Debug)]
+struct OutPort {
+    wire: Option<Wire>,
+    /// Instant the MAC becomes free to start another frame (includes the
+    /// inter-frame gap of the previous frame).
+    busy_until: SimTime,
+    /// Frame bytes accepted but not yet fully serialised.
+    queued_bytes: usize,
+    /// Output buffer capacity in frame bytes (`None` = unbounded; tester
+    /// ports pace themselves, switch ports set a real limit).
+    buffer_bytes: Option<usize>,
+    counters: PortCounters,
+}
+
+impl OutPort {
+    fn new() -> Self {
+        OutPort {
+            wire: None,
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            buffer_bytes: None,
+            counters: PortCounters::default(),
+        }
+    }
+}
+
+/// The simulation kernel. Components receive `&mut Kernel` in their event
+/// handlers; harness code reaches it through [`crate::Sim::kernel`].
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<EventEntry>,
+    /// ports[component][port]
+    ports: Vec<Vec<OutPort>>,
+    tracers: Vec<Box<dyn Tracer>>,
+    events_dispatched: u64,
+}
+
+impl Kernel {
+    pub(crate) fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            ports: Vec::new(),
+            tracers: Vec::new(),
+            events_dispatched: 0,
+        }
+    }
+
+    pub(crate) fn add_component_ports(&mut self, n_ports: usize) {
+        self.ports.push((0..n_ports).map(|_| OutPort::new()).collect());
+    }
+
+    pub(crate) fn add_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracers.push(tracer);
+    }
+
+    pub(crate) fn connect_simplex(
+        &mut self,
+        src: ComponentId,
+        src_port: usize,
+        dst: ComponentId,
+        dst_port: usize,
+        spec: LinkSpec,
+    ) {
+        let port = self.out_port_mut(src, src_port);
+        assert!(
+            port.wire.is_none(),
+            "port {src_port} of component {} already connected",
+            src.0
+        );
+        port.wire = Some(Wire {
+            spec,
+            peer: dst,
+            peer_port: dst_port,
+        });
+    }
+
+    fn out_port_mut(&mut self, comp: ComponentId, port: usize) -> &mut OutPort {
+        self.ports
+            .get_mut(comp.0)
+            .unwrap_or_else(|| panic!("unknown component id {}", comp.0))
+            .get_mut(port)
+            .unwrap_or_else(|| panic!("component {} has no port {port}", comp.0))
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far (debugging / progress metric).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry { time, seq, kind });
+    }
+
+    /// Arm a timer for `me` firing after `delay` with discriminator
+    /// `tag`. A zero delay fires after the current handler returns, at
+    /// the same simulated time.
+    pub fn schedule_timer(&mut self, me: ComponentId, delay: SimDuration, tag: u64) {
+        self.push_event(self.now + delay, EventKind::Timer { target: me, tag });
+    }
+
+    /// Arm a timer at an absolute instant (must not be in the past).
+    pub fn schedule_timer_at(&mut self, me: ComponentId, at: SimTime, tag: u64) {
+        assert!(at >= self.now, "schedule_timer_at: {at} is in the past (now {})", self.now);
+        self.push_event(at, EventKind::Timer { target: me, tag });
+    }
+
+    /// The earliest instant a frame offered now on (`me`, `port`) would
+    /// start transmission — `now`, or later if the MAC is still clocking
+    /// out earlier frames. The TX timestamping unit sits exactly here,
+    /// "just before the transmit 10GbE MAC".
+    pub fn next_tx_start(&self, me: ComponentId, port: usize) -> SimTime {
+        let p = &self.ports[me.0][port];
+        self.now.max(p.busy_until)
+    }
+
+    /// Bytes currently buffered in (`me`, `port`)'s output MAC.
+    pub fn tx_queue_bytes(&self, me: ComponentId, port: usize) -> usize {
+        self.ports[me.0][port].queued_bytes
+    }
+
+    /// Set (or clear) the output-buffer capacity of a port, in frame
+    /// bytes. Frames offered while the buffer is full are tail-dropped.
+    pub fn set_tx_buffer(&mut self, me: ComponentId, port: usize, bytes: Option<usize>) {
+        self.out_port_mut(me, port).buffer_bytes = bytes;
+    }
+
+    /// Counter snapshot for (`comp`, `port`).
+    pub fn counters(&self, comp: ComponentId, port: usize) -> PortCounters {
+        self.ports[comp.0][port].counters
+    }
+
+    /// Transmit `packet` out of (`me`, `port`).
+    ///
+    /// Models a store-and-forward MAC: the frame starts when the port is
+    /// free, occupies the wire for its serialisation time (including
+    /// preamble and inter-frame gap) and is delivered to the peer when its
+    /// last bit arrives.
+    pub fn transmit(&mut self, me: ComponentId, port: usize, packet: Packet) -> TxResult {
+        let now = self.now;
+        let frame_len = packet.frame_len();
+        let wire_len = packet.wire_len();
+        let p = self.out_port_mut(me, port);
+        let Some(wire) = p.wire else {
+            return TxResult::NotConnected;
+        };
+        if let Some(cap) = p.buffer_bytes {
+            if p.queued_bytes + frame_len > cap {
+                p.counters.tx_drops += 1;
+                self.emit_trace(TraceEvent::TxDropped {
+                    src: me,
+                    port,
+                    frame_len,
+                });
+                return TxResult::Dropped;
+            }
+        }
+        let tx_start = now.max(p.busy_until);
+        // Time on the wire: preamble + frame (visible), then the IFG
+        // before the next frame may start.
+        let ser_visible = wire.spec.serialization(wire_len - IFG_LEN);
+        let ser_total = wire.spec.serialization(wire_len);
+        let tx_end = tx_start + ser_visible;
+        let delivery = tx_end + wire.spec.propagation;
+        p.busy_until = tx_start + ser_total;
+        p.queued_bytes += frame_len;
+        p.counters.tx_frames += 1;
+        p.counters.tx_bytes += frame_len as u64;
+        let (peer, peer_port) = (wire.peer, wire.peer_port);
+        self.push_event(
+            tx_end,
+            EventKind::TxDone {
+                src: me,
+                port,
+                frame_len,
+            },
+        );
+        self.push_event(
+            delivery,
+            EventKind::Deliver {
+                dst: peer,
+                port: peer_port,
+                packet,
+            },
+        );
+        self.emit_trace(TraceEvent::TxAccepted {
+            src: me,
+            port,
+            frame_len,
+        });
+        TxResult::Transmitted { tx_start, delivery }
+    }
+
+    pub(crate) fn emit_trace(&mut self, ev: TraceEvent) {
+        let t = self.now;
+        for tr in &mut self.tracers {
+            tr.trace(t, &ev);
+        }
+    }
+
+    pub(crate) fn note_rx(&mut self, dst: ComponentId, port: usize, frame_len: usize) {
+        let p = self.out_port_mut(dst, port);
+        p.counters.rx_frames += 1;
+        p.counters.rx_bytes += frame_len as u64;
+        self.emit_trace(TraceEvent::Delivered {
+            dst,
+            port,
+            frame_len,
+        });
+    }
+
+    pub(crate) fn note_tx_done(&mut self, src: ComponentId, port: usize, frame_len: usize) {
+        let p = self.out_port_mut(src, port);
+        debug_assert!(p.queued_bytes >= frame_len);
+        p.queued_bytes -= frame_len;
+    }
+
+    /// Pop the next event if it fires at or before `limit`.
+    pub(crate) fn pop_event_until(&mut self, limit: SimTime) -> Option<(SimTime, EventKind)> {
+        match self.queue.peek() {
+            Some(e) if e.time <= limit => {}
+            _ => return None,
+        }
+        let e = self.queue.pop().expect("peeked");
+        debug_assert!(e.time >= self.now, "time went backwards");
+        self.now = e.time;
+        self.events_dispatched += 1;
+        Some((e.time, e.kind))
+    }
+
+    pub(crate) fn advance_now(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::engine::SimBuilder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Transmits on command and records what the kernel told it.
+    struct Probe {
+        plan: Vec<(SimTime, usize)>, // (when, frame_len)
+        results: Rc<RefCell<Vec<(SimTime, TxResult, SimTime, usize)>>>,
+    }
+    impl Component for Probe {
+        fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+            for (i, (t, _)) in self.plan.iter().enumerate() {
+                k.schedule_timer_at(me, *t, i as u64);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+        fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, tag: u64) {
+            let (_, len) = self.plan[tag as usize];
+            let predicted = k.next_tx_start(me, 0);
+            let r = k.transmit(me, 0, Packet::zeroed(len));
+            let queued = k.tx_queue_bytes(me, 0);
+            self.results.borrow_mut().push((predicted, r, k.now(), queued));
+        }
+    }
+
+    struct Sink;
+    impl Component for Sink {
+        fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+    }
+
+    fn run(plan: Vec<(SimTime, usize)>) -> Vec<(SimTime, TxResult, SimTime, usize)> {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        let p = b.add_component(
+            "probe",
+            Box::new(Probe {
+                plan,
+                results: results.clone(),
+            }),
+            1,
+        );
+        let s = b.add_component("sink", Box::new(Sink), 1);
+        b.connect(p, 0, s, 0, crate::link::LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(10));
+        let out = results.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn next_tx_start_predicts_transmit_exactly() {
+        // Two immediate sends: the second starts when the first's wire
+        // slot ends.
+        let r = run(vec![
+            (SimTime::ZERO, 64),
+            (SimTime::ZERO, 64),
+            (SimTime::from_us(100), 1518),
+        ]);
+        for (predicted, result, _, _) in &r {
+            let TxResult::Transmitted { tx_start, .. } = result else {
+                panic!("expected transmit");
+            };
+            assert_eq!(predicted, tx_start);
+        }
+        let TxResult::Transmitted { tx_start, .. } = r[1].1 else {
+            panic!()
+        };
+        assert_eq!(tx_start.as_ps(), 67_200, "second frame waits one slot");
+    }
+
+    #[test]
+    fn queued_bytes_rise_then_drain() {
+        let r = run(vec![(SimTime::ZERO, 64), (SimTime::ZERO, 64)]);
+        // Right after the second transmit both frames are still in the
+        // MAC (first is mid-serialisation at t=0).
+        assert_eq!(r[1].3, 128);
+        // And after the run everything drained — verified via a fresh
+        // sim since we can't peek here; covered by the fact that both
+        // frames were delivered (counter test below).
+    }
+
+    #[test]
+    fn counters_and_queue_drain() {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        let p = b.add_component(
+            "probe",
+            Box::new(Probe {
+                plan: vec![(SimTime::ZERO, 64), (SimTime::ZERO, 1518)],
+                results: results.clone(),
+            }),
+            1,
+        );
+        let s = b.add_component("sink", Box::new(Sink), 1);
+        b.connect(p, 0, s, 0, crate::link::LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(1));
+        let k = sim.kernel();
+        let probe_id = ComponentId(0);
+        let sink_id = ComponentId(1);
+        assert_eq!(k.counters(probe_id, 0).tx_frames, 2);
+        assert_eq!(k.counters(probe_id, 0).tx_bytes, 64 + 1518);
+        assert_eq!(k.counters(sink_id, 0).rx_frames, 2);
+        assert_eq!(k.tx_queue_bytes(probe_id, 0), 0, "MAC drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut b = SimBuilder::new();
+        let a = b.add_component("a", Box::new(Sink), 1);
+        let c = b.add_component("c", Box::new(Sink), 1);
+        let d = b.add_component("d", Box::new(Sink), 1);
+        b.connect(a, 0, c, 0, crate::link::LinkSpec::ten_gig());
+        b.connect(a, 0, d, 0, crate::link::LinkSpec::ten_gig());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no port")]
+    fn bad_port_panics() {
+        let mut b = SimBuilder::new();
+        let a = b.add_component("a", Box::new(Sink), 1);
+        let c = b.add_component("c", Box::new(Sink), 1);
+        b.connect(a, 5, c, 0, crate::link::LinkSpec::ten_gig());
+    }
+}

@@ -1,0 +1,76 @@
+//! Point-to-point link models.
+
+use osnt_time::SimDuration;
+
+/// A unidirectional link's physical parameters. [`crate::SimBuilder::connect`]
+/// installs one in each direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay (cable + PHY).
+    pub propagation: SimDuration,
+}
+
+impl LinkSpec {
+    /// A 10GBASE-R link with a 2 m direct-attach cable (~10 ns of
+    /// propagation: 5 ns/m in copper plus PHY latency).
+    pub fn ten_gig() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            propagation: SimDuration::from_ns(10),
+        }
+    }
+
+    /// A 1GbE link (for control-plane channels).
+    pub fn one_gig() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::from_ns(50),
+        }
+    }
+
+    /// Override the propagation delay.
+    pub fn with_propagation(mut self, d: SimDuration) -> Self {
+        self.propagation = d;
+        self
+    }
+
+    /// Time to clock `bytes` onto the wire at this line rate. Exact
+    /// integer arithmetic (10 Gb/s → 800 ps per byte).
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as u128 * 8;
+        let ps = bits * 1_000_000_000_000u128 / self.bandwidth_bps as u128;
+        SimDuration::from_ps(ps as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gig_byte_is_800_ps() {
+        let l = LinkSpec::ten_gig();
+        assert_eq!(l.serialization(1).as_ps(), 800);
+        // The canonical 64B frame incl. overheads: 84 bytes = 67.2 ns.
+        assert_eq!(l.serialization(84).as_ps(), 67_200);
+        // 1538 bytes (1518 + 20) = 1230.4 ns.
+        assert_eq!(l.serialization(1538).as_ps(), 1_230_400);
+    }
+
+    #[test]
+    fn one_gig_is_ten_times_slower() {
+        let g1 = LinkSpec::one_gig();
+        let g10 = LinkSpec::ten_gig();
+        assert_eq!(
+            g1.serialization(100).as_ps(),
+            10 * g10.serialization(100).as_ps()
+        );
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_time() {
+        assert_eq!(LinkSpec::ten_gig().serialization(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,166 @@
+//! A byte- and frame-bounded FIFO, the building block of switch output
+//! queues and host DMA buffers.
+
+use std::collections::VecDeque;
+
+/// Result of offering an item to a bounded FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// The item was accepted.
+    Enqueued,
+    /// The item was tail-dropped (queue full).
+    Dropped,
+}
+
+/// A FIFO of `T` with optional limits on total bytes and item count.
+/// Tail-drop on overflow, like a simple hardware queue.
+#[derive(Debug, Clone)]
+pub struct ByteFifo<T> {
+    items: VecDeque<(T, usize)>,
+    bytes: usize,
+    /// Maximum total bytes held (`None` = unbounded).
+    pub max_bytes: Option<usize>,
+    /// Maximum number of items held (`None` = unbounded).
+    pub max_items: Option<usize>,
+    /// Lifetime count of accepted items.
+    pub enqueued: u64,
+    /// Lifetime count of tail-dropped items.
+    pub dropped: u64,
+}
+
+impl<T> ByteFifo<T> {
+    /// An unbounded FIFO.
+    pub fn unbounded() -> Self {
+        ByteFifo {
+            items: VecDeque::new(),
+            bytes: 0,
+            max_bytes: None,
+            max_items: None,
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A FIFO bounded by total bytes.
+    pub fn with_byte_limit(max_bytes: usize) -> Self {
+        let mut q = Self::unbounded();
+        q.max_bytes = Some(max_bytes);
+        q
+    }
+
+    /// A FIFO bounded by item count.
+    pub fn with_item_limit(max_items: usize) -> Self {
+        let mut q = Self::unbounded();
+        q.max_items = Some(max_items);
+        q
+    }
+
+    /// Offer an item accounting for `bytes`; tail-drops if a limit would
+    /// be exceeded.
+    pub fn push(&mut self, item: T, bytes: usize) -> EnqueueResult {
+        if let Some(maxb) = self.max_bytes {
+            if self.bytes + bytes > maxb {
+                self.dropped += 1;
+                return EnqueueResult::Dropped;
+            }
+        }
+        if let Some(maxi) = self.max_items {
+            if self.items.len() >= maxi {
+                self.dropped += 1;
+                return EnqueueResult::Dropped;
+            }
+        }
+        self.bytes += bytes;
+        self.items.push_back((item, bytes));
+        self.enqueued += 1;
+        EnqueueResult::Enqueued
+    }
+
+    /// Remove the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let (item, bytes) = self.items.pop_front()?;
+        self.bytes -= bytes;
+        Some(item)
+    }
+
+    /// Peek at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front().map(|(i, _)| i)
+    }
+
+    /// Bytes currently queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = ByteFifo::unbounded();
+        q.push("a", 1);
+        q.push("b", 2);
+        q.push("c", 3);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn byte_limit_tail_drops() {
+        let mut q = ByteFifo::with_byte_limit(100);
+        assert_eq!(q.push(1, 60), EnqueueResult::Enqueued);
+        assert_eq!(q.push(2, 60), EnqueueResult::Dropped);
+        assert_eq!(q.push(3, 40), EnqueueResult::Enqueued);
+        assert_eq!(q.bytes(), 100);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.enqueued, 2);
+        // Draining frees capacity again.
+        q.pop();
+        assert_eq!(q.push(4, 60), EnqueueResult::Enqueued);
+    }
+
+    #[test]
+    fn item_limit_tail_drops() {
+        let mut q = ByteFifo::with_item_limit(2);
+        q.push('x', 0);
+        q.push('y', 0);
+        assert_eq!(q.push('z', 0), EnqueueResult::Dropped);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_pops() {
+        let mut q = ByteFifo::unbounded();
+        q.push(1, 64);
+        q.push(2, 1518);
+        assert_eq!(q.bytes(), 1582);
+        q.pop();
+        assert_eq!(q.bytes(), 1518);
+        q.pop();
+        assert_eq!(q.bytes(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut q = ByteFifo::unbounded();
+        q.push(7, 1);
+        assert_eq!(q.front(), Some(&7));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulation-wide trace hooks (debugging and verification aid).
+
+use crate::component::ComponentId;
+use osnt_time::SimTime;
+
+/// An observable kernel event, reported to registered [`Tracer`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame was accepted into an output MAC.
+    TxAccepted {
+        /// Transmitting component.
+        src: ComponentId,
+        /// Output port index.
+        port: usize,
+        /// Conventional frame length (incl. FCS).
+        frame_len: usize,
+    },
+    /// A frame was dropped at an output buffer.
+    TxDropped {
+        /// Transmitting component.
+        src: ComponentId,
+        /// Output port index.
+        port: usize,
+        /// Conventional frame length.
+        frame_len: usize,
+    },
+    /// A frame finished arriving at an input port.
+    Delivered {
+        /// Receiving component.
+        dst: ComponentId,
+        /// Input port index.
+        port: usize,
+        /// Conventional frame length.
+        frame_len: usize,
+    },
+}
+
+/// Observer of kernel events. Register with
+/// [`crate::SimBuilder::add_tracer`].
+pub trait Tracer {
+    /// Called for every kernel event with the current simulated time.
+    fn trace(&mut self, time: SimTime, event: &TraceEvent);
+}
+
+/// A tracer that records every event (tests, debugging).
+#[derive(Debug, Default)]
+pub struct VecTracer {
+    /// Recorded (time, event) pairs.
+    pub events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Tracer for VecTracer {
+    fn trace(&mut self, time: SimTime, event: &TraceEvent) {
+        self.events.push((time, *event));
+    }
+}
+
+/// A tracer that only counts events (cheap sanity checking).
+#[derive(Debug, Default)]
+pub struct CountingTracer {
+    /// Frames accepted into MACs.
+    pub tx_accepted: u64,
+    /// Frames dropped at output buffers.
+    pub tx_dropped: u64,
+    /// Frames delivered.
+    pub delivered: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn trace(&mut self, _time: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::TxAccepted { .. } => self.tx_accepted += 1,
+            TraceEvent::TxDropped { .. } => self.tx_dropped += 1,
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The controller endpoint and the measurement-module interface.
+
+use osnt_netsim::{Component, ComponentId, Kernel};
+use osnt_openflow::Message;
+use osnt_packet::Packet;
+use osnt_switch::{decap_control, encap_control};
+use osnt_time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Direction of a logged control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlDir {
+    /// Controller → switch.
+    Sent,
+    /// Switch → controller.
+    Received,
+}
+
+/// One timestamped control-plane event.
+#[derive(Debug, Clone)]
+pub struct ControlLogEntry {
+    /// When the controller sent/received it.
+    pub time: SimTime,
+    /// Direction.
+    pub dir: ControlDir,
+    /// The message (owned copy; control-plane volumes are small).
+    pub message: Message,
+    /// Transaction id.
+    pub xid: u32,
+}
+
+/// What a measurement module can do with the testbed.
+pub struct ModuleCtx<'a> {
+    kernel: &'a mut Kernel,
+    me: ComponentId,
+    next_xid: &'a mut u32,
+    log: &'a Rc<RefCell<Vec<ControlLogEntry>>>,
+}
+
+impl ModuleCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Send an OpenFlow message to the switch; returns the xid used.
+    pub fn send(&mut self, message: Message) -> u32 {
+        let xid = *self.next_xid;
+        *self.next_xid += 1;
+        let frame = encap_control(&message, xid);
+        self.log.borrow_mut().push(ControlLogEntry {
+            time: self.kernel.now(),
+            dir: ControlDir::Sent,
+            message,
+            xid,
+        });
+        let _ = self.kernel.transmit(self.me, 0, frame);
+        xid
+    }
+
+    /// Arm a module timer.
+    pub fn schedule(&mut self, delay: SimDuration, tag: u64) {
+        self.kernel.schedule_timer(self.me, delay, tag);
+    }
+
+    /// Arm a module timer at an absolute instant.
+    pub fn schedule_at(&mut self, at: SimTime, tag: u64) {
+        self.kernel.schedule_timer_at(self.me, at, tag);
+    }
+}
+
+/// A measurement module: the user-programmable part of OFLOPS-turbo.
+///
+/// Modules drive the control plane through [`ModuleCtx`]; the data plane
+/// (probe generation, capture) is configured in the
+/// [`crate::harness::TestbedSpec`] and analysed from the capture buffers
+/// after the run.
+pub trait MeasurementModule {
+    /// Called once after the OpenFlow handshake completes.
+    fn on_ready(&mut self, ctx: &mut ModuleCtx<'_>);
+
+    /// Called for every control message from the switch (after logging).
+    fn on_message(&mut self, ctx: &mut ModuleCtx<'_>, message: &Message, xid: u32) {
+        let _ = (ctx, message, xid);
+    }
+
+    /// Called when a module timer fires.
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// The controller component: one kernel port wired to the switch's
+/// control port.
+pub struct OflopsController {
+    module: Box<dyn MeasurementModule>,
+    log: Rc<RefCell<Vec<ControlLogEntry>>>,
+    next_xid: u32,
+    handshake_done: bool,
+}
+
+impl OflopsController {
+    /// Wrap a module; returns the component and the shared control log.
+    pub fn new(module: Box<dyn MeasurementModule>) -> (Self, Rc<RefCell<Vec<ControlLogEntry>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        (
+            OflopsController {
+                module,
+                log: log.clone(),
+                next_xid: 1,
+                handshake_done: false,
+            },
+            log,
+        )
+    }
+
+    fn ctx<'a>(kernel: &'a mut Kernel, me: ComponentId, next_xid: &'a mut u32, log: &'a Rc<RefCell<Vec<ControlLogEntry>>>) -> ModuleCtx<'a> {
+        ModuleCtx {
+            kernel,
+            me,
+            next_xid,
+            log,
+        }
+    }
+}
+
+impl Component for OflopsController {
+    fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
+        ctx.send(Message::Hello);
+        ctx.send(Message::FeaturesRequest);
+    }
+
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, _port: usize, packet: Packet) {
+        let Some(Ok((message, xid))) = decap_control(&packet) else {
+            return;
+        };
+        self.log.borrow_mut().push(ControlLogEntry {
+            time: kernel.now(),
+            dir: ControlDir::Received,
+            message: message.clone(),
+            xid,
+        });
+        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
+        if !self.handshake_done {
+            if let Message::FeaturesReply(_) = &message {
+                self.handshake_done = true;
+                self.module.on_ready(&mut ctx);
+                return;
+            }
+        }
+        self.module.on_message(&mut ctx, &message, xid);
+    }
+
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
+        self.module.on_timer(&mut ctx, tag);
+    }
+
+    fn name(&self) -> &str {
+        "oflops-controller"
+    }
+}
+
+/// Find the first logged entry matching a predicate.
+pub fn find_entry<'a>(
+    log: &'a [ControlLogEntry],
+    mut pred: impl FnMut(&ControlLogEntry) -> bool,
+) -> Option<&'a ControlLogEntry> {
+    log.iter().find(|e| pred(e))
+}

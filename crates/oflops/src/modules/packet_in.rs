@@ -1,0 +1,74 @@
+//! PACKET_IN (punt-path) latency.
+//!
+//! With an empty table, every probe misses and is punted to the
+//! controller. The probe frames carry an OSNT TX timestamp; the module
+//! extracts it from each PACKET_IN payload and measures
+//! `controller arrival − wire departure`: the full punt path — wire,
+//! switch CPU, control link. A classic OFLOPS control-plane measurement
+//! made precise by OSNT's hardware stamps.
+
+use crate::controller::{MeasurementModule, ModuleCtx};
+use osnt_gen::txstamp::{extract_at, StampConfig};
+use osnt_openflow::messages::Message;
+use osnt_packet::Packet;
+use osnt_time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared observable state of a running [`PacketInModule`].
+#[derive(Debug, Default)]
+pub struct PacketInState {
+    /// (arrival at controller, punt latency) per PACKET_IN carrying a
+    /// valid stamp.
+    pub samples: Vec<(SimTime, SimDuration)>,
+    /// PACKET_INs whose payload carried no usable stamp.
+    pub unstamped: u64,
+}
+
+/// The module. Purely reactive: it installs nothing and waits for punts.
+pub struct PacketInModule {
+    state: Rc<RefCell<PacketInState>>,
+}
+
+impl PacketInModule {
+    /// Create the module and its shared state.
+    pub fn new() -> (Self, Rc<RefCell<PacketInState>>) {
+        let state = Rc::new(RefCell::new(PacketInState::default()));
+        (
+            PacketInModule {
+                state: state.clone(),
+            },
+            state,
+        )
+    }
+}
+
+impl MeasurementModule for PacketInModule {
+    fn on_ready(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+
+    fn on_message(&mut self, ctx: &mut ModuleCtx<'_>, message: &Message, _xid: u32) {
+        let Message::PacketIn(pi) = message else {
+            return;
+        };
+        // The punted bytes are the frame prefix; reconstruct enough of a
+        // packet to extract the embedded stamp.
+        let pkt = Packet::from_vec(pi.data.clone());
+        match extract_at(&pkt, StampConfig::DEFAULT_OFFSET) {
+            Some(ts) if ts.as_raw() != 0 => {
+                let now = ctx.now();
+                let tx_ps = ts.to_ps();
+                if tx_ps <= now.as_ps() {
+                    self.state
+                        .borrow_mut()
+                        .samples
+                        .push((now, SimDuration::from_ps(now.as_ps() - tx_ps)));
+                } else {
+                    self.state.borrow_mut().unstamped += 1;
+                }
+            }
+            _ => {
+                self.state.borrow_mut().unstamped += 1;
+            }
+        }
+    }
+}

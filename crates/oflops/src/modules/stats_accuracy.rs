@@ -1,0 +1,133 @@
+//! Counter accuracy and staleness via the statistics channel.
+//!
+//! OFLOPS modules "access information from multiple measurement
+//! channels (data and control plane and SNMP)". This module polls
+//! `OFPST_PORT` while a known traffic load crosses the switch and
+//! records, for each poll, what the switch *reported* and when — so the
+//! harness can compare the control-plane view against the OSNT-counted
+//! ground truth and measure how far the counters lag reality.
+
+use crate::controller::{MeasurementModule, ModuleCtx};
+use osnt_openflow::messages::{Message, PortStats, StatsBody};
+use osnt_time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One poll's outcome.
+#[derive(Debug, Clone)]
+pub struct PollSample {
+    /// When the request left the controller.
+    pub sent_at: SimTime,
+    /// When the reply arrived.
+    pub received_at: SimTime,
+    /// The reported per-port counters.
+    pub ports: Vec<PortStats>,
+}
+
+impl PollSample {
+    /// Round-trip time of the poll.
+    pub fn rtt(&self) -> SimDuration {
+        self.received_at - self.sent_at
+    }
+
+    /// Reported rx counter of a wire port.
+    pub fn rx_packets(&self, port_no: u16) -> Option<u64> {
+        self.ports
+            .iter()
+            .find(|p| p.port_no == port_no)
+            .map(|p| p.rx_packets)
+    }
+}
+
+/// Shared observable state of a running [`StatsAccuracyModule`].
+#[derive(Debug, Default)]
+pub struct StatsAccuracyState {
+    /// Completed polls in send order.
+    pub polls: Vec<PollSample>,
+    /// Requests never answered by the end of the run.
+    pub unanswered: usize,
+}
+
+/// The module: polls port stats at a fixed period.
+pub struct StatsAccuracyModule {
+    period: SimDuration,
+    n_polls: u32,
+    sent: u32,
+    in_flight: HashMap<u32, SimTime>,
+    state: Rc<RefCell<StatsAccuracyState>>,
+}
+
+const TAG_POLL: u64 = 1;
+
+impl StatsAccuracyModule {
+    /// Poll `n_polls` times, `period` apart.
+    pub fn new(n_polls: u32, period: SimDuration) -> (Self, Rc<RefCell<StatsAccuracyState>>) {
+        let state = Rc::new(RefCell::new(StatsAccuracyState::default()));
+        (
+            StatsAccuracyModule {
+                period,
+                n_polls,
+                sent: 0,
+                in_flight: HashMap::new(),
+                state: state.clone(),
+            },
+            state,
+        )
+    }
+
+    fn poll(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let xid = ctx.send(Message::StatsRequest(StatsBody::PortRequest {
+            port_no: 0xffff,
+        }));
+        self.in_flight.insert(xid, ctx.now());
+        self.sent += 1;
+        if self.sent < self.n_polls {
+            ctx.schedule(self.period, TAG_POLL);
+        }
+    }
+}
+
+impl MeasurementModule for StatsAccuracyModule {
+    fn on_ready(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.poll(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut ModuleCtx<'_>, message: &Message, xid: u32) {
+        if let Message::StatsReply(StatsBody::PortReply(ports)) = message {
+            if let Some(sent_at) = self.in_flight.remove(&xid) {
+                let mut st = self.state.borrow_mut();
+                st.polls.push(PollSample {
+                    sent_at,
+                    received_at: ctx.now(),
+                    ports: ports.clone(),
+                });
+                st.unanswered = self.in_flight.len();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        debug_assert_eq!(tag, TAG_POLL);
+        self.poll(ctx);
+    }
+}
+
+impl StatsAccuracyState {
+    /// The implied packet rate between consecutive polls for a port
+    /// (reported-counter delta over reply-time delta), packets/s.
+    pub fn implied_rates(&self, port_no: u16) -> Vec<f64> {
+        self.polls
+            .windows(2)
+            .filter_map(|w| {
+                let a = w[0].rx_packets(port_no)?;
+                let b = w[1].rx_packets(port_no)?;
+                let dt = (w[1].received_at - w[0].received_at).as_secs_f64();
+                if dt <= 0.0 {
+                    return None;
+                }
+                Some((b.saturating_sub(a)) as f64 / dt)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end tests of the OFLOPS-turbo stack: controller ↔ OpenFlow
+//! switch ↔ OSNT probe/capture, all inside the simulator.
+
+use oflops_turbo::modules::{
+    AddLatencyModule, AddLatencyReport, ConsistencyModule, ConsistencyReport, PacketInModule,
+    RoundRobinDst,
+};
+use oflops_turbo::{Testbed, TestbedSpec};
+use osnt_gen::txstamp::StampConfig;
+use osnt_gen::{GenConfig, Schedule};
+use osnt_switch::OfSwitchConfig;
+use osnt_time::{SimDuration, SimTime};
+
+const N_RULES: usize = 20;
+
+fn probe_cfg(start_ms: u64, stop_ms: u64) -> GenConfig {
+    GenConfig {
+        schedule: Schedule::ConstantPps(1_000_000.0),
+        start_at: SimTime::from_ms(start_ms),
+        stop_at: Some(SimTime::from_ms(stop_ms)),
+        stamp: Some(StampConfig::default_payload()),
+        ..GenConfig::default()
+    }
+}
+
+fn add_latency_run(honest_barrier: bool) -> (AddLatencyReport, SimDuration) {
+    let (module, state) = AddLatencyModule::new(N_RULES, SimTime::from_ms(10));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig {
+            honest_barrier,
+            ..OfSwitchConfig::default()
+        },
+        probe: Some((Box::new(RoundRobinDst::new(N_RULES, 128)), probe_cfg(5, 30))),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(40));
+    let st = state.borrow();
+    let report = AddLatencyReport::analyze(&tb, &st, N_RULES);
+    let barrier = report.barrier_latency.expect("barrier replied");
+    (report, barrier)
+}
+
+#[test]
+fn insertion_latency_dishonest_barrier_lies() {
+    let (report, barrier) = add_latency_run(false);
+    assert_eq!(report.never_activated(), 0, "all rules must activate");
+    // Control-plane estimate: ~N×25 µs of CPU (plus small overheads).
+    assert!(
+        barrier >= SimDuration::from_us(500) && barrier < SimDuration::from_us(900),
+        "barrier latency {barrier}"
+    );
+    // Data-plane truth: the 1 ms hardware install dominates, so every
+    // rule becomes active only after the barrier reply.
+    assert_eq!(
+        report.activated_after_barrier, N_RULES,
+        "every rule activates after the (dishonest) barrier"
+    );
+    let max = report.max_activation().unwrap();
+    assert!(max > barrier, "data plane lags control plane");
+    assert!(
+        max >= SimDuration::from_us(1500),
+        "max activation {max} should include the hw install delay"
+    );
+}
+
+#[test]
+fn insertion_latency_honest_barrier_matches_dataplane() {
+    let (report, barrier) = add_latency_run(true);
+    assert_eq!(report.never_activated(), 0);
+    // The honest barrier waits for the last hardware commit (~CPU drain
+    // + 1 ms).
+    assert!(
+        barrier >= SimDuration::from_us(1400),
+        "honest barrier {barrier} must include hw install"
+    );
+    // At a 20 µs per-rule probing period, nearly every rule has proven
+    // active before the barrier reply.
+    assert!(
+        report.activated_after_barrier <= 2,
+        "honest barrier: {} rules activated after reply",
+        report.activated_after_barrier
+    );
+}
+
+#[test]
+fn packet_in_latency_measures_punt_path() {
+    let (module, state) = PacketInModule::new();
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig::default(),
+        probe: Some((
+            Box::new(RoundRobinDst::new(4, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(10_000.0),
+                start_at: SimTime::from_ms(2),
+                count: Some(50),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(20));
+    let st = state.borrow();
+    assert_eq!(st.samples.len(), 50, "every probe punts exactly once");
+    assert_eq!(st.unstamped, 0);
+    for (_, lat) in &st.samples {
+        // Punt path: wire + 20 µs CPU + control-link serialisation.
+        assert!(
+            *lat >= SimDuration::from_us(20) && *lat < SimDuration::from_us(100),
+            "punt latency {lat}"
+        );
+    }
+}
+
+#[test]
+fn consistency_update_shows_stale_forwarding() {
+    let (module, state) = ConsistencyModule::new(N_RULES, SimTime::from_ms(15));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig::default(), // dishonest barrier
+        probe: Some((Box::new(RoundRobinDst::new(N_RULES, 128)), probe_cfg(5, 35))),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(45));
+    let st = state.borrow();
+    let report = ConsistencyReport::analyze(&tb, &st, N_RULES);
+    assert_eq!(st.errors, 0);
+    let barrier = report.barrier_latency.expect("barrier replied");
+    // All rules eventually moved to B.
+    assert!(
+        report.activation.iter().all(|a| a.is_some()),
+        "all rules must migrate to port B"
+    );
+    // The headline: traffic still followed the OLD rule after the switch
+    // acknowledged the update.
+    assert!(
+        report.stale_after_barrier > 0,
+        "expected stale forwarding after barrier"
+    );
+    let lag = report.max_stale_lag.expect("stale lag");
+    assert!(lag > SimDuration::from_us(500), "stale lag {lag}");
+    assert!(report.max_activation().unwrap() > barrier);
+}
+
+#[test]
+fn stats_polling_tracks_the_offered_rate() {
+    use oflops_turbo::modules::StatsAccuracyModule;
+    let (module, state) = StatsAccuracyModule::new(40, SimDuration::from_ms(1));
+    let spec = TestbedSpec {
+        switch: OfSwitchConfig::default(),
+        probe: Some((
+            Box::new(RoundRobinDst::new(4, 128)),
+            GenConfig {
+                schedule: Schedule::ConstantPps(10_000.0),
+                start_at: SimTime::from_ms(2),
+                stop_at: Some(SimTime::from_ms(60)),
+                stamp: Some(StampConfig::default_payload()),
+                ..GenConfig::default()
+            },
+        )),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(80));
+    let st = state.borrow();
+    assert!(st.polls.len() >= 38, "answered polls: {}", st.polls.len());
+    assert_eq!(st.unanswered, 0);
+    // Counters are cumulative and monotone.
+    for w in st.polls.windows(2) {
+        assert!(w[1].rx_packets(1).unwrap() >= w[0].rx_packets(1).unwrap());
+    }
+    // Implied rate on the probe ingress (wire port 1) during the traffic
+    // window ≈ 10 kpps; take the middle polls to avoid edges.
+    let rates = st.implied_rates(1);
+    let mid: Vec<f64> = rates
+        .iter()
+        .copied()
+        .skip(10)
+        .take(20)
+        .collect();
+    let mean = mid.iter().sum::<f64>() / mid.len() as f64;
+    assert!(
+        (mean - 10_000.0).abs() < 1_000.0,
+        "implied rate {mean} pps vs offered 10000"
+    );
+}
+
+#[test]
+fn control_log_records_handshake() {
+    use oflops_turbo::{ControlDir, ControlLogEntry};
+    use osnt_openflow::Message;
+    let (module, _state) = PacketInModule::new();
+    let mut tb = Testbed::build(TestbedSpec::control_only(), Box::new(module));
+    tb.run_until(SimTime::from_ms(5));
+    let log = tb.control_log.borrow();
+    let sent: Vec<&ControlLogEntry> =
+        log.iter().filter(|e| e.dir == ControlDir::Sent).collect();
+    assert!(matches!(sent[0].message, Message::Hello));
+    assert!(matches!(sent[1].message, Message::FeaturesRequest));
+    let received: Vec<&ControlLogEntry> = log
+        .iter()
+        .filter(|e| e.dir == ControlDir::Received)
+        .collect();
+    assert!(received.iter().any(|e| matches!(e.message, Message::Hello)));
+    let features = received
+        .iter()
+        .find(|e| matches!(e.message, Message::FeaturesReply(_)))
+        .expect("features reply");
+    let Message::FeaturesReply(f) = &features.message else {
+        unreachable!()
+    };
+    assert_eq!(f.ports.len(), 4);
+    assert_eq!(f.datapath_id, OfSwitchConfig::default().datapath_id);
+}

@@ -1,0 +1,160 @@
+//! OpenFlow 1.0 actions (the subset the switch model executes).
+
+use crate::codec::WireError;
+
+/// Special output-port numbers from the spec.
+pub mod port_no {
+    /// Process with the normal L2 pipeline.
+    pub const NORMAL: u16 = 0xfffa;
+    /// Flood out of all ports except ingress.
+    pub const FLOOD: u16 = 0xfffb;
+    /// All ports except ingress.
+    pub const ALL: u16 = 0xfffc;
+    /// Send to the controller as PACKET_IN.
+    pub const CONTROLLER: u16 = 0xfffd;
+}
+
+/// A flow action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// OFPAT_OUTPUT: forward out of a port (or a virtual port).
+    Output {
+        /// Destination port number.
+        port: u16,
+        /// Bytes to send when the port is CONTROLLER.
+        max_len: u16,
+    },
+    /// OFPAT_SET_VLAN_VID.
+    SetVlanVid(u16),
+    /// OFPAT_STRIP_VLAN.
+    StripVlan,
+}
+
+impl Action {
+    /// Wire length of this action.
+    pub fn wire_len(&self) -> usize {
+        8
+    }
+
+    /// Serialise.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Action::Output { port, max_len } => {
+                out.extend_from_slice(&0u16.to_be_bytes()); // OFPAT_OUTPUT
+                out.extend_from_slice(&8u16.to_be_bytes());
+                out.extend_from_slice(&port.to_be_bytes());
+                out.extend_from_slice(&max_len.to_be_bytes());
+            }
+            Action::SetVlanVid(vid) => {
+                out.extend_from_slice(&1u16.to_be_bytes()); // OFPAT_SET_VLAN_VID
+                out.extend_from_slice(&8u16.to_be_bytes());
+                out.extend_from_slice(&vid.to_be_bytes());
+                out.extend_from_slice(&[0, 0]);
+            }
+            Action::StripVlan => {
+                out.extend_from_slice(&3u16.to_be_bytes()); // OFPAT_STRIP_VLAN
+                out.extend_from_slice(&8u16.to_be_bytes());
+                out.extend_from_slice(&[0, 0, 0, 0]);
+            }
+        }
+    }
+
+    /// Parse one action; returns the action and bytes consumed.
+    pub fn parse(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let atype = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if len < 8 || bytes.len() < len {
+            return Err(WireError::Truncated);
+        }
+        let action = match atype {
+            0 => Action::Output {
+                port: u16::from_be_bytes([bytes[4], bytes[5]]),
+                max_len: u16::from_be_bytes([bytes[6], bytes[7]]),
+            },
+            1 => Action::SetVlanVid(u16::from_be_bytes([bytes[4], bytes[5]])),
+            3 => Action::StripVlan,
+            other => return Err(WireError::UnknownAction(other)),
+        };
+        Ok((action, len))
+    }
+
+    /// Parse a list of actions from `bytes`.
+    pub fn parse_list(mut bytes: &[u8]) -> Result<Vec<Action>, WireError> {
+        let mut out = Vec::new();
+        while !bytes.is_empty() {
+            let (a, used) = Action::parse(bytes)?;
+            out.push(a);
+            bytes = &bytes[used..];
+        }
+        Ok(out)
+    }
+
+    /// Serialise a list of actions.
+    pub fn write_list(actions: &[Action], out: &mut Vec<u8>) {
+        for a in actions {
+            a.write_to(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_each_kind() {
+        for a in [
+            Action::Output {
+                port: 3,
+                max_len: 128,
+            },
+            Action::SetVlanVid(42),
+            Action::StripVlan,
+        ] {
+            let mut buf = Vec::new();
+            a.write_to(&mut buf);
+            assert_eq!(buf.len(), a.wire_len());
+            let (back, used) = Action::parse(&buf).unwrap();
+            assert_eq!(back, a);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let actions = vec![
+            Action::SetVlanVid(7),
+            Action::Output {
+                port: 1,
+                max_len: 0,
+            },
+        ];
+        let mut buf = Vec::new();
+        Action::write_list(&actions, &mut buf);
+        assert_eq!(Action::parse_list(&buf).unwrap(), actions);
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let buf = [0x00, 0x63, 0x00, 0x08, 0, 0, 0, 0];
+        assert!(matches!(
+            Action::parse(&buf),
+            Err(WireError::UnknownAction(0x63))
+        ));
+    }
+
+    #[test]
+    fn truncated_list_rejected() {
+        let mut buf = Vec::new();
+        Action::Output {
+            port: 1,
+            max_len: 0,
+        }
+        .write_to(&mut buf);
+        buf.truncate(6);
+        assert!(Action::parse_list(&buf).is_err());
+    }
+}

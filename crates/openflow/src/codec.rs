@@ -1,0 +1,137 @@
+//! Stream framing: OpenFlow messages over a byte stream.
+//!
+//! The control channel between OFLOPS-turbo and the switch is a TCP-like
+//! byte stream in the simulation; [`MessageCodec`] accumulates bytes and
+//! yields complete messages, exactly as a real OpenFlow endpoint frames
+//! its socket reads using the header's length field.
+
+use crate::header::{Header, OFP_HEADER_LEN};
+use crate::messages::Message;
+use core::fmt;
+
+/// Errors in the wire encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes for the claimed structure.
+    Truncated,
+    /// Unsupported protocol version byte.
+    BadVersion(u8),
+    /// Header length field smaller than the header itself.
+    BadLength(u16),
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// Unknown action type.
+    UnknownAction(u16),
+    /// Unknown flow-mod command.
+    UnknownCommand(u16),
+    /// Unknown statistics type.
+    UnknownStatsType(u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated OpenFlow message"),
+            WireError::BadVersion(v) => write!(f, "unsupported OpenFlow version {v:#04x}"),
+            WireError::BadLength(l) => write!(f, "invalid header length {l}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::UnknownAction(a) => write!(f, "unknown action type {a}"),
+            WireError::UnknownCommand(c) => write!(f, "unknown flow-mod command {c}"),
+            WireError::UnknownStatsType(s) => write!(f, "unknown stats type {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Accumulating decoder for a message stream.
+#[derive(Debug, Default)]
+pub struct MessageCodec {
+    buf: Vec<u8>,
+}
+
+impl MessageCodec {
+    /// An empty codec.
+    pub fn new() -> Self {
+        MessageCodec::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to pop one complete message. `Ok(None)` means more bytes are
+    /// needed.
+    pub fn next_message(&mut self) -> Result<Option<(Message, u32)>, WireError> {
+        if self.buf.len() < OFP_HEADER_LEN {
+            return Ok(None);
+        }
+        let header = Header::parse(&self.buf)?;
+        let total = header.length as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..total).collect();
+        let (msg, xid) = Message::decode(&frame)?;
+        Ok(Some((msg, xid)))
+    }
+
+    /// Drain every complete message currently buffered.
+    pub fn drain_messages(&mut self) -> Result<Vec<(Message, u32)>, WireError> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::EchoData;
+
+    #[test]
+    fn reassembles_split_messages() {
+        let wire = [
+            Message::Hello.encode(1),
+            Message::EchoRequest(EchoData(vec![9; 32])).encode(2),
+            Message::BarrierRequest.encode(3),
+        ]
+        .concat();
+        let mut codec = MessageCodec::new();
+        let mut got = Vec::new();
+        // Feed in awkward 5-byte chunks.
+        for chunk in wire.chunks(5) {
+            codec.feed(chunk);
+            got.extend(codec.drain_messages().unwrap());
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (Message::Hello, 1));
+        assert_eq!(got[2], (Message::BarrierRequest, 3));
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_message_returns_none() {
+        let wire = Message::Hello.encode(1);
+        let mut codec = MessageCodec::new();
+        codec.feed(&wire[..4]);
+        assert_eq!(codec.next_message().unwrap(), None);
+        codec.feed(&wire[4..]);
+        assert_eq!(codec.next_message().unwrap(), Some((Message::Hello, 1)));
+    }
+
+    #[test]
+    fn garbage_reports_error() {
+        let mut codec = MessageCodec::new();
+        codec.feed(&[0xff; 16]);
+        assert!(codec.next_message().is_err());
+    }
+}

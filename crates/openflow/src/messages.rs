@@ -1,0 +1,838 @@
+//! OpenFlow 1.0 message bodies and their wire forms.
+
+use crate::actions::Action;
+use crate::codec::WireError;
+use crate::header::{Header, MessageType, OFP_HEADER_LEN, OFP_VERSION};
+use crate::match_field::{OfMatch, OFP_MATCH_LEN};
+use osnt_packet::MacAddr;
+
+/// Payload of an echo request/reply (opaque, echoed back verbatim —
+/// OFLOPS uses it to carry timestamps for control-channel RTT probes).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EchoData(pub Vec<u8>);
+
+/// One physical port in a FEATURES_REPLY (`ofp_phy_port`, 48 bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhyPort {
+    /// Port number (1-based in OpenFlow 1.0).
+    pub port_no: u16,
+    /// MAC address of the port.
+    pub hw_addr: MacAddr,
+    /// Interface name (truncated/padded to 16 bytes on the wire).
+    pub name: String,
+}
+
+impl PhyPort {
+    const WIRE_LEN: usize = 48;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.port_no.to_be_bytes());
+        out.extend_from_slice(&self.hw_addr.octets());
+        let mut name = [0u8; 16];
+        let bytes = self.name.as_bytes();
+        let n = bytes.len().min(15);
+        name[..n].copy_from_slice(&bytes[..n]);
+        out.extend_from_slice(&name);
+        // config, state, curr, advertised, supported, peer — all zero in
+        // the model.
+        out.extend_from_slice(&[0u8; 24]);
+    }
+
+    fn parse(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&bytes[2..8]);
+        let name_end = bytes[8..24].iter().position(|&b| b == 0).unwrap_or(16);
+        Ok(PhyPort {
+            port_no: u16::from_be_bytes([bytes[0], bytes[1]]),
+            hw_addr: MacAddr(mac),
+            name: String::from_utf8_lossy(&bytes[8..8 + name_end]).into_owned(),
+        })
+    }
+}
+
+/// FEATURES_REPLY body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeaturesReply {
+    /// Datapath id (switch identity).
+    pub datapath_id: u64,
+    /// Packet buffers available for PACKET_IN buffering.
+    pub n_buffers: u32,
+    /// Number of flow tables.
+    pub n_tables: u8,
+    /// Capability bitmap.
+    pub capabilities: u32,
+    /// Supported-action bitmap.
+    pub actions: u32,
+    /// Physical ports.
+    pub ports: Vec<PhyPort>,
+}
+
+/// Why a PACKET_IN was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketInReason {
+    /// No matching flow entry.
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+}
+
+/// PACKET_IN body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketIn {
+    /// Buffer id (0xffffffff = packet not buffered, full frame follows).
+    pub buffer_id: u32,
+    /// Original frame length.
+    pub total_len: u16,
+    /// Ingress port.
+    pub in_port: u16,
+    /// Reason.
+    pub reason: PacketInReason,
+    /// The (possibly truncated) frame bytes.
+    pub data: Vec<u8>,
+}
+
+/// PACKET_OUT body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketOut {
+    /// Buffer id (0xffffffff = the frame is in `data`).
+    pub buffer_id: u32,
+    /// Port the frame "arrived" on (0xfff8 = OFPP_NONE/controller).
+    pub in_port: u16,
+    /// Actions to apply.
+    pub actions: Vec<Action>,
+    /// The frame, when not buffered.
+    pub data: Vec<u8>,
+}
+
+/// FLOW_MOD commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum FlowModCommand {
+    /// Add a new entry.
+    Add = 0,
+    /// Modify matching entries.
+    Modify = 1,
+    /// Modify strictly (match + priority must be identical).
+    ModifyStrict = 2,
+    /// Delete matching entries.
+    Delete = 3,
+    /// Delete strictly.
+    DeleteStrict = 4,
+}
+
+impl FlowModCommand {
+    fn from_u16(v: u16) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => FlowModCommand::Add,
+            1 => FlowModCommand::Modify,
+            2 => FlowModCommand::ModifyStrict,
+            3 => FlowModCommand::Delete,
+            4 => FlowModCommand::DeleteStrict,
+            other => return Err(WireError::UnknownCommand(other)),
+        })
+    }
+}
+
+/// FLOW_MOD body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMod {
+    /// Match fields.
+    pub of_match: OfMatch,
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// What to do.
+    pub command: FlowModCommand,
+    /// Idle timeout, seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout, seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Priority (higher wins among overlapping wildcard entries).
+    pub priority: u16,
+    /// Buffered packet to apply to (0xffffffff = none).
+    pub buffer_id: u32,
+    /// For DELETE: restrict to entries with this out port.
+    pub out_port: u16,
+    /// Flag bits (OFPFF_SEND_FLOW_REM = 1).
+    pub flags: u16,
+    /// Actions of the entry.
+    pub actions: Vec<Action>,
+}
+
+impl FlowMod {
+    /// An ADD with sensible defaults.
+    pub fn add(of_match: OfMatch, priority: u16, actions: Vec<Action>) -> Self {
+        FlowMod {
+            of_match,
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority,
+            buffer_id: 0xffff_ffff,
+            out_port: 0xffff,
+            flags: 0,
+            actions,
+        }
+    }
+
+    /// A strict DELETE of a previously added entry.
+    pub fn delete_strict(of_match: OfMatch, priority: u16) -> Self {
+        FlowMod {
+            command: FlowModCommand::DeleteStrict,
+            ..FlowMod::add(of_match, priority, Vec::new())
+        }
+    }
+}
+
+/// FLOW_REMOVED body (sent when an entry expires or is deleted with
+/// OFPFF_SEND_FLOW_REM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRemoved {
+    /// The entry's match.
+    pub of_match: OfMatch,
+    /// The entry's cookie.
+    pub cookie: u64,
+    /// The entry's priority.
+    pub priority: u16,
+    /// Removal reason (0 idle, 1 hard, 2 delete).
+    pub reason: u8,
+    /// Entry lifetime, seconds part.
+    pub duration_sec: u32,
+    /// Entry lifetime, nanoseconds part.
+    pub duration_nsec: u32,
+    /// Packets the entry matched.
+    pub packet_count: u64,
+    /// Bytes the entry matched.
+    pub byte_count: u64,
+}
+
+/// Per-flow statistics entry in a STATS_REPLY.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStatsEntry {
+    /// Table containing the entry.
+    pub table_id: u8,
+    /// The entry's match.
+    pub of_match: OfMatch,
+    /// Entry age, seconds part.
+    pub duration_sec: u32,
+    /// Entry age, nanoseconds part.
+    pub duration_nsec: u32,
+    /// Priority.
+    pub priority: u16,
+    /// Cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Actions.
+    pub actions: Vec<Action>,
+}
+
+/// Per-port statistics entry in a STATS_REPLY (`ofp_port_stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// Port number.
+    pub port_no: u16,
+    /// Frames received.
+    pub rx_packets: u64,
+    /// Frames sent.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+    /// Frames dropped on receive.
+    pub rx_dropped: u64,
+    /// Frames dropped on transmit.
+    pub tx_dropped: u64,
+}
+
+/// Statistics request/reply bodies (type-tagged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsBody {
+    /// OFPST_FLOW request: which flows to report.
+    FlowRequest {
+        /// Filter.
+        of_match: OfMatch,
+        /// Table (0xff = all).
+        table_id: u8,
+    },
+    /// OFPST_FLOW reply.
+    FlowReply(Vec<FlowStatsEntry>),
+    /// OFPST_PORT request (0xffff = all ports).
+    PortRequest {
+        /// Port filter.
+        port_no: u16,
+    },
+    /// OFPST_PORT reply.
+    PortReply(Vec<PortStats>),
+}
+
+/// A complete OpenFlow message (type + body, without the xid which lives
+/// in the envelope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// OFPT_HELLO.
+    Hello,
+    /// OFPT_ERROR.
+    Error {
+        /// Error type (e.g. 3 = flow-mod failed).
+        err_type: u16,
+        /// Error code within the type.
+        code: u16,
+        /// At least 64 bytes of the offending message.
+        data: Vec<u8>,
+    },
+    /// OFPT_ECHO_REQUEST.
+    EchoRequest(EchoData),
+    /// OFPT_ECHO_REPLY.
+    EchoReply(EchoData),
+    /// OFPT_FEATURES_REQUEST.
+    FeaturesRequest,
+    /// OFPT_FEATURES_REPLY.
+    FeaturesReply(FeaturesReply),
+    /// OFPT_PACKET_IN.
+    PacketIn(PacketIn),
+    /// OFPT_FLOW_REMOVED.
+    FlowRemoved(FlowRemoved),
+    /// OFPT_PACKET_OUT.
+    PacketOut(PacketOut),
+    /// OFPT_FLOW_MOD.
+    FlowMod(FlowMod),
+    /// OFPT_STATS_REQUEST.
+    StatsRequest(StatsBody),
+    /// OFPT_STATS_REPLY.
+    StatsReply(StatsBody),
+    /// OFPT_BARRIER_REQUEST.
+    BarrierRequest,
+    /// OFPT_BARRIER_REPLY.
+    BarrierReply,
+}
+
+impl Message {
+    /// The message's wire type.
+    pub fn msg_type(&self) -> MessageType {
+        match self {
+            Message::Hello => MessageType::Hello,
+            Message::Error { .. } => MessageType::Error,
+            Message::EchoRequest(_) => MessageType::EchoRequest,
+            Message::EchoReply(_) => MessageType::EchoReply,
+            Message::FeaturesRequest => MessageType::FeaturesRequest,
+            Message::FeaturesReply(_) => MessageType::FeaturesReply,
+            Message::PacketIn(_) => MessageType::PacketIn,
+            Message::FlowRemoved(_) => MessageType::FlowRemoved,
+            Message::PacketOut(_) => MessageType::PacketOut,
+            Message::FlowMod(_) => MessageType::FlowMod,
+            Message::StatsRequest(_) => MessageType::StatsRequest,
+            Message::StatsReply(_) => MessageType::StatsReply,
+            Message::BarrierRequest => MessageType::BarrierRequest,
+            Message::BarrierReply => MessageType::BarrierReply,
+        }
+    }
+
+    /// Serialise with header.
+    pub fn encode(&self, xid: u32) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.write_body(&mut body);
+        let mut out = Vec::with_capacity(OFP_HEADER_LEN + body.len());
+        Header {
+            version: OFP_VERSION,
+            msg_type: self.msg_type(),
+            length: (OFP_HEADER_LEN + body.len()) as u16,
+            xid,
+        }
+        .write_to(&mut out);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn write_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello
+            | Message::FeaturesRequest
+            | Message::BarrierRequest
+            | Message::BarrierReply => {}
+            Message::Error {
+                err_type,
+                code,
+                data,
+            } => {
+                out.extend_from_slice(&err_type.to_be_bytes());
+                out.extend_from_slice(&code.to_be_bytes());
+                out.extend_from_slice(data);
+            }
+            Message::EchoRequest(d) | Message::EchoReply(d) => {
+                out.extend_from_slice(&d.0);
+            }
+            Message::FeaturesReply(f) => {
+                out.extend_from_slice(&f.datapath_id.to_be_bytes());
+                out.extend_from_slice(&f.n_buffers.to_be_bytes());
+                out.push(f.n_tables);
+                out.extend_from_slice(&[0u8; 3]);
+                out.extend_from_slice(&f.capabilities.to_be_bytes());
+                out.extend_from_slice(&f.actions.to_be_bytes());
+                for p in &f.ports {
+                    p.write_to(out);
+                }
+            }
+            Message::PacketIn(p) => {
+                out.extend_from_slice(&p.buffer_id.to_be_bytes());
+                out.extend_from_slice(&p.total_len.to_be_bytes());
+                out.extend_from_slice(&p.in_port.to_be_bytes());
+                out.push(match p.reason {
+                    PacketInReason::NoMatch => 0,
+                    PacketInReason::Action => 1,
+                });
+                out.push(0);
+                out.extend_from_slice(&p.data);
+            }
+            Message::FlowRemoved(f) => {
+                f.of_match.write_to(out);
+                out.extend_from_slice(&f.cookie.to_be_bytes());
+                out.extend_from_slice(&f.priority.to_be_bytes());
+                out.push(f.reason);
+                out.push(0);
+                out.extend_from_slice(&f.duration_sec.to_be_bytes());
+                out.extend_from_slice(&f.duration_nsec.to_be_bytes());
+                out.extend_from_slice(&0u16.to_be_bytes()); // idle_timeout
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&f.packet_count.to_be_bytes());
+                out.extend_from_slice(&f.byte_count.to_be_bytes());
+            }
+            Message::PacketOut(p) => {
+                out.extend_from_slice(&p.buffer_id.to_be_bytes());
+                out.extend_from_slice(&p.in_port.to_be_bytes());
+                let mut acts = Vec::new();
+                Action::write_list(&p.actions, &mut acts);
+                out.extend_from_slice(&(acts.len() as u16).to_be_bytes());
+                out.extend_from_slice(&acts);
+                out.extend_from_slice(&p.data);
+            }
+            Message::FlowMod(f) => {
+                f.of_match.write_to(out);
+                out.extend_from_slice(&f.cookie.to_be_bytes());
+                out.extend_from_slice(&(f.command as u16).to_be_bytes());
+                out.extend_from_slice(&f.idle_timeout.to_be_bytes());
+                out.extend_from_slice(&f.hard_timeout.to_be_bytes());
+                out.extend_from_slice(&f.priority.to_be_bytes());
+                out.extend_from_slice(&f.buffer_id.to_be_bytes());
+                out.extend_from_slice(&f.out_port.to_be_bytes());
+                out.extend_from_slice(&f.flags.to_be_bytes());
+                Action::write_list(&f.actions, out);
+            }
+            Message::StatsRequest(body) => write_stats(body, out, true),
+            Message::StatsReply(body) => write_stats(body, out, false),
+        }
+    }
+
+    /// Parse one complete message (header already validated); returns the
+    /// message and xid.
+    pub fn decode(bytes: &[u8]) -> Result<(Message, u32), WireError> {
+        let header = Header::parse(bytes)?;
+        if bytes.len() < header.length as usize {
+            return Err(WireError::Truncated);
+        }
+        let body = &bytes[OFP_HEADER_LEN..header.length as usize];
+        let msg = match header.msg_type {
+            MessageType::Hello => Message::Hello,
+            MessageType::Error => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Message::Error {
+                    err_type: u16::from_be_bytes([body[0], body[1]]),
+                    code: u16::from_be_bytes([body[2], body[3]]),
+                    data: body[4..].to_vec(),
+                }
+            }
+            MessageType::EchoRequest => Message::EchoRequest(EchoData(body.to_vec())),
+            MessageType::EchoReply => Message::EchoReply(EchoData(body.to_vec())),
+            MessageType::FeaturesRequest => Message::FeaturesRequest,
+            MessageType::FeaturesReply => {
+                if body.len() < 24 {
+                    return Err(WireError::Truncated);
+                }
+                let mut ports = Vec::new();
+                let mut rest = &body[24..];
+                while !rest.is_empty() {
+                    ports.push(PhyPort::parse(rest)?);
+                    rest = &rest[PhyPort::WIRE_LEN..];
+                }
+                Message::FeaturesReply(FeaturesReply {
+                    datapath_id: u64::from_be_bytes(body[0..8].try_into().unwrap()),
+                    n_buffers: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+                    n_tables: body[12],
+                    capabilities: u32::from_be_bytes(body[16..20].try_into().unwrap()),
+                    actions: u32::from_be_bytes(body[20..24].try_into().unwrap()),
+                    ports,
+                })
+            }
+            MessageType::PacketIn => {
+                if body.len() < 10 {
+                    return Err(WireError::Truncated);
+                }
+                Message::PacketIn(PacketIn {
+                    buffer_id: u32::from_be_bytes(body[0..4].try_into().unwrap()),
+                    total_len: u16::from_be_bytes([body[4], body[5]]),
+                    in_port: u16::from_be_bytes([body[6], body[7]]),
+                    reason: if body[8] == 0 {
+                        PacketInReason::NoMatch
+                    } else {
+                        PacketInReason::Action
+                    },
+                    data: body[10..].to_vec(),
+                })
+            }
+            MessageType::FlowRemoved => {
+                if body.len() < OFP_MATCH_LEN + 40 {
+                    return Err(WireError::Truncated);
+                }
+                let m = OfMatch::parse(body)?;
+                let b = &body[OFP_MATCH_LEN..];
+                Message::FlowRemoved(FlowRemoved {
+                    of_match: m,
+                    cookie: u64::from_be_bytes(b[0..8].try_into().unwrap()),
+                    priority: u16::from_be_bytes([b[8], b[9]]),
+                    reason: b[10],
+                    duration_sec: u32::from_be_bytes(b[12..16].try_into().unwrap()),
+                    duration_nsec: u32::from_be_bytes(b[16..20].try_into().unwrap()),
+                    packet_count: u64::from_be_bytes(b[24..32].try_into().unwrap()),
+                    byte_count: u64::from_be_bytes(b[32..40].try_into().unwrap()),
+                })
+            }
+            MessageType::PacketOut => {
+                if body.len() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let actions_len = u16::from_be_bytes([body[6], body[7]]) as usize;
+                if body.len() < 8 + actions_len {
+                    return Err(WireError::Truncated);
+                }
+                Message::PacketOut(PacketOut {
+                    buffer_id: u32::from_be_bytes(body[0..4].try_into().unwrap()),
+                    in_port: u16::from_be_bytes([body[4], body[5]]),
+                    actions: Action::parse_list(&body[8..8 + actions_len])?,
+                    data: body[8 + actions_len..].to_vec(),
+                })
+            }
+            MessageType::FlowMod => {
+                if body.len() < OFP_MATCH_LEN + 24 {
+                    return Err(WireError::Truncated);
+                }
+                let m = OfMatch::parse(body)?;
+                let b = &body[OFP_MATCH_LEN..];
+                Message::FlowMod(FlowMod {
+                    of_match: m,
+                    cookie: u64::from_be_bytes(b[0..8].try_into().unwrap()),
+                    command: FlowModCommand::from_u16(u16::from_be_bytes([b[8], b[9]]))?,
+                    idle_timeout: u16::from_be_bytes([b[10], b[11]]),
+                    hard_timeout: u16::from_be_bytes([b[12], b[13]]),
+                    priority: u16::from_be_bytes([b[14], b[15]]),
+                    buffer_id: u32::from_be_bytes(b[16..20].try_into().unwrap()),
+                    out_port: u16::from_be_bytes([b[20], b[21]]),
+                    flags: u16::from_be_bytes([b[22], b[23]]),
+                    actions: Action::parse_list(&b[24..])?,
+                })
+            }
+            MessageType::StatsRequest => Message::StatsRequest(parse_stats(body, true)?),
+            MessageType::StatsReply => Message::StatsReply(parse_stats(body, false)?),
+            MessageType::BarrierRequest => Message::BarrierRequest,
+            MessageType::BarrierReply => Message::BarrierReply,
+        };
+        Ok((msg, header.xid))
+    }
+}
+
+const OFPST_FLOW: u16 = 1;
+const OFPST_PORT: u16 = 4;
+
+fn write_stats(body: &StatsBody, out: &mut Vec<u8>, is_request: bool) {
+    match body {
+        StatsBody::FlowRequest { of_match, table_id } => {
+            assert!(is_request);
+            out.extend_from_slice(&OFPST_FLOW.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes()); // flags
+            of_match.write_to(out);
+            out.push(*table_id);
+            out.push(0);
+            out.extend_from_slice(&0xffffu16.to_be_bytes()); // out_port = none
+        }
+        StatsBody::FlowReply(entries) => {
+            assert!(!is_request);
+            out.extend_from_slice(&OFPST_FLOW.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes());
+            for e in entries {
+                let mut acts = Vec::new();
+                Action::write_list(&e.actions, &mut acts);
+                let entry_len = 88 + acts.len();
+                out.extend_from_slice(&(entry_len as u16).to_be_bytes());
+                out.push(e.table_id);
+                out.push(0);
+                e.of_match.write_to(out);
+                out.extend_from_slice(&e.duration_sec.to_be_bytes());
+                out.extend_from_slice(&e.duration_nsec.to_be_bytes());
+                out.extend_from_slice(&e.priority.to_be_bytes());
+                out.extend_from_slice(&0u16.to_be_bytes()); // idle
+                out.extend_from_slice(&0u16.to_be_bytes()); // hard
+                out.extend_from_slice(&[0u8; 6]);
+                out.extend_from_slice(&e.cookie.to_be_bytes());
+                out.extend_from_slice(&e.packet_count.to_be_bytes());
+                out.extend_from_slice(&e.byte_count.to_be_bytes());
+                out.extend_from_slice(&acts);
+            }
+        }
+        StatsBody::PortRequest { port_no } => {
+            assert!(is_request);
+            out.extend_from_slice(&OFPST_PORT.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes());
+            out.extend_from_slice(&port_no.to_be_bytes());
+            out.extend_from_slice(&[0u8; 6]);
+        }
+        StatsBody::PortReply(entries) => {
+            assert!(!is_request);
+            out.extend_from_slice(&OFPST_PORT.to_be_bytes());
+            out.extend_from_slice(&0u16.to_be_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.port_no.to_be_bytes());
+                out.extend_from_slice(&[0u8; 6]);
+                out.extend_from_slice(&e.rx_packets.to_be_bytes());
+                out.extend_from_slice(&e.tx_packets.to_be_bytes());
+                out.extend_from_slice(&e.rx_bytes.to_be_bytes());
+                out.extend_from_slice(&e.tx_bytes.to_be_bytes());
+                out.extend_from_slice(&e.rx_dropped.to_be_bytes());
+                out.extend_from_slice(&e.tx_dropped.to_be_bytes());
+                // rx/tx errors, frame/over/crc errors, collisions = 0.
+                out.extend_from_slice(&[0u8; 48]);
+            }
+        }
+    }
+}
+
+fn parse_stats(body: &[u8], is_request: bool) -> Result<StatsBody, WireError> {
+    if body.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let stype = u16::from_be_bytes([body[0], body[1]]);
+    let rest = &body[4..];
+    match (stype, is_request) {
+        (OFPST_FLOW, true) => {
+            if rest.len() < OFP_MATCH_LEN + 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(StatsBody::FlowRequest {
+                of_match: OfMatch::parse(rest)?,
+                table_id: rest[OFP_MATCH_LEN],
+            })
+        }
+        (OFPST_FLOW, false) => {
+            let mut entries = Vec::new();
+            let mut b = rest;
+            while !b.is_empty() {
+                if b.len() < 88 {
+                    return Err(WireError::Truncated);
+                }
+                let entry_len = u16::from_be_bytes([b[0], b[1]]) as usize;
+                if entry_len < 88 || b.len() < entry_len {
+                    return Err(WireError::Truncated);
+                }
+                let of_match = OfMatch::parse(&b[4..])?;
+                entries.push(FlowStatsEntry {
+                    table_id: b[2],
+                    of_match,
+                    duration_sec: u32::from_be_bytes(b[44..48].try_into().unwrap()),
+                    duration_nsec: u32::from_be_bytes(b[48..52].try_into().unwrap()),
+                    priority: u16::from_be_bytes([b[52], b[53]]),
+                    cookie: u64::from_be_bytes(b[64..72].try_into().unwrap()),
+                    packet_count: u64::from_be_bytes(b[72..80].try_into().unwrap()),
+                    byte_count: u64::from_be_bytes(b[80..88].try_into().unwrap()),
+                    actions: Action::parse_list(&b[88..entry_len])?,
+                });
+                b = &b[entry_len..];
+            }
+            Ok(StatsBody::FlowReply(entries))
+        }
+        (OFPST_PORT, true) => {
+            if rest.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            Ok(StatsBody::PortRequest {
+                port_no: u16::from_be_bytes([rest[0], rest[1]]),
+            })
+        }
+        (OFPST_PORT, false) => {
+            let mut entries = Vec::new();
+            let mut b = rest;
+            const LEN: usize = 104;
+            while !b.is_empty() {
+                if b.len() < LEN {
+                    return Err(WireError::Truncated);
+                }
+                entries.push(PortStats {
+                    port_no: u16::from_be_bytes([b[0], b[1]]),
+                    rx_packets: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+                    tx_packets: u64::from_be_bytes(b[16..24].try_into().unwrap()),
+                    rx_bytes: u64::from_be_bytes(b[24..32].try_into().unwrap()),
+                    tx_bytes: u64::from_be_bytes(b[32..40].try_into().unwrap()),
+                    rx_dropped: u64::from_be_bytes(b[40..48].try_into().unwrap()),
+                    tx_dropped: u64::from_be_bytes(b[48..56].try_into().unwrap()),
+                });
+                b = &b[LEN..];
+            }
+            Ok(StatsBody::PortReply(entries))
+        }
+        (other, _) => Err(WireError::UnknownStatsType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn round_trip(msg: Message) {
+        let wire = msg.encode(0x1234_5678);
+        let (back, xid) = Message::decode(&wire).expect("decodes");
+        assert_eq!(back, msg);
+        assert_eq!(xid, 0x1234_5678);
+        // Length field is exact.
+        let h = Header::parse(&wire).unwrap();
+        assert_eq!(h.length as usize, wire.len());
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        round_trip(Message::Hello);
+        round_trip(Message::FeaturesRequest);
+        round_trip(Message::BarrierRequest);
+        round_trip(Message::BarrierReply);
+        round_trip(Message::EchoRequest(EchoData(vec![1, 2, 3, 4])));
+        round_trip(Message::EchoReply(EchoData(vec![])));
+        round_trip(Message::Error {
+            err_type: 3,
+            code: 0,
+            data: vec![0xde, 0xad],
+        });
+    }
+
+    #[test]
+    fn features_reply_round_trip() {
+        round_trip(Message::FeaturesReply(FeaturesReply {
+            datapath_id: 0x0000_beef_cafe_0001,
+            n_buffers: 256,
+            n_tables: 1,
+            capabilities: 0xc7,
+            actions: 0xfff,
+            ports: vec![
+                PhyPort {
+                    port_no: 1,
+                    hw_addr: MacAddr::local(1),
+                    name: "eth1".into(),
+                },
+                PhyPort {
+                    port_no: 2,
+                    hw_addr: MacAddr::local(2),
+                    name: "eth2".into(),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn flow_mod_round_trip() {
+        round_trip(Message::FlowMod(FlowMod::add(
+            OfMatch::ipv4_dst(Ipv4Addr::new(10, 0, 0, 9)),
+            100,
+            vec![Action::Output {
+                port: 2,
+                max_len: 0,
+            }],
+        )));
+        round_trip(Message::FlowMod(FlowMod::delete_strict(
+            OfMatch::udp_dst_port(9001),
+            5,
+        )));
+    }
+
+    #[test]
+    fn packet_in_out_round_trip() {
+        round_trip(Message::PacketIn(PacketIn {
+            buffer_id: 0xffff_ffff,
+            total_len: 128,
+            in_port: 3,
+            reason: PacketInReason::NoMatch,
+            data: vec![0xaa; 60],
+        }));
+        round_trip(Message::PacketOut(PacketOut {
+            buffer_id: 0xffff_ffff,
+            in_port: 0xfff8,
+            actions: vec![Action::Output {
+                port: 1,
+                max_len: 0,
+            }],
+            data: vec![0x55; 64],
+        }));
+    }
+
+    #[test]
+    fn flow_removed_round_trip() {
+        round_trip(Message::FlowRemoved(FlowRemoved {
+            of_match: OfMatch::udp_dst_port(80),
+            cookie: 7,
+            priority: 10,
+            reason: 2,
+            duration_sec: 12,
+            duration_nsec: 500,
+            packet_count: 1000,
+            byte_count: 64_000,
+        }));
+    }
+
+    #[test]
+    fn stats_round_trips() {
+        round_trip(Message::StatsRequest(StatsBody::FlowRequest {
+            of_match: OfMatch::any(),
+            table_id: 0xff,
+        }));
+        round_trip(Message::StatsRequest(StatsBody::PortRequest {
+            port_no: 0xffff,
+        }));
+        round_trip(Message::StatsReply(StatsBody::FlowReply(vec![
+            FlowStatsEntry {
+                table_id: 0,
+                of_match: OfMatch::ipv4_dst(Ipv4Addr::new(1, 2, 3, 4)),
+                duration_sec: 3,
+                duration_nsec: 250_000,
+                priority: 9,
+                cookie: 0xabcd,
+                packet_count: 55,
+                byte_count: 7040,
+                actions: vec![Action::Output {
+                    port: 4,
+                    max_len: 0,
+                }],
+            },
+        ])));
+        round_trip(Message::StatsReply(StatsBody::PortReply(vec![
+            PortStats {
+                port_no: 1,
+                rx_packets: 10,
+                tx_packets: 20,
+                rx_bytes: 640,
+                tx_bytes: 1280,
+                rx_dropped: 1,
+                tx_dropped: 2,
+            },
+            PortStats::default(),
+        ])));
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let wire = Message::FlowMod(FlowMod::add(OfMatch::any(), 1, vec![])).encode(1);
+        assert!(Message::decode(&wire[..wire.len() - 4]).is_err());
+    }
+}

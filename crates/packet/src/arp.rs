@@ -1,0 +1,168 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+
+use crate::mac::MacAddr;
+use crate::parser::ParseError;
+use core::net::Ipv4Addr;
+
+/// Length of an Ethernet/IPv4 ARP packet body.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+    /// Any other opcode, preserved verbatim.
+    Other(u16),
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+            ArpOp::Other(v) => v,
+        }
+    }
+
+    fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => ArpOp::Other(other),
+        }
+    }
+}
+
+/// An Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation (request/reply).
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// A who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// The reply answering `req` from the owner of the requested address.
+    pub fn reply_to(req: &ArpPacket, my_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: req.target_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        }
+    }
+
+    /// Parse an ARP body (the bytes after the Ethernet header).
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < PACKET_LEN {
+            return Err(ParseError::Truncated {
+                layer: "arp",
+                needed: PACKET_LEN,
+                have: bytes.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let ptype = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if htype != 1 || ptype != 0x0800 || bytes[4] != 6 || bytes[5] != 4 {
+            return Err(ParseError::Unsupported {
+                layer: "arp",
+                what: "only Ethernet/IPv4 ARP is supported",
+            });
+        }
+        let mac_at = |off: usize| {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&bytes[off..off + 6]);
+            MacAddr(m)
+        };
+        let ip_at = |off: usize| {
+            Ipv4Addr::new(bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3])
+        };
+        Ok(ArpPacket {
+            op: ArpOp::from_u16(u16::from_be_bytes([bytes[6], bytes[7]])),
+            sender_mac: mac_at(8),
+            sender_ip: ip_at(14),
+            target_mac: mac_at(18),
+            target_ip: ip_at(24),
+        })
+    }
+
+    /// Append the serialised body to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.op.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_round_trip() {
+        let req = ArpPacket::request(
+            MacAddr::local(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut buf = Vec::new();
+        req.write_to(&mut buf);
+        assert_eq!(buf.len(), PACKET_LEN);
+        let parsed = ArpPacket::parse(&buf).unwrap();
+        assert_eq!(parsed, req);
+
+        let rep = ArpPacket::reply_to(&parsed, MacAddr::local(2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.target_mac, MacAddr::local(1));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let req = ArpPacket::request(
+            MacAddr::local(1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+        );
+        let mut buf = Vec::new();
+        req.write_to(&mut buf);
+        buf[0] = 9; // bogus htype
+        assert!(matches!(
+            ArpPacket::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(ArpPacket::parse(&[0u8; 27]).is_err());
+    }
+}

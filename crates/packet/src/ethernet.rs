@@ -1,0 +1,106 @@
+//! Ethernet II framing.
+
+use crate::mac::MacAddr;
+use crate::parser::ParseError;
+
+/// Length of an untagged Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// Well-known EtherType values used throughout OSNT-rs.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+    /// IEEE 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+    /// IPv6.
+    pub const IPV6: u16 = 0x86DD;
+    /// Experimental/local EtherType used by OSNT probe frames that carry
+    /// only an embedded timestamp (no IP payload).
+    pub const OSNT_PROBE: u16 = 0x88B5; // IEEE 802 local experimental 1
+}
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination station.
+    pub dst: MacAddr,
+    /// Source station.
+    pub src: MacAddr,
+    /// EtherType of the payload (possibly [`ethertype::VLAN`]).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Parse from the start of `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "ethernet",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        src.copy_from_slice(&bytes[6..12]);
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([bytes[12], bytes[13]]),
+        })
+    }
+
+    /// Append the serialised header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: ethertype::IPV4,
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(EthernetHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_is_reported() {
+        let err = EthernetHeader::parse(&[0u8; 10]).unwrap_err();
+        match err {
+            ParseError::Truncated { layer, needed, have } => {
+                assert_eq!(layer, "ethernet");
+                assert_eq!(needed, HEADER_LEN);
+                assert_eq!(have, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_ignores_trailing_payload() {
+        let h = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(9),
+            ethertype: ethertype::ARP,
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(EthernetHeader::parse(&buf).unwrap(), h);
+    }
+}

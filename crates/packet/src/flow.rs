@@ -1,0 +1,95 @@
+//! Flow identification: the classic 5-tuple.
+
+use core::fmt;
+use core::net::IpAddr;
+
+/// The (source IP, destination IP, protocol, source port, destination
+/// port) 5-tuple that identifies a transport flow. For non-TCP/UDP
+/// packets the port fields are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IP address.
+    pub src_ip: IpAddr,
+    /// Destination IP address.
+    pub dst_ip: IpAddr,
+    /// IP protocol / next-header number.
+    pub protocol: u8,
+    /// Transport source port (zero when not applicable).
+    pub src_port: u16,
+    /// Transport destination port (zero when not applicable).
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// The tuple with source and destination swapped — the reverse
+    /// direction of the same conversation.
+    pub fn reversed(self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            protocol: self.protocol,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A direction-agnostic key: both directions of a conversation map to
+    /// the same value (the lexicographically smaller orientation).
+    pub fn canonical(self) -> FiveTuple {
+        let rev = self.reversed();
+        if self <= rev {
+            self
+        } else {
+            rev
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} > {}:{} proto {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::net::Ipv4Addr;
+
+    fn tuple(a: u8, b: u8, sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, a)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, b)),
+            protocol: 17,
+            src_port: sp,
+            dst_port: dp,
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = tuple(1, 2, 100, 200);
+        let r = t.reversed();
+        assert_eq!(r.src_port, 200);
+        assert_eq!(r.dst_port, 100);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn canonical_is_direction_agnostic() {
+        let t = tuple(1, 2, 100, 200);
+        assert_eq!(t.canonical(), t.reversed().canonical());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            tuple(1, 2, 100, 200).to_string(),
+            "10.0.0.1:100 > 10.0.0.2:200 proto 17"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Packet hashing: CRC-32 and Toeplitz.
+//!
+//! The OSNT monitor can replace a cut-away payload with a **hash** of the
+//! original packet so the host can still correlate and de-duplicate thinned
+//! captures. We provide the two hashes hardware commonly implements:
+//! CRC-32 (IEEE 802.3, as in the FCS) over arbitrary bytes, and the
+//! Toeplitz hash over the 5-tuple (as used by RSS NICs for flow steering).
+
+use crate::flow::FiveTuple;
+use core::net::IpAddr;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected, init all-ones) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xffff_ffff, bytes) ^ 0xffff_ffff
+}
+
+/// Byte-at-a-time lookup table for the reflected IEEE polynomial,
+/// generated at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32: feed `state` (start with `0xffff_ffff`) and XOR the
+/// final state with `0xffff_ffff`.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ CRC32_TABLE[((state ^ b as u32) & 0xff) as usize];
+    }
+    state
+}
+
+/// The default 40-byte Toeplitz key from the Microsoft RSS specification
+/// (the one every NIC datasheet quotes).
+pub const MS_RSS_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Toeplitz hash of `input` under `key`. `key` must be at least
+/// `input.len() + 4` bytes.
+pub fn toeplitz(key: &[u8], input: &[u8]) -> u32 {
+    assert!(
+        key.len() >= input.len() + 4,
+        "Toeplitz key too short: {} bytes for {} input bytes",
+        key.len(),
+        input.len()
+    );
+    let mut result: u32 = 0;
+    // The sliding 32-bit window over the key, advanced one bit per input
+    // bit.
+    let mut window = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
+    let mut next_key_bit = 32usize;
+    for &byte in input {
+        for bit in (0..8).rev() {
+            if byte >> bit & 1 == 1 {
+                result ^= window;
+            }
+            // Slide the window left by one bit, pulling in the next key
+            // bit.
+            let incoming = key[next_key_bit / 8] >> (7 - next_key_bit % 8) & 1;
+            window = (window << 1) | incoming as u32;
+            next_key_bit += 1;
+        }
+    }
+    result
+}
+
+/// Toeplitz hash of a flow 5-tuple in the canonical RSS field order
+/// (source IP, destination IP, source port, destination port). IPv4 and
+/// IPv6 tuples use their respective address widths, exactly as RSS does.
+pub fn toeplitz_five_tuple(key: &[u8], ft: &FiveTuple) -> u32 {
+    let mut input = Vec::with_capacity(36);
+    match (ft.src_ip, ft.dst_ip) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            input.extend_from_slice(&s.octets());
+            input.extend_from_slice(&d.octets());
+        }
+        (IpAddr::V6(s), IpAddr::V6(d)) => {
+            input.extend_from_slice(&s.octets());
+            input.extend_from_slice(&d.octets());
+        }
+        _ => panic!("mixed address families in five-tuple"),
+    }
+    input.extend_from_slice(&ft.src_port.to_be_bytes());
+    input.extend_from_slice(&ft.dst_port.to_be_bytes());
+    toeplitz(key, &input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::net::Ipv4Addr;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn crc32_streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut state = 0xffff_ffff;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xffff_ffff, crc32(data));
+    }
+
+    #[test]
+    fn toeplitz_microsoft_test_vector() {
+        // From the MSDN "Verifying the RSS Hash Calculation" examples:
+        // 66.9.149.187:2794 -> 161.142.100.80:1766 hashes to 0x51ccc178.
+        let ft = FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::new(66, 9, 149, 187)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(161, 142, 100, 80)),
+            protocol: 6,
+            src_port: 2794,
+            dst_port: 1766,
+        };
+        assert_eq!(toeplitz_five_tuple(&MS_RSS_KEY, &ft), 0x51cc_c178);
+    }
+
+    #[test]
+    fn toeplitz_microsoft_second_vector() {
+        // 199.92.111.2:14230 -> 65.69.140.83:4739 → 0xc626b0ea.
+        let ft = FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::new(199, 92, 111, 2)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(65, 69, 140, 83)),
+            protocol: 6,
+            src_port: 14230,
+            dst_port: 4739,
+        };
+        assert_eq!(toeplitz_five_tuple(&MS_RSS_KEY, &ft), 0xc626_b0ea);
+    }
+
+    #[test]
+    fn different_flows_hash_differently() {
+        let a = FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            protocol: 17,
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut b = a;
+        b.src_port = 3;
+        assert_ne!(
+            toeplitz_five_tuple(&MS_RSS_KEY, &a),
+            toeplitz_five_tuple(&MS_RSS_KEY, &b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key too short")]
+    fn short_key_panics() {
+        let _ = toeplitz(&[0u8; 8], &[0u8; 8]);
+    }
+}

@@ -1,0 +1,146 @@
+//! ICMPv4 echo request/reply (RFC 792) — the subset network testers send.
+
+use crate::checksum;
+use crate::parser::ParseError;
+
+/// Length of an ICMP echo header (type, code, checksum, id, seq).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types modelled here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IcmpType {
+    fn to_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::EchoRequest => 8,
+            IcmpType::Other(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            8 => IcmpType::EchoRequest,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+/// An ICMP echo message (header only; the payload follows in the packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Code (0 for echo).
+    pub code: u8,
+    /// Identifier (distinguishes ping sessions).
+    pub identifier: u16,
+    /// Sequence number.
+    pub sequence: u16,
+}
+
+impl IcmpEcho {
+    /// An echo request.
+    pub fn request(identifier: u16, sequence: u16) -> Self {
+        IcmpEcho {
+            icmp_type: IcmpType::EchoRequest,
+            code: 0,
+            identifier,
+            sequence,
+        }
+    }
+
+    /// The reply answering `req`.
+    pub fn reply_to(req: &IcmpEcho) -> Self {
+        IcmpEcho {
+            icmp_type: IcmpType::EchoReply,
+            code: 0,
+            identifier: req.identifier,
+            sequence: req.sequence,
+        }
+    }
+
+    /// Parse the header and verify the checksum over `bytes` (header +
+    /// payload, as ICMP checksums cover the full message).
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "icmp",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if !checksum::verify(bytes) {
+            return Err(ParseError::BadChecksum { layer: "icmp" });
+        }
+        Ok(IcmpEcho {
+            icmp_type: IcmpType::from_u8(bytes[0]),
+            code: bytes[1],
+            identifier: u16::from_be_bytes([bytes[4], bytes[5]]),
+            sequence: u16::from_be_bytes([bytes[6], bytes[7]]),
+        })
+    }
+
+    /// Serialise header + `payload` with a correct checksum.
+    pub fn write_with_payload(&self, out: &mut Vec<u8>, payload: &[u8]) {
+        let start = out.len();
+        out.push(self.icmp_type.to_u8());
+        out.push(self.code);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.identifier.to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(payload);
+        let ck = checksum::internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_payload() {
+        let req = IcmpEcho::request(0x1234, 7);
+        let mut buf = Vec::new();
+        req.write_with_payload(&mut buf, b"ping payload");
+        let parsed = IcmpEcho::parse(&buf).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpEcho::request(9, 21);
+        let rep = IcmpEcho::reply_to(&req);
+        assert_eq!(rep.icmp_type, IcmpType::EchoReply);
+        assert_eq!(rep.identifier, 9);
+        assert_eq!(rep.sequence, 21);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let req = IcmpEcho::request(1, 1);
+        let mut buf = Vec::new();
+        req.write_with_payload(&mut buf, b"data");
+        let n = buf.len();
+        buf[n - 1] ^= 0xff;
+        assert!(matches!(
+            IcmpEcho::parse(&buf),
+            Err(ParseError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(IcmpEcho::parse(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! IPv4 headers (RFC 791).
+
+use crate::checksum;
+use crate::parser::ParseError;
+use core::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used throughout OSNT-rs.
+pub mod protocol {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// An IPv4 header (options unsupported: IHL must be 5 — hardware-friendly,
+/// matching OSNT's filter datapath).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services code point + ECN byte.
+    pub dscp_ecn: u8,
+    /// Total length of the datagram (header + payload), bytes.
+    pub total_len: u16,
+    /// Identification field (used by fragmentation; OSNT-rs uses it as a
+    /// convenient per-flow sequence tag in some workloads).
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (see [`protocol`]).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Sensible defaults for a generated packet carrying `payload_len`
+    /// bytes of transport data.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload_len: usize) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (HEADER_LEN + payload_len) as u16,
+            identification: 0,
+            dont_fragment: true,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+        }
+    }
+
+    /// Parse from the start of `bytes`, verifying version, IHL and the
+    /// header checksum.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "ipv4",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let version = bytes[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::Unsupported {
+                layer: "ipv4",
+                what: "version field is not 4",
+            });
+        }
+        let ihl = (bytes[0] & 0x0f) as usize;
+        if ihl != 5 {
+            return Err(ParseError::Unsupported {
+                layer: "ipv4",
+                what: "IP options are not supported (IHL must be 5)",
+            });
+        }
+        if !checksum::verify(&bytes[..HEADER_LEN]) {
+            return Err(ParseError::BadChecksum { layer: "ipv4" });
+        }
+        let flags_frag = u16::from_be_bytes([bytes[6], bytes[7]]);
+        Ok(Ipv4Header {
+            dscp_ecn: bytes[1],
+            total_len: u16::from_be_bytes([bytes[2], bytes[3]]),
+            identification: u16::from_be_bytes([bytes[4], bytes[5]]),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            ttl: bytes[8],
+            protocol: bytes[9],
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+        })
+    }
+
+    /// Append the serialised header (with a freshly computed checksum) to
+    /// `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(self.dscp_ecn);
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let flags_frag: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        out.extend_from_slice(&flags_frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let ck = checksum::internet_checksum(&out[start..start + HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Length of the payload according to `total_len`.
+    pub fn payload_len(&self) -> usize {
+        (self.total_len as usize).saturating_sub(HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 199),
+            protocol::UDP,
+            100,
+        )
+    }
+
+    #[test]
+    fn round_trip_with_valid_checksum() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert!(checksum::verify(&buf));
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        buf[8] ^= 0xff; // mangle TTL without fixing checksum
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadChecksum { layer: "ipv4" })
+        ));
+    }
+
+    #[test]
+    fn options_rejected() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        buf[0] = 0x46; // IHL 6
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        buf[0] = 0x65;
+        assert!(Ipv4Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn payload_len_subtracts_header() {
+        assert_eq!(sample().payload_len(), 100);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(Ipv4Header::parse(&[0x45; 19]).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! IPv6 headers (RFC 8200). Extension headers are not modelled — the OSNT
+//! hardware filter datapath matches on the fixed header only.
+
+use crate::parser::ParseError;
+use core::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header.
+pub const HEADER_LEN: usize = 40;
+
+/// An IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length (bytes after this header).
+    pub payload_len: u16,
+    /// Next header (same numbering as the IPv4 protocol field).
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Sensible defaults for a generated packet.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload_len: usize) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Parse from the start of `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "ipv6",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if bytes[0] >> 4 != 6 {
+            return Err(ParseError::Unsupported {
+                layer: "ipv6",
+                what: "version field is not 6",
+            });
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&bytes[8..24]);
+        dst.copy_from_slice(&bytes[24..40]);
+        Ok(Ipv6Header {
+            traffic_class: ((bytes[0] & 0x0f) << 4) | (bytes[1] >> 4),
+            flow_label: (((bytes[1] & 0x0f) as u32) << 16)
+                | ((bytes[2] as u32) << 8)
+                | bytes[3] as u32,
+            payload_len: u16::from_be_bytes([bytes[4], bytes[5]]),
+            next_header: bytes[6],
+            hop_limit: bytes[7],
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+
+    /// Append the serialised header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.flow_label < (1 << 20), "flow label is 20 bits");
+        out.push(0x60 | (self.traffic_class >> 4));
+        out.push(((self.traffic_class & 0x0f) << 4) | ((self.flow_label >> 16) as u8 & 0x0f));
+        out.push((self.flow_label >> 8) as u8);
+        out.push(self.flow_label as u8);
+        out.extend_from_slice(&self.payload_len.to_be_bytes());
+        out.push(self.next_header);
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        Ipv6Header {
+            traffic_class: 0xa5,
+            flow_label: 0xfedcb,
+            payload_len: 512,
+            next_header: 17,
+            hop_limit: 64,
+            src: Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 1),
+            dst: Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn round_trip_all_fields() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Ipv6Header::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf);
+        buf[0] = 0x45;
+        assert!(Ipv6Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(Ipv6Header::parse(&[0x60; 39]).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+#![warn(missing_docs)]
+//! # osnt-packet — packets, protocols, filters and pcap I/O
+//!
+//! Everything OSNT-rs knows about bytes on the wire lives here:
+//!
+//! * [`Packet`] — an owned Ethernet frame (layer 2 through payload,
+//!   excluding preamble and FCS) plus the wire-length arithmetic that the
+//!   10 GbE MAC imposes.
+//! * Protocol headers — [`mac`], [`ethernet`], [`vlan`], [`arp`],
+//!   [`ipv4`], [`ipv6`], [`udp`], [`tcp`], [`icmp`] with parse *and* build
+//!   support and checksum handling ([`checksum`]).
+//! * [`builder`] — a fluent builder that assembles correct frames
+//!   (lengths and checksums filled in) for the traffic generator.
+//! * [`parser`] — a zero-copy header-offset parser, the input to
+//!   filtering and flow extraction.
+//! * [`flow`] / [`wildcard`] — 5-tuple flow keys and the wildcard match
+//!   rules used by the OSNT monitor's hardware filters and by the
+//!   OpenFlow switch model's flow table.
+//! * [`hash`] — CRC-32 and Toeplitz hashing, as used by the monitor's
+//!   packet-thinning stage.
+//! * [`pcap`] — libpcap classic (microsecond) and nanosecond file
+//!   read/write, used by the generator's PCAP-replay function and the
+//!   monitor's capture sink.
+
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod hash;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod mac;
+pub mod parser;
+pub mod pcap;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+pub mod wildcard;
+
+pub use builder::PacketBuilder;
+pub use flow::FiveTuple;
+pub use mac::MacAddr;
+pub use parser::ParsedPacket;
+pub use wildcard::WildcardRule;
+
+use core::fmt;
+
+/// Length of the Ethernet frame check sequence (FCS), bytes. Frames in
+/// OSNT-rs carry data *without* the FCS; [`Packet::wire_len`] adds it
+/// back.
+pub const FCS_LEN: usize = 4;
+
+/// Preamble (7) + start-of-frame delimiter (1), bytes.
+pub const PREAMBLE_LEN: usize = 8;
+
+/// Minimum inter-frame gap, bytes (12 byte times at line rate).
+pub const IFG_LEN: usize = 12;
+
+/// Per-frame overhead on the wire beyond the frame itself:
+/// preamble + SFD + inter-frame gap = 20 bytes.
+pub const WIRE_OVERHEAD: usize = PREAMBLE_LEN + IFG_LEN;
+
+/// Minimum Ethernet frame size including FCS (64 bytes), i.e. the
+/// conventional "64-byte packet" of line-rate tables.
+pub const MIN_FRAME: usize = 64;
+
+/// Maximum standard Ethernet frame size including FCS (1518 bytes).
+pub const MAX_FRAME: usize = 1518;
+
+/// An owned Ethernet frame.
+///
+/// `data` holds destination MAC through the end of the payload; the 4-byte
+/// FCS is *not* stored (the simulator never corrupts frames, and hardware
+/// strips it) but *is* accounted for in [`Packet::frame_len`] /
+/// [`Packet::wire_len`], so "a 64-byte packet" carries 60 bytes of `data`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    data: Vec<u8>,
+}
+
+impl Packet {
+    /// Wrap raw frame bytes (L2 header .. payload, no FCS).
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Packet { data }
+    }
+
+    /// Build a frame of conventional size `frame_len` (incl. FCS) filled
+    /// with zeros. Panics if `frame_len < 18` (a frame must at least hold
+    /// an Ethernet header + FCS).
+    pub fn zeroed(frame_len: usize) -> Self {
+        assert!(frame_len >= ethernet::HEADER_LEN + FCS_LEN);
+        Packet {
+            data: vec![0; frame_len - FCS_LEN],
+        }
+    }
+
+    /// Frame bytes (no FCS).
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable frame bytes.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Stored length (no FCS).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Conventional frame length: stored bytes + FCS. This is the "packet
+    /// size" of every table in the paper (64…1518).
+    #[inline]
+    pub fn frame_len(&self) -> usize {
+        self.data.len() + FCS_LEN
+    }
+
+    /// Bytes this frame occupies on the wire including preamble, SFD and
+    /// the minimum inter-frame gap: `frame_len + 20`.
+    ///
+    /// At 10 Gb/s each byte takes 800 ps, so a 64-byte frame occupies
+    /// 84 B × 800 ps = 67.2 ns → 14.88 Mpps, the classic line-rate figure.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.frame_len() + WIRE_OVERHEAD
+    }
+
+    /// Truncate the stored frame to at most `keep` bytes (packet
+    /// *thinning* / snapping). The conventional `frame_len` shrinks
+    /// accordingly; callers that need the original length must record it
+    /// before cutting.
+    pub fn truncate(&mut self, keep: usize) {
+        self.data.truncate(keep);
+    }
+
+    /// Parse the frame's headers (convenience for
+    /// [`ParsedPacket::parse`]).
+    pub fn parse(&self) -> ParsedPacket<'_> {
+        ParsedPacket::parse(&self.data)
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet({}B", self.frame_len())?;
+        let p = self.parse();
+        if let Some(ft) = p.five_tuple() {
+            write!(f, " {ft}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl AsRef<[u8]> for Packet {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Number of bits a frame of conventional length `frame_len` occupies on
+/// the wire (including preamble/SFD/IFG overhead).
+pub const fn wire_bits(frame_len: usize) -> u64 {
+    ((frame_len + WIRE_OVERHEAD) as u64) * 8
+}
+
+/// Theoretical maximum frames/second at `line_rate_bps` for frames of
+/// conventional length `frame_len`.
+pub fn line_rate_pps(line_rate_bps: u64, frame_len: usize) -> f64 {
+    line_rate_bps as f64 / wire_bits(frame_len) as f64
+}
+
+/// Theoretical maximum *frame* throughput (frame bits per second, the
+/// usual "achieved bandwidth" metric) at `line_rate_bps` for frames of
+/// conventional length `frame_len`.
+pub fn line_rate_goodput_bps(line_rate_bps: u64, frame_len: usize) -> f64 {
+    line_rate_pps(line_rate_bps, frame_len) * (frame_len as f64) * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_accounts_for_overheads() {
+        let p = Packet::zeroed(64);
+        assert_eq!(p.len(), 60);
+        assert_eq!(p.frame_len(), 64);
+        assert_eq!(p.wire_len(), 84);
+    }
+
+    #[test]
+    fn classic_line_rate_numbers() {
+        // 10G, 64B frames → 14.880952... Mpps.
+        let pps = line_rate_pps(10_000_000_000, 64);
+        assert!((pps - 14_880_952.38).abs() < 1.0, "{pps}");
+        // 1518B frames → 812743.8 pps.
+        let pps = line_rate_pps(10_000_000_000, 1518);
+        assert!((pps - 812_743.82).abs() < 1.0, "{pps}");
+    }
+
+    #[test]
+    fn goodput_grows_with_frame_size() {
+        let small = line_rate_goodput_bps(10_000_000_000, 64);
+        let large = line_rate_goodput_bps(10_000_000_000, 1518);
+        assert!(small < large);
+        // 64B: 64/84 of line rate ≈ 7.62 Gb/s.
+        assert!((small / 1e9 - 7.619).abs() < 0.01, "{small}");
+        // 1518B: 1518/1538 ≈ 9.87 Gb/s.
+        assert!((large / 1e9 - 9.87).abs() < 0.01, "{large}");
+    }
+
+    #[test]
+    fn truncate_shrinks_frame() {
+        let mut p = Packet::zeroed(1518);
+        p.truncate(64);
+        assert_eq!(p.len(), 64);
+        assert_eq!(p.frame_len(), 68);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zeroed_rejects_tiny_frames() {
+        let _ = Packet::zeroed(10);
+    }
+}

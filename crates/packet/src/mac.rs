@@ -1,0 +1,139 @@
+//! Ethernet (MAC) addresses.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (never legitimately on the wire; used as a
+    /// placeholder).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from raw bytes.
+    pub const fn new(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+
+    /// A locally-administered unicast address derived from a small index,
+    /// in the style of the smoltcp examples: `02:00:00:00:00:xx`.
+    pub const fn local(index: u8) -> Self {
+        MacAddr([0x02, 0, 0, 0, 0, index])
+    }
+
+    /// Raw bytes.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// True if the group bit (I/G, least-significant bit of the first
+    /// octet) is set — broadcast or multicast.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for a unicast address.
+    pub fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_local(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid MAC address (expected aa:bb:cc:dd:ee:ff)")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, ParseMacError> {
+        let mut bytes = [0u8; 6];
+        let mut parts = s.split(':');
+        for b in bytes.iter_mut() {
+            let p = parts.next().ok_or(ParseMacError)?;
+            if p.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *b = u8::from_str_radix(p, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let m = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:zz:01".parse::<MacAddr>().is_err());
+        assert!("dead:beef:0001".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn classification_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let uni = MacAddr::local(7);
+        assert!(uni.is_unicast());
+        assert!(uni.is_local());
+        let mcast = MacAddr::new([0x01, 0x00, 0x5e, 0, 0, 1]);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_broadcast());
+    }
+
+    #[test]
+    fn local_helper_sets_index() {
+        assert_eq!(MacAddr::local(3).octets(), [0x02, 0, 0, 0, 0, 3]);
+    }
+}

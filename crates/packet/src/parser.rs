@@ -1,0 +1,340 @@
+//! Zero-copy packet header parsing.
+//!
+//! [`ParsedPacket`] walks a frame once, recording the byte offset of each
+//! layer and decoding the fields the rest of OSNT-rs needs (MACs,
+//! EtherType, IPs, protocol, ports). It deliberately does **not** validate
+//! transport checksums — the monitor's filter datapath, like the hardware
+//! it models, matches on header fields at line rate and leaves payload
+//! integrity to the host.
+
+use crate::ethernet::{ethertype, EthernetHeader};
+use crate::flow::FiveTuple;
+use crate::ipv4::Ipv4Header;
+use crate::ipv6::Ipv6Header;
+use crate::mac::MacAddr;
+use crate::vlan::VlanTag;
+use core::fmt;
+use core::net::IpAddr;
+
+/// Why a frame (or header) could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not enough bytes for the header of `layer`.
+    Truncated {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Bytes the header requires.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A header field selects a feature this implementation does not
+    /// model.
+    Unsupported {
+        /// Protocol layer.
+        layer: &'static str,
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A verified checksum failed.
+    BadChecksum {
+        /// Protocol layer.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed, have } => {
+                write!(f, "{layer}: truncated (need {needed} bytes, have {have})")
+            }
+            ParseError::Unsupported { layer, what } => write!(f, "{layer}: {what}"),
+            ParseError::BadChecksum { layer } => write!(f, "{layer}: bad checksum"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The network layer found in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L3 {
+    /// IPv4 with its parsed header.
+    Ipv4(Ipv4Header),
+    /// IPv6 with its parsed header.
+    Ipv6(Ipv6Header),
+    /// ARP (body not decoded here; see [`crate::arp`]).
+    Arp,
+    /// Anything else, tagged with the EtherType.
+    Other(u16),
+}
+
+/// Transport-layer summary: just what filters and flow keys need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L4 {
+    /// IP protocol / next header.
+    pub protocol: u8,
+    /// Source port (zero if the protocol has no ports or the frame is too
+    /// short).
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+/// A parsed frame: layer offsets plus decoded headers.
+#[derive(Debug, Clone)]
+pub struct ParsedPacket<'a> {
+    bytes: &'a [u8],
+    /// The Ethernet header (always present if parsing got anywhere).
+    pub ethernet: Option<EthernetHeader>,
+    /// An 802.1Q tag if present.
+    pub vlan: Option<VlanTag>,
+    /// Network layer.
+    pub l3: Option<L3>,
+    /// Transport summary, when the network layer carries one.
+    pub l4: Option<L4>,
+    /// Byte offset of the L3 header within the frame.
+    pub l3_offset: usize,
+    /// Byte offset of the L4 header within the frame (when `l4` is set).
+    pub l4_offset: usize,
+}
+
+impl<'a> ParsedPacket<'a> {
+    /// Parse as much of `bytes` as possible. Parsing never fails outright:
+    /// layers that cannot be decoded are simply absent, mirroring how the
+    /// hardware filter treats short or alien frames (they fall through to
+    /// the default rule).
+    pub fn parse(bytes: &'a [u8]) -> Self {
+        let mut out = ParsedPacket {
+            bytes,
+            ethernet: None,
+            vlan: None,
+            l3: None,
+            l4: None,
+            l3_offset: 0,
+            l4_offset: 0,
+        };
+        let Ok(eth) = EthernetHeader::parse(bytes) else {
+            return out;
+        };
+        out.ethernet = Some(eth);
+        let mut offset = crate::ethernet::HEADER_LEN;
+        let mut ethertype = eth.ethertype;
+        if ethertype == ethertype::VLAN {
+            let Ok(tag) = VlanTag::parse(&bytes[offset..]) else {
+                return out;
+            };
+            out.vlan = Some(tag);
+            offset += crate::vlan::TAG_LEN;
+            ethertype = tag.inner_ethertype;
+        }
+        out.l3_offset = offset;
+        match ethertype {
+            ethertype::IPV4 => {
+                let Ok(ip) = Ipv4Header::parse(&bytes[offset..]) else {
+                    return out;
+                };
+                out.l3 = Some(L3::Ipv4(ip));
+                out.l4_offset = offset + crate::ipv4::HEADER_LEN;
+                out.l4 = Some(parse_l4(ip.protocol, &bytes[out.l4_offset..]));
+            }
+            ethertype::IPV6 => {
+                let Ok(ip) = Ipv6Header::parse(&bytes[offset..]) else {
+                    return out;
+                };
+                out.l3 = Some(L3::Ipv6(ip));
+                out.l4_offset = offset + crate::ipv6::HEADER_LEN;
+                out.l4 = Some(parse_l4(ip.next_header, &bytes[out.l4_offset..]));
+            }
+            ethertype::ARP => {
+                out.l3 = Some(L3::Arp);
+            }
+            other => {
+                out.l3 = Some(L3::Other(other));
+            }
+        }
+        out
+    }
+
+    /// The raw frame bytes this view was parsed from.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Destination MAC, if an Ethernet header was present.
+    pub fn dst_mac(&self) -> Option<MacAddr> {
+        self.ethernet.map(|e| e.dst)
+    }
+
+    /// Source MAC.
+    pub fn src_mac(&self) -> Option<MacAddr> {
+        self.ethernet.map(|e| e.src)
+    }
+
+    /// The effective EtherType (inner type when VLAN-tagged).
+    pub fn effective_ethertype(&self) -> Option<u16> {
+        match (&self.vlan, &self.ethernet) {
+            (Some(tag), _) => Some(tag.inner_ethertype),
+            (None, Some(eth)) => Some(eth.ethertype),
+            _ => None,
+        }
+    }
+
+    /// Source IP address if the frame is IP.
+    pub fn src_ip(&self) -> Option<IpAddr> {
+        match self.l3 {
+            Some(L3::Ipv4(h)) => Some(IpAddr::V4(h.src)),
+            Some(L3::Ipv6(h)) => Some(IpAddr::V6(h.src)),
+            _ => None,
+        }
+    }
+
+    /// Destination IP address if the frame is IP.
+    pub fn dst_ip(&self) -> Option<IpAddr> {
+        match self.l3 {
+            Some(L3::Ipv4(h)) => Some(IpAddr::V4(h.dst)),
+            Some(L3::Ipv6(h)) => Some(IpAddr::V6(h.dst)),
+            _ => None,
+        }
+    }
+
+    /// IP protocol / next header, if the frame is IP.
+    pub fn ip_protocol(&self) -> Option<u8> {
+        match self.l3 {
+            Some(L3::Ipv4(h)) => Some(h.protocol),
+            Some(L3::Ipv6(h)) => Some(h.next_header),
+            _ => None,
+        }
+    }
+
+    /// The flow 5-tuple, if the frame is IP.
+    pub fn five_tuple(&self) -> Option<FiveTuple> {
+        let l4 = self.l4?;
+        Some(FiveTuple {
+            src_ip: self.src_ip()?,
+            dst_ip: self.dst_ip()?,
+            protocol: l4.protocol,
+            src_port: l4.src_port,
+            dst_port: l4.dst_port,
+        })
+    }
+
+    /// The transport payload bytes (after the L4 header), when the frame
+    /// carries UDP or TCP and is long enough.
+    pub fn l4_payload(&self) -> Option<&'a [u8]> {
+        let l4 = self.l4?;
+        let hdr_len = match l4.protocol {
+            crate::ipv4::protocol::UDP => crate::udp::HEADER_LEN,
+            crate::ipv4::protocol::TCP => crate::tcp::HEADER_LEN,
+            _ => return None,
+        };
+        self.bytes.get(self.l4_offset + hdr_len..)
+    }
+}
+
+fn parse_l4(protocol: u8, bytes: &[u8]) -> L4 {
+    let (src_port, dst_port) = match protocol {
+        crate::ipv4::protocol::UDP | crate::ipv4::protocol::TCP if bytes.len() >= 4 => (
+            u16::from_be_bytes([bytes[0], bytes[1]]),
+            u16::from_be_bytes([bytes[2], bytes[3]]),
+        ),
+        _ => (0, 0),
+    };
+    L4 {
+        protocol,
+        src_port,
+        dst_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use core::net::Ipv4Addr;
+
+    fn udp_frame() -> crate::Packet {
+        PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(5000, 9000)
+            .payload(&[0xaa; 30])
+            .build()
+    }
+
+    #[test]
+    fn parses_udp_five_tuple() {
+        let p = udp_frame();
+        let v = p.parse();
+        let ft = v.five_tuple().expect("five tuple");
+        assert_eq!(ft.src_port, 5000);
+        assert_eq!(ft.dst_port, 9000);
+        assert_eq!(ft.protocol, crate::ipv4::protocol::UDP);
+        assert_eq!(ft.src_ip, IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn vlan_tagged_frame_reports_inner_type() {
+        let p = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .vlan(42)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .payload(&[0; 8])
+            .build();
+        let v = p.parse();
+        assert_eq!(v.vlan.unwrap().vid, 42);
+        assert_eq!(v.effective_ethertype(), Some(ethertype::IPV4));
+        assert!(v.five_tuple().is_some());
+    }
+
+    #[test]
+    fn short_frame_parses_to_nothing() {
+        let v = ParsedPacket::parse(&[0u8; 5]);
+        assert!(v.ethernet.is_none());
+        assert!(v.five_tuple().is_none());
+    }
+
+    #[test]
+    fn non_ip_frame_has_no_tuple() {
+        let mut bytes = Vec::new();
+        EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(1),
+            ethertype: 0x88B5,
+        }
+        .write_to(&mut bytes);
+        bytes.extend_from_slice(&[0u8; 46]);
+        let v = ParsedPacket::parse(&bytes);
+        assert_eq!(v.l3, Some(L3::Other(0x88B5)));
+        assert!(v.five_tuple().is_none());
+    }
+
+    #[test]
+    fn l4_payload_extraction() {
+        let p = udp_frame();
+        let v = p.parse();
+        assert_eq!(v.l4_payload().unwrap(), &[0xaa; 30]);
+    }
+
+    #[test]
+    fn truncated_transport_gives_zero_ports() {
+        // IPv4 header claims UDP but the frame ends right after IP.
+        let mut bytes = Vec::new();
+        EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: ethertype::IPV4,
+        }
+        .write_to(&mut bytes);
+        Ipv4Header::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            crate::ipv4::protocol::UDP,
+            0,
+        )
+        .write_to(&mut bytes);
+        let v = ParsedPacket::parse(&bytes);
+        let l4 = v.l4.unwrap();
+        assert_eq!((l4.src_port, l4.dst_port), (0, 0));
+    }
+}

@@ -1,0 +1,133 @@
+//! TCP headers (RFC 9293). Options are not modelled (data offset is fixed
+//! at 5 words), which is all the generator and filters need.
+
+use crate::parser::ParseError;
+
+/// Length of a TCP header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    /// Final segment.
+    pub const FIN: u8 = 0x01;
+    /// Synchronise sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset connection.
+    pub const RST: u8 = 0x04;
+    /// Push.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgement valid.
+    pub const ACK: u8 = 0x10;
+    /// Urgent pointer valid.
+    pub const URG: u8 = 0x20;
+}
+
+/// A TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag byte (see [`flags`]).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum (zero until computed).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// A plain data segment header.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: flags::ACK,
+            window: 65_535,
+            checksum: 0,
+            urgent: 0,
+        }
+    }
+
+    /// Parse from the start of `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "tcp",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let data_offset = (bytes[12] >> 4) as usize;
+        if data_offset != 5 {
+            return Err(ParseError::Unsupported {
+                layer: "tcp",
+                what: "TCP options are not supported (data offset must be 5)",
+            });
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: bytes[13],
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            checksum: u16::from_be_bytes([bytes[16], bytes[17]]),
+            urgent: u16::from_be_bytes([bytes[18], bytes[19]]),
+        })
+    }
+
+    /// Append the serialised header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset 5, reserved 0
+        out.push(self.flags);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut h = TcpHeader::new(80, 50_000, 0xdead_beef);
+        h.flags = flags::SYN | flags::ACK;
+        h.ack = 42;
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(TcpHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn options_rejected() {
+        let mut buf = Vec::new();
+        TcpHeader::new(1, 2, 3).write_to(&mut buf);
+        buf[12] = 6 << 4;
+        assert!(matches!(
+            TcpHeader::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! UDP headers (RFC 768).
+
+use crate::parser::ParseError;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload, bytes.
+    pub length: u16,
+    /// Checksum over the pseudo-header and segment; zero means "not
+    /// computed" (legal over IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Header for a segment with `payload_len` bytes of data; checksum
+    /// left at zero (the [`crate::builder::PacketBuilder`] fills it).
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Parse from the start of `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated {
+                layer: "udp",
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            length: u16::from_be_bytes([bytes[4], bytes[5]]),
+            checksum: u16::from_be_bytes([bytes[6], bytes[7]]),
+        })
+    }
+
+    /// Append the serialised header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::new(1234, 5678, 100);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
+        assert_eq!(h.length, 108);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+    }
+}

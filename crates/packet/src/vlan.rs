@@ -1,0 +1,98 @@
+//! IEEE 802.1Q VLAN tags.
+
+use crate::parser::ParseError;
+
+/// Length of one 802.1Q tag (TCI + inner EtherType).
+pub const TAG_LEN: usize = 4;
+
+/// A parsed 802.1Q tag: priority, drop-eligible bit, VLAN id and the inner
+/// EtherType that follows the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// Priority code point (0–7).
+    pub pcp: u8,
+    /// Drop-eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (0–4095).
+    pub vid: u16,
+    /// EtherType of the encapsulated payload.
+    pub inner_ethertype: u16,
+}
+
+impl VlanTag {
+    /// Build a tag with default priority for a VLAN id.
+    pub fn new(vid: u16, inner_ethertype: u16) -> Self {
+        assert!(vid < 4096, "VLAN id must be 12 bits");
+        VlanTag {
+            pcp: 0,
+            dei: false,
+            vid,
+            inner_ethertype,
+        }
+    }
+
+    /// Parse the 4 bytes that follow an outer EtherType of 0x8100.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < TAG_LEN {
+            return Err(ParseError::Truncated {
+                layer: "vlan",
+                needed: TAG_LEN,
+                have: bytes.len(),
+            });
+        }
+        let tci = u16::from_be_bytes([bytes[0], bytes[1]]);
+        Ok(VlanTag {
+            pcp: (tci >> 13) as u8,
+            dei: tci & 0x1000 != 0,
+            vid: tci & 0x0fff,
+            inner_ethertype: u16::from_be_bytes([bytes[2], bytes[3]]),
+        })
+    }
+
+    /// Append the serialised tag to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let tci =
+            ((self.pcp as u16) << 13) | (if self.dei { 0x1000 } else { 0 }) | (self.vid & 0x0fff);
+        out.extend_from_slice(&tci.to_be_bytes());
+        out.extend_from_slice(&self.inner_ethertype.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ethertype;
+
+    #[test]
+    fn round_trip_all_fields() {
+        let t = VlanTag {
+            pcp: 5,
+            dei: true,
+            vid: 0x123,
+            inner_ethertype: ethertype::IPV4,
+        };
+        let mut buf = Vec::new();
+        t.write_to(&mut buf);
+        assert_eq!(buf.len(), TAG_LEN);
+        assert_eq!(VlanTag::parse(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn new_defaults() {
+        let t = VlanTag::new(100, ethertype::IPV6);
+        assert_eq!(t.pcp, 0);
+        assert!(!t.dei);
+        assert_eq!(t.vid, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn new_rejects_large_vid() {
+        let _ = VlanTag::new(4096, 0);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(VlanTag::parse(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Wildcard packet-match rules.
+//!
+//! OSNT's monitoring path implements "wildcard-enabled packet filters" in
+//! hardware: each rule names a subset of header fields, every unnamed
+//! field is a wildcard, and a packet matches if all named fields agree.
+//! The same structure (with priorities added by the consumer) backs the
+//! OpenFlow switch model's flow table.
+
+use crate::mac::MacAddr;
+use crate::parser::ParsedPacket;
+use core::fmt;
+use core::net::IpAddr;
+
+/// An IP prefix (address + prefix length) for longest-prefix-style
+/// wildcard matching of addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpPrefix {
+    /// Base address.
+    pub addr: IpAddr,
+    /// Number of leading significant bits.
+    pub prefix_len: u8,
+}
+
+impl IpPrefix {
+    /// A host (exact) prefix.
+    pub fn host(addr: IpAddr) -> Self {
+        let prefix_len = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        IpPrefix { addr, prefix_len }
+    }
+
+    /// A prefix of the given length. Panics if `prefix_len` exceeds the
+    /// address width.
+    pub fn new(addr: IpAddr, prefix_len: u8) -> Self {
+        let max = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        assert!(prefix_len <= max, "prefix length {prefix_len} > {max}");
+        IpPrefix { addr, prefix_len }
+    }
+
+    /// Whether `addr` falls inside this prefix. Addresses of the other
+    /// family never match.
+    pub fn contains(&self, addr: IpAddr) -> bool {
+        match (self.addr, addr) {
+            (IpAddr::V4(base), IpAddr::V4(a)) => {
+                let bits = u32::from(base) ^ u32::from(a);
+                self.prefix_len == 0 || bits >> (32 - self.prefix_len.min(32) as u32) == 0
+            }
+            (IpAddr::V6(base), IpAddr::V6(a)) => {
+                let bits = u128::from(base) ^ u128::from(a);
+                self.prefix_len == 0 || bits >> (128 - self.prefix_len.min(128) as u32) == 0
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+/// A wildcard match rule: `None` fields match anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WildcardRule {
+    /// Match the source MAC exactly.
+    pub src_mac: Option<MacAddr>,
+    /// Match the destination MAC exactly.
+    pub dst_mac: Option<MacAddr>,
+    /// Match the effective (post-VLAN) EtherType.
+    pub ethertype: Option<u16>,
+    /// Match the VLAN id; `Some(None)` would be meaningless, so this
+    /// matches only tagged packets with the given vid.
+    pub vlan: Option<u16>,
+    /// Match the source IP against a prefix.
+    pub src_ip: Option<IpPrefix>,
+    /// Match the destination IP against a prefix.
+    pub dst_ip: Option<IpPrefix>,
+    /// Match the IP protocol / next header.
+    pub ip_protocol: Option<u8>,
+    /// Match the transport source port exactly.
+    pub src_port: Option<u16>,
+    /// Match the transport destination port exactly.
+    pub dst_port: Option<u16>,
+}
+
+impl WildcardRule {
+    /// The all-wildcard rule (matches every packet).
+    pub fn any() -> Self {
+        WildcardRule::default()
+    }
+
+    /// Require the source MAC.
+    pub fn with_src_mac(mut self, m: MacAddr) -> Self {
+        self.src_mac = Some(m);
+        self
+    }
+    /// Require the destination MAC.
+    pub fn with_dst_mac(mut self, m: MacAddr) -> Self {
+        self.dst_mac = Some(m);
+        self
+    }
+    /// Require the effective EtherType.
+    pub fn with_ethertype(mut self, t: u16) -> Self {
+        self.ethertype = Some(t);
+        self
+    }
+    /// Require a VLAN tag with this vid.
+    pub fn with_vlan(mut self, vid: u16) -> Self {
+        self.vlan = Some(vid);
+        self
+    }
+    /// Require the source IP to fall in `p`.
+    pub fn with_src_ip(mut self, p: IpPrefix) -> Self {
+        self.src_ip = Some(p);
+        self
+    }
+    /// Require the destination IP to fall in `p`.
+    pub fn with_dst_ip(mut self, p: IpPrefix) -> Self {
+        self.dst_ip = Some(p);
+        self
+    }
+    /// Require the IP protocol.
+    pub fn with_ip_protocol(mut self, p: u8) -> Self {
+        self.ip_protocol = Some(p);
+        self
+    }
+    /// Require the transport source port.
+    pub fn with_src_port(mut self, p: u16) -> Self {
+        self.src_port = Some(p);
+        self
+    }
+    /// Require the transport destination port.
+    pub fn with_dst_port(mut self, p: u16) -> Self {
+        self.dst_port = Some(p);
+        self
+    }
+
+    /// Number of named (non-wildcard) fields — a natural priority for
+    /// most-specific-first ordering.
+    pub fn specificity(&self) -> u32 {
+        self.src_mac.is_some() as u32
+            + self.dst_mac.is_some() as u32
+            + self.ethertype.is_some() as u32
+            + self.vlan.is_some() as u32
+            + self.src_ip.is_some() as u32
+            + self.dst_ip.is_some() as u32
+            + self.ip_protocol.is_some() as u32
+            + self.src_port.is_some() as u32
+            + self.dst_port.is_some() as u32
+    }
+
+    /// Whether the parsed packet satisfies every named field.
+    pub fn matches(&self, p: &ParsedPacket<'_>) -> bool {
+        if let Some(m) = self.src_mac {
+            if p.src_mac() != Some(m) {
+                return false;
+            }
+        }
+        if let Some(m) = self.dst_mac {
+            if p.dst_mac() != Some(m) {
+                return false;
+            }
+        }
+        if let Some(t) = self.ethertype {
+            if p.effective_ethertype() != Some(t) {
+                return false;
+            }
+        }
+        if let Some(vid) = self.vlan {
+            if p.vlan.map(|v| v.vid) != Some(vid) {
+                return false;
+            }
+        }
+        if let Some(prefix) = self.src_ip {
+            match p.src_ip() {
+                Some(ip) if prefix.contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some(prefix) = self.dst_ip {
+            match p.dst_ip() {
+                Some(ip) if prefix.contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some(proto) = self.ip_protocol {
+            if p.ip_protocol() != Some(proto) {
+                return false;
+            }
+        }
+        if let Some(port) = self.src_port {
+            if p.l4.map(|l| l.src_port) != Some(port) {
+                return false;
+            }
+        }
+        if let Some(port) = self.dst_port {
+            if p.l4.map(|l| l.dst_port) != Some(port) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convenience: match against raw frame bytes.
+    pub fn matches_bytes(&self, bytes: &[u8]) -> bool {
+        self.matches(&ParsedPacket::parse(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::ipv4::protocol;
+    use core::net::Ipv4Addr;
+
+    fn frame(src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16) -> crate::Packet {
+        PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(src, dst)
+            .udp(sp, dp)
+            .build()
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let p = frame(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
+        assert!(WildcardRule::any().matches(&p.parse()));
+        assert!(WildcardRule::any().matches_bytes(&[0u8; 3]));
+    }
+
+    #[test]
+    fn exact_five_tuple_rule() {
+        let p = frame(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            9000,
+        );
+        let rule = WildcardRule::any()
+            .with_src_ip(IpPrefix::host(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1))))
+            .with_dst_ip(IpPrefix::host(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2))))
+            .with_ip_protocol(protocol::UDP)
+            .with_src_port(5000)
+            .with_dst_port(9000);
+        assert!(rule.matches(&p.parse()));
+        let other = frame(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            9001,
+        );
+        assert!(!rule.matches(&other.parse()));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let rule = WildcardRule::any().with_dst_ip(IpPrefix::new(
+            IpAddr::V4(Ipv4Addr::new(192, 168, 0, 0)),
+            16,
+        ));
+        let inside = frame(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(192, 168, 77, 3),
+            1,
+            2,
+        );
+        let outside = frame(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(192, 169, 0, 1),
+            1,
+            2,
+        );
+        assert!(rule.matches(&inside.parse()));
+        assert!(!rule.matches(&outside.parse()));
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_family() {
+        let p = IpPrefix::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0);
+        assert!(p.contains(IpAddr::V4(Ipv4Addr::new(8, 8, 8, 8))));
+        assert!(!p.contains("::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn mac_and_ethertype_fields() {
+        let p = frame(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
+        let good = WildcardRule::any()
+            .with_src_mac(MacAddr::local(1))
+            .with_ethertype(crate::ethernet::ethertype::IPV4);
+        let bad = WildcardRule::any().with_src_mac(MacAddr::local(9));
+        assert!(good.matches(&p.parse()));
+        assert!(!bad.matches(&p.parse()));
+    }
+
+    #[test]
+    fn vlan_rule_requires_tag() {
+        let untagged = frame(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
+        let tagged = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .vlan(7)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(1, 2)
+            .build();
+        let rule = WildcardRule::any().with_vlan(7);
+        assert!(!rule.matches(&untagged.parse()));
+        assert!(rule.matches(&tagged.parse()));
+    }
+
+    #[test]
+    fn specificity_counts_fields() {
+        assert_eq!(WildcardRule::any().specificity(), 0);
+        let r = WildcardRule::any().with_src_port(1).with_dst_port(2);
+        assert_eq!(r.specificity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn bad_prefix_len_panics() {
+        let _ = IpPrefix::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 33);
+    }
+}

@@ -1,0 +1,500 @@
+//! The OpenFlow switch's flow table.
+
+use osnt_openflow::match_field::wildcards;
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::ParsedPacket;
+use osnt_time::SimTime;
+
+/// Returned when an ADD would exceed the table capacity
+/// (`OFPET_FLOW_MOD_FAILED` / `ALL_TABLES_FULL` on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull;
+
+/// One installed flow entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// Match fields.
+    pub of_match: OfMatch,
+    /// Priority (higher wins among overlapping entries).
+    pub priority: u16,
+    /// Actions.
+    pub actions: Vec<Action>,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Flow-mod flag bits (bit 0 = send FLOW_REMOVED).
+    pub flags: u16,
+    /// Idle timeout, seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout, seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Installation instant.
+    pub installed_at: SimTime,
+    /// Last instant the entry matched a packet.
+    pub last_match: SimTime,
+    /// Packets matched.
+    pub packets: u64,
+    /// Bytes matched.
+    pub bytes: u64,
+}
+
+impl FlowEntry {
+    /// A fresh entry installed at `now`.
+    pub fn new(
+        of_match: OfMatch,
+        priority: u16,
+        actions: Vec<Action>,
+        now: SimTime,
+    ) -> Self {
+        FlowEntry {
+            of_match,
+            priority,
+            actions,
+            cookie: 0,
+            flags: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            installed_at: now,
+            last_match: now,
+            packets: 0,
+            bytes: 0,
+        }
+    }
+}
+
+/// Why an entry was removed (OpenFlow 1.0 `ofp_flow_removed_reason`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalReason {
+    /// Idle timeout elapsed.
+    IdleTimeout,
+    /// Hard timeout elapsed.
+    HardTimeout,
+    /// An explicit DELETE.
+    Delete,
+}
+
+impl RemovalReason {
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            RemovalReason::IdleTimeout => 0,
+            RemovalReason::HardTimeout => 1,
+            RemovalReason::Delete => 2,
+        }
+    }
+}
+
+/// A bounded, priority-ordered flow table.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    capacity: usize,
+}
+
+impl FlowTable {
+    /// A table holding at most `capacity` entries (a TCAM budget).
+    pub fn new(capacity: usize) -> Self {
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// ADD semantics: identical (match, priority) replaces in place;
+    /// otherwise append, failing when full.
+    pub fn add(&mut self, entry: FlowEntry) -> Result<(), TableFull> {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.of_match == entry.of_match && e.priority == entry.priority)
+        {
+            *existing = entry;
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(TableFull);
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Best-match lookup for a frame arriving on `in_port`. Ties on
+    /// priority break toward more exact-match bits, then earlier
+    /// installation — deterministic, like a TCAM's fixed row order.
+    pub fn lookup(&mut self, in_port: u16, packet: &ParsedPacket<'_>) -> Option<&mut FlowEntry> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.of_match.matches(in_port, packet) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let cur = &self.entries[b];
+                    let cand_key = (e.priority, e.of_match.specificity());
+                    let cur_key = (cur.priority, cur.of_match.specificity());
+                    if cand_key > cur_key {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best.map(move |i| &mut self.entries[i])
+    }
+
+    /// Record that `entry_bytes` matched (updates counters and idle
+    /// state). Call with the entry returned by [`FlowTable::lookup`].
+    pub fn account(entry: &mut FlowEntry, now: SimTime, frame_bytes: usize) {
+        entry.packets += 1;
+        entry.bytes += frame_bytes as u64;
+        entry.last_match = now;
+    }
+
+    /// MODIFY semantics: replace the actions of covered entries
+    /// (strict: exact match + priority). Returns how many entries
+    /// changed; OpenFlow adds a new entry when none matched — the caller
+    /// handles that case.
+    pub fn modify(
+        &mut self,
+        of_match: &OfMatch,
+        priority: u16,
+        strict: bool,
+        actions: &[Action],
+    ) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            let hit = if strict {
+                e.of_match == *of_match && e.priority == priority
+            } else {
+                covers(of_match, &e.of_match)
+            };
+            if hit {
+                e.actions = actions.to_vec();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// DELETE semantics. Returns the removed entries.
+    pub fn delete(&mut self, of_match: &OfMatch, priority: u16, strict: bool) -> Vec<FlowEntry> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hit = if strict {
+                e.of_match == *of_match && e.priority == priority
+            } else {
+                covers(of_match, &e.of_match)
+            };
+            if hit {
+                removed.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Remove entries whose idle or hard timeout has elapsed at `now`.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, RemovalReason)> {
+        let mut out = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout > 0 {
+                let deadline = e.installed_at + osnt_time::SimDuration::from_secs(e.hard_timeout as u64);
+                if now >= deadline {
+                    out.push((e.clone(), RemovalReason::HardTimeout));
+                    return false;
+                }
+            }
+            if e.idle_timeout > 0 {
+                let deadline = e.last_match + osnt_time::SimDuration::from_secs(e.idle_timeout as u64);
+                if now >= deadline {
+                    out.push((e.clone(), RemovalReason::IdleTimeout));
+                    return false;
+                }
+            }
+            true
+        });
+        out
+    }
+}
+
+/// Whether wildcard description `filter` covers `entry` (every packet the
+/// entry can match is also matched by the filter) — the OpenFlow 1.0
+/// non-strict MODIFY/DELETE rule.
+pub fn covers(filter: &OfMatch, entry: &OfMatch) -> bool {
+    // For each exact-match bit in the filter, the entry must also be
+    // exact with the same value.
+    type FieldGet = fn(&OfMatch) -> u64;
+    let exact_bits: [(u32, FieldGet); 6] = [
+        (wildcards::IN_PORT, |m| m.in_port as u64),
+        (wildcards::DL_VLAN, |m| m.dl_vlan as u64),
+        (wildcards::DL_TYPE, |m| m.dl_type as u64),
+        (wildcards::NW_PROTO, |m| m.nw_proto as u64),
+        (wildcards::TP_SRC, |m| m.tp_src as u64),
+        (wildcards::TP_DST, |m| m.tp_dst as u64),
+    ];
+    for (bit, get) in exact_bits {
+        let filter_exact = filter.wildcards & bit == 0;
+        let entry_exact = entry.wildcards & bit == 0;
+        if filter_exact && (!entry_exact || get(filter) != get(entry)) {
+            return false;
+        }
+    }
+    if filter.wildcards & wildcards::DL_SRC == 0 {
+        if entry.wildcards & wildcards::DL_SRC != 0 || filter.dl_src != entry.dl_src {
+            return false;
+        }
+    }
+    if filter.wildcards & wildcards::DL_DST == 0 {
+        if entry.wildcards & wildcards::DL_DST != 0 || filter.dl_dst != entry.dl_dst {
+            return false;
+        }
+    }
+    // IP prefixes: the filter prefix must contain the entry prefix.
+    let prefix_covers = |f_addr: u32, f_shift: u32, e_addr: u32, e_shift: u32| {
+        if f_shift >= 32 {
+            return true; // filter fully wildcards the address
+        }
+        if e_shift > f_shift {
+            return false; // entry is less specific than the filter
+        }
+        (f_addr ^ e_addr) >> f_shift == 0
+    };
+    let f_src_shift = (filter.wildcards >> wildcards::NW_SRC_SHIFT) & 0x3f;
+    let e_src_shift = (entry.wildcards >> wildcards::NW_SRC_SHIFT) & 0x3f;
+    if !prefix_covers(
+        u32::from(filter.nw_src),
+        f_src_shift,
+        u32::from(entry.nw_src),
+        e_src_shift,
+    ) {
+        return false;
+    }
+    let f_dst_shift = (filter.wildcards >> wildcards::NW_DST_SHIFT) & 0x3f;
+    let e_dst_shift = (entry.wildcards >> wildcards::NW_DST_SHIFT) & 0x3f;
+    prefix_covers(
+        u32::from(filter.nw_dst),
+        f_dst_shift,
+        u32::from(entry.nw_dst),
+        e_dst_shift,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_openflow::actions::Action;
+    use osnt_packet::{MacAddr, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn udp_frame(dst_ip: Ipv4Addr, dst_port: u16) -> osnt_packet::Packet {
+        PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), dst_ip)
+            .udp(1000, dst_port)
+            .build()
+    }
+
+    fn out(port: u16) -> Vec<Action> {
+        vec![Action::Output { port, max_len: 0 }]
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(
+            OfMatch::ipv4_dst(Ipv4Addr::new(10, 1, 0, 1)),
+            10,
+            out(2),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        let hit = udp_frame(Ipv4Addr::new(10, 1, 0, 1), 5);
+        let miss = udp_frame(Ipv4Addr::new(10, 1, 0, 2), 5);
+        assert!(t.lookup(0, &hit.parse()).is_some());
+        assert!(t.lookup(0, &miss.parse()).is_none());
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(9001),
+            100,
+            out(2),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 9001);
+        let e = t.lookup(0, &pkt.parse()).unwrap();
+        assert_eq!(e.actions, out(2));
+        let other = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 80);
+        let e = t.lookup(0, &other.parse()).unwrap();
+        assert_eq!(e.actions, out(1));
+    }
+
+    #[test]
+    fn equal_priority_breaks_by_specificity() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(OfMatch::any(), 5, out(1), SimTime::ZERO))
+            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(9001),
+            5,
+            out(2),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 9001);
+        assert_eq!(t.lookup(0, &pkt.parse()).unwrap().actions, out(2));
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_replace_is_free() {
+        let mut t = FlowTable::new(2);
+        let m1 = OfMatch::udp_dst_port(1);
+        t.add(FlowEntry::new(m1, 1, out(1), SimTime::ZERO)).unwrap();
+        t.add(FlowEntry::new(OfMatch::udp_dst_port(2), 1, out(1), SimTime::ZERO))
+            .unwrap();
+        assert_eq!(
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(3),
+                1,
+                out(1),
+                SimTime::ZERO
+            )),
+            Err(TableFull)
+        );
+        // Same (match, priority) replaces without needing space.
+        t.add(FlowEntry::new(m1, 1, out(9), SimTime::ZERO)).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn strict_delete_removes_only_exact() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 5, out(1), SimTime::ZERO))
+            .unwrap();
+        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 9, out(1), SimTime::ZERO))
+            .unwrap();
+        let removed = t.delete(&OfMatch::udp_dst_port(1), 5, true);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn nonstrict_delete_uses_covering() {
+        let mut t = FlowTable::new(10);
+        for port in 1..=5 {
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(port),
+                5,
+                out(1),
+                SimTime::ZERO,
+            ))
+            .unwrap();
+        }
+        // Delete-all (any covers everything).
+        let removed = t.delete(&OfMatch::any(), 0, false);
+        assert_eq!(removed.len(), 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn covering_respects_fields_and_prefixes() {
+        let any = OfMatch::any();
+        let port = OfMatch::udp_dst_port(80);
+        assert!(covers(&any, &port));
+        assert!(!covers(&port, &any));
+        assert!(covers(&port, &port));
+
+        let mut wide = OfMatch::any();
+        wide.dl_type = 0x0800;
+        wide.wildcards &= !wildcards::DL_TYPE;
+        wide.nw_dst = Ipv4Addr::new(10, 0, 0, 0);
+        wide.set_nw_dst_prefix(8);
+        let narrow = OfMatch::ipv4_dst(Ipv4Addr::new(10, 3, 4, 5));
+        assert!(covers(&wide, &narrow));
+        assert!(!covers(&narrow, &wide));
+        let outside = OfMatch::ipv4_dst(Ipv4Addr::new(11, 0, 0, 1));
+        assert!(!covers(&wide, &outside));
+    }
+
+    #[test]
+    fn modify_replaces_actions() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 5, out(1), SimTime::ZERO))
+            .unwrap();
+        let n = t.modify(&OfMatch::udp_dst_port(1), 5, true, &out(7));
+        assert_eq!(n, 1);
+        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
+        assert_eq!(t.lookup(0, &pkt.parse()).unwrap().actions, out(7));
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new(10);
+        let mut e = FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO);
+        e.hard_timeout = 2;
+        t.add(e).unwrap();
+        assert!(t.expire(SimTime::from_secs(1)).is_empty());
+        let gone = t.expire(SimTime::from_secs(2));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, RemovalReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_match() {
+        let mut t = FlowTable::new(10);
+        let mut e = FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO);
+        e.idle_timeout = 2;
+        t.add(e).unwrap();
+        // A match at t=1.5s pushes the idle deadline to 3.5s.
+        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
+        {
+            let entry = t.lookup(0, &pkt.parse()).unwrap();
+            FlowTable::account(entry, SimTime::from_ms(1500), 64);
+        }
+        assert!(t.expire(SimTime::from_secs(3)).is_empty());
+        let gone = t.expire(SimTime::from_ms(3600));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, RemovalReason::IdleTimeout);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(10);
+        t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+            .unwrap();
+        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
+        for i in 0..5 {
+            let e = t.lookup(0, &pkt.parse()).unwrap();
+            FlowTable::account(e, SimTime::from_us(i), 64);
+        }
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packets, 5);
+        assert_eq!(e.bytes, 320);
+    }
+}

@@ -1,0 +1,391 @@
+//! Component-level tests of the OpenFlow switch model: a scripted
+//! controller drives the control channel directly and hosts observe the
+//! dataplane.
+
+use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt_openflow::messages::{FlowMod, Message, PacketOut, StatsBody};
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::{MacAddr, Packet, PacketBuilder};
+use osnt_switch::{decap_control, encap_control, OfSwitchConfig, OpenFlowSwitch};
+use osnt_time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// A controller that sends a scripted list of (time, message) and logs
+/// every reply with its arrival time.
+struct ScriptedController {
+    script: Vec<(SimTime, Message)>,
+    log: Rc<RefCell<Vec<(SimTime, Message, u32)>>>,
+}
+
+impl Component for ScriptedController {
+    fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+        for (i, (t, _)) in self.script.iter().enumerate() {
+            k.schedule_timer_at(me, *t, i as u64);
+        }
+    }
+    fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, tag: u64) {
+        let msg = self.script[tag as usize].1.clone();
+        let _ = k.transmit(me, 0, encap_control(&msg, tag as u32 + 1));
+    }
+    fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, pkt: Packet) {
+        if let Some(Ok((msg, xid))) = decap_control(&pkt) {
+            self.log.borrow_mut().push((k.now(), msg, xid));
+        }
+    }
+}
+
+/// A host that sends a scripted list of frames and records arrivals.
+struct Host {
+    script: Vec<(SimTime, Packet)>,
+    got: Rc<RefCell<Vec<(SimTime, Packet)>>>,
+}
+
+impl Component for Host {
+    fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+        for (i, (t, _)) in self.script.iter().enumerate() {
+            k.schedule_timer_at(me, *t, i as u64);
+        }
+    }
+    fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, tag: u64) {
+        let _ = k.transmit(me, 0, self.script[tag as usize].1.clone());
+    }
+    fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, pkt: Packet) {
+        self.got.borrow_mut().push((k.now(), pkt));
+    }
+}
+
+fn probe_to(dst: Ipv4Addr) -> Packet {
+    PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 1), dst)
+        .udp(5001, 9001)
+        .build()
+}
+
+struct Net {
+    sim: osnt_netsim::Sim,
+    ctl_log: Rc<RefCell<Vec<(SimTime, Message, u32)>>>,
+    host_got: Vec<Rc<RefCell<Vec<(SimTime, Packet)>>>>,
+}
+
+/// Build: controller + switch with 3 data ports, hosts on every data
+/// port. Host 0 sends `host_script`; the controller sends `ctl_script`.
+fn build(
+    cfg: OfSwitchConfig,
+    ctl_script: Vec<(SimTime, Message)>,
+    host_script: Vec<(SimTime, Packet)>,
+) -> Net {
+    let mut b = SimBuilder::new();
+    let switch = OpenFlowSwitch::new(cfg);
+    let ctrl_port = switch.control_port();
+    let kports = switch.kernel_ports();
+    let sw = b.add_component("switch", Box::new(switch), kports);
+
+    let ctl_log = Rc::new(RefCell::new(Vec::new()));
+    let ctl = b.add_component(
+        "ctl",
+        Box::new(ScriptedController {
+            script: ctl_script,
+            log: ctl_log.clone(),
+        }),
+        1,
+    );
+    b.connect(ctl, 0, sw, ctrl_port, LinkSpec::one_gig());
+
+    let mut host_got = Vec::new();
+    for p in 0..3 {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let host = Host {
+            script: if p == 0 { host_script.clone() } else { vec![] },
+            got: got.clone(),
+        };
+        let h = b.add_component(&format!("h{p}"), Box::new(host), 1);
+        b.connect(h, 0, sw, p, LinkSpec::ten_gig());
+        host_got.push(got);
+    }
+    Net {
+        sim: b.build(),
+        ctl_log,
+        host_got,
+    }
+}
+
+fn out_port(p: u16) -> Vec<Action> {
+    vec![Action::Output {
+        port: p,
+        max_len: 0,
+    }]
+}
+
+#[test]
+fn installed_rule_forwards_after_hw_delay_only() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    // Probes every 100 µs from t=1ms; rule installed at t=5ms.
+    let probes: Vec<(SimTime, Packet)> = (0..400)
+        .map(|i| (SimTime::from_us(1_000 + i * 100), probe_to(dst)))
+        .collect();
+    let ctl = vec![
+        // Drop-all first so misses don't flood packet_ins.
+        (SimTime::ZERO, Message::FlowMod(FlowMod::add(OfMatch::any(), 0, vec![]))),
+        (
+            SimTime::from_ms(5),
+            Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
+        ),
+    ];
+    let mut net = build(OfSwitchConfig::default(), ctl, probes);
+    net.sim.run_until(SimTime::from_ms(60));
+    let got = net.host_got[1].borrow(); // data port 1 = wire port 2
+    assert!(!got.is_empty(), "rule must eventually forward");
+    let first = got[0].0;
+    // flow_mod reaches the switch ~µs after 5 ms, CPU 25 µs, hw 1 ms:
+    // nothing before ~6 ms, something soon after.
+    assert!(first >= SimTime::from_us(6_000), "first at {first}");
+    assert!(first <= SimTime::from_us(6_300), "first at {first}");
+}
+
+#[test]
+fn dishonest_barrier_replies_before_hw_commit() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    let ctl = vec![
+        (
+            SimTime::from_ms(1),
+            Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
+        ),
+        (SimTime::from_ms(1), Message::BarrierRequest),
+    ];
+    let mut net = build(OfSwitchConfig::default(), ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(20));
+    let log = net.ctl_log.borrow();
+    let barrier = log
+        .iter()
+        .find(|(_, m, _)| matches!(m, Message::BarrierReply))
+        .expect("barrier reply");
+    // CPU time is 25 µs + 1 µs; the 1 ms hw install must NOT be waited
+    // for.
+    assert!(barrier.0 < SimTime::from_us(1_200), "barrier at {}", barrier.0);
+}
+
+#[test]
+fn honest_barrier_waits_for_hw_commit() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    let ctl = vec![
+        (
+            SimTime::from_ms(1),
+            Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
+        ),
+        (SimTime::from_ms(1), Message::BarrierRequest),
+    ];
+    let cfg = OfSwitchConfig {
+        honest_barrier: true,
+        ..OfSwitchConfig::default()
+    };
+    let mut net = build(cfg, ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(20));
+    let log = net.ctl_log.borrow();
+    let barrier = log
+        .iter()
+        .find(|(_, m, _)| matches!(m, Message::BarrierReply))
+        .expect("barrier reply");
+    assert!(barrier.0 >= SimTime::from_us(2_000), "barrier at {}", barrier.0);
+}
+
+#[test]
+fn table_full_returns_openflow_error() {
+    let cfg = OfSwitchConfig {
+        table_capacity: 2,
+        ..OfSwitchConfig::default()
+    };
+    let ctl = (0..4u8)
+        .map(|i| {
+            (
+                SimTime::from_ms(1 + i as u64),
+                Message::FlowMod(FlowMod::add(
+                    OfMatch::ipv4_dst(Ipv4Addr::new(10, 1, 0, i + 1)),
+                    10,
+                    out_port(2),
+                )),
+            )
+        })
+        .collect();
+    let mut net = build(cfg, ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(30));
+    let log = net.ctl_log.borrow();
+    let errors: Vec<_> = log
+        .iter()
+        .filter(|(_, m, _)| matches!(m, Message::Error { err_type: 3, code: 0, .. }))
+        .collect();
+    assert_eq!(errors.len(), 2, "third and fourth adds must be rejected");
+}
+
+#[test]
+fn miss_generates_packet_in_with_truncated_payload() {
+    let dst = Ipv4Addr::new(10, 9, 9, 9);
+    let mut big = probe_to(dst);
+    let orig_len = big.len();
+    // Make it a 1518B frame to check truncation.
+    let mut data = big.into_vec();
+    data.resize(1514, 0xEE);
+    big = Packet::from_vec(data);
+    assert!(orig_len < 1514);
+    let mut net = build(
+        OfSwitchConfig::default(),
+        vec![],
+        vec![(SimTime::from_ms(1), big)],
+    );
+    net.sim.run_until(SimTime::from_ms(10));
+    let log = net.ctl_log.borrow();
+    let pi = log
+        .iter()
+        .find_map(|(_, m, _)| match m {
+            Message::PacketIn(p) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("packet_in");
+    assert_eq!(pi.in_port, 1);
+    assert_eq!(pi.total_len, 1518);
+    assert_eq!(pi.data.len(), 128, "miss_send_len truncation");
+}
+
+#[test]
+fn packet_out_emits_on_requested_port() {
+    let frame = probe_to(Ipv4Addr::new(1, 2, 3, 4));
+    let ctl = vec![(
+        SimTime::from_ms(1),
+        Message::PacketOut(PacketOut {
+            buffer_id: 0xffff_ffff,
+            in_port: 0xfff8,
+            actions: out_port(3),
+            data: frame.data().to_vec(),
+        }),
+    )];
+    let mut net = build(OfSwitchConfig::default(), ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(10));
+    assert_eq!(net.host_got[2].borrow().len(), 1, "wire port 3 = data port 2");
+    assert_eq!(net.host_got[0].borrow().len(), 0);
+    assert_eq!(net.host_got[1].borrow().len(), 0);
+}
+
+#[test]
+fn flow_stats_report_match_counters() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    let probes: Vec<(SimTime, Packet)> = (0..10)
+        .map(|i| (SimTime::from_ms(10 + i), probe_to(dst)))
+        .collect();
+    let ctl = vec![
+        (
+            SimTime::from_ms(1),
+            Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
+        ),
+        (
+            SimTime::from_ms(40),
+            Message::StatsRequest(StatsBody::FlowRequest {
+                of_match: OfMatch::any(),
+                table_id: 0xff,
+            }),
+        ),
+    ];
+    let mut net = build(OfSwitchConfig::default(), ctl, probes);
+    net.sim.run_until(SimTime::from_ms(60));
+    let log = net.ctl_log.borrow();
+    let reply = log
+        .iter()
+        .find_map(|(_, m, _)| match m {
+            Message::StatsReply(StatsBody::FlowReply(e)) => Some(e.clone()),
+            _ => None,
+        })
+        .expect("flow stats reply");
+    assert_eq!(reply.len(), 1);
+    assert_eq!(reply[0].packet_count, 10);
+    assert_eq!(reply[0].byte_count, 10 * 64);
+    assert_eq!(reply[0].priority, 10);
+}
+
+#[test]
+fn port_stats_reflect_forwarded_traffic() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    let probes: Vec<(SimTime, Packet)> = (0..5)
+        .map(|i| (SimTime::from_ms(10 + i), probe_to(dst)))
+        .collect();
+    let ctl = vec![
+        (
+            SimTime::from_ms(1),
+            Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
+        ),
+        (
+            SimTime::from_ms(40),
+            Message::StatsRequest(StatsBody::PortRequest { port_no: 0xffff }),
+        ),
+    ];
+    let mut net = build(OfSwitchConfig::default(), ctl, probes);
+    net.sim.run_until(SimTime::from_ms(60));
+    let log = net.ctl_log.borrow();
+    let ports = log
+        .iter()
+        .find_map(|(_, m, _)| match m {
+            Message::StatsReply(StatsBody::PortReply(p)) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("port stats reply");
+    assert_eq!(ports.len(), 4, "default switch reports all four data ports");
+    let p1 = ports.iter().find(|p| p.port_no == 1).unwrap();
+    let p2 = ports.iter().find(|p| p.port_no == 2).unwrap();
+    assert_eq!(p1.rx_packets, 5);
+    assert_eq!(p2.tx_packets, 5);
+}
+
+#[test]
+fn hard_timeout_sends_flow_removed_when_flagged() {
+    let dst = Ipv4Addr::new(10, 1, 0, 1);
+    let mut fm = FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2));
+    fm.hard_timeout = 1; // one second
+    fm.flags = 1; // OFPFF_SEND_FLOW_REM
+    let ctl = vec![(SimTime::from_ms(1), Message::FlowMod(fm))];
+    let mut net = build(OfSwitchConfig::default(), ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(1_500));
+    let log = net.ctl_log.borrow();
+    let removed = log
+        .iter()
+        .find_map(|(t, m, _)| match m {
+            Message::FlowRemoved(f) => Some((*t, f.clone())),
+            _ => None,
+        })
+        .expect("flow removed");
+    assert_eq!(removed.1.reason, 1, "hard timeout reason");
+    assert!(removed.0 >= SimTime::from_secs(1));
+    assert!(removed.0 < SimTime::from_ms(1_200), "sweep period bound");
+}
+
+#[test]
+fn echo_queues_behind_flow_mods() {
+    // 40 flow_mods then an echo: the echo reply is delayed by the CPU
+    // drain (~40 × 25 µs), far beyond its own 10 µs cost.
+    let mut ctl: Vec<(SimTime, Message)> = (0..40u8)
+        .map(|i| {
+            (
+                SimTime::from_ms(1),
+                Message::FlowMod(FlowMod::add(
+                    OfMatch::ipv4_dst(Ipv4Addr::new(10, 1, 0, i + 1)),
+                    10,
+                    out_port(2),
+                )),
+            )
+        })
+        .collect();
+    ctl.push((
+        SimTime::from_ms(1),
+        Message::EchoRequest(osnt_openflow::messages::EchoData(vec![1, 2, 3])),
+    ));
+    let mut net = build(OfSwitchConfig::default(), ctl, vec![]);
+    net.sim.run_until(SimTime::from_ms(30));
+    let log = net.ctl_log.borrow();
+    let echo = log
+        .iter()
+        .find(|(_, m, _)| matches!(m, Message::EchoReply(_)))
+        .expect("echo reply");
+    assert!(
+        echo.0 >= SimTime::from_ms(1) + SimDuration::from_us(1_000),
+        "echo at {} should queue behind ~1 ms of flow_mod processing",
+        echo.0
+    );
+}

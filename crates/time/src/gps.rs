@@ -1,0 +1,254 @@
+//! GPS pulse-per-second clock discipline.
+//!
+//! The OSNT board takes a PPS signal from an external GPS receiver. On
+//! every pulse the hardware compares the local timestamp counter to the
+//! (known) top-of-second and steers the counter so that "clock drift and
+//! phase coordination" stay bounded, which is what makes *one-way*
+//! measurements between two cards meaningful.
+//!
+//! [`GpsDiscipline`] reproduces the standard GPSDO control law:
+//!
+//! 1. While the local offset is larger than [`GpsDiscipline::step_threshold_ps`],
+//!    **phase-step** the counter (coarse lock, exactly what hardware does
+//!    when it loads the register from GPS time).
+//! 2. Once within the threshold, run a **PI servo** on the once-per-second
+//!    offset samples, trimming the clock frequency. This drives both phase
+//!    and frequency error toward zero and *holds* them there against
+//!    oscillator wander.
+
+use crate::clock::HwClock;
+use crate::SimTime;
+
+/// Proportional/integral gains of the PPS servo.
+///
+/// Units: the servo observes the phase offset in picoseconds once per
+/// second and outputs a frequency trim in ppm. Because 1 ppm accumulates
+/// 1e6 ps over one second, a proportional gain of `kp = 0.5` cancels half
+/// of the observed offset per pulse.
+#[derive(Debug, Clone, Copy)]
+pub struct ServoGains {
+    /// Proportional gain (fraction of the offset cancelled per second).
+    pub kp: f64,
+    /// Integral gain (accumulates to cancel persistent frequency error).
+    pub ki: f64,
+}
+
+impl Default for ServoGains {
+    fn default() -> Self {
+        // Critically-damped-ish defaults found adequate across the drift
+        // models in `DriftModel`.
+        ServoGains { kp: 0.7, ki: 0.3 }
+    }
+}
+
+/// PPS-driven PI discipline for a [`HwClock`].
+#[derive(Debug, Clone)]
+pub struct GpsDiscipline {
+    gains: ServoGains,
+    /// Integral accumulator over offset samples, in picoseconds.
+    integral_ps: f64,
+    /// Offsets larger than this are corrected with a phase step rather
+    /// than the servo. Default 10 µs.
+    pub step_threshold_ps: f64,
+    /// Number of consecutive pulses with |offset| below
+    /// `lock_threshold_ps` required to declare lock.
+    pub lock_pulses: u32,
+    /// Offset magnitude regarded as "locked". Default 1 µs (the paper's
+    /// sub-µs precision claim).
+    pub lock_threshold_ps: f64,
+    in_spec_pulses: u32,
+    pulses_seen: u64,
+    last_offset_ps: f64,
+    /// Frequency trim learned during acquisition (phase-step) pulses; the
+    /// fine PI servo's output rides on top of it.
+    base_trim_ppm: f64,
+}
+
+impl GpsDiscipline {
+    /// Create a discipline with the given gains and default thresholds.
+    pub fn new(gains: ServoGains) -> Self {
+        GpsDiscipline {
+            gains,
+            integral_ps: 0.0,
+            step_threshold_ps: 10e6, // 10 µs
+            lock_pulses: 3,
+            lock_threshold_ps: 1e6, // 1 µs
+            in_spec_pulses: 0,
+            pulses_seen: 0,
+            last_offset_ps: 0.0,
+            base_trim_ppm: 0.0,
+        }
+    }
+
+    /// Process one PPS edge occurring at true time `t` and steer `clock`.
+    /// Returns the offset (local minus true, picoseconds) observed at the
+    /// pulse, *before* correction.
+    pub fn on_pps(&mut self, clock: &mut HwClock, t: SimTime) -> f64 {
+        clock.advance_to(t);
+        let offset = clock.offset_ps();
+        self.pulses_seen += 1;
+        self.last_offset_ps = offset;
+
+        if offset.abs() > self.step_threshold_ps {
+            // Coarse correction: jam the counter to GPS time, and fold
+            // the drift rate observed over the pulse interval into the
+            // frequency trim (a GPSDO's acquisition step). Without the
+            // trim update an oscillator that drifts more than the step
+            // threshold per second would be re-stepped forever and the
+            // fine servo would never engage.
+            clock.step_phase_ps(-offset);
+            let interval_s = 1.0; // pulses are per-second by definition
+            self.base_trim_ppm = clock.trim_ppm() - offset / (interval_s * 1e6);
+            clock.set_trim_ppm(self.base_trim_ppm);
+            self.integral_ps = 0.0;
+            self.in_spec_pulses = 0;
+        } else {
+            // Fine correction: PI trim in ppm riding on the acquisition
+            // trim. An offset of x ps over the next one-second interval
+            // is cancelled by x/1e6 ppm.
+            self.integral_ps += offset;
+            let trim_ppm = self.base_trim_ppm
+                - (self.gains.kp * offset + self.gains.ki * self.integral_ps) / 1e6;
+            clock.set_trim_ppm(trim_ppm);
+            if offset.abs() <= self.lock_threshold_ps {
+                self.in_spec_pulses = self.in_spec_pulses.saturating_add(1);
+            } else {
+                self.in_spec_pulses = 0;
+            }
+        }
+        offset
+    }
+
+    /// Whether the servo has held the offset within the lock threshold for
+    /// the required number of consecutive pulses.
+    pub fn is_locked(&self) -> bool {
+        self.in_spec_pulses >= self.lock_pulses
+    }
+
+    /// Offset observed at the most recent pulse, picoseconds.
+    pub fn last_offset_ps(&self) -> f64 {
+        self.last_offset_ps
+    }
+
+    /// Total pulses processed.
+    pub fn pulses_seen(&self) -> u64 {
+        self.pulses_seen
+    }
+}
+
+impl Default for GpsDiscipline {
+    fn default() -> Self {
+        GpsDiscipline::new(ServoGains::default())
+    }
+}
+
+/// Drive `clock` with one PPS per second for `seconds` simulated seconds
+/// starting at `start`, returning the per-pulse pre-correction offsets in
+/// picoseconds. Convenience wrapper used by experiments and tests.
+pub fn run_pps_session(
+    clock: &mut HwClock,
+    disc: &mut GpsDiscipline,
+    start: SimTime,
+    seconds: u64,
+) -> Vec<f64> {
+    let mut offsets = Vec::with_capacity(seconds as usize);
+    for s in 1..=seconds {
+        let t = SimTime::from_ps(start.as_ps() + s * crate::PS_PER_SEC);
+        offsets.push(disc.on_pps(clock, t));
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::DriftModel;
+
+    fn drifty_clock(seed: u64) -> HwClock {
+        HwClock::new(DriftModel::commodity_xo(), seed)
+    }
+
+    #[test]
+    fn servo_locks_commodity_oscillator() {
+        let mut clock = drifty_clock(5);
+        let mut disc = GpsDiscipline::default();
+        let offsets = run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 60);
+        assert!(disc.is_locked(), "servo failed to lock: {:?}", &offsets[50..]);
+        // Steady-state offset is sub-microsecond (paper: sub-µs precision).
+        for &o in &offsets[30..] {
+            assert!(o.abs() < 1e6, "offset {o} ps exceeds 1 µs after settling");
+        }
+    }
+
+    #[test]
+    fn undisciplined_clock_blows_past_a_microsecond() {
+        let mut clock = drifty_clock(5);
+        clock.advance_to(SimTime::from_secs(60));
+        assert!(clock.offset_ps().abs() > 1e6);
+    }
+
+    #[test]
+    fn large_initial_offset_is_phase_stepped() {
+        let mut clock = HwClock::ideal();
+        clock.step_phase_ps(5e7); // 50 µs off
+        let mut disc = GpsDiscipline::default();
+        let first = disc.on_pps(&mut clock, SimTime::from_secs(1));
+        assert!(first > 4.9e7);
+        // After the step the offset is gone immediately.
+        assert!(clock.offset_ps().abs() < 1.0);
+    }
+
+    #[test]
+    fn integral_term_cancels_fixed_frequency_error() {
+        let model = DriftModel {
+            initial_freq_error_ppm: 25.0,
+            random_walk_ppm: 0.0,
+            reading_jitter_ps: 0.0,
+        };
+        let mut clock = HwClock::new(model, 1);
+        let mut disc = GpsDiscipline::default();
+        run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 120);
+        // Servo trim must have learned ≈ -25 ppm.
+        assert!(
+            (clock.trim_ppm() + 25.0).abs() < 1.0,
+            "trim {} ppm",
+            clock.trim_ppm()
+        );
+        assert!(disc.is_locked());
+    }
+
+    #[test]
+    fn lock_is_reported_only_after_consecutive_good_pulses() {
+        let mut clock = HwClock::ideal();
+        let mut disc = GpsDiscipline::default();
+        disc.on_pps(&mut clock, SimTime::from_secs(1));
+        assert!(!disc.is_locked());
+        disc.on_pps(&mut clock, SimTime::from_secs(2));
+        disc.on_pps(&mut clock, SimTime::from_secs(3));
+        assert!(disc.is_locked());
+    }
+
+    #[test]
+    fn pulse_counter_increments() {
+        let mut clock = HwClock::ideal();
+        let mut disc = GpsDiscipline::default();
+        run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 10);
+        assert_eq!(disc.pulses_seen(), 10);
+    }
+
+    #[test]
+    fn tcxo_locks_tighter_than_commodity() {
+        let run = |model: DriftModel| {
+            let mut clock = HwClock::new(model, 33);
+            let mut disc = GpsDiscipline::default();
+            let off = run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 300);
+            off[150..].iter().map(|o| o.abs()).sum::<f64>() / 150.0
+        };
+        let commodity = run(DriftModel::commodity_xo());
+        let tcxo = run(DriftModel::tcxo());
+        assert!(
+            tcxo < commodity,
+            "tcxo mean |offset| {tcxo} ps should beat commodity {commodity} ps"
+        );
+    }
+}

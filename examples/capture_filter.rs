@@ -1,0 +1,96 @@
+//! Hardware capture features: wildcard filtering, packet thinning and
+//! the loss-limited host path (paper §1).
+//!
+//! A 64-flow aggregate at full line rate is captured three ways and the
+//! resulting host delivery is compared. Also writes the filtered capture
+//! to `/tmp/osnt_capture.pcap` (nanosecond pcap).
+//!
+//! ```sh
+//! cargo run --release --example capture_filter
+//! ```
+
+use osnt::gen::workload::FlowPool;
+use osnt::gen::{GenConfig, GeneratorPort, Schedule};
+use osnt::mon::{FilterAction, FilterTable, MonConfig, MonitorPort, ThinConfig};
+use osnt::netsim::{LinkSpec, SimBuilder};
+use osnt::packet::wildcard::IpPrefix;
+use osnt::packet::WildcardRule;
+use osnt::time::{HwClock, SimTime};
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+
+fn run(mon_cfg: MonConfig, label: &str) -> Rc<RefCell<osnt::mon::CaptureBuffer>> {
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let (gen, _) = GeneratorPort::new(
+        Box::new(FlowPool::new(64, 512, 7)),
+        GenConfig {
+            schedule: Schedule::BackToBack,
+            stop_at: Some(SimTime::from_ms(10)),
+            ..GenConfig::default()
+        },
+        clock.clone(),
+    );
+    let (mon, buffer, stats) = MonitorPort::new(mon_cfg, clock);
+    let g = b.add_component("gen", Box::new(gen), 1);
+    let m = b.add_component("mon", Box::new(mon), 1);
+    b.connect(g, 0, m, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_ms(12));
+    let s = *stats.borrow();
+    println!(
+        "{label:<28} rx={:>7} filtered={:>7} host={:>7} drops={:>6} ({:.1}% of passed)",
+        s.rx_frames,
+        s.filtered_out,
+        s.host_frames,
+        s.host_drops,
+        s.host_delivery_ratio().unwrap_or(1.0) * 100.0
+    );
+    buffer
+}
+
+fn main() {
+    println!("64 UDP flows, 512 B frames, full line rate for 10 ms:\n");
+
+    // Everything, full frames: the DMA cannot keep up.
+    run(MonConfig::default(), "capture-all, full frames");
+
+    // Everything, thinned to 64 B with a CRC of the original.
+    run(
+        MonConfig {
+            thin: ThinConfig::cut_with_hash(64),
+            ..MonConfig::default()
+        },
+        "capture-all, thin to 64B",
+    );
+
+    // Only one subnet's traffic (wildcard filter in hardware).
+    let mut filter = FilterTable::drop_by_default();
+    filter.push(
+        WildcardRule::any().with_src_ip(IpPrefix::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)),
+            28, // 16 of the 64 flows
+        )),
+        FilterAction::Capture,
+    );
+    let buffer = run(
+        MonConfig {
+            filter,
+            ..MonConfig::default()
+        },
+        "filter 10.0.0.0/28, full",
+    );
+
+    // Export the filtered capture as a nanosecond pcap.
+    let bytes = buffer
+        .borrow()
+        .write_pcap(Vec::new())
+        .expect("in-memory pcap");
+    std::fs::write("/tmp/osnt_capture.pcap", &bytes).expect("write pcap");
+    println!(
+        "\nwrote {} packets ({} bytes) to /tmp/osnt_capture.pcap",
+        buffer.borrow().len(),
+        bytes.len()
+    );
+}

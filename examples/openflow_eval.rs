@@ -1,0 +1,94 @@
+//! Demo Part II as a runnable example: evaluate an OpenFlow switch with
+//! OFLOPS-turbo — flow-table update latency seen from the control plane
+//! vs the data plane, plus forwarding consistency (paper §2).
+//!
+//! ```sh
+//! cargo run --release --example openflow_eval
+//! ```
+
+use osnt::gen::txstamp::StampConfig;
+use osnt::gen::{GenConfig, Schedule};
+use osnt::oflops::modules::{
+    AddLatencyModule, AddLatencyReport, ConsistencyModule, ConsistencyReport, RoundRobinDst,
+};
+use osnt::oflops::{Testbed, TestbedSpec};
+use osnt::switch::OfSwitchConfig;
+use osnt::time::SimTime;
+
+const N_RULES: usize = 50;
+
+fn probe() -> (Box<RoundRobinDst>, GenConfig) {
+    (
+        Box::new(RoundRobinDst::new(N_RULES, 128)),
+        GenConfig {
+            schedule: Schedule::ConstantPps(2_000_000.0),
+            start_at: SimTime::from_ms(5),
+            stop_at: Some(SimTime::from_ms(60)),
+            stamp: Some(StampConfig::default_payload()),
+            ..GenConfig::default()
+        },
+    )
+}
+
+fn main() {
+    // --- Flow insertion latency -------------------------------------
+    let (module, state) = AddLatencyModule::new(N_RULES, SimTime::from_ms(10));
+    let (workload, gen_cfg) = probe();
+    let mut tb = Testbed::build(
+        TestbedSpec {
+            switch: OfSwitchConfig::default(),
+            probe: Some((workload, gen_cfg)),
+            ..TestbedSpec::control_only()
+        },
+        Box::new(module),
+    );
+    tb.run_until(SimTime::from_ms(70));
+    let add = AddLatencyReport::analyze(&tb, &state.borrow(), N_RULES);
+    println!("Flow insertion ({N_RULES} rules):");
+    println!(
+        "  control plane (barrier reply): {}",
+        add.barrier_latency.map(|d| d.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "  data plane (median / max rule activation): {} / {}",
+        add.median_activation().map(|d| d.to_string()).unwrap_or("-".into()),
+        add.max_activation().map(|d| d.to_string()).unwrap_or("-".into()),
+    );
+    println!(
+        "  rules that became active only AFTER the barrier reply: {}/{}\n",
+        add.activated_after_barrier, N_RULES
+    );
+
+    // --- Forwarding consistency during a large update ----------------
+    let (module, state) = ConsistencyModule::new(N_RULES, SimTime::from_ms(20));
+    let (workload, gen_cfg) = probe();
+    let mut tb = Testbed::build(
+        TestbedSpec {
+            switch: OfSwitchConfig::default(),
+            probe: Some((workload, gen_cfg)),
+            ..TestbedSpec::control_only()
+        },
+        Box::new(module),
+    );
+    tb.run_until(SimTime::from_ms(80));
+    let cons = ConsistencyReport::analyze(&tb, &state.borrow(), N_RULES);
+    println!("Rule rewrite A→B ({N_RULES} rules):");
+    println!(
+        "  barrier latency: {}",
+        cons.barrier_latency.map(|d| d.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "  slowest rule migration: {}",
+        cons.max_activation().map(|d| d.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "  packets still forwarded per the OLD rules after the switch\n\
+         \x20 acknowledged the update: {} (worst lag {})",
+        cons.stale_after_barrier,
+        cons.max_stale_lag.map(|d| d.to_string()).unwrap_or("-".into())
+    );
+    println!(
+        "\nThe gap between barrier reply and data-plane convergence is the\n\
+         OFLOPS-turbo finding this demo exists to showcase."
+    );
+}

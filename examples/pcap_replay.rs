@@ -1,0 +1,76 @@
+//! PCAP replay with a tunable inter-departure time (paper §1).
+//!
+//! Builds a small capture in memory, then replays it three ways —
+//! as recorded, 10x faster, and at a fixed 2 µs gap — and shows the
+//! departure schedule the generator actually achieved.
+//!
+//! ```sh
+//! cargo run --release --example pcap_replay
+//! ```
+
+use osnt::gen::{GenConfig, GeneratorPort, IdtMode, PcapReplay};
+use osnt::netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt::packet::pcap::{self, PcapRecord, TsResolution};
+use osnt::packet::{MacAddr, Packet, PacketBuilder};
+use osnt::time::{HwClock, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+struct Sink;
+impl Component for Sink {
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+}
+
+fn main() {
+    // A capture: 8 packets with 100/300/500… µs gaps, mixed sizes.
+    let mut records = Vec::new();
+    let mut t = 0u64;
+    for i in 0..8u32 {
+        t += (100 + 200 * (i as u64 % 3)) * 1_000_000; // ps
+        let pkt = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(192, 168, 0, 1), Ipv4Addr::new(192, 168, 0, 2))
+            .udp(4000, 4001)
+            .ip_identification(i as u16)
+            .pad_to_frame(if i % 2 == 0 { 64 } else { 1518 })
+            .build();
+        records.push(PcapRecord::full(t, pkt.into_vec()));
+    }
+    // Round-trip through the real file format, like loading from disk.
+    let image = pcap::to_bytes(&records, TsResolution::Nano);
+    let records = pcap::from_bytes(&image).expect("valid pcap");
+    println!("capture: {} packets, {} byte pcap image\n", records.len(), image.len());
+
+    for (label, mode) in [
+        ("as recorded", IdtMode::AsRecorded),
+        ("10x faster", IdtMode::Scaled(0.1)),
+        ("fixed 2us", IdtMode::Fixed(SimDuration::from_us(2))),
+    ] {
+        let mut b = SimBuilder::new();
+        let clock = Rc::new(RefCell::new(HwClock::ideal()));
+        let (port, stats) = GeneratorPort::from_replay(
+            PcapReplay::new(records.clone(), mode),
+            GenConfig {
+                record_departures: true,
+                ..GenConfig::default()
+            },
+            clock,
+        );
+        let g = b.add_component("replay", Box::new(port), 1);
+        let s = b.add_component("sink", Box::new(Sink), 1);
+        b.connect(g, 0, s, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1));
+        let departures = stats.borrow().departures.clone();
+        let gaps: Vec<String> = departures
+            .windows(2)
+            .map(|w| format!("{:.1}", (w[1] - w[0]).as_ns_f64() / 1000.0))
+            .collect();
+        println!("{label:<14} departures={} gaps(us)=[{}]", departures.len(), gaps.join(", "));
+    }
+    println!(
+        "\nEach mode reshapes the inter-departure times while replaying\n\
+         the identical bytes; gaps shorter than a frame's wire time are\n\
+         floored at line rate."
+    );
+}
