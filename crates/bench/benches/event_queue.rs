@@ -1,0 +1,126 @@
+//! Event-queue microbenchmarks: the hierarchical [`TimerWheel`] against
+//! the reference `BinaryHeap` ordering, isolated from kernel dispatch.
+//!
+//! Three regimes matter to the simulator:
+//!
+//! * **ping-pong** — one pending event (a lone periodic timer): the
+//!   wheel's front-cache path vs a one-element heap.
+//! * **shallow** — a handful in flight (a port's timer + TxDone +
+//!   Deliver chain): the wheel's slot machinery vs a tiny heap.
+//! * **deep** — tens of thousands pending (many ports, impairment
+//!   queues, long horizons): amortised O(1) wheel vs O(log n) heap —
+//!   the regime the wheel exists for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osnt_netsim::TimerWheel;
+use osnt_time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Steady-state churn at `depth` pending events: pop one, push one at a
+/// pseudo-random offset ahead of the popped time.
+fn wheel_churn(depth: u64, ops: u64) -> u64 {
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    let mut seq = 0u64;
+    let mut lcg = 0x5DEECE66Du64;
+    for i in 0..depth {
+        w.push(SimTime::from_ps(i * 67_200), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (t, _, v) = w.pop().expect("non-empty");
+        acc = acc.wrapping_add(v);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let off = 10_000 + (lcg >> 40) % 10_000_000; // 10ns … ~10µs ahead
+        w.push(t + osnt_time::SimDuration::from_ps(off), seq, seq);
+        seq += 1;
+    }
+    acc
+}
+
+/// Identical schedule against the reference `BinaryHeap<Reverse<…>>`.
+fn heap_churn(depth: u64, ops: u64) -> u64 {
+    let mut h: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut lcg = 0x5DEECE66Du64;
+    for i in 0..depth {
+        h.push(Reverse((i * 67_200, seq, seq)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let Reverse((t, _, v)) = h.pop().expect("non-empty");
+        acc = acc.wrapping_add(v);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let off = 10_000 + (lcg >> 40) % 10_000_000;
+        h.push(Reverse((t + off, seq, seq)));
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const OPS: u64 = 100_000;
+    g.throughput(Throughput::Elements(OPS));
+    for depth in [1u64, 8, 1_000, 100_000] {
+        g.bench_function(format!("wheel_churn_depth_{depth}"), |b| {
+            b.iter(|| wheel_churn(black_box(depth), OPS))
+        });
+        g.bench_function(format!("heap_churn_depth_{depth}"), |b| {
+            b.iter(|| heap_churn(black_box(depth), OPS))
+        });
+    }
+    g.finish();
+}
+
+/// Bulk fill-then-drain: the replay-load pattern (entire schedule pushed
+/// up front, drained in order).
+fn bench_fill_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("wheel_fill_drain_100k", |b| {
+        b.iter(|| {
+            let mut w: TimerWheel<u64> = TimerWheel::new();
+            let mut lcg = 0x333221u64;
+            for seq in 0..N {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                w.push(SimTime::from_ps((lcg >> 24) % 1_000_000_000), seq, seq);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = w.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("heap_fill_drain_100k", |b| {
+        b.iter(|| {
+            let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut lcg = 0x333221u64;
+            for seq in 0..N {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.push(Reverse(((lcg >> 24) % 1_000_000_000, seq)));
+            }
+            let mut acc = 0u64;
+            while let Some(Reverse((_, v))) = h.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_fill_drain);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use osnt_mon::{FilterAction, FilterTable};
 use osnt_packet::hash::{crc32, toeplitz_five_tuple, MS_RSS_KEY};
 use osnt_packet::pcap::{self, PcapRecord, TsResolution};
-use osnt_packet::{MacAddr, Packet, PacketBuilder, ParsedPacket, WildcardRule};
+use osnt_packet::{MacAddr, Packet, PacketBuilder, PacketPool, ParsedPacket, WildcardRule};
 use std::net::Ipv4Addr;
 
 fn test_frame(len: usize) -> Packet {
@@ -72,6 +72,42 @@ fn bench_hash(c: &mut Criterion) {
     });
 }
 
+/// The zero-copy layer: shared-buffer clones vs deep copies, pool
+/// recycling vs fresh allocation, and the copy-on-write escape hatch.
+fn bench_pool(c: &mut Criterion) {
+    let frame = test_frame(1518);
+    let mut g = c.benchmark_group("pool");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("clone_shared_1518B", |b| {
+        // Refcount bump; the fan-out cost of flooding/capture paths.
+        b.iter(|| black_box(frame.clone()))
+    });
+    g.bench_function("clone_deep_1518B", |b| {
+        // What the same fan-out paid before the shared representation.
+        b.iter(|| black_box(Packet::from_vec(frame.data().to_vec())))
+    });
+    g.bench_function("cow_write_after_clone_1518B", |b| {
+        // First write to a shared packet: the copy-on-write unshare.
+        b.iter(|| {
+            let mut p = frame.clone();
+            p.data_mut()[0] = 0xAB;
+            black_box(p)
+        })
+    });
+    g.bench_function("pool_cycle_1518B", |b| {
+        // Steady-state take → drop → recycle loop: no allocator traffic.
+        let pool = PacketPool::new();
+        // Warm the free list.
+        drop(pool.zeroed(1518));
+        b.iter(|| black_box(pool.zeroed(1518)))
+    });
+    g.bench_function("alloc_cycle_1518B", |b| {
+        // The malloc/free round trip the pool replaces.
+        b.iter(|| black_box(Packet::zeroed(1518)))
+    });
+    g.finish();
+}
+
 fn bench_pcap(c: &mut Criterion) {
     let records: Vec<PcapRecord> = (0..256)
         .map(|i| PcapRecord::full(i * 1_000_000, test_frame(512).into_vec()))
@@ -94,6 +130,7 @@ criterion_group!(
     bench_parse,
     bench_filter,
     bench_hash,
+    bench_pool,
     bench_pcap
 );
 criterion_main!(benches);

@@ -17,15 +17,17 @@ impl Component for Sink {
     fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
 }
 
-/// Run `n_frames` of back-to-back 1518B traffic through one link.
-fn linerate_run(n_frames: u64) {
+/// Run `n_frames` of back-to-back traffic of one size through one link,
+/// offering `batch` frames per generator timer event.
+fn linerate_run_batched(n_frames: u64, frame_len: usize, batch: u64) {
     let mut b = SimBuilder::new();
     let clock = Rc::new(RefCell::new(HwClock::ideal()));
     let (gen, _) = GeneratorPort::new(
-        Box::new(FixedTemplate::new(FixedTemplate::udp_frame(1518))),
+        Box::new(FixedTemplate::new(FixedTemplate::udp_frame(frame_len))),
         GenConfig {
             schedule: Schedule::BackToBack,
             count: Some(n_frames),
+            batch,
             ..GenConfig::default()
         },
         clock,
@@ -35,6 +37,11 @@ fn linerate_run(n_frames: u64) {
     b.connect(g, 0, s, 0, LinkSpec::ten_gig());
     let mut sim = b.build();
     sim.run_to_quiescence(n_frames * 10 + 1000);
+}
+
+/// Per-frame (legacy event stream) variant.
+fn linerate_run(n_frames: u64, frame_len: usize) {
+    linerate_run_batched(n_frames, frame_len, 1);
 }
 
 /// Timer-only event churn (no packets): the raw event-queue cost.
@@ -60,11 +67,7 @@ fn bench_events(c: &mut Criterion) {
     g.bench_function("timers_100k", |b| {
         b.iter(|| {
             let mut builder = SimBuilder::new();
-            builder.add_component(
-                "spin",
-                Box::new(TimerSpinner { remaining: 100_000 }),
-                0,
-            );
+            builder.add_component("spin", Box::new(TimerSpinner { remaining: 100_000 }), 0);
             let mut sim = builder.build();
             sim.run_until(SimTime::from_ms(100));
             black_box(sim.kernel().events_dispatched())
@@ -78,7 +81,13 @@ fn bench_linerate(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("linerate_10k_frames", |b| {
-        b.iter(|| linerate_run(black_box(10_000)))
+        b.iter(|| linerate_run(black_box(10_000), 1518))
+    });
+    g.bench_function("linerate_10k_frames_64B", |b| {
+        b.iter(|| linerate_run(black_box(10_000), 64))
+    });
+    g.bench_function("linerate_10k_frames_64B_batch32", |b| {
+        b.iter(|| linerate_run_batched(black_box(10_000), 64, 32))
     });
     g.finish();
 }

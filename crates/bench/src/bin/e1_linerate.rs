@@ -5,6 +5,15 @@
 //! back to back for a fixed window; achieved packet and bit rates are
 //! compared with the theoretical wire maxima. Reproduction holds when
 //! the achieved rate equals theory at every size (deficit ≈ 0).
+//!
+//! Two modes:
+//!
+//! * default — the fixed 5 ms window sweep (the paper's table);
+//! * `--frames N` — bounded-frame perf smoke: each port sends exactly
+//!   `N` frames on the batched fast path, wall-clock time is measured,
+//!   and the run panics if any size misses line rate. With
+//!   `--json PATH` the results (including simulated-frames-per-wall-
+//!   second, the perf-trajectory metric) are written as JSON.
 
 use osnt_bench::Table;
 use osnt_gen::workload::FixedTemplate;
@@ -46,7 +55,124 @@ fn run(frame_len: usize, n_ports: usize, window: SimDuration) -> Vec<Rc<RefCell<
     stats
 }
 
+/// Bounded-frame variant: every port sends exactly `frames_per_port`
+/// frames (no stop window) on the batched fast path; returns the stats
+/// plus the wall-clock seconds the simulation took.
+fn run_counted(
+    frame_len: usize,
+    n_ports: usize,
+    frames_per_port: u64,
+) -> (Vec<Rc<RefCell<GenStats>>>, f64) {
+    let mut b = SimBuilder::new();
+    let clock = Rc::new(RefCell::new(HwClock::ideal()));
+    let mut stats = Vec::new();
+    for i in 0..n_ports {
+        let cfg = GenConfig {
+            schedule: Schedule::BackToBack,
+            count: Some(frames_per_port),
+            batch: 32,
+            ..GenConfig::default()
+        };
+        let (port, s) = GeneratorPort::new(
+            Box::new(FixedTemplate::new(FixedTemplate::udp_frame(frame_len))),
+            cfg,
+            clock.clone(),
+        );
+        let gen = b.add_component(&format!("gen{i}"), Box::new(port), 1);
+        let sink = b.add_component(&format!("sink{i}"), Box::new(Sink), 1);
+        b.connect(gen, 0, sink, 0, LinkSpec::ten_gig());
+        stats.push(s);
+    }
+    let mut sim = b.build();
+    let t0 = std::time::Instant::now();
+    sim.run_to_quiescence(frames_per_port * (n_ports as u64) * 4 + 1000);
+    (stats, t0.elapsed().as_secs_f64())
+}
+
+/// The perf-smoke sweep behind `--frames N`: panics when any size
+/// misses line rate, optionally dumps machine-readable results.
+fn bounded_mode(frames_per_port: u64, json_path: Option<&str>) {
+    println!("E1 (bounded): {frames_per_port} frames/port, batched back-to-back\n");
+    let mut table = Table::new([
+        "frame(B)",
+        "ports",
+        "theory(pps)",
+        "achieved(pps)",
+        "deficit(%)",
+        "wall(ms)",
+        "sim-frames/wall-s",
+    ]);
+    let mut json_rows = Vec::new();
+    for &size in &[64usize, 512, 1518] {
+        for &ports in &[1usize, 4] {
+            let (stats, wall_s) = run_counted(size, ports, frames_per_port);
+            let theory = line_rate_pps(10_000_000_000, size);
+            let mut total_pps = 0.0;
+            let mut total_frames = 0u64;
+            for s in &stats {
+                let s = s.borrow();
+                assert_eq!(
+                    s.sent_frames, frames_per_port,
+                    "{size}B x{ports}: port sent {} of {frames_per_port} frames",
+                    s.sent_frames
+                );
+                total_frames += s.sent_frames;
+                total_pps += s.achieved_pps().unwrap_or(0.0);
+            }
+            let per_port = total_pps / ports as f64;
+            let deficit = (theory - per_port) / theory * 100.0;
+            assert!(
+                deficit.abs() < 0.01,
+                "{size}B x{ports}: achieved {per_port:.0} pps vs theory {theory:.0} (deficit {deficit:.4}%)"
+            );
+            let frames_per_wall = total_frames as f64 / wall_s;
+            table.row([
+                size.to_string(),
+                ports.to_string(),
+                format!("{theory:.0}"),
+                format!("{per_port:.0}"),
+                format!("{deficit:.4}"),
+                format!("{:.2}", wall_s * 1e3),
+                format!("{frames_per_wall:.0}"),
+            ]);
+            json_rows.push(format!(
+                "{{\"frame_len\":{size},\"ports\":{ports},\"theory_pps\":{theory:.1},\
+                 \"achieved_pps\":{per_port:.1},\"deficit_pct\":{deficit:.6},\
+                 \"wall_s\":{wall_s:.6},\"sim_frames_per_wall_s\":{frames_per_wall:.0}}}"
+            ));
+        }
+    }
+    table.print();
+    println!("\nAll sizes at exact line rate; panic above would have failed the run.");
+    if let Some(path) = json_path {
+        let body = format!(
+            "{{\"bench\":\"e1_linerate_bounded\",\"frames_per_port\":{frames_per_port},\
+             \"results\":[{}]}}\n",
+            json_rows.join(",")
+        );
+        std::fs::write(path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
+    let mut frames: Option<u64> = None;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frames" => {
+                let v = args.next().expect("--frames takes a count");
+                frames = Some(v.parse().expect("--frames takes an integer"));
+            }
+            "--json" => json = Some(args.next().expect("--json takes a path")),
+            other => panic!("unknown argument {other} (expected --frames N / --json PATH)"),
+        }
+    }
+    if let Some(n) = frames {
+        bounded_mode(n, json.as_deref());
+        return;
+    }
     let window = SimDuration::from_ms(5);
     println!("E1: line-rate generation vs frame size (10 GbE, {window} window)\n");
     let mut table = Table::new([

@@ -43,10 +43,7 @@ fn main() {
     }
     table.print();
 
-    let worst_held = offsets[30..]
-        .iter()
-        .map(|o| o.abs())
-        .fold(0.0f64, f64::max);
+    let worst_held = offsets[30..].iter().map(|o| o.abs()).fold(0.0f64, f64::max);
     println!(
         "\nlock: {}  worst steady-state |offset|: {:.1} ns (sub-µs: {})",
         disc.is_locked(),

@@ -39,7 +39,10 @@ fn synthetic_capture(n: usize) -> Vec<PcapRecord> {
 
 fn replay(records: Vec<PcapRecord>, mode: IdtMode) -> Vec<SimTime> {
     let schedule = PcapReplay::new(records, mode).schedule();
-    let requested: Vec<u64> = schedule.windows(2).map(|w| (w[1].0 - w[0].0).as_ps()).collect();
+    let requested: Vec<u64> = schedule
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0).as_ps())
+        .collect();
     let mut b = SimBuilder::new();
     let clock = Rc::new(RefCell::new(HwClock::ideal()));
     let cfg = GenConfig {
@@ -87,12 +90,12 @@ fn main() {
         let schedule = PcapReplay::new(base.clone(), mode).schedule();
         let requested: Vec<i128> = schedule
             .windows(2)
-            .map(|w| (w[1].0.as_ps() as i128 - w[0].0.as_ps() as i128))
+            .map(|w| w[1].0.as_ps() as i128 - w[0].0.as_ps() as i128)
             .collect();
         let departures = replay(base.clone(), mode);
         let achieved: Vec<i128> = departures
             .windows(2)
-            .map(|w| (w[1].as_ps() as i128 - w[0].as_ps() as i128))
+            .map(|w| w[1].as_ps() as i128 - w[0].as_ps() as i128)
             .collect();
         assert_eq!(requested.len(), achieved.len(), "replay lost packets");
         // A requested gap can be shorter than the frame's wire time; the

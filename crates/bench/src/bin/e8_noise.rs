@@ -73,7 +73,11 @@ fn main() {
         "stddev(ns)",
         "jitter(ns)",
     ]);
-    for (name, s) in [("ground truth", &truth), ("OSNT (MAC stamps)", &hw), ("software tester", &sw)] {
+    for (name, s) in [
+        ("ground truth", &truth),
+        ("OSNT (MAC stamps)", &hw),
+        ("software tester", &sw),
+    ] {
         table.row([
             name.to_string(),
             format!("{:.1}", s.mean_ns),

@@ -171,10 +171,9 @@ pub fn replay(args: &Args) -> Result<(), UsageError> {
     args.reject_unknown()?;
     let mode = parse_mode(&mode_str)?;
 
-    let bytes =
-        std::fs::read(path).map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
-    let records = osnt_packet::pcap::from_bytes(&bytes)
-        .map_err(|e| UsageError(format!("{path}: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    let records =
+        osnt_packet::pcap::from_bytes(&bytes).map_err(|e| UsageError(format!("{path}: {e}")))?;
     println!("loaded {} packets from {path}", records.len());
 
     let mut b = SimBuilder::new();
@@ -279,7 +278,10 @@ pub fn oflops_add(args: &Args) -> Result<(), UsageError> {
     tb.run_until(SimTime::from_ms(70));
     let report = AddLatencyReport::analyze(&tb, &state.borrow(), rules);
     println!("{rules} rules, honest-barrier={honest}:");
-    println!("  barrier (control plane): {}", dur_opt(report.barrier_latency));
+    println!(
+        "  barrier (control plane): {}",
+        dur_opt(report.barrier_latency)
+    );
     println!(
         "  activation (data plane): median {}  max {}",
         dur_opt(report.median_activation()),

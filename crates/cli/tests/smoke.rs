@@ -68,14 +68,22 @@ fn capture_writes_pcap_and_replay_reads_it_back() {
         ])
         .output()
         .expect("run osnt capture");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(pcap.exists());
 
     let out = osnt()
         .args(["replay", pcap.to_str().unwrap(), "--mode", "fixed-us:10"])
         .output()
         .expect("run osnt replay");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("replayed"), "output: {text}");
 
@@ -88,10 +96,17 @@ fn oflops_add_reports_both_planes() {
         .args(["oflops-add", "--rules", "5"])
         .output()
         .expect("run osnt oflops-add");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("barrier (control plane)"), "output: {text}");
-    assert!(text.contains("rules active only after barrier: 5/5"), "output: {text}");
+    assert!(
+        text.contains("rules active only after barrier: 5/5"),
+        "output: {text}"
+    );
 }
 
 #[test]

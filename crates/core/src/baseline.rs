@@ -83,7 +83,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut s = SoftwareStamper::commodity(seed);
-            (0..10).map(|i| s.stamp(SimTime::from_us(i)).as_raw()).collect::<Vec<_>>()
+            (0..10)
+                .map(|i| s.stamp(SimTime::from_us(i)).as_raw())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -106,11 +106,8 @@ impl OsntDevice {
                 None => (None, None),
             };
             let (mon, capture, mon_stats) = MonitorPort::new(role.monitor, clock.clone());
-            let id = builder.add_component(
-                &format!("osnt-port{i}"),
-                Box::new(CardPort { gen, mon }),
-                1,
-            );
+            let id =
+                builder.add_component(&format!("osnt-port{i}"), Box::new(CardPort { gen, mon }), 1);
             ports.push(PortHandle {
                 id,
                 gen_stats,
@@ -174,7 +171,8 @@ impl Component for GpsReceiver {
 
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
         debug_assert_eq!(tag, TAG_PPS);
-        self.discipline.on_pps(&mut self.clock.borrow_mut(), kernel.now());
+        self.discipline
+            .on_pps(&mut self.clock.borrow_mut(), kernel.now());
         kernel.schedule_timer(me, SimDuration::from_secs(1), TAG_PPS);
     }
 
@@ -221,11 +219,22 @@ mod tests {
                 ],
             },
         );
-        b.connect(device.ports[0].id, 0, device.ports[1].id, 0, LinkSpec::ten_gig());
+        b.connect(
+            device.ports[0].id,
+            0,
+            device.ports[1].id,
+            0,
+            LinkSpec::ten_gig(),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_ms(10));
         assert_eq!(
-            device.ports[0].gen_stats.as_ref().unwrap().borrow().sent_frames,
+            device.ports[0]
+                .gen_stats
+                .as_ref()
+                .unwrap()
+                .borrow()
+                .sent_frames,
             200
         );
         assert_eq!(device.ports[1].capture.borrow().len(), 200);
@@ -264,10 +273,7 @@ mod tests {
         );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(30));
-        device
-            .clock
-            .borrow_mut()
-            .advance_to(SimTime::from_secs(30));
+        device.clock.borrow_mut().advance_to(SimTime::from_secs(30));
         assert!(device.clock.borrow().offset_ps().abs() > 1e6);
     }
 }

@@ -121,7 +121,8 @@ impl LatencyExperiment {
         // of the queue. A CBR probe can phase-lock with CBR load — all
         // flows here are quantised to exact wire slots — and then sees
         // only one fixed point of the queue cycle.
-        let probe_pps = self.probe_load * osnt_packet::line_rate_pps(10_000_000_000, self.frame_len);
+        let probe_pps =
+            self.probe_load * osnt_packet::line_rate_pps(10_000_000_000, self.frame_len);
         let probe_cfg = GenConfig {
             schedule: Schedule::Poisson {
                 mean_pps: probe_pps,
@@ -147,16 +148,16 @@ impl LatencyExperiment {
         };
 
         let mut ports = vec![
-            PortRole::generator(
-                Box::new(FixedTemplate::new(probe_frame)),
-                probe_cfg,
-            ),
+            PortRole::generator(Box::new(FixedTemplate::new(probe_frame)), probe_cfg),
             // Port 1 captures, and also primes the DUT's learning table
             // by sending one frame *from* the capture-side MAC.
             PortRole::generator(
                 Box::new(FixedTemplate::new(
                     PacketBuilder::ethernet(MacAddr::local(2), MacAddr::BROADCAST)
-                        .ipv4(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 255))
+                        .ipv4(
+                            Ipv4Addr::new(10, 0, 0, 2),
+                            Ipv4Addr::new(255, 255, 255, 255),
+                        )
                         .udp(1, 1)
                         .build(),
                 )),
@@ -172,8 +173,8 @@ impl LatencyExperiment {
             // that the probe never observes the queue (a classic
             // measurement artifact); Poisson background is also the more
             // realistic model of aggregate load.
-            let mean_pps = self.background_load
-                * osnt_packet::line_rate_pps(10_000_000_000, self.frame_len);
+            let mean_pps =
+                self.background_load * osnt_packet::line_rate_pps(10_000_000_000, self.frame_len);
             ports.push(PortRole::generator(
                 Box::new(FixedTemplate::new(bg_frame)),
                 GenConfig {
@@ -197,10 +198,22 @@ impl LatencyExperiment {
                 ports,
             },
         );
-        b.connect(device.ports[0].id, 0, dut.id, dut.probe_in, LinkSpec::ten_gig());
+        b.connect(
+            device.ports[0].id,
+            0,
+            dut.id,
+            dut.probe_in,
+            LinkSpec::ten_gig(),
+        );
         b.connect(device.ports[1].id, 0, dut.id, dut.out, LinkSpec::ten_gig());
         if n_ports > 2 {
-            b.connect(device.ports[2].id, 0, dut.id, dut.bg_in, LinkSpec::ten_gig());
+            b.connect(
+                device.ports[2].id,
+                0,
+                dut.id,
+                dut.bg_in,
+                LinkSpec::ten_gig(),
+            );
         }
 
         let mut sim = b.build();
@@ -216,13 +229,14 @@ impl LatencyExperiment {
         let capture = device.ports[1].capture.borrow();
         // Discard warm-up samples.
         let cutoff = start_at + self.warmup;
-        let mut warm = osnt_mon::CaptureBuffer::default();
-        warm.packets = capture
-            .packets
-            .iter()
-            .filter(|c| c.rx_true >= cutoff)
-            .cloned()
-            .collect();
+        let warm = osnt_mon::CaptureBuffer {
+            packets: capture
+                .packets
+                .iter()
+                .filter(|c| c.rx_true >= cutoff)
+                .cloned()
+                .collect(),
+        };
         let lat = latencies_from_capture(&warm, StampConfig::DEFAULT_OFFSET);
         let received_all = capture.packets.len();
         let background_sent = device
@@ -291,7 +305,11 @@ mod tests {
         assert!(s.jitter_ns <= 15.0, "jitter {} ns", s.jitter_ns);
         // Mean ≈ serialisation ×2 + lookup: roughly a microsecond at
         // 512B.
-        assert!(s.mean_ns > 500.0 && s.mean_ns < 3_000.0, "mean {}", s.mean_ns);
+        assert!(
+            s.mean_ns > 500.0 && s.mean_ns < 3_000.0,
+            "mean {}",
+            s.mean_ns
+        );
     }
 
     #[test]

@@ -143,11 +143,10 @@ impl SimpleHost {
             protocol::UDP => {
                 // Trust the UDP length field, not the slice length — the
                 // frame may carry Ethernet minimum-size padding.
-                let datagram_len = osnt_packet::udp::UdpHeader::parse(
-                    &packet.data()[parsed.l4_offset..],
-                )
-                .map(|h| h.length as u64)
-                .unwrap_or(0);
+                let datagram_len =
+                    osnt_packet::udp::UdpHeader::parse(&packet.data()[parsed.l4_offset..])
+                        .map(|h| h.length as u64)
+                        .unwrap_or(0);
                 let mut c = self.counters.borrow_mut();
                 c.udp_received += 1;
                 c.udp_bytes += datagram_len.saturating_sub(osnt_packet::udp::HEADER_LEN as u64);
@@ -166,11 +165,9 @@ impl Component for SimpleHost {
         }
         match parsed.effective_ethertype() {
             Some(ethertype::ARP) => {
-                drop(parsed);
                 self.handle_arp(kernel, me, &packet);
             }
             Some(ethertype::IPV4) => {
-                drop(parsed);
                 self.handle_ipv4(kernel, me, &packet);
             }
             _ => {}
@@ -215,9 +212,9 @@ mod tests {
         }
     }
 
-    fn host_net(
-        send: Vec<(SimTime, Packet)>,
-    ) -> (osnt_netsim::Sim, Rc<RefCell<Vec<(SimTime, Packet)>>>) {
+    type Received = Rc<RefCell<Vec<(SimTime, Packet)>>>;
+
+    fn host_net(send: Vec<(SimTime, Packet)>) -> (osnt_netsim::Sim, Received) {
         let got = Rc::new(RefCell::new(Vec::new()));
         let mut b = SimBuilder::new();
         let p = b.add_component(
@@ -300,7 +297,9 @@ mod tests {
         // Wire there (~67.6 ns) + 5 µs stack + wire back.
         assert!(t.as_ps() > 5_000_000, "reply at {t}");
         let parsed = reply.parse();
-        let Some(L3::Ipv4(ip)) = parsed.l3 else { panic!() };
+        let Some(L3::Ipv4(ip)) = parsed.l3 else {
+            panic!()
+        };
         assert_eq!(ip.src, Ipv4Addr::new(10, 0, 0, 9));
         assert_eq!(ip.dst, Ipv4Addr::new(10, 0, 0, 1));
         let seg_end = (parsed.l4_offset + ip.payload_len()).min(reply.len());

@@ -116,8 +116,10 @@ mod tests {
 
     #[test]
     fn summary_of_known_samples() {
-        let samples: Vec<SimDuration> =
-            [100u64, 200, 300, 400, 500].iter().map(|&n| SimDuration::from_ns(n)).collect();
+        let samples: Vec<SimDuration> = [100u64, 200, 300, 400, 500]
+            .iter()
+            .map(|&n| SimDuration::from_ns(n))
+            .collect();
         let s = Summary::from_durations(&samples).unwrap();
         assert_eq!(s.count, 5);
         assert_eq!(s.min_ns, 100.0);

@@ -161,7 +161,10 @@ mod tests {
     fn wraparound_is_unwrapped() {
         let seqs: Vec<u16> = (65_530u32..65_536).chain(0..6).map(|v| v as u16).collect();
         let r = analyze_sequence(&buffer_of(&seqs));
-        assert_eq!(r.lost, 65_530, "pre-start holes count (stream begun at 65530)");
+        assert_eq!(
+            r.lost, 65_530,
+            "pre-start holes count (stream begun at 65530)"
+        );
         assert_eq!(r.reordered, 0);
         assert_eq!(r.max_seq, 65_541);
     }

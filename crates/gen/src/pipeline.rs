@@ -27,6 +27,15 @@ pub struct GenConfig {
     /// Record every departure instant in [`GenStats::departures`]
     /// (memory-heavy; enable for timing experiments only).
     pub record_departures: bool,
+    /// Offer up to this many frames per timer event when the port runs
+    /// pure back-to-back synthesis (the line-rate stress case). Wire
+    /// timing is identical either way — batching only coalesces kernel
+    /// bookkeeping — but TxDone events are merged, so keep the default
+    /// of `1` where the legacy per-frame event stream must be preserved
+    /// byte for byte. Ignored (per-frame path) for paced schedules,
+    /// pcap replay, TX stamping and `stop_at` windows, which all need
+    /// per-frame control of departure instants.
+    pub batch: u64,
 }
 
 impl Default for GenConfig {
@@ -38,6 +47,7 @@ impl Default for GenConfig {
             start_at: SimTime::ZERO,
             stamp: None,
             record_departures: false,
+            batch: 1,
         }
     }
 }
@@ -110,6 +120,14 @@ impl GeneratorPort {
         clock: Rc<RefCell<HwClock>>,
     ) -> (Self, Rc<RefCell<GenStats>>) {
         let stats = Rc::new(RefCell::new(GenStats::default()));
+        if config.record_departures {
+            if let Some(count) = config.count {
+                // One reallocation-free push per departure; capped so a
+                // huge `count` cannot pre-commit unbounded memory.
+                let cap = usize::try_from(count).unwrap_or(usize::MAX).min(1 << 24);
+                stats.borrow_mut().departures.reserve(cap);
+            }
+        }
         let port = GeneratorPort {
             pacer: config.schedule.clone().into_pacer(),
             embedder: config.stamp.map(TimestampEmbedder::new),
@@ -134,17 +152,11 @@ impl GeneratorPort {
         let schedule = replay.schedule();
         config.count = Some(schedule.len() as u64);
         // The replay dictates departures: express it as explicit gaps.
-        let gaps: Vec<SimDuration> = schedule
-            .windows(2)
-            .map(|w| w[1].0 - w[0].0)
-            .collect();
+        let gaps: Vec<SimDuration> = schedule.windows(2).map(|w| w[1].0 - w[0].0).collect();
         let frames: Vec<Packet> = schedule.into_iter().map(|(_, p)| p).collect();
         config.schedule = Schedule::BackToBack; // pacing handled below
-        let (mut port, stats) = GeneratorPort::new(
-            Box::new(ReplayWorkload { frames }),
-            config,
-            clock,
-        );
+        let (mut port, stats) =
+            GeneratorPort::new(Box::new(ReplayWorkload { frames }), config, clock);
         port.replay_gaps = Some(gaps);
         (port, stats)
     }
@@ -187,6 +199,68 @@ impl GeneratorPort {
         }
         self.pacer.next_gap(frame_len)
     }
+
+    /// True when this port takes the batched departure path (K frames
+    /// per timer event via [`Kernel::transmit_batch`]). Only pure
+    /// back-to-back synthesis qualifies: paced schedules, pcap replay,
+    /// TX stamping and `stop_at` windows all need per-frame control of
+    /// the departure instant.
+    fn batching_active(&self) -> bool {
+        self.config.batch > 1
+            && matches!(self.config.schedule, Schedule::BackToBack)
+            && self.replay_gaps.is_none()
+            && self.embedder.is_none()
+            && self.config.stop_at.is_none()
+    }
+
+    /// Batched departure: offer up to `config.batch` frames in one go,
+    /// then re-arm the timer for the instant the MAC frees up. Wire
+    /// slots are identical to the per-frame path — the MAC reservation
+    /// walk inside `transmit_batch` is the same arithmetic — but the
+    /// kernel does one timer event and one TxDone per batch instead of
+    /// per frame.
+    fn depart_batch(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        let k = match self.config.count {
+            Some(count) => self.config.batch.min(count - self.seq),
+            None => self.config.batch,
+        };
+        let record = self.config.record_departures;
+        let mut starts = Vec::new();
+        let (workload, base_seq) = (&mut self.workload, self.seq);
+        let mut frames = (0..k).map(|i| workload.next_frame(base_seq + i));
+        let r = kernel.transmit_batch(
+            me,
+            0,
+            &mut frames,
+            if record { Some(&mut starts) } else { None },
+        );
+        if r.not_connected {
+            panic!("generator port is not wired to anything");
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.sent_frames += r.accepted;
+            s.sent_bytes += r.accepted_bytes;
+            s.dropped += r.dropped;
+            if let Some(first) = r.first_tx_start {
+                s.first_tx.get_or_insert(first);
+            }
+            if r.last_tx_start.is_some() {
+                s.last_tx = r.last_tx_start;
+            }
+            if record {
+                s.departures.extend_from_slice(&starts);
+            }
+        }
+        self.seq += k;
+        if self.done(kernel.now()) {
+            return;
+        }
+        // Back-to-back: the next batch departs the instant the MAC is
+        // free again (`stop_at` never reaches this path, see
+        // `batching_active`).
+        kernel.schedule_timer_at(me, kernel.next_tx_start(me, 0), TIMER_DEPART);
+    }
 }
 
 impl Component for GeneratorPort {
@@ -203,6 +277,10 @@ impl Component for GeneratorPort {
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
         debug_assert_eq!(tag, TIMER_DEPART);
         if self.done(kernel.now()) {
+            return;
+        }
+        if self.batching_active() {
+            self.depart_batch(kernel, me);
             return;
         }
         let mut pkt = self.workload.next_frame(self.seq);
@@ -241,7 +319,7 @@ impl Component for GeneratorPort {
         // than a wire slot) are preserved: the intended clock keeps
         // accumulating gaps and catches up during lulls.
         let gap = self.next_gap(frame_len);
-        self.intended_next = self.intended_next + gap;
+        self.intended_next += gap;
         let earliest = kernel.next_tx_start(me, 0);
         let fire_at = self.intended_next.max(earliest);
         if let Some(stop) = self.config.stop_at {
@@ -275,10 +353,13 @@ mod tests {
         }
     }
 
-    fn build_sim(
-        config: GenConfig,
-        frame_len: usize,
-    ) -> (osnt_netsim::Sim, Rc<RefCell<GenStats>>, Rc<RefCell<Vec<SimTime>>>) {
+    type SimUnderTest = (
+        osnt_netsim::Sim,
+        Rc<RefCell<GenStats>>,
+        Rc<RefCell<Vec<SimTime>>>,
+    );
+
+    fn build_sim(config: GenConfig, frame_len: usize) -> SimUnderTest {
         let clock = Rc::new(RefCell::new(HwClock::ideal()));
         let (port, stats) = GeneratorPort::new(
             Box::new(FixedTemplate::new(FixedTemplate::udp_frame(frame_len))),
@@ -330,6 +411,49 @@ mod tests {
         let s = stats.borrow();
         assert_eq!(s.sent_frames, 1000);
         // Exactly 10 µs between departures.
+        for w in s.departures.windows(2) {
+            assert_eq!((w[1] - w[0]).as_ps(), 10_000_000);
+        }
+    }
+
+    #[test]
+    fn batched_departures_match_per_frame_wire_slots() {
+        let run = |batch: u64| {
+            let config = GenConfig {
+                count: Some(100),
+                batch,
+                record_departures: true,
+                ..GenConfig::default()
+            };
+            let (mut sim, stats, arrivals) = build_sim(config, 64);
+            sim.run_to_quiescence(1_000_000);
+            let s = stats.borrow();
+            let arr = arrivals.borrow().clone();
+            (s.sent_frames, s.departures.clone(), arr)
+        };
+        let (n1, dep1, arr1) = run(1);
+        let (n32, dep32, arr32) = run(32);
+        assert_eq!(n1, 100);
+        assert_eq!(n32, 100);
+        assert_eq!(dep1, dep32, "identical wire slots regardless of batching");
+        assert_eq!(arr1, arr32, "peer sees identical arrival instants");
+    }
+
+    #[test]
+    fn batching_defers_to_pacing() {
+        // `batch` is ignored for paced schedules: departures stay on
+        // the per-frame path with exact 10 µs spacing.
+        let config = GenConfig {
+            schedule: Schedule::ConstantPps(100_000.0),
+            count: Some(50),
+            batch: 16,
+            record_departures: true,
+            ..GenConfig::default()
+        };
+        let (mut sim, stats, _arr) = build_sim(config, 512);
+        sim.run_until(SimTime::from_ms(5));
+        let s = stats.borrow();
+        assert_eq!(s.sent_frames, 50);
         for w in s.departures.windows(2) {
             assert_eq!((w[1] - w[0]).as_ps(), 10_000_000);
         }

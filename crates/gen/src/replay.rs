@@ -70,6 +70,13 @@ impl PcapReplay {
             return out;
         }
         let base_ts = self.records[0].ts_ps;
+        // Materialise each record's bytes once; every loop iteration
+        // hands out a shared-buffer clone (refcount bump, no copy).
+        let frames: Vec<Packet> = self
+            .records
+            .iter()
+            .map(|rec| Packet::from_vec(rec.data.clone()))
+            .collect();
         let mut loop_offset = SimDuration::ZERO;
         for _ in 0..self.loops {
             let mut last_offset = SimDuration::ZERO;
@@ -80,9 +87,7 @@ impl PcapReplay {
                     rec.ts_ps.saturating_sub(self.records[i - 1].ts_ps)
                 };
                 let offset = match self.mode {
-                    IdtMode::AsRecorded => {
-                        SimDuration::from_ps(rec.ts_ps.saturating_sub(base_ts))
-                    }
+                    IdtMode::AsRecorded => SimDuration::from_ps(rec.ts_ps.saturating_sub(base_ts)),
                     IdtMode::Scaled(f) => {
                         assert!(f >= 0.0 && f.is_finite(), "scale must be non-negative");
                         last_offset + SimDuration::from_ps((natural_gap_ps as f64 * f) as u64)
@@ -96,7 +101,7 @@ impl PcapReplay {
                     }
                     IdtMode::BackToBack => SimDuration::ZERO,
                 };
-                out.push((loop_offset + offset, Packet::from_vec(rec.data.clone())));
+                out.push((loop_offset + offset, frames[i].clone()));
                 last_offset = offset;
             }
             // Subsequent loops start one gap after the last departure.
@@ -154,8 +159,7 @@ mod tests {
 
     #[test]
     fn fixed_gap_ignores_recording() {
-        let sched =
-            PcapReplay::new(capture(), IdtMode::Fixed(SimDuration::from_us(10))).schedule();
+        let sched = PcapReplay::new(capture(), IdtMode::Fixed(SimDuration::from_us(10))).schedule();
         assert_eq!(sched[1].0, SimDuration::from_us(10));
         assert_eq!(sched[2].0, SimDuration::from_us(20));
     }
@@ -183,6 +187,17 @@ mod tests {
         assert!(sched[3].0 > sched[2].0);
         // And keeps the fixed gap inside the loop.
         assert_eq!(sched[4].0 - sched[3].0, SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn looped_frames_share_storage() {
+        let sched = PcapReplay::new(capture(), IdtMode::Fixed(SimDuration::from_us(10)))
+            .with_loops(3)
+            .schedule();
+        // One buffer per record, shared across all three loops.
+        assert!(sched[1].1.is_shared());
+        assert_eq!(sched[1].1.data(), sched[4].1.data());
+        assert_eq!(sched[4].1.data(), sched[7].1.data());
     }
 
     #[test]

@@ -120,7 +120,9 @@ mod tests {
         let mut pkt = FixedTemplate::udp_frame(64); // 60 stored bytes
         let before = pkt.clone();
         let mut clock = HwClock::ideal();
-        assert!(emb.stamp(&mut pkt, &mut clock, SimTime::from_us(1)).is_none());
+        assert!(emb
+            .stamp(&mut pkt, &mut clock, SimTime::from_us(1))
+            .is_none());
         assert_eq!(pkt, before, "frame must be untouched");
     }
 
@@ -129,7 +131,8 @@ mod tests {
         let emb = TimestampEmbedder::new(StampConfig::at_offset(50));
         let mut pkt = FixedTemplate::udp_frame(256);
         let mut clock = HwClock::ideal();
-        emb.stamp(&mut pkt, &mut clock, SimTime::from_ns(6250)).unwrap();
+        emb.stamp(&mut pkt, &mut clock, SimTime::from_ns(6250))
+            .unwrap();
         let err = extract_at(&pkt, 50).unwrap().to_ps().abs_diff(6_250_000);
         assert!(err <= osnt_time::timestamp::MAX_ROUNDTRIP_ERROR_PS);
         // Default offset region is untouched (still zero padding).

@@ -171,10 +171,7 @@ impl FlowPool {
     pub fn frame_for_flow(&self, flow: u16, frame_len: usize) -> Packet {
         let octets = flow.to_be_bytes();
         PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
-            .ipv4(
-                Ipv4Addr::new(10, 0, octets[0], octets[1]),
-                self.dst_ip,
-            )
+            .ipv4(Ipv4Addr::new(10, 0, octets[0], octets[1]), self.dst_ip)
             .udp(10_000 + flow, 9001)
             .pad_to_frame(frame_len)
             .build()

@@ -21,8 +21,8 @@ impl Component for Recorder {
 fn capture() -> Vec<PcapRecord> {
     vec![
         PcapRecord::full(0, vec![0u8; 60]),
-        PcapRecord::full(10_000_000, vec![1u8; 996]),  // +10 µs
-        PcapRecord::full(25_000_000, vec![2u8; 60]),   // +15 µs
+        PcapRecord::full(10_000_000, vec![1u8; 996]), // +10 µs
+        PcapRecord::full(25_000_000, vec![2u8; 60]),  // +15 µs
         PcapRecord::full(26_000_000, vec![3u8; 1514]), // +1 µs
     ]
 }
@@ -81,7 +81,11 @@ fn fixed_mode_overrides_recorded_gaps() {
 fn back_to_back_mode_floors_at_wire_time() {
     let (departures, _) = run(IdtMode::BackToBack, 1);
     // Gap i equals frame i's wire time.
-    let expected = [(60 + 4 + 20) * 800u64, (996 + 4 + 20) * 800, (60 + 4 + 20) * 800];
+    let expected = [
+        (60 + 4 + 20) * 800u64,
+        (996 + 4 + 20) * 800,
+        (60 + 4 + 20) * 800,
+    ];
     for (w, want) in departures.windows(2).zip(expected) {
         assert_eq!((w[1] - w[0]).as_ps(), want);
     }

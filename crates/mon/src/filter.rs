@@ -119,10 +119,7 @@ mod tests {
     #[test]
     fn first_match_wins() {
         let mut t = FilterTable::capture_all();
-        t.push(
-            WildcardRule::any().with_dst_port(80),
-            FilterAction::Drop,
-        );
+        t.push(WildcardRule::any().with_dst_port(80), FilterAction::Drop);
         t.push(WildcardRule::any(), FilterAction::Capture);
         let p80 = udp(80);
         let p81 = udp(81);
@@ -137,10 +134,8 @@ mod tests {
     fn drop_by_default_with_capture_rule() {
         let mut t = FilterTable::drop_by_default();
         t.push(
-            WildcardRule::any().with_src_ip(IpPrefix::new(
-                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)),
-                24,
-            )),
+            WildcardRule::any()
+                .with_src_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)), 24)),
             FilterAction::Capture,
         );
         assert_eq!(t.classify(&udp(5).parse()), FilterAction::Capture);

@@ -93,8 +93,7 @@ impl HostPath {
     /// overflowed (loss-limited drop).
     pub fn admit(&mut self, now: SimTime, captured_bytes: usize) -> bool {
         self.drain_to(now);
-        let cost_bits =
-            (captured_bytes as u128 + self.config.per_packet_overhead as u128) * 8;
+        let cost_bits = (captured_bytes as u128 + self.config.per_packet_overhead as u128) * 8;
         let cap_bits = self.config.buffer_bytes as u128 * 8;
         if self.queued_bits + cost_bits > cap_bits {
             self.dropped += 1;

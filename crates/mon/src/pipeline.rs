@@ -55,11 +55,7 @@ impl MonitorPort {
     pub fn new(
         config: MonConfig,
         clock: Rc<RefCell<HwClock>>,
-    ) -> (
-        Self,
-        Rc<RefCell<CaptureBuffer>>,
-        Rc<RefCell<MonStats>>,
-    ) {
+    ) -> (Self, Rc<RefCell<CaptureBuffer>>, Rc<RefCell<MonStats>>) {
         let buffer = CaptureBuffer::new_shared();
         let stats = Rc::new(RefCell::new(MonStats::default()));
         (
@@ -85,10 +81,7 @@ impl MonitorPort {
     /// Enable live rate estimation over fixed `window`s of simulated
     /// time (what the OSNT GUI's per-port rate display reads). Returns
     /// the shared estimator handle.
-    pub fn enable_rate_tracking(
-        &mut self,
-        window: SimDuration,
-    ) -> Rc<RefCell<RateEstimator>> {
+    pub fn enable_rate_tracking(&mut self, window: SimDuration) -> Rc<RefCell<RateEstimator>> {
         let est = Rc::new(RefCell::new(RateEstimator::new(window, 0.3)));
         self.rates = Some(est.clone());
         est
@@ -149,8 +142,8 @@ impl Component for MonitorPort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use osnt_gen::{GenConfig, GeneratorPort, Schedule};
     use osnt_gen::workload::FixedTemplate;
+    use osnt_gen::{GenConfig, GeneratorPort, Schedule};
     use osnt_netsim::{LinkSpec, SimBuilder};
     use osnt_packet::WildcardRule;
     use osnt_time::SimTime;
@@ -216,10 +209,7 @@ mod tests {
             let gap = w[1].rx_stamp.to_ps() as i128 - w[0].rx_stamp.to_ps() as i128;
             // True spacing is 67.2 ns; stamps are quantised to 6.25 ns so
             // the observed gap is 67.2 ± one tick.
-            assert!(
-                (gap - 67_200).unsigned_abs() <= 6_250 + 233,
-                "gap {gap} ps"
-            );
+            assert!((gap - 67_200).unsigned_abs() <= 6_250 + 233, "gap {gap} ps");
         }
     }
 
@@ -247,10 +237,7 @@ mod tests {
         assert_eq!(stats.borrow().filtered_out, 0);
 
         let mut filter = FilterTable::drop_by_default();
-        filter.push(
-            WildcardRule::any().with_dst_port(1),
-            FilterAction::Capture,
-        );
+        filter.push(WildcardRule::any().with_dst_port(1), FilterAction::Capture);
         let mon_cfg = MonConfig {
             filter,
             host: HostPathConfig::unlimited(),
@@ -301,10 +288,7 @@ mod tests {
         assert_eq!(s.rx_frames, s.host_frames + s.host_drops);
         // Delivery ratio ≈ 8 / 9.87.
         let ratio = s.host_delivery_ratio().unwrap();
-        assert!(
-            (ratio - 8.0 / 9.87).abs() < 0.05,
-            "delivery ratio {ratio}"
-        );
+        assert!((ratio - 8.0 / 9.87).abs() < 0.05, "delivery ratio {ratio}");
     }
 
     #[test]

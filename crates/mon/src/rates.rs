@@ -88,7 +88,7 @@ impl RateEstimator {
                 None => bps,
             });
             self.history.push(sample);
-            self.window_start = self.window_start + self.window;
+            self.window_start += self.window;
             self.frames = 0;
             self.bytes = 0;
         }

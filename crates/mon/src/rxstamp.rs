@@ -45,7 +45,10 @@ mod tests {
         let mut last = None;
         for ns in [100u64, 200, 300, 1000] {
             let ts = stamper.stamp(SimTime::from_ns(ns));
-            assert_eq!(ts.to_ps() % DATAPATH_TICK_PS % 1000, ts.to_ps() % DATAPATH_TICK_PS % 1000);
+            assert_eq!(
+                ts.to_ps() % DATAPATH_TICK_PS % 1000,
+                ts.to_ps() % DATAPATH_TICK_PS % 1000
+            );
             if let Some(prev) = last {
                 assert!(ts > prev);
             }

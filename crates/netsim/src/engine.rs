@@ -214,10 +214,9 @@ mod tests {
         }
     }
 
-    fn two_node_sim(
-        n: usize,
-        frame_len: usize,
-    ) -> (Sim, Rc<RefCell<Vec<TxResult>>>, Rc<RefCell<Vec<SimTime>>>) {
+    type Shared<T> = Rc<RefCell<Vec<T>>>;
+
+    fn two_node_sim(n: usize, frame_len: usize) -> (Sim, Shared<TxResult>, Shared<SimTime>) {
         let results = Rc::new(RefCell::new(Vec::new()));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let mut b = SimBuilder::new();
@@ -361,7 +360,11 @@ mod tests {
             (sim, results, arrivals)
         };
         sim.run_until(SimTime::from_ms(1));
-        let sent = results.borrow().iter().filter(|r| r.is_transmitted()).count();
+        let sent = results
+            .borrow()
+            .iter()
+            .filter(|r| r.is_transmitted())
+            .count();
         assert_eq!(sent, 3);
         assert_eq!(arrivals.borrow().len(), 3);
         let drops = results

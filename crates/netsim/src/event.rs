@@ -1,9 +1,9 @@
-//! The event queue's entry types and ordering.
+//! The event queue's payload types. Ordering lives in [`crate::wheel`]:
+//! events dispatch in ascending `(time, seq)` — simultaneous events fire
+//! in the order they were scheduled, a total, deterministic order.
 
 use crate::component::ComponentId;
 use osnt_packet::Packet;
-use osnt_time::SimTime;
-use std::cmp::Ordering;
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -23,78 +23,4 @@ pub(crate) enum EventKind {
     },
     /// A component timer fires.
     Timer { target: ComponentId, tag: u64 },
-}
-
-/// A scheduled event. Ordered by time, then by insertion sequence so that
-/// simultaneous events fire in the order they were scheduled — total,
-/// deterministic order.
-#[derive(Debug)]
-pub(crate) struct EventEntry {
-    pub time: SimTime,
-    pub seq: u64,
-    pub kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for EventEntry {}
-
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest
-        // event on top.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::BinaryHeap;
-
-    fn entry(t: u64, seq: u64) -> EventEntry {
-        EventEntry {
-            time: SimTime::from_ps(t),
-            seq,
-            kind: EventKind::Timer {
-                target: ComponentId(0),
-                tag: 0,
-            },
-        }
-    }
-
-    #[test]
-    fn heap_pops_earliest_first() {
-        let mut h = BinaryHeap::new();
-        h.push(entry(30, 0));
-        h.push(entry(10, 1));
-        h.push(entry(20, 2));
-        assert_eq!(h.pop().unwrap().time.as_ps(), 10);
-        assert_eq!(h.pop().unwrap().time.as_ps(), 20);
-        assert_eq!(h.pop().unwrap().time.as_ps(), 30);
-    }
-
-    #[test]
-    fn ties_break_by_insertion_order() {
-        let mut h = BinaryHeap::new();
-        h.push(entry(10, 5));
-        h.push(entry(10, 2));
-        h.push(entry(10, 9));
-        assert_eq!(h.pop().unwrap().seq, 2);
-        assert_eq!(h.pop().unwrap().seq, 5);
-        assert_eq!(h.pop().unwrap().seq, 9);
-    }
 }

@@ -86,7 +86,9 @@ impl Component for Impairment {
     fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, packet: Packet) {
         debug_assert!(port < 2, "impairment is a 2-port device");
         if self.config.drop_probability > 0.0
-            && self.rng.gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+            && self
+                .rng
+                .gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
         {
             self.dropped += 1;
             return;

@@ -66,12 +66,14 @@ pub mod link;
 pub mod queue;
 pub mod stats;
 pub mod trace;
+pub mod wheel;
 
 pub use component::{Component, ComponentId};
 pub use engine::{Sim, SimBuilder};
 pub use impair::{ImpairConfig, Impairment};
-pub use kernel::{Kernel, TxResult};
+pub use kernel::{BatchTx, Kernel, TxResult};
 pub use link::LinkSpec;
 pub use queue::ByteFifo;
 pub use stats::PortCounters;
 pub use trace::{TraceEvent, Tracer};
+pub use wheel::TimerWheel;

@@ -39,9 +39,17 @@ impl LinkSpec {
     /// Time to clock `bytes` onto the wire at this line rate. Exact
     /// integer arithmetic (10 Gb/s → 800 ps per byte).
     pub fn serialization(&self, bytes: usize) -> SimDuration {
-        let bits = bytes as u128 * 8;
-        let ps = bits * 1_000_000_000_000u128 / self.bandwidth_bps as u128;
-        SimDuration::from_ps(ps as u64)
+        let bits = bytes as u64 * 8;
+        // u64 arithmetic covers every realistic frame (overflow needs
+        // > ~280 MB of payload); the u128 fallback keeps the result
+        // exact beyond that.
+        match bits.checked_mul(1_000_000_000_000) {
+            Some(fs) => SimDuration::from_ps(fs / self.bandwidth_bps),
+            None => {
+                let ps = bits as u128 * 1_000_000_000_000u128 / self.bandwidth_bps as u128;
+                SimDuration::from_ps(ps as u64)
+            }
+        }
     }
 }
 

@@ -1,0 +1,80 @@
+//! Property test: the hierarchical [`TimerWheel`] dispatches events in
+//! exactly the order a reference `BinaryHeap` min-ordered on
+//! `(time, seq)` would — including same-instant ties — across
+//! randomized interleaved push/pop schedules. This is the determinism
+//! contract of the event-kernel swap: byte-for-byte the order the old
+//! `BinaryHeap<EventEntry>` kernel produced.
+
+use osnt_netsim::TimerWheel;
+use osnt_time::SimTime;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    #[test]
+    fn wheel_matches_reference_heap_interleaved(
+        ops in proptest::collection::vec((any::<u8>(), 0u64..5, any::<u64>()), 1..500)
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (kind, class, raw) in ops {
+            if kind % 3 != 0 || heap.is_empty() {
+                // Push. The offset class picks the time scale so every
+                // wheel level and the overflow heap get exercised;
+                // class 4 is an exact tie on `now` (same-instant
+                // events, ordered by seq alone).
+                let off = match class {
+                    0 => raw % 100,                 // same / adjacent slot
+                    1 => raw % 1_000_000,           // level 0/1
+                    2 => raw % 10_000_000_000,      // level 2/3
+                    3 => raw % 100_000_000_000_000, // top level + overflow
+                    _ => 0,                         // tie on `now`
+                };
+                let t = now + off;
+                wheel.push(SimTime::from_ps(t), seq, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            } else {
+                // Pop: peek and pop must both agree with the reference.
+                let &Reverse((rt, rs)) = heap.peek().expect("checked non-empty");
+                let peeked = wheel.peek().expect("wheel tracks heap");
+                prop_assert_eq!((peeked.0.as_ps(), peeked.1), (rt, rs));
+                let (t, s, item) = wheel.pop().expect("wheel tracks heap");
+                let Reverse((rt, rs)) = heap.pop().expect("checked");
+                prop_assert_eq!((t.as_ps(), s, item), (rt, rs, rs));
+                now = t.as_ps();
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain whatever is left: the tail order must match too.
+        while let Some(Reverse((rt, rs))) = heap.pop() {
+            let (t, s, item) = wheel.pop().expect("wheel drains with heap");
+            prop_assert_eq!((t.as_ps(), s, item), (rt, rs, rs));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_matches_reference_heap_bulk(
+        times in proptest::collection::vec(0u64..10_000_000, 1..300)
+    ) {
+        // Fill-then-drain with clustered times: quantising to 1 ns
+        // makes duplicate instants common, so the seq tiebreak is
+        // load-bearing, and many events share one wheel slot.
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        for (i, t) in times.iter().enumerate() {
+            let t = t / 1000 * 1000;
+            wheel.push(SimTime::from_ps(t), i as u64, i as u64);
+            heap.push(Reverse((t, i as u64)));
+        }
+        while let Some(Reverse((rt, rs))) = heap.pop() {
+            let (t, s, item) = wheel.pop().expect("same length");
+            prop_assert_eq!((t.as_ps(), s, item), (rt, rs, rs));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -115,7 +115,12 @@ impl OflopsController {
         )
     }
 
-    fn ctx<'a>(kernel: &'a mut Kernel, me: ComponentId, next_xid: &'a mut u32, log: &'a Rc<RefCell<Vec<ControlLogEntry>>>) -> ModuleCtx<'a> {
+    fn ctx<'a>(
+        kernel: &'a mut Kernel,
+        me: ComponentId,
+        next_xid: &'a mut u32,
+        log: &'a Rc<RefCell<Vec<ControlLogEntry>>>,
+    ) -> ModuleCtx<'a> {
         ModuleCtx {
             kernel,
             me,
@@ -164,9 +169,9 @@ impl Component for OflopsController {
 }
 
 /// Find the first logged entry matching a predicate.
-pub fn find_entry<'a>(
-    log: &'a [ControlLogEntry],
+pub fn find_entry(
+    log: &[ControlLogEntry],
     mut pred: impl FnMut(&ControlLogEntry) -> bool,
-) -> Option<&'a ControlLogEntry> {
+) -> Option<&ControlLogEntry> {
     log.iter().find(|e| pred(e))
 }

@@ -114,9 +114,27 @@ impl Testbed {
             },
         );
         // OSNT port 0 → switch OF port 1; monitors on OF ports 2 and 3.
-        b.connect(device.ports[0].id, 0, sw, (ports::PROBE_IN - 1) as usize, LinkSpec::ten_gig());
-        b.connect(device.ports[1].id, 0, sw, (ports::OUT_A - 1) as usize, LinkSpec::ten_gig());
-        b.connect(device.ports[2].id, 0, sw, (ports::OUT_B - 1) as usize, LinkSpec::ten_gig());
+        b.connect(
+            device.ports[0].id,
+            0,
+            sw,
+            (ports::PROBE_IN - 1) as usize,
+            LinkSpec::ten_gig(),
+        );
+        b.connect(
+            device.ports[1].id,
+            0,
+            sw,
+            (ports::OUT_A - 1) as usize,
+            LinkSpec::ten_gig(),
+        );
+        b.connect(
+            device.ports[2].id,
+            0,
+            sw,
+            (ports::OUT_B - 1) as usize,
+            LinkSpec::ten_gig(),
+        );
 
         let gen_stats = device.ports[0].gen_stats.clone();
         Testbed {

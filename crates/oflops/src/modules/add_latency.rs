@@ -136,11 +136,7 @@ pub struct AddLatencyReport {
 
 impl AddLatencyReport {
     /// Compute the report from the testbed and module state.
-    pub fn analyze(
-        testbed: &Testbed,
-        state: &AddLatencyState,
-        n_rules: usize,
-    ) -> AddLatencyReport {
+    pub fn analyze(testbed: &Testbed, state: &AddLatencyState, n_rules: usize) -> AddLatencyReport {
         let t0 = state.t_burst_start;
         let mut first_seen: Vec<Option<SimTime>> = vec![None; n_rules];
         for cap in &testbed.capture_a.borrow().packets {

@@ -174,12 +174,7 @@ fn stats_polling_tracks_the_offered_rate() {
     // Implied rate on the probe ingress (wire port 1) during the traffic
     // window ≈ 10 kpps; take the middle polls to avoid edges.
     let rates = st.implied_rates(1);
-    let mid: Vec<f64> = rates
-        .iter()
-        .copied()
-        .skip(10)
-        .take(20)
-        .collect();
+    let mid: Vec<f64> = rates.iter().copied().skip(10).take(20).collect();
     let mean = mid.iter().sum::<f64>() / mid.len() as f64;
     assert!(
         (mean - 10_000.0).abs() < 1_000.0,
@@ -195,8 +190,7 @@ fn control_log_records_handshake() {
     let mut tb = Testbed::build(TestbedSpec::control_only(), Box::new(module));
     tb.run_until(SimTime::from_ms(5));
     let log = tb.control_log.borrow();
-    let sent: Vec<&ControlLogEntry> =
-        log.iter().filter(|e| e.dir == ControlDir::Sent).collect();
+    let sent: Vec<&ControlLogEntry> = log.iter().filter(|e| e.dir == ControlDir::Sent).collect();
     assert!(matches!(sent[0].message, Message::Hello));
     assert!(matches!(sent[1].message, Message::FeaturesRequest));
     let received: Vec<&ControlLogEntry> = log

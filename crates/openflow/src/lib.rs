@@ -24,6 +24,6 @@ pub use codec::{MessageCodec, WireError};
 pub use header::{Header, MessageType, OFP_HEADER_LEN, OFP_VERSION};
 pub use match_field::OfMatch;
 pub use messages::{
-    EchoData, FeaturesReply, FlowModCommand, FlowMod, FlowRemoved, FlowStatsEntry, Message,
+    EchoData, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved, FlowStatsEntry, Message,
     PacketIn, PacketInReason, PacketOut, PortStats, StatsBody,
 };

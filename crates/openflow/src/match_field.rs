@@ -112,15 +112,15 @@ impl OfMatch {
     /// Set the source-IP prefix length (32 = exact, 0 = wildcard).
     pub fn set_nw_src_prefix(&mut self, prefix_len: u8) {
         let shift = 32 - prefix_len.min(32) as u32;
-        self.wildcards =
-            (self.wildcards & !(0x3f << wildcards::NW_SRC_SHIFT)) | (shift << wildcards::NW_SRC_SHIFT);
+        self.wildcards = (self.wildcards & !(0x3f << wildcards::NW_SRC_SHIFT))
+            | (shift << wildcards::NW_SRC_SHIFT);
     }
 
     /// Set the destination-IP prefix length (32 = exact, 0 = wildcard).
     pub fn set_nw_dst_prefix(&mut self, prefix_len: u8) {
         let shift = 32 - prefix_len.min(32) as u32;
-        self.wildcards =
-            (self.wildcards & !(0x3f << wildcards::NW_DST_SHIFT)) | (shift << wildcards::NW_DST_SHIFT);
+        self.wildcards = (self.wildcards & !(0x3f << wildcards::NW_DST_SHIFT))
+            | (shift << wildcards::NW_DST_SHIFT);
     }
 
     fn nw_src_shift(&self) -> u32 {

@@ -96,9 +96,8 @@ impl ArpPacket {
             m.copy_from_slice(&bytes[off..off + 6]);
             MacAddr(m)
         };
-        let ip_at = |off: usize| {
-            Ipv4Addr::new(bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3])
-        };
+        let ip_at =
+            |off: usize| Ipv4Addr::new(bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]);
         Ok(ArpPacket {
             op: ArpOp::from_u16(u16::from_be_bytes([bytes[6], bytes[7]])),
             sender_mac: mac_at(8),

@@ -39,10 +39,23 @@ enum L3Plan {
 
 #[derive(Debug, Clone)]
 enum L4Plan {
-    Udp { src_port: u16, dst_port: u16 },
-    Tcp { src_port: u16, dst_port: u16, seq: u32, flags: u8 },
-    IcmpEcho { identifier: u16, sequence: u16 },
-    Raw { protocol: u8 },
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+    },
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        flags: u8,
+    },
+    IcmpEcho {
+        identifier: u16,
+        sequence: u16,
+    },
+    Raw {
+        protocol: u8,
+    },
 }
 
 /// Builder for well-formed Ethernet/IP frames. See the module docs.
@@ -194,7 +207,12 @@ impl PacketBuilder {
         // Work out how much padding the payload needs before sizing
         // headers, because IP/UDP length fields must cover the padding if
         // it is to survive filters that check lengths.
-        let l2_len = crate::ethernet::HEADER_LEN + if vlan.is_some() { crate::vlan::TAG_LEN } else { 0 };
+        let l2_len = crate::ethernet::HEADER_LEN
+            + if vlan.is_some() {
+                crate::vlan::TAG_LEN
+            } else {
+                0
+            };
         let l3_len = match l3 {
             Some(L3Plan::V4 { .. }) => crate::ipv4::HEADER_LEN,
             Some(L3Plan::V6 { .. }) => crate::ipv6::HEADER_LEN,

@@ -142,7 +142,9 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 2);
         // UDP header (ports 1000→2000, len 12) + 4 payload bytes, checksum
         // field zeroed at offset 6..8.
-        let mut seg = vec![0x03, 0xe8, 0x07, 0xd0, 0x00, 0x0c, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef];
+        let mut seg = vec![
+            0x03, 0xe8, 0x07, 0xd0, 0x00, 0x0c, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef,
+        ];
         let ck = transport_checksum_v4(src, dst, 17, &seg);
         seg[6..8].copy_from_slice(&ck.to_be_bytes());
         // Re-verify: sum including the field folds to zero.

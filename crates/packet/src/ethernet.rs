@@ -82,7 +82,11 @@ mod tests {
     fn truncated_is_reported() {
         let err = EthernetHeader::parse(&[0u8; 10]).unwrap_err();
         match err {
-            ParseError::Truncated { layer, needed, have } => {
+            ParseError::Truncated {
+                layer,
+                needed,
+                have,
+            } => {
                 assert_eq!(layer, "ethernet");
                 assert_eq!(needed, HEADER_LEN);
                 assert_eq!(have, 10);

@@ -3,9 +3,12 @@
 //!
 //! Everything OSNT-rs knows about bytes on the wire lives here:
 //!
-//! * [`Packet`] — an owned Ethernet frame (layer 2 through payload,
-//!   excluding preamble and FCS) plus the wire-length arithmetic that the
+//! * [`Packet`] — an Ethernet frame (layer 2 through payload, excluding
+//!   preamble and FCS) over cheaply-cloneable shared storage with
+//!   copy-on-write mutation, plus the wire-length arithmetic that the
 //!   10 GbE MAC imposes.
+//! * [`pool`] — a recycling [`PacketPool`] that eliminates per-frame
+//!   heap allocation on the generate → deliver → drop fast path.
 //! * Protocol headers — [`mac`], [`ethernet`], [`vlan`], [`arp`],
 //!   [`ipv4`], [`ipv6`], [`udp`], [`tcp`], [`icmp`] with parse *and* build
 //!   support and checksum handling ([`checksum`]).
@@ -34,6 +37,7 @@ pub mod ipv6;
 pub mod mac;
 pub mod parser;
 pub mod pcap;
+pub mod pool;
 pub mod tcp;
 pub mod udp;
 pub mod vlan;
@@ -43,9 +47,11 @@ pub use builder::PacketBuilder;
 pub use flow::FiveTuple;
 pub use mac::MacAddr;
 pub use parser::ParsedPacket;
+pub use pool::PacketPool;
 pub use wildcard::WildcardRule;
 
 use core::fmt;
+use std::rc::{Rc, Weak};
 
 /// Length of the Ethernet frame check sequence (FCS), bytes. Frames in
 /// OSNT-rs carry data *without* the FCS; [`Packet::wire_len`] adds it
@@ -69,21 +75,44 @@ pub const MIN_FRAME: usize = 64;
 /// Maximum standard Ethernet frame size including FCS (1518 bytes).
 pub const MAX_FRAME: usize = 1518;
 
-/// An owned Ethernet frame.
+/// An Ethernet frame over cheaply-shareable storage.
 ///
-/// `data` holds destination MAC through the end of the payload; the 4-byte
-/// FCS is *not* stored (the simulator never corrupts frames, and hardware
-/// strips it) but *is* accounted for in [`Packet::frame_len`] /
-/// [`Packet::wire_len`], so "a 64-byte packet" carries 60 bytes of `data`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// The frame bytes hold destination MAC through the end of the payload;
+/// the 4-byte FCS is *not* stored (the simulator never corrupts frames,
+/// and hardware strips it) but *is* accounted for in
+/// [`Packet::frame_len`] / [`Packet::wire_len`], so "a 64-byte packet"
+/// carries 60 bytes of data.
+///
+/// # Sharing and copy-on-write
+///
+/// Storage is a reference-counted buffer: [`Clone`] is a refcount bump
+/// (no byte copy), which makes fan-out paths — switch flooding, monitor
+/// capture, PCAP replay — O(1) per copy. Mutation goes through
+/// [`Packet::data_mut`], which copies the visible bytes into a fresh
+/// (or pooled, see [`pool::PacketPool`]) buffer first if the storage is
+/// shared, so clones never observe each other's writes. Equality and
+/// hashing are by visible bytes, exactly as with the old owned-`Vec`
+/// representation. [`Packet::truncate`] only moves the visible-length
+/// mark, so thinning a captured copy is O(1) and leaves the original
+/// untouched.
+#[derive(Clone)]
 pub struct Packet {
-    data: Vec<u8>,
+    buf: Rc<pool::PoolBuf>,
+    /// Visible prefix of `buf.data`: invariant `len <= buf.data.len()`.
+    len: usize,
 }
 
 impl Packet {
     /// Wrap raw frame bytes (L2 header .. payload, no FCS).
     pub fn from_vec(data: Vec<u8>) -> Self {
-        Packet { data }
+        let len = data.len();
+        Packet {
+            buf: Rc::new(pool::PoolBuf {
+                data,
+                home: Weak::new(),
+            }),
+            len,
+        }
     }
 
     /// Build a frame of conventional size `frame_len` (incl. FCS) filled
@@ -91,45 +120,92 @@ impl Packet {
     /// an Ethernet header + FCS).
     pub fn zeroed(frame_len: usize) -> Self {
         assert!(frame_len >= ethernet::HEADER_LEN + FCS_LEN);
+        Packet::from_vec(vec![0; frame_len - FCS_LEN])
+    }
+
+    /// Assemble from a pool-owned buffer (used by [`pool::PacketPool`]).
+    pub(crate) fn from_pool_parts(data: Vec<u8>, home: Weak<pool::PoolInner>) -> Self {
+        let len = data.len();
         Packet {
-            data: vec![0; frame_len - FCS_LEN],
+            buf: Rc::new(pool::PoolBuf { data, home }),
+            len,
         }
     }
 
     /// Frame bytes (no FCS).
     #[inline]
     pub fn data(&self) -> &[u8] {
-        &self.data
+        &self.buf.data[..self.len]
     }
 
-    /// Mutable frame bytes.
+    /// Mutable frame bytes. If the storage is shared with clones, the
+    /// visible bytes are first copied into a private buffer
+    /// (copy-on-write) — drawn from the packet's home pool when it has
+    /// one.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        if Rc::strong_count(&self.buf) != 1 {
+            self.unshare();
+        }
+        let buf = Rc::get_mut(&mut self.buf).expect("unshared above");
+        &mut buf.data[..self.len]
     }
 
-    /// Consume into the underlying buffer.
+    /// Copy the visible bytes into private storage (the slow path of
+    /// [`Packet::data_mut`], kept out of line).
+    #[cold]
+    fn unshare(&mut self) {
+        let mut data = match self.buf.home.upgrade() {
+            Some(pool) => pool.take_buf(self.len),
+            None => Vec::with_capacity(self.len),
+        };
+        data.extend_from_slice(&self.buf.data[..self.len]);
+        self.buf = Rc::new(pool::PoolBuf {
+            data,
+            home: self.buf.home.clone(),
+        });
+    }
+
+    /// True if clones currently share this packet's storage (mutating
+    /// through [`Packet::data_mut`] would copy).
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        Rc::strong_count(&self.buf) != 1
+    }
+
+    /// Consume into an owned buffer of the visible bytes. Steals the
+    /// storage without copying when this packet is the sole owner.
     pub fn into_vec(self) -> Vec<u8> {
-        self.data
+        let len = self.len;
+        match Rc::try_unwrap(self.buf) {
+            Ok(mut pb) => {
+                // Sole owner: steal. `PoolBuf::drop` then sees an empty
+                // vec, which the pool declines to keep.
+                let mut data = core::mem::take(&mut pb.data);
+                data.truncate(len);
+                data
+            }
+            Err(shared) => shared.data[..len].to_vec(),
+        }
     }
 
     /// Stored length (no FCS).
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if the frame holds no bytes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Conventional frame length: stored bytes + FCS. This is the "packet
     /// size" of every table in the paper (64…1518).
     #[inline]
     pub fn frame_len(&self) -> usize {
-        self.data.len() + FCS_LEN
+        self.len + FCS_LEN
     }
 
     /// Bytes this frame occupies on the wire including preamble, SFD and
@@ -145,15 +221,32 @@ impl Packet {
     /// Truncate the stored frame to at most `keep` bytes (packet
     /// *thinning* / snapping). The conventional `frame_len` shrinks
     /// accordingly; callers that need the original length must record it
-    /// before cutting.
+    /// before cutting. O(1): only the visible-length mark moves, shared
+    /// storage is untouched.
     pub fn truncate(&mut self, keep: usize) {
-        self.data.truncate(keep);
+        self.len = self.len.min(keep);
     }
 
     /// Parse the frame's headers (convenience for
     /// [`ParsedPacket::parse`]).
     pub fn parse(&self) -> ParsedPacket<'_> {
-        ParsedPacket::parse(&self.data)
+        ParsedPacket::parse(self.data())
+    }
+}
+
+impl PartialEq for Packet {
+    /// Content equality over the visible bytes (clones and deep copies
+    /// compare equal regardless of storage sharing).
+    fn eq(&self, other: &Self) -> bool {
+        self.data() == other.data()
+    }
+}
+
+impl Eq for Packet {}
+
+impl core::hash::Hash for Packet {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.data().hash(state);
     }
 }
 
@@ -170,7 +263,7 @@ impl fmt::Debug for Packet {
 
 impl AsRef<[u8]> for Packet {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.data()
     }
 }
 
@@ -238,5 +331,74 @@ mod tests {
     #[should_panic]
     fn zeroed_rejects_tiny_frames() {
         let _ = Packet::zeroed(10);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_written() {
+        let mut a = Packet::from_vec((0u8..60).collect());
+        let b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        assert_eq!(a.data().as_ptr(), b.data().as_ptr());
+
+        a.data_mut()[0] = 0xFF;
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(a.data()[0], 0xFF);
+        assert_eq!(b.data()[0], 0, "clone must not observe the write");
+    }
+
+    #[test]
+    fn data_mut_without_sharing_does_not_copy() {
+        let mut p = Packet::from_vec(vec![1; 60]);
+        let before = p.data().as_ptr();
+        p.data_mut()[5] = 9;
+        assert_eq!(p.data().as_ptr(), before);
+    }
+
+    #[test]
+    fn truncate_is_private_to_each_clone() {
+        let original = Packet::zeroed(1518);
+        let mut snap = original.clone();
+        snap.truncate(40);
+        assert_eq!(snap.len(), 40);
+        assert_eq!(original.len(), 1514, "thinning a copy leaves the original");
+        // Equality and hashing see only the visible prefix.
+        assert_ne!(snap, original);
+    }
+
+    #[test]
+    fn into_vec_steals_when_unique_and_copies_when_shared() {
+        let p = Packet::from_vec(vec![7; 60]);
+        let ptr = p.data().as_ptr();
+        let v = p.into_vec();
+        assert_eq!(v.as_ptr(), ptr, "unique owner steals the buffer");
+
+        let p = Packet::from_vec(vec![8; 60]);
+        let q = p.clone();
+        let v = p.into_vec();
+        assert_eq!(v, q.data());
+        assert_ne!(v.as_ptr(), q.data().as_ptr());
+    }
+
+    #[test]
+    fn into_vec_respects_truncation() {
+        let mut p = Packet::from_vec((0u8..60).collect());
+        p.truncate(10);
+        assert_eq!(p.clone().into_vec().len(), 10); // shared path
+        assert_eq!(p.into_vec().len(), 10); // steal path
+    }
+
+    #[test]
+    fn equality_ignores_storage_strategy() {
+        let a = Packet::from_vec(vec![3; 60]);
+        let pool = pool::PacketPool::new();
+        let b = pool.from_slice(a.data());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 }

@@ -46,7 +46,11 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::Truncated { layer, needed, have } => {
+            ParseError::Truncated {
+                layer,
+                needed,
+                have,
+            } => {
                 write!(f, "{layer}: truncated (need {needed} bytes, have {have})")
             }
             ParseError::Unsupported { layer, what } => write!(f, "{layer}: {what}"),

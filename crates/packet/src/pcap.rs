@@ -331,10 +331,7 @@ mod tests {
     fn truncated_record_is_reported() {
         let mut img = to_bytes(&sample_records(), TsResolution::Nano);
         img.truncate(img.len() - 10);
-        assert!(matches!(
-            from_bytes(&img),
-            Err(PcapError::TruncatedRecord)
-        ));
+        assert!(matches!(from_bytes(&img), Err(PcapError::TruncatedRecord)));
     }
 
     #[test]

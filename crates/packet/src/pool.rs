@@ -1,0 +1,261 @@
+//! Recycling packet-buffer pool — the zero-copy allocation substrate of
+//! the fast path.
+//!
+//! MoonGen-style line-rate generators live and die by two properties the
+//! naive representation lacks: **no per-frame heap allocation** and **no
+//! per-frame copy on fan-out**. [`crate::Packet`] provides the second
+//! (cheap reference-counted clones with copy-on-write); this module
+//! provides the first: a [`PacketPool`] keeps retired frame buffers on a
+//! free list and hands them back out, so a steady-state generate →
+//! deliver → drop cycle touches the allocator zero times per frame.
+//!
+//! The pool is deliberately single-threaded (`Rc`, like the simulator
+//! itself) and attaches to buffers by a weak back-reference: a buffer
+//! whose pool has been dropped simply frees normally, and the pool never
+//! keeps packets alive.
+
+use crate::Packet;
+use std::cell::{Cell, RefCell};
+use std::rc::{Rc, Weak};
+
+/// Default cap on buffers parked on the free list. Beyond this, retired
+/// buffers are released to the allocator instead (bounds worst-case
+/// memory when a burst of frames dies at once).
+pub const DEFAULT_MAX_FREE: usize = 4096;
+
+/// Counters describing pool effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers created fresh from the allocator.
+    pub fresh_allocs: u64,
+    /// Buffers served from the free list (allocation avoided).
+    pub reuses: u64,
+    /// Buffers returned to the free list at packet death.
+    pub recycled: u64,
+    /// Buffers dropped at packet death because the free list was full.
+    pub discarded: u64,
+}
+
+pub(crate) struct PoolInner {
+    free: RefCell<Vec<Vec<u8>>>,
+    max_free: usize,
+    fresh_allocs: Cell<u64>,
+    reuses: Cell<u64>,
+    recycled: Cell<u64>,
+    discarded: Cell<u64>,
+}
+
+impl PoolInner {
+    /// Take a buffer from the free list, or allocate one.
+    pub(crate) fn take_buf(&self, capacity_hint: usize) -> Vec<u8> {
+        match self.free.borrow_mut().pop() {
+            Some(mut v) => {
+                self.reuses.set(self.reuses.get() + 1);
+                v.clear();
+                v
+            }
+            None => {
+                self.fresh_allocs.set(self.fresh_allocs.get() + 1);
+                Vec::with_capacity(capacity_hint)
+            }
+        }
+    }
+
+    /// Park a retired buffer for reuse. Zero-capacity buffers (stolen by
+    /// `into_vec`) carry no storage and are not worth keeping.
+    pub(crate) fn recycle(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.borrow_mut();
+        if free.len() < self.max_free {
+            self.recycled.set(self.recycled.get() + 1);
+            free.push(buf);
+        } else {
+            self.discarded.set(self.discarded.get() + 1);
+        }
+    }
+}
+
+/// The shared storage behind a [`Packet`]: the frame bytes plus a weak
+/// back-reference to the pool the buffer should return to when the last
+/// `Rc` owner drops. Packets over an unpooled buffer carry a dangling
+/// `Weak` (from `Weak::new()`, allocation-free) and free normally.
+pub(crate) struct PoolBuf {
+    pub(crate) data: Vec<u8>,
+    pub(crate) home: Weak<PoolInner>,
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.home.upgrade() {
+            pool.recycle(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+/// A single-threaded recycling buffer pool for [`Packet`]s.
+///
+/// Cloning the pool handle is cheap and shares the same free list, so a
+/// generator, the components its frames traverse, and the harness can
+/// all hold one.
+///
+/// ```
+/// use osnt_packet::pool::PacketPool;
+///
+/// let pool = PacketPool::new();
+/// let a = pool.zeroed(64);
+/// let b = a.clone();          // refcount bump, no copy
+/// drop(a);
+/// drop(b);                    // last owner: buffer parks on the free list
+/// let c = pool.zeroed(1518);  // served from the free list
+/// assert_eq!(pool.stats().recycled, 1);
+/// assert_eq!(pool.stats().reuses, 1);
+/// assert_eq!(c.frame_len(), 1518);
+/// ```
+#[derive(Clone)]
+pub struct PacketPool {
+    inner: Rc<PoolInner>,
+}
+
+impl PacketPool {
+    /// A pool with the default free-list cap.
+    pub fn new() -> Self {
+        PacketPool::with_max_free(DEFAULT_MAX_FREE)
+    }
+
+    /// A pool keeping at most `max_free` retired buffers.
+    pub fn with_max_free(max_free: usize) -> Self {
+        PacketPool {
+            inner: Rc::new(PoolInner {
+                free: RefCell::new(Vec::new()),
+                max_free,
+                fresh_allocs: Cell::new(0),
+                reuses: Cell::new(0),
+                recycled: Cell::new(0),
+                discarded: Cell::new(0),
+            }),
+        }
+    }
+
+    pub(crate) fn handle(&self) -> Weak<PoolInner> {
+        Rc::downgrade(&self.inner)
+    }
+
+    /// A pooled all-zero frame of conventional length `frame_len`
+    /// (including FCS), like [`Packet::zeroed`].
+    pub fn zeroed(&self, frame_len: usize) -> Packet {
+        assert!(frame_len >= crate::ethernet::HEADER_LEN + crate::FCS_LEN);
+        let store = frame_len - crate::FCS_LEN;
+        let mut buf = self.inner.take_buf(store);
+        buf.resize(store, 0);
+        Packet::from_pool_parts(buf, self.handle())
+    }
+
+    /// A pooled copy of `bytes` (L2 header .. payload, no FCS).
+    pub fn from_slice(&self, bytes: &[u8]) -> Packet {
+        let mut buf = self.inner.take_buf(bytes.len());
+        buf.extend_from_slice(bytes);
+        Packet::from_pool_parts(buf, self.handle())
+    }
+
+    /// Rehome `packet`'s bytes into this pool, so the returned packet —
+    /// and every copy-on-write descendant of it — recycles through the
+    /// free list. Copies once.
+    pub fn adopt(&self, packet: &Packet) -> Packet {
+        self.from_slice(packet.data())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh_allocs: self.inner.fresh_allocs.get(),
+            reuses: self.inner.reuses.get(),
+            recycled: self.inner.recycled.get(),
+            discarded: self.inner.discarded.get(),
+        }
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.free.borrow().len()
+    }
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        PacketPool::new()
+    }
+}
+
+impl std::fmt::Debug for PacketPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketPool")
+            .field("free_buffers", &self.free_buffers())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_cycle_stops_allocating() {
+        let pool = PacketPool::new();
+        // Prime: one fresh alloc.
+        drop(pool.zeroed(1518));
+        let before = pool.stats().fresh_allocs;
+        for _ in 0..1000 {
+            let p = pool.zeroed(1518);
+            assert_eq!(p.frame_len(), 1518);
+            drop(p);
+        }
+        let s = pool.stats();
+        assert_eq!(s.fresh_allocs, before, "steady state must not allocate");
+        assert!(s.reuses >= 1000);
+    }
+
+    #[test]
+    fn shared_buffer_recycles_only_after_last_owner() {
+        let pool = PacketPool::new();
+        let a = pool.from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]);
+        let b = a.clone();
+        drop(a);
+        assert_eq!(pool.free_buffers(), 0, "still referenced by b");
+        drop(b);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = PacketPool::with_max_free(2);
+        let packets: Vec<_> = (0..5).map(|_| pool.zeroed(64)).collect();
+        drop(packets);
+        assert_eq!(pool.free_buffers(), 2);
+        assert_eq!(pool.stats().discarded, 3);
+    }
+
+    #[test]
+    fn pool_death_leaves_packets_usable() {
+        let pool = PacketPool::new();
+        let p = pool.zeroed(64);
+        drop(pool);
+        assert_eq!(p.frame_len(), 64);
+        let q = p.clone();
+        assert_eq!(q, p);
+        drop(p);
+        drop(q); // buffer frees normally, no pool to return to
+    }
+
+    #[test]
+    fn adopt_copies_content() {
+        let pool = PacketPool::new();
+        let orig = Packet::from_vec(vec![9u8; 100]);
+        let adopted = pool.adopt(&orig);
+        assert_eq!(adopted, orig);
+        drop(adopted);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+}

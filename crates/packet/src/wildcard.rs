@@ -260,10 +260,8 @@ mod tests {
 
     #[test]
     fn prefix_matching() {
-        let rule = WildcardRule::any().with_dst_ip(IpPrefix::new(
-            IpAddr::V4(Ipv4Addr::new(192, 168, 0, 0)),
-            16,
-        ));
+        let rule = WildcardRule::any()
+            .with_dst_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(192, 168, 0, 0)), 16));
         let inside = frame(
             Ipv4Addr::new(1, 1, 1, 1),
             Ipv4Addr::new(192, 168, 77, 3),

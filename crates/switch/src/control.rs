@@ -39,7 +39,7 @@ pub fn decap_control(packet: &Packet) -> Option<Result<(Message, u32), WireError
         return None;
     }
     let body = &packet.data()[osnt_packet::ethernet::HEADER_LEN..];
-    Some(Message::decode(body).map(|(m, x)| (m, x)))
+    Some(Message::decode(body))
 }
 
 #[cfg(test)]

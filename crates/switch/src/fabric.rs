@@ -82,8 +82,7 @@ mod tests {
     impl Component for Repeater {
         fn on_packet(&mut self, k: &mut Kernel, me: ComponentId, port: usize, pkt: Packet) {
             if port == 0 {
-                self.pipe
-                    .submit(k, me, SimDuration::from_us(1), 1, pkt);
+                self.pipe.submit(k, me, SimDuration::from_us(1), 1, pkt);
             }
         }
         fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, tag: u64) {

@@ -39,12 +39,7 @@ pub struct FlowEntry {
 
 impl FlowEntry {
     /// A fresh entry installed at `now`.
-    pub fn new(
-        of_match: OfMatch,
-        priority: u16,
-        actions: Vec<Action>,
-        now: SimTime,
-    ) -> Self {
+    pub fn new(of_match: OfMatch, priority: u16, actions: Vec<Action>, now: SimTime) -> Self {
         FlowEntry {
             of_match,
             priority,
@@ -219,14 +214,16 @@ impl FlowTable {
         let mut out = Vec::new();
         self.entries.retain(|e| {
             if e.hard_timeout > 0 {
-                let deadline = e.installed_at + osnt_time::SimDuration::from_secs(e.hard_timeout as u64);
+                let deadline =
+                    e.installed_at + osnt_time::SimDuration::from_secs(e.hard_timeout as u64);
                 if now >= deadline {
                     out.push((e.clone(), RemovalReason::HardTimeout));
                     return false;
                 }
             }
             if e.idle_timeout > 0 {
-                let deadline = e.last_match + osnt_time::SimDuration::from_secs(e.idle_timeout as u64);
+                let deadline =
+                    e.last_match + osnt_time::SimDuration::from_secs(e.idle_timeout as u64);
                 if now >= deadline {
                     out.push((e.clone(), RemovalReason::IdleTimeout));
                     return false;
@@ -260,15 +257,15 @@ pub fn covers(filter: &OfMatch, entry: &OfMatch) -> bool {
             return false;
         }
     }
-    if filter.wildcards & wildcards::DL_SRC == 0 {
-        if entry.wildcards & wildcards::DL_SRC != 0 || filter.dl_src != entry.dl_src {
-            return false;
-        }
+    if filter.wildcards & wildcards::DL_SRC == 0
+        && (entry.wildcards & wildcards::DL_SRC != 0 || filter.dl_src != entry.dl_src)
+    {
+        return false;
     }
-    if filter.wildcards & wildcards::DL_DST == 0 {
-        if entry.wildcards & wildcards::DL_DST != 0 || filter.dl_dst != entry.dl_dst {
-            return false;
-        }
+    if filter.wildcards & wildcards::DL_DST == 0
+        && (entry.wildcards & wildcards::DL_DST != 0 || filter.dl_dst != entry.dl_dst)
+    {
+        return false;
     }
     // IP prefixes: the filter prefix must contain the entry prefix.
     let prefix_covers = |f_addr: u32, f_shift: u32, e_addr: u32, e_shift: u32| {
@@ -375,8 +372,13 @@ mod tests {
         let mut t = FlowTable::new(2);
         let m1 = OfMatch::udp_dst_port(1);
         t.add(FlowEntry::new(m1, 1, out(1), SimTime::ZERO)).unwrap();
-        t.add(FlowEntry::new(OfMatch::udp_dst_port(2), 1, out(1), SimTime::ZERO))
-            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(2),
+            1,
+            out(1),
+            SimTime::ZERO,
+        ))
+        .unwrap();
         assert_eq!(
             t.add(FlowEntry::new(
                 OfMatch::udp_dst_port(3),
@@ -394,10 +396,20 @@ mod tests {
     #[test]
     fn strict_delete_removes_only_exact() {
         let mut t = FlowTable::new(10);
-        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 5, out(1), SimTime::ZERO))
-            .unwrap();
-        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 9, out(1), SimTime::ZERO))
-            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(1),
+            5,
+            out(1),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(1),
+            9,
+            out(1),
+            SimTime::ZERO,
+        ))
+        .unwrap();
         let removed = t.delete(&OfMatch::udp_dst_port(1), 5, true);
         assert_eq!(removed.len(), 1);
         assert_eq!(t.len(), 1);
@@ -444,8 +456,13 @@ mod tests {
     #[test]
     fn modify_replaces_actions() {
         let mut t = FlowTable::new(10);
-        t.add(FlowEntry::new(OfMatch::udp_dst_port(1), 5, out(1), SimTime::ZERO))
-            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(1),
+            5,
+            out(1),
+            SimTime::ZERO,
+        ))
+        .unwrap();
         let n = t.modify(&OfMatch::udp_dst_port(1), 5, true, &out(7));
         assert_eq!(n, 1);
         let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);

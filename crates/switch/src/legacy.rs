@@ -150,8 +150,7 @@ impl Component for LegacySwitch {
                 self.flooded += 1;
                 for out in 0..self.config.n_ports {
                     if out != port {
-                        self.pipeline
-                            .submit(kernel, me, delay, out, packet.clone());
+                        self.pipeline.submit(kernel, me, delay, out, packet.clone());
                     }
                 }
             }
@@ -178,14 +177,16 @@ mod tests {
     use std::net::Ipv4Addr;
     use std::rc::Rc;
 
+    type HostLog = Rc<RefCell<Vec<(SimTime, Packet)>>>;
+
     /// Host that sends a scripted list of (time, frame) and records
     /// arrivals.
     struct Host {
         script: Vec<(SimTime, Packet)>,
-        got: Rc<RefCell<Vec<(SimTime, Packet)>>>,
+        got: HostLog,
     }
     impl Host {
-        fn new(script: Vec<(SimTime, Packet)>) -> (Self, Rc<RefCell<Vec<(SimTime, Packet)>>>) {
+        fn new(script: Vec<(SimTime, Packet)>) -> (Self, HostLog) {
             let got = Rc::new(RefCell::new(Vec::new()));
             (
                 Host {
@@ -219,12 +220,7 @@ mod tests {
     }
 
     /// Three hosts on ports 0–2 of a legacy switch.
-    fn three_host_net(
-        scripts: [Vec<(SimTime, Packet)>; 3],
-    ) -> (
-        osnt_netsim::Sim,
-        [Rc<RefCell<Vec<(SimTime, Packet)>>>; 3],
-    ) {
+    fn three_host_net(scripts: [Vec<(SimTime, Packet)>; 3]) -> (osnt_netsim::Sim, [HostLog; 3]) {
         let mut b = SimBuilder::new();
         let sw = b.add_component(
             "switch",
@@ -265,7 +261,10 @@ mod tests {
     #[test]
     fn broadcast_goes_everywhere_except_ingress() {
         let bcast = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::BROADCAST)
-            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 255))
+            .ipv4(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(255, 255, 255, 255),
+            )
             .udp(68, 67)
             .build();
         let (mut sim, got) = three_host_net([vec![(SimTime::ZERO, bcast)], vec![], vec![]]);
@@ -324,7 +323,10 @@ mod tests {
         // Store-and-forward: latency grows with frame size.
         let sf_small = run(LegacyConfig::default(), 64);
         let sf_large = run(LegacyConfig::default(), 1518);
-        assert!(sf_large > sf_small + 2_000_000, "S&F grows: {sf_small} -> {sf_large}");
+        assert!(
+            sf_large > sf_small + 2_000_000,
+            "S&F grows: {sf_small} -> {sf_large}"
+        );
         // Cut-through: the fabric credit cancels one serialisation, so
         // end-to-end latency is (nearly) frame-size independent once the
         // floor is reached.
@@ -353,10 +355,7 @@ mod tests {
         let teach = frame(9, 1); // src MAC 9 enters on port 0
         let to_self = frame(1, 9);
         let (mut sim, got) = three_host_net([
-            vec![
-                (SimTime::ZERO, teach),
-                (SimTime::from_us(10), to_self),
-            ],
+            vec![(SimTime::ZERO, teach), (SimTime::from_us(10), to_self)],
             vec![],
             vec![],
         ]);

@@ -338,7 +338,12 @@ impl OpenFlowSwitch {
                         actions: e.actions.clone(),
                     })
                     .collect();
-                self.send_control(kernel, me, Message::StatsReply(StatsBody::FlowReply(entries)), xid);
+                self.send_control(
+                    kernel,
+                    me,
+                    Message::StatsReply(StatsBody::FlowReply(entries)),
+                    xid,
+                );
             }
             CpuJob::StatsPort(which, xid) => {
                 let mut entries = Vec::new();
@@ -358,7 +363,12 @@ impl OpenFlowSwitch {
                         tx_dropped: c.tx_drops,
                     });
                 }
-                self.send_control(kernel, me, Message::StatsReply(StatsBody::PortReply(entries)), xid);
+                self.send_control(
+                    kernel,
+                    me,
+                    Message::StatsReply(StatsBody::PortReply(entries)),
+                    xid,
+                );
             }
             CpuJob::PacketOut(po) => {
                 let pkt = Packet::from_vec(po.data);
@@ -564,8 +574,13 @@ impl OpenFlowSwitch {
         match self.cam.get(&dst) {
             Some(&out) if dst.is_unicast() => {
                 if out + 1 != in_port_wire as usize {
-                    self.pipeline
-                        .submit(kernel, me, self.config.lookup_latency, out, packet.clone());
+                    self.pipeline.submit(
+                        kernel,
+                        me,
+                        self.config.lookup_latency,
+                        out,
+                        packet.clone(),
+                    );
                 }
             }
             _ => {
@@ -666,11 +681,9 @@ impl Component for OpenFlowSwitch {
             Some(entry) => {
                 FlowTable::account(entry, kernel.now(), frame_len);
                 let actions = entry.actions.clone();
-                drop(parsed);
                 self.forward_with_actions(kernel, me, &actions, in_port_wire, packet);
             }
             None => {
-                drop(parsed);
                 self.punt(kernel, me, in_port_wire, PacketInReason::NoMatch, &packet);
             }
         }

@@ -63,10 +63,12 @@ fn probe_to(dst: Ipv4Addr) -> Packet {
         .build()
 }
 
+type HostLog = Rc<RefCell<Vec<(SimTime, Packet)>>>;
+
 struct Net {
     sim: osnt_netsim::Sim,
     ctl_log: Rc<RefCell<Vec<(SimTime, Message, u32)>>>,
-    host_got: Vec<Rc<RefCell<Vec<(SimTime, Packet)>>>>,
+    host_got: Vec<HostLog>,
 }
 
 /// Build: controller + switch with 3 data ports, hosts on every data
@@ -127,7 +129,10 @@ fn installed_rule_forwards_after_hw_delay_only() {
         .collect();
     let ctl = vec![
         // Drop-all first so misses don't flood packet_ins.
-        (SimTime::ZERO, Message::FlowMod(FlowMod::add(OfMatch::any(), 0, vec![]))),
+        (
+            SimTime::ZERO,
+            Message::FlowMod(FlowMod::add(OfMatch::any(), 0, vec![])),
+        ),
         (
             SimTime::from_ms(5),
             Message::FlowMod(FlowMod::add(OfMatch::ipv4_dst(dst), 10, out_port(2))),
@@ -163,7 +168,11 @@ fn dishonest_barrier_replies_before_hw_commit() {
         .expect("barrier reply");
     // CPU time is 25 µs + 1 µs; the 1 ms hw install must NOT be waited
     // for.
-    assert!(barrier.0 < SimTime::from_us(1_200), "barrier at {}", barrier.0);
+    assert!(
+        barrier.0 < SimTime::from_us(1_200),
+        "barrier at {}",
+        barrier.0
+    );
 }
 
 #[test]
@@ -187,7 +196,11 @@ fn honest_barrier_waits_for_hw_commit() {
         .iter()
         .find(|(_, m, _)| matches!(m, Message::BarrierReply))
         .expect("barrier reply");
-    assert!(barrier.0 >= SimTime::from_us(2_000), "barrier at {}", barrier.0);
+    assert!(
+        barrier.0 >= SimTime::from_us(2_000),
+        "barrier at {}",
+        barrier.0
+    );
 }
 
 #[test]
@@ -213,7 +226,16 @@ fn table_full_returns_openflow_error() {
     let log = net.ctl_log.borrow();
     let errors: Vec<_> = log
         .iter()
-        .filter(|(_, m, _)| matches!(m, Message::Error { err_type: 3, code: 0, .. }))
+        .filter(|(_, m, _)| {
+            matches!(
+                m,
+                Message::Error {
+                    err_type: 3,
+                    code: 0,
+                    ..
+                }
+            )
+        })
         .collect();
     assert_eq!(errors.len(), 2, "third and fourth adds must be rejected");
 }
@@ -261,7 +283,11 @@ fn packet_out_emits_on_requested_port() {
     )];
     let mut net = build(OfSwitchConfig::default(), ctl, vec![]);
     net.sim.run_until(SimTime::from_ms(10));
-    assert_eq!(net.host_got[2].borrow().len(), 1, "wire port 3 = data port 2");
+    assert_eq!(
+        net.host_got[2].borrow().len(),
+        1,
+        "wire port 3 = data port 2"
+    );
     assert_eq!(net.host_got[0].borrow().len(), 0);
     assert_eq!(net.host_got[1].borrow().len(), 0);
 }

@@ -207,7 +207,11 @@ mod tests {
         let mut c = HwClock::new(model, 1);
         c.advance_to(SimTime::from_secs(1));
         // 10 ppm over 1 s = 10 µs = 1e7 ps.
-        assert!((c.offset_ps() - 1.0e7).abs() < 1.0, "offset {}", c.offset_ps());
+        assert!(
+            (c.offset_ps() - 1.0e7).abs() < 1.0,
+            "offset {}",
+            c.offset_ps()
+        );
         c.advance_to(SimTime::from_secs(2));
         assert!((c.offset_ps() - 2.0e7).abs() < 1.0);
     }

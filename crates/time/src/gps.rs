@@ -173,7 +173,11 @@ mod tests {
         let mut clock = drifty_clock(5);
         let mut disc = GpsDiscipline::default();
         let offsets = run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 60);
-        assert!(disc.is_locked(), "servo failed to lock: {:?}", &offsets[50..]);
+        assert!(
+            disc.is_locked(),
+            "servo failed to lock: {:?}",
+            &offsets[50..]
+        );
         // Steady-state offset is sub-microsecond (paper: sub-µs precision).
         for &o in &offsets[30..] {
             assert!(o.abs() < 1e6, "offset {o} ps exceeds 1 µs after settling");

@@ -311,13 +311,13 @@ fn format_ps(ps: u64) -> String {
     if ps == 0 {
         return "0ps".to_string();
     }
-    if ps % PS_PER_SEC == 0 {
+    if ps.is_multiple_of(PS_PER_SEC) {
         format!("{}s", ps / PS_PER_SEC)
-    } else if ps % PS_PER_MS == 0 {
+    } else if ps.is_multiple_of(PS_PER_MS) {
         format!("{}ms", ps / PS_PER_MS)
-    } else if ps % PS_PER_US == 0 {
+    } else if ps.is_multiple_of(PS_PER_US) {
         format!("{}us", ps / PS_PER_US)
-    } else if ps % PS_PER_NS == 0 {
+    } else if ps.is_multiple_of(PS_PER_NS) {
         format!("{}ns", ps / PS_PER_NS)
     } else {
         format!("{}ps", ps)

@@ -65,7 +65,7 @@ impl HwTimestamp {
         // fraction = frac_ps / 1e12 * 2^32, rounded to nearest.
         let frac = ((frac_ps as u128) << 32) / PS_PER_SEC as u128;
         debug_assert!(secs <= u32::MAX as u64, "timestamp seconds overflow");
-        HwTimestamp(((secs as u64) << 32) | frac as u64)
+        HwTimestamp((secs << 32) | frac as u64)
     }
 
     /// Decode back to picoseconds (rounded to the nearest picosecond).
@@ -77,8 +77,7 @@ impl HwTimestamp {
     pub fn to_ps(self) -> u64 {
         let secs = (self.0 >> 32) * PS_PER_SEC;
         // frac_ps = fraction * 1e12 / 2^32, rounded.
-        let frac_ps =
-            ((self.0 as u32 as u128) * PS_PER_SEC as u128 + (1u128 << 31)) >> 32;
+        let frac_ps = ((self.0 as u32 as u128) * PS_PER_SEC as u128 + (1u128 << 31)) >> 32;
         secs + frac_ps as u64
     }
 

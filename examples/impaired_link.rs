@@ -6,7 +6,9 @@
 //! cargo run --release --example impaired_link
 //! ```
 
-use osnt::core::{analyze_sequence, latencies_from_capture, DeviceConfig, OsntDevice, PortRole, Summary};
+use osnt::core::{
+    analyze_sequence, latencies_from_capture, DeviceConfig, OsntDevice, PortRole, Summary,
+};
 use osnt::gen::txstamp::StampConfig;
 use osnt::gen::workload::FixedTemplate;
 use osnt::gen::{GenConfig, Schedule};
@@ -27,9 +29,7 @@ fn main() {
             gps: None,
             ports: vec![
                 PortRole::generator(
-                    Box::new(
-                        FixedTemplate::new(FixedTemplate::udp_frame(512)).with_sequence_tag(),
-                    ),
+                    Box::new(FixedTemplate::new(FixedTemplate::udp_frame(512)).with_sequence_tag()),
                     GenConfig {
                         schedule: Schedule::ConstantPps(1_000_000.0),
                         count: Some(n_frames),
@@ -59,10 +59,17 @@ fn main() {
 
     let capture = device.ports[1].capture.borrow();
     let seq = analyze_sequence(&capture);
-    println!("sent {n_frames} frames through a link with {:.0}% injected loss, 20±15 µs delay\n", injected_loss * 100.0);
+    println!(
+        "sent {n_frames} frames through a link with {:.0}% injected loss, 20±15 µs delay\n",
+        injected_loss * 100.0
+    );
     println!("sequence analysis:");
     println!("  received   : {}", seq.tagged);
-    println!("  lost       : {} ({:.2}%)", seq.lost, seq.loss_fraction(n_frames) * 100.0);
+    println!(
+        "  lost       : {} ({:.2}%)",
+        seq.lost,
+        seq.loss_fraction(n_frames) * 100.0
+    );
     println!("  reordered  : {}", seq.reordered);
     println!("  duplicated : {}", seq.duplicated);
 

@@ -47,12 +47,18 @@ fn main() {
     println!("Flow insertion ({N_RULES} rules):");
     println!(
         "  control plane (barrier reply): {}",
-        add.barrier_latency.map(|d| d.to_string()).unwrap_or("-".into())
+        add.barrier_latency
+            .map(|d| d.to_string())
+            .unwrap_or("-".into())
     );
     println!(
         "  data plane (median / max rule activation): {} / {}",
-        add.median_activation().map(|d| d.to_string()).unwrap_or("-".into()),
-        add.max_activation().map(|d| d.to_string()).unwrap_or("-".into()),
+        add.median_activation()
+            .map(|d| d.to_string())
+            .unwrap_or("-".into()),
+        add.max_activation()
+            .map(|d| d.to_string())
+            .unwrap_or("-".into()),
     );
     println!(
         "  rules that became active only AFTER the barrier reply: {}/{}\n",
@@ -75,17 +81,23 @@ fn main() {
     println!("Rule rewrite A→B ({N_RULES} rules):");
     println!(
         "  barrier latency: {}",
-        cons.barrier_latency.map(|d| d.to_string()).unwrap_or("-".into())
+        cons.barrier_latency
+            .map(|d| d.to_string())
+            .unwrap_or("-".into())
     );
     println!(
         "  slowest rule migration: {}",
-        cons.max_activation().map(|d| d.to_string()).unwrap_or("-".into())
+        cons.max_activation()
+            .map(|d| d.to_string())
+            .unwrap_or("-".into())
     );
     println!(
         "  packets still forwarded per the OLD rules after the switch\n\
          \x20 acknowledged the update: {} (worst lag {})",
         cons.stale_after_barrier,
-        cons.max_stale_lag.map(|d| d.to_string()).unwrap_or("-".into())
+        cons.max_stale_lag
+            .map(|d| d.to_string())
+            .unwrap_or("-".into())
     );
     println!(
         "\nThe gap between barrier reply and data-plane convergence is the\n\

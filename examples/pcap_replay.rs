@@ -39,7 +39,11 @@ fn main() {
     // Round-trip through the real file format, like loading from disk.
     let image = pcap::to_bytes(&records, TsResolution::Nano);
     let records = pcap::from_bytes(&image).expect("valid pcap");
-    println!("capture: {} packets, {} byte pcap image\n", records.len(), image.len());
+    println!(
+        "capture: {} packets, {} byte pcap image\n",
+        records.len(),
+        image.len()
+    );
 
     for (label, mode) in [
         ("as recorded", IdtMode::AsRecorded),
@@ -66,7 +70,11 @@ fn main() {
             .windows(2)
             .map(|w| format!("{:.1}", (w[1] - w[0]).as_ns_f64() / 1000.0))
             .collect();
-        println!("{label:<14} departures={} gaps(us)=[{}]", departures.len(), gaps.join(", "));
+        println!(
+            "{label:<14} departures={} gaps(us)=[{}]",
+            departures.len(),
+            gaps.join(", ")
+        );
     }
     println!(
         "\nEach mode reshapes the inter-departure times while replaying\n\

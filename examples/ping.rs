@@ -88,7 +88,9 @@ fn main() {
     let mut rtts = Vec::new();
     for cap in &capture.packets {
         let parsed = cap.packet.parse();
-        let Some(L3::Ipv4(ip)) = parsed.l3 else { continue };
+        let Some(L3::Ipv4(ip)) = parsed.l3 else {
+            continue;
+        };
         if ip.protocol != osnt::packet::ipv4::protocol::ICMP {
             continue;
         }
@@ -125,5 +127,9 @@ fn main() {
             s.stddev_ns / 1000.0
         );
     }
-    assert_eq!(rtts.len() as u64, n_pings, "no ping may be lost on this path");
+    assert_eq!(
+        rtts.len() as u64,
+        n_pings,
+        "no ping may be lost on this path"
+    );
 }

@@ -55,7 +55,12 @@ fn main() {
     sim.run_until(SimTime::from_ms(50));
 
     // 4. Report.
-    let sent = device.ports[0].gen_stats.as_ref().unwrap().borrow().sent_frames;
+    let sent = device.ports[0]
+        .gen_stats
+        .as_ref()
+        .unwrap()
+        .borrow()
+        .sent_frames;
     let capture = device.ports[1].capture.borrow();
     let latencies = latencies_from_capture(&capture, StampConfig::DEFAULT_OFFSET);
     println!("sent     : {sent} frames");

@@ -20,10 +20,7 @@ fn four_port_ring_conserves_every_frame() {
     let mut b = SimBuilder::new();
     let frame_for = |src: u8, dst: u8| {
         PacketBuilder::ethernet(MacAddr::local(src), MacAddr::local(dst))
-            .ipv4(
-                Ipv4Addr::new(10, 0, 0, src),
-                Ipv4Addr::new(10, 0, 0, dst),
-            )
+            .ipv4(Ipv4Addr::new(10, 0, 0, src), Ipv4Addr::new(10, 0, 0, dst))
             .udp(5000 + src as u16, 9000 + dst as u16)
             .pad_to_frame(512)
             .build()

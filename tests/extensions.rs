@@ -25,9 +25,7 @@ fn tester_measures_impaired_link_loss_with_sequence_tags() {
             gps: None,
             ports: vec![
                 PortRole::generator(
-                    Box::new(
-                        FixedTemplate::new(FixedTemplate::udp_frame(256)).with_sequence_tag(),
-                    ),
+                    Box::new(FixedTemplate::new(FixedTemplate::udp_frame(256)).with_sequence_tag()),
                     GenConfig {
                         schedule: Schedule::ConstantPps(1_000_000.0),
                         count: Some(n_frames),
@@ -116,7 +114,11 @@ fn impairment_jitter_inflates_measured_latency_spread() {
     };
     let clean = run(0);
     let jittered = run(50);
-    assert!(clean.stddev_ns < 10.0, "clean path stddev {}", clean.stddev_ns);
+    assert!(
+        clean.stddev_ns < 10.0,
+        "clean path stddev {}",
+        clean.stddev_ns
+    );
     assert!(
         jittered.stddev_ns > 1_000.0,
         "jittered path stddev {}",
@@ -128,12 +130,8 @@ fn impairment_jitter_inflates_measured_latency_spread() {
 #[test]
 fn echo_rtt_inflates_during_flow_mod_burst() {
     // 40 echoes every 500 µs; a 100-rule burst at t = 10 ms.
-    let (module, state) = EchoLoadModule::new(
-        40,
-        SimDuration::from_us(500),
-        SimTime::from_ms(10),
-        100,
-    );
+    let (module, state) =
+        EchoLoadModule::new(40, SimDuration::from_us(500), SimTime::from_ms(10), 100);
     let spec = TestbedSpec {
         switch: OfSwitchConfig::default(),
         probe: Some((

@@ -27,7 +27,10 @@ fn part_one_legacy_switch_latency_curve() {
         medians.push(r.latency.expect("samples").p50_ns);
     }
     for w in medians.windows(2) {
-        assert!(w[1] >= w[0], "latency must not decrease with load: {medians:?}");
+        assert!(
+            w[1] >= w[0],
+            "latency must not decrease with load: {medians:?}"
+        );
     }
     assert!(
         medians[3] > medians[0] * 3.0,
@@ -87,7 +90,10 @@ fn part_two_openflow_insertion_measured_on_both_planes() {
     let barrier = report.barrier_latency.expect("barrier");
     let max_act = report.max_activation().expect("activations");
     assert_eq!(report.never_activated(), 0);
-    assert!(max_act > barrier, "data plane must lag the dishonest barrier");
+    assert!(
+        max_act > barrier,
+        "data plane must lag the dishonest barrier"
+    );
     // Growth with batch size: run n=5 for comparison.
     let (module5, state5) = AddLatencyModule::new(5, SimTime::from_ms(10));
     let spec5 = TestbedSpec {

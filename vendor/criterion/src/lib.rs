@@ -1,0 +1,255 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of the Criterion API the OSNT-rs benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `throughput` / `sample_size`, `Bencher::iter`,
+//! `black_box`) on top of a simple but honest wall-clock harness:
+//!
+//! * each benchmark is warmed up, then timed over enough iterations to
+//!   fill a measurement window (`--quick` shrinks the window for CI);
+//! * results print as `time/iter` plus derived element / byte throughput;
+//! * a machine-readable line (`BENCH_JSON {...}`) is emitted per
+//!   benchmark so harness scripts can scrape numbers without parsing the
+//!   human text.
+//!
+//! There is no statistical engine (no outlier analysis, no regression
+//! detection) — numbers are mean wall-clock per iteration over the
+//! window, which is exactly what the repo's perf-trajectory tracking
+//! consumes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that defeats constant folding, same
+/// contract as `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark: how much work one iteration
+/// represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{p}", name.into()),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(b: BenchmarkId) -> String {
+        b.id
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Harness configuration plus result sink. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --quick` (and CI) shrink the window.
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            measurement_window: if quick {
+                Duration::from_millis(60)
+            } else {
+                Duration::from_millis(400)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        run_bench(&id, None, self.measurement_window, f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            window: self.measurement_window,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    window: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate how much work one iteration of subsequent benches does.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes its own window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or grow the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.window = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.throughput, self.window, f);
+    }
+
+    /// Run one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<String>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, tp: Option<Throughput>, window: Duration, mut f: F) {
+    // Calibration: run single iterations until we know roughly how long
+    // one takes, then choose an iteration count that fills the window.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let warm_target = window / 4;
+    // Warm up for ~1/4 window.
+    let warm_iters =
+        ((warm_target.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(1, 1 << 20);
+    b.iters = warm_iters;
+    f(&mut b);
+    per_iter = (b.elapsed / warm_iters.max(1) as u32).max(Duration::from_nanos(1));
+    // Measure over the window.
+    let iters = ((window.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(1, 1 << 24);
+    b.iters = iters;
+    f(&mut b);
+    let total = b.elapsed;
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    let mut line = format!(
+        "{id:<44} time: {:>12}/iter  ({iters} iters)",
+        fmt_ns(mean_ns)
+    );
+    let mut json_extra = String::new();
+    match tp {
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 * 1e9 / mean_ns;
+            line.push_str(&format!("  thrpt: {:>12}", fmt_rate(eps, "elem/s")));
+            json_extra = format!(",\"elements_per_iter\":{n},\"elements_per_sec\":{eps:.1}");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bps = n as f64 * 1e9 / mean_ns;
+            line.push_str(&format!("  thrpt: {:>12}", fmt_rate(bps, "B/s")));
+            json_extra = format!(",\"bytes_per_iter\":{n},\"bytes_per_sec\":{bps:.1}");
+        }
+        None => {}
+    }
+    println!("{line}");
+    println!("BENCH_JSON {{\"id\":\"{id}\",\"mean_ns_per_iter\":{mean_ns:.1}{json_extra}}}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} k{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
