@@ -32,7 +32,9 @@ fn main() {
             warmup: SimDuration::from_ms(8),
             ..LatencyExperiment::default()
         };
-        let r = exp.run_legacy(LegacyConfig::default());
+        let r = exp
+            .run_legacy(LegacyConfig::default())
+            .expect("statically valid experiment");
         match r.latency {
             Some(s) => table.row([
                 format!("{:.0}", load * 100.0),
@@ -73,7 +75,8 @@ fn main() {
                 ..LatencyExperiment::default()
             };
             exp.run_legacy(cfg)
-                .latency
+                .ok()
+                .and_then(|r| r.latency)
                 .map(|s| s.p50_ns)
                 .unwrap_or(f64::NAN)
         };

@@ -33,7 +33,9 @@ fn main() {
         seed: 11,
         ..LatencyExperiment::default()
     };
-    let r = exp.run_legacy(LegacyConfig::default());
+    let r = exp
+        .run_legacy(LegacyConfig::default())
+        .expect("statically valid experiment");
     let hw = r.latency.expect("hardware-stamp summary");
 
     // Ground truth and software view share the hw run's true latencies:
@@ -43,7 +45,9 @@ fn main() {
         clock_model: DriftModel::ideal(),
         ..exp.clone()
     };
-    let rt = exp_truth.run_legacy(LegacyConfig::default());
+    let rt = exp_truth
+        .run_legacy(LegacyConfig::default())
+        .expect("statically valid experiment");
     let truth = rt.latency.expect("ground truth summary");
 
     // Software tester: true latency + TX-side and RX-side host noise.

@@ -83,7 +83,9 @@ pub fn latency(args: &Args) -> Result<(), UsageError> {
         warmup: SimDuration::from_ms(ms / 4),
         ..LatencyExperiment::default()
     };
-    let r = exp.run_legacy(LegacyConfig::default());
+    let r = exp
+        .run_legacy(LegacyConfig::default())
+        .map_err(|e| UsageError(e.to_string()))?;
     println!(
         "probe: sent {}  captured {}  loss {:.3}%",
         r.probe_sent,
@@ -239,7 +241,9 @@ pub fn throughput(args: &Args) -> Result<(), UsageError> {
         resolution,
         ..ThroughputSearch::default()
     };
-    let r = search.run_legacy(&LegacyConfig::default());
+    let r = search
+        .run_legacy(&LegacyConfig::default())
+        .map_err(|e| UsageError(e.to_string()))?;
     println!(
         "frame {} B: zero-loss throughput {:.1}% of line rate ({} trials; loss one step above: {:.3}%)",
         r.frame_len,

@@ -4,7 +4,7 @@ use osnt_gen::{GenConfig, GenStats, GeneratorPort, Workload};
 use osnt_mon::{CaptureBuffer, MonConfig, MonStats, MonitorPort};
 use osnt_netsim::{Component, ComponentId, Kernel, SimBuilder};
 use osnt_packet::Packet;
-use osnt_time::{DriftModel, GpsDiscipline, HwClock, ServoGains, SimDuration};
+use osnt_time::{DriftModel, GpsDiscipline, GpsSignal, HwClock, ServoGains, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -49,6 +49,10 @@ pub struct DeviceConfig {
     pub clock_seed: u64,
     /// GPS discipline for the clock (`None` = free-running).
     pub gps: Option<ServoGains>,
+    /// GPS fix availability. Outage windows put the discipline into
+    /// holdover (frozen trim, free-running phase). Ignored when `gps`
+    /// is `None`.
+    pub gps_signal: GpsSignal,
     /// The four port roles.
     pub ports: Vec<PortRole>,
 }
@@ -60,6 +64,7 @@ impl DeviceConfig {
             clock_model: DriftModel::ideal(),
             clock_seed: 0,
             gps: None,
+            gps_signal: GpsSignal::always_on(),
             ports: (0..4).map(|_| PortRole::monitor_only()).collect(),
         }
     }
@@ -84,6 +89,9 @@ pub struct OsntDevice {
     pub ports: Vec<PortHandle>,
     /// The card's hardware clock (shared by all ports).
     pub clock: Rc<RefCell<HwClock>>,
+    /// The GPS discipline (`None` when the card runs free). Read it for
+    /// lock/holdover state and missed-pulse accounting.
+    pub gps: Option<Rc<RefCell<GpsDiscipline>>>,
 }
 
 impl OsntDevice {
@@ -115,14 +123,17 @@ impl OsntDevice {
                 mon_stats,
             });
         }
-        if let Some(gains) = config.gps {
-            let gps = GpsReceiver {
+        let gps = config.gps.map(|gains| {
+            let discipline = Rc::new(RefCell::new(GpsDiscipline::new(gains)));
+            let receiver = GpsReceiver {
                 clock: clock.clone(),
-                discipline: GpsDiscipline::new(gains),
+                discipline: discipline.clone(),
+                signal: config.gps_signal,
             };
-            builder.add_component("gps-receiver", Box::new(gps), 0);
-        }
-        OsntDevice { ports, clock }
+            builder.add_component("gps-receiver", Box::new(receiver), 0);
+            discipline
+        });
+        OsntDevice { ports, clock, gps }
     }
 }
 
@@ -154,10 +165,13 @@ impl Component for CardPort {
     }
 }
 
-/// Pulses the card clock's PPS discipline once per simulated second.
+/// Pulses the card clock's PPS discipline once per simulated second,
+/// or reports the pulse missed while the GPS signal has no fix (the
+/// discipline then coasts in holdover on its frozen trim).
 struct GpsReceiver {
     clock: Rc<RefCell<HwClock>>,
-    discipline: GpsDiscipline,
+    discipline: Rc<RefCell<GpsDiscipline>>,
+    signal: GpsSignal,
 }
 
 const TAG_PPS: u64 = 0x6b5;
@@ -171,8 +185,13 @@ impl Component for GpsReceiver {
 
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
         debug_assert_eq!(tag, TAG_PPS);
-        self.discipline
-            .on_pps(&mut self.clock.borrow_mut(), kernel.now());
+        let now = kernel.now();
+        let mut disc = self.discipline.borrow_mut();
+        if self.signal.has_fix(now) {
+            disc.on_pps(&mut self.clock.borrow_mut(), now);
+        } else {
+            disc.on_pps_missed(&mut self.clock.borrow_mut(), now);
+        }
         kernel.schedule_timer(me, SimDuration::from_secs(1), TAG_PPS);
     }
 
@@ -210,6 +229,7 @@ mod tests {
                 clock_model: DriftModel::ideal(),
                 clock_seed: 1,
                 gps: None,
+                gps_signal: GpsSignal::always_on(),
                 ports: vec![
                     PortRole::generator(
                         Box::new(FixedTemplate::new(FixedTemplate::udp_frame(512))),
@@ -249,6 +269,7 @@ mod tests {
                 clock_model: DriftModel::commodity_xo(),
                 clock_seed: 5,
                 gps: Some(ServoGains::default()),
+                gps_signal: GpsSignal::always_on(),
                 ports: vec![PortRole::monitor_only()],
             },
         );
@@ -260,6 +281,34 @@ mod tests {
     }
 
     #[test]
+    fn gps_outage_puts_device_clock_into_holdover() {
+        use osnt_time::{DisciplineState, SimDuration};
+        let mut b = SimBuilder::new();
+        let device = OsntDevice::install(
+            &mut b,
+            DeviceConfig {
+                clock_model: DriftModel::commodity_xo(),
+                clock_seed: 5,
+                gps: Some(ServoGains::default()),
+                gps_signal: GpsSignal::outage(SimTime::from_secs(30), SimDuration::from_secs(10)),
+                ports: vec![PortRole::monitor_only()],
+            },
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ps(35 * osnt_time::PS_PER_SEC + 1));
+        let gps = device.gps.as_ref().expect("gps enabled");
+        assert_eq!(gps.borrow().state(), DisciplineState::Holdover);
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(gps.borrow().state(), DisciplineState::Locked);
+        assert_eq!(gps.borrow().pulses_missed(), 10);
+        assert_eq!(gps.borrow().holdover_entries(), 1);
+        // Held through the outage: still sub-5µs despite 10 s without
+        // pulses on an 18 ppm oscillator (free-run would be ~180 µs).
+        let off = device.clock.borrow().offset_ps().abs();
+        assert!(off < 5e6, "offset after outage {off} ps");
+    }
+
+    #[test]
     fn free_running_clock_drifts() {
         let mut b = SimBuilder::new();
         let device = OsntDevice::install(
@@ -268,6 +317,7 @@ mod tests {
                 clock_model: DriftModel::commodity_xo(),
                 clock_seed: 5,
                 gps: None,
+                gps_signal: GpsSignal::always_on(),
                 ports: vec![PortRole::monitor_only()],
             },
         );

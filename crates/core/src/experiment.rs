@@ -16,11 +16,14 @@
 
 use crate::device::{DeviceConfig, OsntDevice, PortRole};
 use crate::latency::{latencies_from_capture, Summary};
+use osnt_error::OsntError;
 use osnt_gen::txstamp::StampConfig;
 use osnt_gen::workload::FixedTemplate;
 use osnt_gen::{GenConfig, Schedule};
 use osnt_mon::{FilterAction, FilterTable, HostPathConfig, MonConfig};
-use osnt_netsim::{Component, ComponentId, LinkSpec, SimBuilder};
+use osnt_netsim::{
+    Component, ComponentId, FaultConfig, FaultStats, FaultyLink, LinkSpec, SimBuilder,
+};
 use osnt_packet::{MacAddr, PacketBuilder, WildcardRule};
 use osnt_switch::{LegacyConfig, LegacySwitch};
 use osnt_time::{DriftModel, SimDuration, SimTime};
@@ -61,6 +64,10 @@ pub struct LatencyExperiment {
     pub clock_model: DriftModel,
     /// Clock noise seed.
     pub seed: u64,
+    /// Fault injection on the probe path (`None` = clean wire). The
+    /// run still completes: losses, duplicates and corruption show up
+    /// in the report's fault accounting instead of aborting anything.
+    pub probe_faults: Option<FaultConfig>,
 }
 
 impl Default for LatencyExperiment {
@@ -73,6 +80,7 @@ impl Default for LatencyExperiment {
             warmup: SimDuration::from_ms(5),
             clock_model: DriftModel::ideal(),
             seed: 1,
+            probe_faults: None,
         }
     }
 }
@@ -92,14 +100,75 @@ pub struct LatencyReport {
     pub background_sent: u64,
     /// Latency summary (`None` when nothing survived).
     pub latency: Option<Summary>,
+    /// Probe frames the generator's own MAC refused (output buffer
+    /// full — only possible on an oversubscribed probe schedule).
+    pub probe_gen_dropped: u64,
+    /// Captured frames discarded at the monitor MAC for a bad FCS
+    /// (in-flight corruption, see [`FaultConfig::corrupt_probability`]).
+    pub crc_fail: u64,
+    /// Frames the capture filter discarded (by design this includes the
+    /// entire background stream).
+    pub filtered_out: u64,
+    /// Probe frames lost on the capture host path (DMA overload).
+    pub host_drops: u64,
+    /// What the probe-path fault injector did (`None` when the
+    /// experiment scripted no faults).
+    pub fault_stats: Option<FaultStats>,
 }
 
 impl LatencyExperiment {
+    /// Check the configuration without running anything. [`Self::run`]
+    /// calls this first, so a bad config is a typed error before any
+    /// event executes.
+    pub fn validate(&self) -> Result<(), OsntError> {
+        if !(64..=9000).contains(&self.frame_len) {
+            return Err(OsntError::config(
+                "experiment",
+                format!("frame_len {} outside 64..=9000", self.frame_len),
+            ));
+        }
+        if !(self.probe_load > 0.0 && self.probe_load <= 1.0) {
+            return Err(OsntError::config(
+                "experiment",
+                format!("probe_load {} outside (0, 1]", self.probe_load),
+            ));
+        }
+        if !(0.0..=2.0).contains(&self.background_load) {
+            return Err(OsntError::config(
+                "experiment",
+                format!("background_load {} outside [0, 2]", self.background_load),
+            ));
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(OsntError::config("experiment", "duration is zero"));
+        }
+        if self.warmup >= self.duration {
+            return Err(OsntError::config(
+                "experiment",
+                format!(
+                    "warmup {} swallows the whole {} window",
+                    self.warmup, self.duration
+                ),
+            ));
+        }
+        if let Some(faults) = &self.probe_faults {
+            faults.validate()?;
+        }
+        Ok(())
+    }
+
     /// Run against a device under test installed by `attach`.
-    pub fn run<F>(&self, attach: F) -> LatencyReport
+    ///
+    /// Injected faults never abort a run: losses, corruption and
+    /// duplicates are accounted in the report (a *partial* result, with
+    /// `latency: None` only when no sample survived). `Err` is reserved
+    /// for invalid configurations and runs that produced no probe
+    /// traffic at all.
+    pub fn run<F>(&self, attach: F) -> Result<LatencyReport, OsntError>
     where
         F: FnOnce(&mut SimBuilder) -> DutAttachment,
     {
+        self.validate()?;
         let start_at = SimTime::from_ms(1);
         let mut b = SimBuilder::new();
         let dut = attach(&mut b);
@@ -195,16 +264,30 @@ impl LatencyExperiment {
                 clock_model: self.clock_model.clone(),
                 clock_seed: self.seed,
                 gps: None,
+                gps_signal: osnt_time::GpsSignal::always_on(),
                 ports,
             },
         );
-        b.connect(
-            device.ports[0].id,
-            0,
-            dut.id,
-            dut.probe_in,
-            LinkSpec::ten_gig(),
-        );
+        // Probe path: direct, or through the fault injector.
+        let probe_fault_stats = match &self.probe_faults {
+            Some(cfg) => {
+                let (link, stats) = FaultyLink::new(cfg.clone())?;
+                let fl = b.add_component("probe-faults", Box::new(link), 2);
+                b.connect(device.ports[0].id, 0, fl, 0, LinkSpec::ten_gig());
+                b.connect(fl, 1, dut.id, dut.probe_in, LinkSpec::ten_gig());
+                Some(stats)
+            }
+            None => {
+                b.connect(
+                    device.ports[0].id,
+                    0,
+                    dut.id,
+                    dut.probe_in,
+                    LinkSpec::ten_gig(),
+                );
+                None
+            }
+        };
         b.connect(device.ports[1].id, 0, dut.id, dut.out, LinkSpec::ten_gig());
         if n_ports > 2 {
             b.connect(
@@ -220,12 +303,20 @@ impl LatencyExperiment {
         // Run to the end of generation plus drain time.
         sim.run_until(stop_at + SimDuration::from_ms(10));
 
-        let probe_sent = device.ports[0]
+        let probe_gen = device.ports[0]
             .gen_stats
             .as_ref()
-            .expect("probe port generates")
-            .borrow()
-            .sent_frames;
+            .ok_or_else(|| OsntError::config("experiment", "probe port is not a generator"))?;
+        let (probe_sent, probe_gen_dropped) = {
+            let g = probe_gen.borrow();
+            if g.not_connected {
+                return Err(OsntError::NotConnected {
+                    component: "probe generator".into(),
+                    port: 0,
+                });
+            }
+            (g.sent_frames, g.dropped)
+        };
         let capture = device.ports[1].capture.borrow();
         // Discard warm-up samples.
         let cutoff = start_at + self.warmup;
@@ -245,27 +336,43 @@ impl LatencyExperiment {
             .and_then(|p| p.gen_stats.as_ref())
             .map(|s| s.borrow().sent_frames)
             .unwrap_or(0);
-        LatencyReport {
+        if probe_sent == 0 || received_all == 0 {
+            // Nothing generated, or every probe died in flight: even a
+            // partial report would carry no measurement.
+            return Err(OsntError::NoSamples {
+                context: "latency experiment",
+            });
+        }
+        let mon = device.ports[1].mon_stats.borrow();
+        Ok(LatencyReport {
             background_load: self.background_load,
             probe_sent,
             background_sent,
             probe_received: received_all,
-            loss: if probe_sent > 0 {
-                1.0 - received_all as f64 / probe_sent as f64
-            } else {
-                0.0
-            },
+            loss: 1.0 - received_all as f64 / probe_sent as f64,
             latency: Summary::from_durations(&lat),
-        }
+            probe_gen_dropped,
+            crc_fail: mon.crc_fail,
+            filtered_out: mon.filtered_out,
+            host_drops: mon.host_drops,
+            fault_stats: probe_fault_stats.map(|s| *s.borrow()),
+        })
     }
 
     /// Run against a fresh legacy switch (the demo Part I device).
-    pub fn run_legacy(&self, cfg: LegacyConfig) -> LatencyReport {
+    pub fn run_legacy(&self, cfg: LegacyConfig) -> Result<LatencyReport, OsntError> {
+        if cfg.n_ports < 3 {
+            return Err(OsntError::config(
+                "experiment",
+                format!(
+                    "legacy switch needs probe-in, bg-in and out ports; n_ports = {}",
+                    cfg.n_ports
+                ),
+            ));
+        }
         self.run(|b| {
-            let n = cfg.n_ports;
-            assert!(n >= 3, "need probe-in, bg-in and out ports");
             let sw = LegacySwitch::new(cfg.clone());
-            let id = b.add_component("legacy-dut", Box::new(sw), n);
+            let id = b.add_component("legacy-dut", Box::new(sw), cfg.n_ports);
             DutAttachment {
                 id,
                 probe_in: 0,
@@ -277,7 +384,17 @@ impl LatencyExperiment {
 
     /// Run against any boxed DUT component with `n_ports ≥ 3` wired as
     /// (0 = probe in, 2 = background in, 1 = out).
-    pub fn run_boxed(&self, dut: Box<dyn Component>, n_ports: usize) -> LatencyReport {
+    pub fn run_boxed(
+        &self,
+        dut: Box<dyn Component>,
+        n_ports: usize,
+    ) -> Result<LatencyReport, OsntError> {
+        if n_ports < 3 {
+            return Err(OsntError::config(
+                "experiment",
+                format!("DUT needs probe-in, bg-in and out ports; n_ports = {n_ports}"),
+            ));
+        }
         self.run(|b| {
             let id = b.add_component("dut", dut, n_ports);
             DutAttachment {
@@ -297,7 +414,7 @@ mod tests {
     #[test]
     fn unloaded_switch_has_flat_low_latency() {
         let exp = LatencyExperiment::default();
-        let report = exp.run_legacy(LegacyConfig::default());
+        let report = exp.run_legacy(LegacyConfig::default()).expect("valid run");
         assert!(report.probe_sent > 100);
         assert_eq!(report.loss, 0.0, "no loss expected unloaded");
         let s = report.latency.expect("samples");
@@ -321,7 +438,7 @@ mod tests {
                 warmup: SimDuration::from_ms(2),
                 ..LatencyExperiment::default()
             };
-            let r = exp.run_legacy(LegacyConfig::default());
+            let r = exp.run_legacy(LegacyConfig::default()).expect("valid run");
             r.latency.expect("samples").p50_ns
         };
         let idle = at(0.0);
@@ -353,10 +470,113 @@ mod tests {
             warmup: SimDuration::from_ms(5),
             ..LatencyExperiment::default()
         };
+        let r = exp
+            .run_legacy(LegacyConfig {
+                output_buffer_bytes: 64 * 1024,
+                ..LegacyConfig::default()
+            })
+            .expect("valid run");
+        assert!(r.loss > 0.0, "expected loss, got {}", r.loss);
+    }
+
+    #[test]
+    fn bursty_probe_faults_yield_partial_results_with_accounting() {
+        use osnt_netsim::{GilbertElliott, LossModel};
+        let exp = LatencyExperiment {
+            probe_faults: Some(FaultConfig {
+                loss: LossModel::GilbertElliott(GilbertElliott::bursty(0.02, 8.0)),
+                ..FaultConfig::default()
+            }),
+            ..LatencyExperiment::default()
+        };
+        let r = exp
+            .run_legacy(LegacyConfig::default())
+            .expect("faults degrade the result, they must not abort it");
+        let f = r.fault_stats.expect("fault tally present");
+        assert!(f.dropped > 0, "the bursty channel must have bitten");
+        assert!(r.loss > 0.0);
+        assert!(r.latency.is_some(), "survivors are still summarised");
+        // Exact loss accounting: every probe frame either died on the
+        // faulty wire or reached the capture buffer.
+        assert_eq!(r.probe_received as u64, r.probe_sent - f.dropped);
+    }
+
+    #[test]
+    fn corrupt_probe_frames_surface_as_crc_failures() {
+        let exp = LatencyExperiment {
+            probe_faults: Some(FaultConfig {
+                corrupt_probability: 0.2,
+                ..FaultConfig::default()
+            }),
+            ..LatencyExperiment::default()
+        };
+        let r = exp.run_legacy(LegacyConfig::default()).expect("valid run");
+        let f = r.fault_stats.expect("fault tally present");
+        assert!(f.corrupted > 0);
+        assert!(r.crc_fail > 0, "corruption must be visible as CRC failures");
+        // Corrupted frames are forwarded by the DUT but rejected at the
+        // monitor MAC, so they are exactly the capture-side shortfall.
+        assert_eq!(r.probe_received as u64 + r.crc_fail, r.probe_sent);
+        assert!(r.latency.is_some());
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors_not_panics() {
+        let bad_load = LatencyExperiment {
+            probe_load: 0.0,
+            ..LatencyExperiment::default()
+        };
+        assert!(matches!(
+            bad_load.run_legacy(LegacyConfig::default()),
+            Err(OsntError::Config { .. })
+        ));
+        let bad_warmup = LatencyExperiment {
+            warmup: SimDuration::from_ms(30),
+            ..LatencyExperiment::default()
+        };
+        assert!(matches!(
+            bad_warmup.run_legacy(LegacyConfig::default()),
+            Err(OsntError::Config { .. })
+        ));
+        let bad_faults = LatencyExperiment {
+            probe_faults: Some(FaultConfig {
+                duplicate_probability: 1.5,
+                ..FaultConfig::default()
+            }),
+            ..LatencyExperiment::default()
+        };
+        assert!(matches!(
+            bad_faults.run_legacy(LegacyConfig::default()),
+            Err(OsntError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_dut_ports_is_a_typed_error_not_an_assert() {
+        let exp = LatencyExperiment::default();
         let r = exp.run_legacy(LegacyConfig {
-            output_buffer_bytes: 64 * 1024,
+            n_ports: 2,
             ..LegacyConfig::default()
         });
-        assert!(r.loss > 0.0, "expected loss, got {}", r.loss);
+        assert!(matches!(r, Err(OsntError::Config { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn total_probe_loss_is_no_samples_not_a_phantom_report() {
+        // A wire that eats every frame leaves nothing to summarise —
+        // that is the one run-time fault class reported as an error
+        // instead of a partial result.
+        use osnt_netsim::LossModel;
+        let exp = LatencyExperiment {
+            probe_faults: Some(FaultConfig {
+                loss: LossModel::Uniform { probability: 1.0 },
+                ..FaultConfig::default()
+            }),
+            ..LatencyExperiment::default()
+        };
+        assert!(matches!(
+            exp.run_legacy(LegacyConfig::default()),
+            Err(OsntError::NoSamples { .. })
+        ));
     }
 }

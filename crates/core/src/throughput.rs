@@ -8,6 +8,7 @@
 //! topology.
 
 use crate::experiment::LatencyExperiment;
+use osnt_error::OsntError;
 use osnt_switch::LegacyConfig;
 use osnt_time::SimDuration;
 
@@ -56,7 +57,7 @@ pub struct ThroughputResult {
 
 impl ThroughputSearch {
     /// Run one trial at `load`; returns the probe loss fraction.
-    fn trial_loss(&self, load: f64, cfg: &LegacyConfig) -> f64 {
+    fn trial_loss(&self, load: f64, cfg: &LegacyConfig) -> Result<f64, OsntError> {
         let exp = LatencyExperiment {
             frame_len: self.frame_len,
             background_load: load,
@@ -64,27 +65,29 @@ impl ThroughputSearch {
             warmup: self.warmup,
             ..LatencyExperiment::default()
         };
-        exp.run_legacy(cfg.clone()).loss
+        Ok(exp.run_legacy(cfg.clone())?.loss)
     }
 
-    /// Binary-search the zero-loss throughput of a legacy switch.
-    pub fn run_legacy(&self, cfg: &LegacyConfig) -> ThroughputResult {
+    /// Binary-search the zero-loss throughput of a legacy switch. Fails
+    /// (typed) on an invalid search or switch configuration; individual
+    /// lossy trials are the measurement, not an error.
+    pub fn run_legacy(&self, cfg: &LegacyConfig) -> Result<ThroughputResult, OsntError> {
         let mut lo = 0.0f64; // known lossless
         let mut hi = self.max_load; // known (or assumed) lossy
         let mut trials = 0u32;
-        let mut loss_at_hi = self.trial_loss(hi, cfg);
+        let mut loss_at_hi = self.trial_loss(hi, cfg)?;
         trials += 1;
         if loss_at_hi == 0.0 {
-            return ThroughputResult {
+            return Ok(ThroughputResult {
                 frame_len: self.frame_len,
                 zero_loss_load: hi,
                 loss_above: 0.0,
                 trials,
-            };
+            });
         }
         while hi - lo > self.resolution {
             let mid = (lo + hi) / 2.0;
-            let loss = self.trial_loss(mid, cfg);
+            let loss = self.trial_loss(mid, cfg)?;
             trials += 1;
             if loss == 0.0 {
                 lo = mid;
@@ -93,12 +96,12 @@ impl ThroughputSearch {
                 loss_at_hi = loss;
             }
         }
-        ThroughputResult {
+        Ok(ThroughputResult {
             frame_len: self.frame_len,
             zero_loss_load: lo,
             loss_above: loss_at_hi,
             trials,
-        }
+        })
     }
 }
 
@@ -117,10 +120,12 @@ mod tests {
             warmup: SimDuration::from_ms(3),
             ..ThroughputSearch::default()
         };
-        let result = search.run_legacy(&LegacyConfig {
-            output_buffer_bytes: 32 * 1024,
-            ..LegacyConfig::default()
-        });
+        let result = search
+            .run_legacy(&LegacyConfig {
+                output_buffer_bytes: 32 * 1024,
+                ..LegacyConfig::default()
+            })
+            .expect("valid search");
         assert!(
             result.zero_loss_load > 0.90 && result.zero_loss_load < 1.0,
             "zero-loss load {}",

@@ -62,6 +62,10 @@ pub struct GenStats {
     pub sent_bytes: u64,
     /// Frames the MAC refused (output buffer full).
     pub dropped: u64,
+    /// Set when the port discovered its wire goes nowhere: generation
+    /// stopped gracefully instead of panicking, and the harness can
+    /// surface the miswiring as [`osnt_error::OsntError::NotConnected`].
+    pub not_connected: bool,
     /// First frame's wire-start instant.
     pub first_tx: Option<SimTime>,
     /// Latest frame's wire-start instant.
@@ -235,7 +239,10 @@ impl GeneratorPort {
             if record { Some(&mut starts) } else { None },
         );
         if r.not_connected {
-            panic!("generator port is not wired to anything");
+            // Miswired harness: stop generating (no timer re-arm) and
+            // flag it, rather than unwinding the whole simulation.
+            self.stats.borrow_mut().not_connected = true;
+            return;
         }
         {
             let mut s = self.stats.borrow_mut();
@@ -304,7 +311,10 @@ impl Component for GeneratorPort {
                 self.stats.borrow_mut().dropped += 1;
             }
             TxResult::NotConnected => {
-                panic!("generator port is not wired to anything");
+                // Miswired harness: stop generating (no timer re-arm)
+                // and flag it, rather than unwinding the simulation.
+                self.stats.borrow_mut().not_connected = true;
+                return;
             }
         }
         self.seq += 1;
@@ -500,6 +510,31 @@ mod tests {
             (pps - 812_743.8).abs() < 5.0,
             "achieved {pps} pps for 1518B frames"
         );
+    }
+
+    #[test]
+    fn unwired_port_stops_gracefully_instead_of_panicking() {
+        // A generator whose port is never connected must not unwind the
+        // simulation: it flags the miswiring and stops offering frames.
+        for batch in [1u64, 32] {
+            let clock = Rc::new(RefCell::new(HwClock::ideal()));
+            let (port, stats) = GeneratorPort::new(
+                Box::new(FixedTemplate::new(FixedTemplate::udp_frame(64))),
+                GenConfig {
+                    count: Some(100),
+                    batch,
+                    ..GenConfig::default()
+                },
+                clock,
+            );
+            let mut b = SimBuilder::new();
+            b.add_component("gen", Box::new(port), 1);
+            let mut sim = b.build();
+            sim.run_to_quiescence(10_000);
+            let s = stats.borrow();
+            assert!(s.not_connected, "miswiring must be flagged (batch {batch})");
+            assert_eq!(s.sent_frames, 0);
+        }
     }
 
     #[test]

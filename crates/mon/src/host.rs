@@ -178,6 +178,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_size_buffer_drops_everything_gracefully() {
+        // A dead capture buffer is a degraded configuration, not a
+        // crash: every offer is a counted drop.
+        let mut h = HostPath::new(cfg(8_000_000_000, 0));
+        for i in 0..1000u64 {
+            assert!(!h.admit(SimTime::from_us(i), 64));
+        }
+        assert_eq!(h.dropped, 1000);
+        assert_eq!(h.delivered, 0);
+        assert_eq!(h.backlog_bits(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn overhead_larger_than_the_packet_is_still_charged() {
+        // Descriptor overhead dominating tiny frames must not underflow
+        // or sneak past the buffer bound.
+        let mut h = HostPath::new(HostPathConfig {
+            dma_bps: 1,
+            buffer_bytes: 1_000,
+            per_packet_overhead: 600,
+        });
+        assert!(h.admit(SimTime::ZERO, 1)); // 601 bytes charged
+        assert!(!h.admit(SimTime::ZERO, 1)); // 1202 > 1000
+        assert_eq!(h.delivered_bytes, 601);
+        assert_eq!(h.dropped, 1);
+    }
+
+    #[test]
+    fn exact_fill_boundary_admits_then_rejects() {
+        // A packet that fills the buffer to exactly its capacity fits;
+        // one more bit does not.
+        let mut h = HostPath::new(cfg(1, 1_000));
+        assert!(h.admit(SimTime::ZERO, 1_000), "exact fill must be admitted");
+        assert!(!h.admit(SimTime::ZERO, 1), "the buffer is now full");
+        assert_eq!(h.dropped, 1);
+    }
+
+    #[test]
     fn unlimited_never_drops() {
         let mut h = HostPath::new(HostPathConfig::unlimited());
         for i in 0..100_000u64 {

@@ -35,6 +35,25 @@ impl Default for MonConfig {
     }
 }
 
+impl MonConfig {
+    /// Check the configuration. A degenerate host path (zero-size
+    /// buffer, dead DMA) is *valid* — it degrades to counted drops, see
+    /// [`crate::HostPath`] — but a snap length that cannot keep the
+    /// Ethernet header would make every capture unparseable, which is
+    /// never what a measurement wants.
+    pub fn validate(&self) -> Result<(), osnt_error::OsntError> {
+        if let Some(snap) = self.thin.snap_len {
+            if snap < 14 {
+                return Err(osnt_error::OsntError::config(
+                    "monitor",
+                    format!("snap_len {snap} cannot keep the 14-byte Ethernet header"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A monitoring port of the OSNT card. Frames arriving on any of its
 /// simulated ports are stamped, filtered, thinned, pushed through the
 /// loss-limited host path and — if they survive — appended to the shared
@@ -101,19 +120,25 @@ impl Component for MonitorPort {
         if let Some(rates) = &self.rates {
             rates.borrow_mut().record(now, packet.frame_len());
         }
-        // 2. Wildcard filters (hardware: per-packet at line rate).
+        // 2. FCS check at the MAC: corrupted frames are counted, never
+        // delivered (the fault-injection layer clears `fcs_ok`).
+        if !packet.fcs_ok() {
+            self.stats.borrow_mut().crc_fail += 1;
+            return;
+        }
+        // 3. Wildcard filters (hardware: per-packet at line rate).
         let action = self.filter.classify(&packet.parse());
         if action == FilterAction::Drop {
             self.stats.borrow_mut().filtered_out += 1;
             return;
         }
-        // 3. Thinning: cut + hash.
+        // 4. Thinning: cut + hash.
         let before_len = packet.len();
         let thinned = self.thinner.process(packet);
         if thinned.packet.len() < before_len {
             self.stats.borrow_mut().thinned += 1;
         }
-        // 4. The loss-limited host path.
+        // 5. The loss-limited host path.
         let captured_bytes = thinned.packet.len();
         if !self.host.admit(now, captured_bytes) {
             self.stats.borrow_mut().host_drops += 1;
@@ -328,6 +353,65 @@ mod tests {
         assert!((w.pps() - 100_000.0).abs() < 1e-6);
         assert!((w.bps() - 409_600_000.0).abs() < 1e-3);
         assert!(est.pps().unwrap() > 90_000.0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_not_captured() {
+        use osnt_netsim::{Component, ComponentId, Kernel};
+        /// Sends alternating clean/corrupt copies of one frame.
+        struct CorruptingSource {
+            n: usize,
+        }
+        impl Component for CorruptingSource {
+            fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+                for i in 0..self.n {
+                    k.schedule_timer(me, osnt_time::SimDuration::from_us(i as u64), i as u64);
+                }
+            }
+            fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, tag: u64) {
+                let mut p = FixedTemplate::udp_frame(128);
+                if tag % 2 == 1 {
+                    p.flip_bit(tag as usize * 131);
+                }
+                let _ = k.transmit(me, 0, p);
+            }
+            fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {}
+        }
+        let clock = Rc::new(RefCell::new(HwClock::ideal()));
+        let (mon, buffer, stats) = MonitorPort::new(
+            MonConfig {
+                host: HostPathConfig::unlimited(),
+                ..MonConfig::default()
+            },
+            clock,
+        );
+        let mut b = SimBuilder::new();
+        let src = b.add_component("src", Box::new(CorruptingSource { n: 10 }), 1);
+        let m = b.add_component("mon", Box::new(mon), 1);
+        b.connect(src, 0, m, 0, LinkSpec::ten_gig());
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_ms(1));
+        let s = *stats.borrow();
+        assert_eq!(s.rx_frames, 10, "the MAC sees every frame");
+        assert_eq!(s.crc_fail, 5, "every corrupted copy fails the FCS check");
+        assert_eq!(s.host_frames, 5);
+        assert_eq!(buffer.borrow().len(), 5, "only clean frames are captured");
+        for c in &buffer.borrow().packets {
+            assert!(c.packet.fcs_ok());
+        }
+    }
+
+    #[test]
+    fn header_eating_snap_len_is_a_typed_config_error() {
+        let bad = MonConfig {
+            thin: ThinConfig::cut_with_hash(8),
+            ..MonConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(osnt_error::OsntError::Config { .. })
+        ));
+        assert!(MonConfig::default().validate().is_ok());
     }
 
     #[test]

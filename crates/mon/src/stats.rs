@@ -8,6 +8,10 @@ pub struct MonStats {
     pub rx_frames: u64,
     /// Frame bytes received (conventional length).
     pub rx_bytes: u64,
+    /// Frames whose FCS check failed at the MAC (in-flight corruption).
+    /// Counted and discarded before filtering — corrupt frames are never
+    /// delivered silently.
+    pub crc_fail: u64,
     /// Frames the filter table discarded.
     pub filtered_out: u64,
     /// Frames that were cut by the thinner.
@@ -26,7 +30,9 @@ impl MonStats {
     /// (1.0 when nothing was dropped). `None` before any frame passed
     /// the filter.
     pub fn host_delivery_ratio(&self) -> Option<f64> {
-        let passed = self.rx_frames.checked_sub(self.filtered_out)?;
+        let passed = self
+            .rx_frames
+            .checked_sub(self.filtered_out + self.crc_fail)?;
         if passed == 0 {
             return None;
         }

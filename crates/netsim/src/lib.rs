@@ -60,6 +60,7 @@
 pub mod component;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod impair;
 pub mod kernel;
 pub mod link;
@@ -70,6 +71,7 @@ pub mod wheel;
 
 pub use component::{Component, ComponentId};
 pub use engine::{Sim, SimBuilder};
+pub use fault::{FaultConfig, FaultStats, FaultyLink, GilbertElliott, LossModel};
 pub use impair::{ImpairConfig, Impairment};
 pub use kernel::{BatchTx, Kernel, TxResult};
 pub use link::LinkSpec;

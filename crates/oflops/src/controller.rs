@@ -1,12 +1,24 @@
 //! The controller endpoint and the measurement-module interface.
 
+use osnt_error::OsntError;
 use osnt_netsim::{Component, ComponentId, Kernel};
 use osnt_openflow::Message;
 use osnt_packet::Packet;
 use osnt_switch::{decap_control, encap_control};
 use osnt_time::{SimDuration, SimTime};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
+
+pub(crate) fn validate_probability(name: &str, p: f64) -> Result<(), OsntError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(OsntError::config(
+            "control faults",
+            format!("{name} probability {p} outside [0, 1]"),
+        ));
+    }
+    Ok(())
+}
 
 /// Direction of a logged control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +42,78 @@ pub struct ControlLogEntry {
     pub xid: u32,
 }
 
+/// What went wrong on the control channel. These are *recorded*, not
+/// thrown: measurement modules keep correlating their remaining channels
+/// and the final report carries the error list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlErrorKind {
+    /// A tracked request saw no response within the timeout; the
+    /// controller is retrying (attempt counts the resends so far).
+    Timeout {
+        /// Transaction id of the request.
+        xid: u32,
+        /// Which retry this timeout triggered (1 = first resend).
+        attempt: u32,
+    },
+    /// A tracked request exhausted its retries and was abandoned.
+    GaveUp {
+        /// Transaction id of the abandoned request.
+        xid: u32,
+    },
+    /// A control frame arrived but its OpenFlow payload did not decode
+    /// (truncated read, torn write).
+    Decode {
+        /// Decoder's description of the malformation.
+        reason: String,
+    },
+}
+
+/// One timestamped control-channel failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlError {
+    /// When the controller observed it.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: ControlErrorKind,
+}
+
+/// Per-request timeout and retry budget for tracked sends.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Time to wait for a response before resending. Backoff doubles it
+    /// on every retry.
+    pub timeout: SimDuration,
+    /// Resends allowed after the first attempt before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // The control RTT in the standard testbed is tens of µs; 50 ms
+        // comfortably covers switch CPU stalls without dragging out
+        // genuinely dead channels.
+        RetryPolicy {
+            timeout: SimDuration::from_ms(50),
+            max_retries: 3,
+        }
+    }
+}
+
+/// A tracked request awaiting its response.
+struct PendingRequest {
+    message: Message,
+    attempt: u32,
+}
+
 /// What a measurement module can do with the testbed.
 pub struct ModuleCtx<'a> {
     kernel: &'a mut Kernel,
     me: ComponentId,
     next_xid: &'a mut u32,
     log: &'a Rc<RefCell<Vec<ControlLogEntry>>>,
+    pending: &'a mut HashMap<u32, PendingRequest>,
+    policy: &'a RetryPolicy,
+    errors: &'a Rc<RefCell<Vec<ControlError>>>,
 }
 
 impl ModuleCtx<'_> {
@@ -59,8 +137,39 @@ impl ModuleCtx<'_> {
         xid
     }
 
-    /// Arm a module timer.
+    /// Send a request the controller should *track*: if no message
+    /// bearing the same xid comes back within the retry policy's
+    /// timeout, the request is resent (same xid, doubled timeout) up to
+    /// `max_retries` times, then abandoned with a recorded
+    /// [`ControlErrorKind::GaveUp`]. Use for request/response messages
+    /// (echo, barrier, features, stats); plain [`ModuleCtx::send`] for
+    /// fire-and-forget ones (flow-mod, packet-out).
+    pub fn send_tracked(&mut self, message: Message) -> u32 {
+        let xid = self.send(message.clone());
+        self.pending.insert(
+            xid,
+            PendingRequest {
+                message,
+                attempt: 0,
+            },
+        );
+        self.kernel.schedule_timer(
+            self.me,
+            self.policy.timeout,
+            TAG_CTRL_TIMEOUT_BASE + xid as u64,
+        );
+        xid
+    }
+
+    /// Control-channel errors recorded so far.
+    pub fn errors(&self) -> Vec<ControlError> {
+        self.errors.borrow().clone()
+    }
+
+    /// Arm a module timer. Tags at or above `1 << 40` are reserved for
+    /// the controller's own timeout timers.
     pub fn schedule(&mut self, delay: SimDuration, tag: u64) {
+        debug_assert!(tag < TAG_CTRL_TIMEOUT_BASE, "module timer tag too large");
         self.kernel.schedule_timer(self.me, delay, tag);
     }
 
@@ -89,13 +198,28 @@ pub trait MeasurementModule {
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Called whenever the controller records a control-channel error
+    /// (timeout, retry exhaustion, decode failure). The default does
+    /// nothing — errors are already in the shared error log — but a
+    /// module can react (e.g. re-issue a measurement round).
+    fn on_control_error(&mut self, ctx: &mut ModuleCtx<'_>, error: &ControlError) {
+        let _ = (ctx, error);
+    }
 }
+
+/// Timer tags at or above this value belong to the controller's
+/// request-timeout machinery (`base + xid`); below it, to the module.
+const TAG_CTRL_TIMEOUT_BASE: u64 = 1 << 40;
 
 /// The controller component: one kernel port wired to the switch's
 /// control port.
 pub struct OflopsController {
     module: Box<dyn MeasurementModule>,
     log: Rc<RefCell<Vec<ControlLogEntry>>>,
+    errors: Rc<RefCell<Vec<ControlError>>>,
+    pending: HashMap<u32, PendingRequest>,
+    policy: RetryPolicy,
     next_xid: u32,
     handshake_done: bool,
 }
@@ -103,11 +227,22 @@ pub struct OflopsController {
 impl OflopsController {
     /// Wrap a module; returns the component and the shared control log.
     pub fn new(module: Box<dyn MeasurementModule>) -> (Self, Rc<RefCell<Vec<ControlLogEntry>>>) {
+        Self::with_policy(module, RetryPolicy::default())
+    }
+
+    /// Wrap a module with an explicit retry policy.
+    pub fn with_policy(
+        module: Box<dyn MeasurementModule>,
+        policy: RetryPolicy,
+    ) -> (Self, Rc<RefCell<Vec<ControlLogEntry>>>) {
         let log = Rc::new(RefCell::new(Vec::new()));
         (
             OflopsController {
                 module,
                 log: log.clone(),
+                errors: Rc::new(RefCell::new(Vec::new())),
+                pending: HashMap::new(),
+                policy,
                 next_xid: 1,
                 handshake_done: false,
             },
@@ -115,39 +250,75 @@ impl OflopsController {
         )
     }
 
-    fn ctx<'a>(
-        kernel: &'a mut Kernel,
-        me: ComponentId,
-        next_xid: &'a mut u32,
-        log: &'a Rc<RefCell<Vec<ControlLogEntry>>>,
-    ) -> ModuleCtx<'a> {
-        ModuleCtx {
-            kernel,
-            me,
-            next_xid,
-            log,
-        }
+    /// Shared handle to the control-error record. Grab it before the
+    /// controller moves into the simulation.
+    pub fn errors_handle(&self) -> Rc<RefCell<Vec<ControlError>>> {
+        self.errors.clone()
+    }
+
+    fn record_error(&mut self, kernel: &mut Kernel, me: ComponentId, kind: ControlErrorKind) {
+        let error = ControlError {
+            time: kernel.now(),
+            kind,
+        };
+        self.errors.borrow_mut().push(error.clone());
+        let mut ctx = ctx_parts!(self, kernel, me);
+        self.module.on_control_error(&mut ctx, &error);
     }
 }
 
+/// Build a [`ModuleCtx`] from the controller's fields without borrowing
+/// the whole struct (the module itself must stay borrowable).
+macro_rules! ctx_parts {
+    ($s:expr, $kernel:expr, $me:expr) => {
+        ModuleCtx {
+            kernel: $kernel,
+            me: $me,
+            next_xid: &mut $s.next_xid,
+            log: &$s.log,
+            pending: &mut $s.pending,
+            policy: &$s.policy,
+            errors: &$s.errors,
+        }
+    };
+}
+use ctx_parts;
+
 impl Component for OflopsController {
     fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
-        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
+        let mut ctx = ctx_parts!(self, kernel, me);
         ctx.send(Message::Hello);
-        ctx.send(Message::FeaturesRequest);
+        // The handshake itself is tracked: a switch that boots with its
+        // control channel down is retried, not silently never-ready.
+        ctx.send_tracked(Message::FeaturesRequest);
     }
 
     fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, _port: usize, packet: Packet) {
-        let Some(Ok((message, xid))) = decap_control(&packet) else {
-            return;
+        let (message, xid) = match decap_control(&packet) {
+            Some(Ok(ok)) => ok,
+            Some(Err(e)) => {
+                // Malformed OpenFlow inside a control frame (truncated
+                // read). Record and carry on — the channel survives.
+                self.record_error(
+                    kernel,
+                    me,
+                    ControlErrorKind::Decode {
+                        reason: format!("{e:?}"),
+                    },
+                );
+                return;
+            }
+            None => return,
         };
+        // Any message bearing a tracked xid settles that request.
+        self.pending.remove(&xid);
         self.log.borrow_mut().push(ControlLogEntry {
             time: kernel.now(),
             dir: ControlDir::Received,
             message: message.clone(),
             xid,
         });
-        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
+        let mut ctx = ctx_parts!(self, kernel, me);
         if !self.handshake_done {
             if let Message::FeaturesReply(_) = &message {
                 self.handshake_done = true;
@@ -159,8 +330,36 @@ impl Component for OflopsController {
     }
 
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
-        let mut ctx = Self::ctx(kernel, me, &mut self.next_xid, &self.log);
-        self.module.on_timer(&mut ctx, tag);
+        if tag < TAG_CTRL_TIMEOUT_BASE {
+            let mut ctx = ctx_parts!(self, kernel, me);
+            self.module.on_timer(&mut ctx, tag);
+            return;
+        }
+        let xid = (tag - TAG_CTRL_TIMEOUT_BASE) as u32;
+        let Some(req) = self.pending.get_mut(&xid) else {
+            return; // response arrived before the timer fired
+        };
+        req.attempt += 1;
+        let attempt = req.attempt;
+        if attempt > self.policy.max_retries {
+            self.pending.remove(&xid);
+            self.record_error(kernel, me, ControlErrorKind::GaveUp { xid });
+            return;
+        }
+        // Resend the same request under the same xid with exponential
+        // backoff on the next timeout.
+        let message = req.message.clone();
+        let frame = encap_control(&message, xid);
+        self.log.borrow_mut().push(ControlLogEntry {
+            time: kernel.now(),
+            dir: ControlDir::Sent,
+            message,
+            xid,
+        });
+        let _ = kernel.transmit(me, 0, frame);
+        let backoff = SimDuration::from_ps(self.policy.timeout.as_ps() << attempt.min(16));
+        kernel.schedule_timer(me, backoff, tag);
+        self.record_error(kernel, me, ControlErrorKind::Timeout { xid, attempt });
     }
 
     fn name(&self) -> &str {

@@ -1,0 +1,224 @@
+//! Control-channel fault injection.
+//!
+//! The control channel of a real OpenFlow deployment fails in ways the
+//! data plane does not: TCP sessions drop, the switch management CPU
+//! stalls, reads return short. A measurement framework that falls over
+//! when the channel misbehaves cannot measure *how the switch behaves
+//! when the channel misbehaves* — so the faults are injectable, scripted
+//! and deterministic, and the controller degrades gracefully (retries,
+//! timeouts, [`crate::controller::ControlError`] records) instead of
+//! unwinding.
+//!
+//! [`FaultyControlChannel`] sits on the control link between the
+//! [`crate::OflopsController`] and the switch and injects three fault
+//! classes, each scripted against simulated time:
+//!
+//! * **disconnects** — windows during which every control frame is
+//!   silently dropped, both directions (session down);
+//! * **stalls** — windows during which frames are queued and released
+//!   in order when the window closes (management CPU busy, TCP
+//!   head-of-line blocking);
+//! * **truncated reads** — a seeded fraction of frames is cut short, so
+//!   the OpenFlow payload no longer decodes (short read / torn write).
+
+use crate::controller::validate_probability;
+use osnt_error::OsntError;
+use osnt_netsim::{Component, ComponentId, Kernel};
+use osnt_packet::Packet;
+use osnt_time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Scripted fault schedule for the control channel.
+#[derive(Debug, Clone, Default)]
+pub struct ControlFaultConfig {
+    /// `[start, end)` windows during which the channel is down: every
+    /// frame in either direction is dropped.
+    pub disconnects: Vec<(SimTime, SimTime)>,
+    /// `[start, end)` windows during which frames are held and released
+    /// (in arrival order) when the window ends.
+    pub stalls: Vec<(SimTime, SimTime)>,
+    /// Probability that a frame is truncated to `truncate_len` bytes.
+    pub truncate_probability: f64,
+    /// Bytes kept of a truncated frame. The default (20) preserves the
+    /// Ethernet header and a sliver of the OpenFlow header, producing a
+    /// recognisable-but-undecodable control frame — a short read.
+    pub truncate_len: usize,
+    /// Seed for the truncation draw.
+    pub seed: u64,
+}
+
+impl ControlFaultConfig {
+    /// A channel with no scripted faults.
+    pub fn clean() -> Self {
+        ControlFaultConfig {
+            truncate_len: 20,
+            seed: 1,
+            ..ControlFaultConfig::default()
+        }
+    }
+
+    /// Validate the schedule (probability in range, windows sane).
+    pub fn validate(&self) -> Result<(), OsntError> {
+        validate_probability("truncate", self.truncate_probability)?;
+        for &(s, e) in self.disconnects.iter().chain(&self.stalls) {
+            if e <= s {
+                return Err(OsntError::config(
+                    "control faults",
+                    format!("empty or inverted fault window [{s}, {e})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn in_window(windows: &[(SimTime, SimTime)], t: SimTime) -> Option<SimTime> {
+        windows
+            .iter()
+            .find(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| e)
+    }
+}
+
+/// Tallies of what the fault channel did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlFaultStats {
+    /// Frames offered (both directions).
+    pub offered: u64,
+    /// Frames dropped inside disconnect windows.
+    pub dropped: u64,
+    /// Frames held by a stall window.
+    pub stalled: u64,
+    /// Frames truncated.
+    pub truncated: u64,
+    /// Frames delivered.
+    pub delivered: u64,
+}
+
+const TAG_STALL_BASE: u64 = 0x57A1_0000_0000;
+
+/// Two-port control-channel fault injector (port 0 ↔ controller,
+/// port 1 ↔ switch). Pass-through when the schedule is empty.
+pub struct FaultyControlChannel {
+    config: ControlFaultConfig,
+    rng: SmallRng,
+    pending: HashMap<u64, (usize, Packet)>,
+    next_id: u64,
+    stats: Rc<RefCell<ControlFaultStats>>,
+}
+
+impl FaultyControlChannel {
+    /// Build from a schedule; returns the component and the shared
+    /// tally. Typed error on an invalid schedule.
+    pub fn new(
+        config: ControlFaultConfig,
+    ) -> Result<(Self, Rc<RefCell<ControlFaultStats>>), OsntError> {
+        config.validate()?;
+        let stats = Rc::new(RefCell::new(ControlFaultStats::default()));
+        let seed = config.seed;
+        Ok((
+            FaultyControlChannel {
+                config,
+                rng: SmallRng::seed_from_u64(seed ^ 0xC0_117_B01),
+                pending: HashMap::new(),
+                next_id: 0,
+                stats: stats.clone(),
+            },
+            stats,
+        ))
+    }
+}
+
+impl Component for FaultyControlChannel {
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, mut packet: Packet) {
+        debug_assert!(port < 2, "control fault channel is a 2-port device");
+        let out = 1 - port;
+        let now = kernel.now();
+        self.stats.borrow_mut().offered += 1;
+
+        if ControlFaultConfig::in_window(&self.config.disconnects, now).is_some() {
+            self.stats.borrow_mut().dropped += 1;
+            return;
+        }
+        if self.config.truncate_probability > 0.0
+            && self
+                .rng
+                .gen_bool(self.config.truncate_probability.clamp(0.0, 1.0))
+        {
+            let keep = self.config.truncate_len.min(packet.len()).max(1);
+            packet = Packet::from_vec(packet.data()[..keep].to_vec());
+            self.stats.borrow_mut().truncated += 1;
+        }
+        if let Some(release) = ControlFaultConfig::in_window(&self.config.stalls, now) {
+            self.stats.borrow_mut().stalled += 1;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.pending.insert(id, (out, packet));
+            kernel.schedule_timer_at(me, release, TAG_STALL_BASE + id);
+            return;
+        }
+        self.stats.borrow_mut().delivered += 1;
+        let _ = kernel.transmit(me, out, packet);
+    }
+
+    fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        let id = tag - TAG_STALL_BASE;
+        let (out, packet) = self
+            .pending
+            .remove(&id)
+            .expect("stall release timer without pending frame");
+        self.stats.borrow_mut().delivered += 1;
+        let _ = kernel.transmit(me, out, packet);
+    }
+
+    fn name(&self) -> &str {
+        "control-fault-channel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_time::SimDuration;
+
+    #[test]
+    fn clean_schedule_validates() {
+        ControlFaultConfig::clean().validate().unwrap();
+    }
+
+    #[test]
+    fn inverted_window_is_a_typed_error() {
+        let cfg = ControlFaultConfig {
+            disconnects: vec![(SimTime::from_ms(5), SimTime::from_ms(2))],
+            ..ControlFaultConfig::clean()
+        };
+        assert!(matches!(cfg.validate(), Err(OsntError::Config { .. })));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_a_typed_error() {
+        let cfg = ControlFaultConfig {
+            truncate_probability: -0.1,
+            ..ControlFaultConfig::clean()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn window_lookup_is_half_open() {
+        let w = vec![(SimTime::from_ms(10), SimTime::from_ms(20))];
+        assert_eq!(ControlFaultConfig::in_window(&w, SimTime::from_ms(9)), None);
+        assert_eq!(
+            ControlFaultConfig::in_window(&w, SimTime::from_ms(10)),
+            Some(SimTime::from_ms(20))
+        );
+        assert_eq!(
+            ControlFaultConfig::in_window(&w, SimTime::from_ms(20)),
+            None
+        );
+        let _ = SimDuration::ZERO;
+    }
+}

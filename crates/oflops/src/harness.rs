@@ -14,7 +14,10 @@
 //! controller runs a [`crate::MeasurementModule`] over the control
 //! channel. Modules correlate the three channels after the run.
 
-use crate::controller::{ControlLogEntry, MeasurementModule, OflopsController};
+use crate::controller::{
+    ControlError, ControlLogEntry, MeasurementModule, OflopsController, RetryPolicy,
+};
+use crate::faults::{ControlFaultConfig, ControlFaultStats, FaultyControlChannel};
 use osnt_core::{DeviceConfig, OsntDevice, PortRole};
 use osnt_gen::{GenConfig, Workload};
 use osnt_mon::{CaptureBuffer, HostPathConfig, MonConfig, MonStats};
@@ -45,6 +48,10 @@ pub struct TestbedSpec {
     pub clock_model: DriftModel,
     /// Clock seed.
     pub clock_seed: u64,
+    /// Scripted control-channel faults (`None` = clean channel).
+    pub control_faults: Option<ControlFaultConfig>,
+    /// Timeout/retry budget for tracked control requests.
+    pub retry: RetryPolicy,
 }
 
 impl TestbedSpec {
@@ -55,6 +62,8 @@ impl TestbedSpec {
             probe: None,
             clock_model: DriftModel::ideal(),
             clock_seed: 1,
+            control_faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -75,10 +84,22 @@ pub struct Testbed {
     pub mon_b: Rc<RefCell<MonStats>>,
     /// Probe generator statistics (when a probe was configured).
     pub gen_stats: Option<Rc<RefCell<osnt_gen::GenStats>>>,
+    /// Control-channel errors the controller recorded (timeouts,
+    /// retries given up, decode failures). Empty on a clean channel.
+    pub control_errors: Rc<RefCell<Vec<ControlError>>>,
+    /// What the control-channel fault injector did (`None` when the
+    /// spec scripted no faults).
+    pub control_fault_stats: Option<Rc<RefCell<ControlFaultStats>>>,
 }
 
 impl Testbed {
     /// Assemble the standard testbed around a measurement module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.control_faults` fails validation — scripting the
+    /// faults is test code, and a bad schedule is a bug in the test.
+    /// Use [`ControlFaultConfig::validate`] first to get a typed error.
     pub fn build(spec: TestbedSpec, module: Box<dyn MeasurementModule>) -> Testbed {
         let mut b = SimBuilder::new();
         let n_data = spec.switch.n_ports.max(3);
@@ -89,9 +110,23 @@ impl Testbed {
         let kernel_ports = switch.kernel_ports();
         let sw = b.add_component("of-switch", Box::new(switch), kernel_ports);
 
-        let (controller, control_log) = OflopsController::new(module);
+        let (controller, control_log) = OflopsController::with_policy(module, spec.retry);
+        let control_errors = controller.errors_handle();
         let ctl = b.add_component("controller", Box::new(controller), 1);
-        b.connect(ctl, 0, sw, ctrl_port, LinkSpec::one_gig());
+        let control_fault_stats = match spec.control_faults {
+            Some(cfg) => {
+                let (channel, stats) =
+                    FaultyControlChannel::new(cfg).expect("invalid control fault schedule");
+                let fc = b.add_component("ctrl-faults", Box::new(channel), 2);
+                b.connect(ctl, 0, fc, 0, LinkSpec::one_gig());
+                b.connect(fc, 1, sw, ctrl_port, LinkSpec::one_gig());
+                Some(stats)
+            }
+            None => {
+                b.connect(ctl, 0, sw, ctrl_port, LinkSpec::one_gig());
+                None
+            }
+        };
 
         let unlimited_mon = || MonConfig {
             host: HostPathConfig::unlimited(),
@@ -110,6 +145,7 @@ impl Testbed {
                 clock_model: spec.clock_model,
                 clock_seed: spec.clock_seed,
                 gps: None,
+                gps_signal: osnt_time::GpsSignal::always_on(),
                 ports: roles,
             },
         );
@@ -145,6 +181,8 @@ impl Testbed {
             mon_a: device.ports[1].mon_stats.clone(),
             mon_b: device.ports[2].mon_stats.clone(),
             gen_stats,
+            control_errors,
+            control_fault_stats,
         }
     }
 

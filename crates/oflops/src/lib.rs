@@ -25,8 +25,13 @@
 //!   PACKET_IN (punt path) latency.
 
 pub mod controller;
+pub mod faults;
 pub mod harness;
 pub mod modules;
 
-pub use controller::{ControlDir, ControlLogEntry, MeasurementModule, ModuleCtx, OflopsController};
+pub use controller::{
+    ControlDir, ControlError, ControlErrorKind, ControlLogEntry, MeasurementModule, ModuleCtx,
+    OflopsController, RetryPolicy,
+};
+pub use faults::{ControlFaultConfig, ControlFaultStats, FaultyControlChannel};
 pub use harness::{Testbed, TestbedSpec};

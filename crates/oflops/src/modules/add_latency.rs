@@ -76,7 +76,10 @@ impl MeasurementModule for AddLatencyModule {
     fn on_ready(&mut self, ctx: &mut ModuleCtx<'_>) {
         // Quiesce the punt path: a drop-all rule at priority 0.
         ctx.send(Message::FlowMod(FlowMod::add(OfMatch::any(), 0, vec![])));
-        let xid = ctx.send(Message::BarrierRequest);
+        // Tracked: the baseline barrier gates the whole measurement — a
+        // control channel that eats it must trigger a retry, not a
+        // module stuck in Baseline forever.
+        let xid = ctx.send_tracked(Message::BarrierRequest);
         self.baseline_barrier = Some(xid);
     }
 
@@ -113,7 +116,7 @@ impl MeasurementModule for AddLatencyModule {
                 }],
             )));
         }
-        let xid = ctx.send(Message::BarrierRequest);
+        let xid = ctx.send_tracked(Message::BarrierRequest);
         self.state.borrow_mut().barrier_xid = Some(xid);
         self.phase = Phase::Measuring;
     }

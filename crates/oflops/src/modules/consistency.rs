@@ -84,7 +84,10 @@ impl MeasurementModule for ConsistencyModule {
                 }],
             )));
         }
-        let xid = ctx.send(Message::BarrierRequest);
+        // Tracked: these barriers advance the phase machine; a lost
+        // barrier would otherwise wedge the run (see the control-fault
+        // suite). Retries reuse the xid, so the phase match still holds.
+        let xid = ctx.send_tracked(Message::BarrierRequest);
         self.install_barrier = Some(xid);
     }
 
@@ -123,7 +126,7 @@ impl MeasurementModule for ConsistencyModule {
             fm.command = FlowModCommand::ModifyStrict;
             ctx.send(Message::FlowMod(fm));
         }
-        let xid = ctx.send(Message::BarrierRequest);
+        let xid = ctx.send_tracked(Message::BarrierRequest);
         self.state.borrow_mut().barrier_xid = Some(xid);
         self.phase = Phase::Modifying;
     }

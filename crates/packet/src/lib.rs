@@ -78,10 +78,15 @@ pub const MAX_FRAME: usize = 1518;
 /// An Ethernet frame over cheaply-shareable storage.
 ///
 /// The frame bytes hold destination MAC through the end of the payload;
-/// the 4-byte FCS is *not* stored (the simulator never corrupts frames,
-/// and hardware strips it) but *is* accounted for in
-/// [`Packet::frame_len`] / [`Packet::wire_len`], so "a 64-byte packet"
-/// carries 60 bytes of data.
+/// the 4-byte FCS is *not* stored (hardware strips it) but *is*
+/// accounted for in [`Packet::frame_len`] / [`Packet::wire_len`], so "a
+/// 64-byte packet" carries 60 bytes of data. Instead of carrying FCS
+/// bytes, each packet carries an [`Packet::fcs_ok`] verdict: in-flight
+/// corruption ([`Packet::flip_bit`]) clears it, exactly as any bit flip
+/// after the transmitting MAC computed the FCS would make the receiving
+/// MAC's check fail. Receivers (the OSNT monitor, switches) consult the
+/// verdict and count CRC errors instead of silently delivering mangled
+/// frames.
 ///
 /// # Sharing and copy-on-write
 ///
@@ -100,6 +105,9 @@ pub struct Packet {
     buf: Rc<pool::PoolBuf>,
     /// Visible prefix of `buf.data`: invariant `len <= buf.data.len()`.
     len: usize,
+    /// Whether the (implicit) frame check sequence still verifies — false
+    /// after in-flight corruption.
+    fcs_ok: bool,
 }
 
 impl Packet {
@@ -112,6 +120,7 @@ impl Packet {
                 home: Weak::new(),
             }),
             len,
+            fcs_ok: true,
         }
     }
 
@@ -129,6 +138,7 @@ impl Packet {
         Packet {
             buf: Rc::new(pool::PoolBuf { data, home }),
             len,
+            fcs_ok: true,
         }
     }
 
@@ -231,6 +241,34 @@ impl Packet {
     /// [`ParsedPacket::parse`]).
     pub fn parse(&self) -> ParsedPacket<'_> {
         ParsedPacket::parse(self.data())
+    }
+
+    /// Whether the frame's FCS would still verify at a receiving MAC.
+    /// True for every freshly built frame; cleared by in-flight
+    /// corruption ([`Packet::flip_bit`] / [`Packet::mark_fcs_bad`]).
+    #[inline]
+    pub fn fcs_ok(&self) -> bool {
+        self.fcs_ok
+    }
+
+    /// Corrupt the frame in flight: flip bit `bit` (indexed over the
+    /// visible bytes, MSB first within each byte, reduced modulo the
+    /// frame's bit length) and invalidate the FCS. Copy-on-write applies,
+    /// so corrupting a captured/forwarded clone never touches siblings.
+    /// No-op on empty frames.
+    pub fn flip_bit(&mut self, bit: usize) {
+        if self.len == 0 {
+            return;
+        }
+        let bit = bit % (self.len * 8);
+        self.data_mut()[bit / 8] ^= 0x80 >> (bit % 8);
+        self.fcs_ok = false;
+    }
+
+    /// Invalidate the FCS without touching the bytes (models corruption
+    /// confined to the FCS trailer itself, which OSNT-rs does not store).
+    pub fn mark_fcs_bad(&mut self) {
+        self.fcs_ok = false;
     }
 }
 
@@ -385,6 +423,38 @@ mod tests {
         p.truncate(10);
         assert_eq!(p.clone().into_vec().len(), 10); // shared path
         assert_eq!(p.into_vec().len(), 10); // steal path
+    }
+
+    #[test]
+    fn flip_bit_corrupts_and_invalidates_fcs() {
+        let mut p = Packet::zeroed(64);
+        assert!(p.fcs_ok());
+        p.flip_bit(0);
+        assert!(!p.fcs_ok());
+        assert_eq!(p.data()[0], 0x80, "MSB of byte 0 flipped");
+        // Bit index wraps modulo the frame length.
+        let mut q = Packet::zeroed(64);
+        q.flip_bit(60 * 8 + 1);
+        assert_eq!(q.data()[0], 0x40);
+    }
+
+    #[test]
+    fn corrupting_a_clone_is_private() {
+        let template = Packet::zeroed(64);
+        let mut hit = template.clone();
+        hit.flip_bit(37);
+        assert!(!hit.fcs_ok());
+        assert!(template.fcs_ok(), "template keeps a good FCS");
+        assert_eq!(template.data()[4], 0, "template bytes untouched");
+        assert_ne!(hit, template);
+    }
+
+    #[test]
+    fn mark_fcs_bad_leaves_bytes_alone() {
+        let mut p = Packet::from_vec(vec![5; 60]);
+        p.mark_fcs_bad();
+        assert!(!p.fcs_ok());
+        assert_eq!(p.data(), &[5; 60][..]);
     }
 
     #[test]

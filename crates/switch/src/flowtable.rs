@@ -10,6 +10,18 @@ use osnt_time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TableFull;
 
+impl From<TableFull> for osnt_error::OsntError {
+    /// Lift the wire-level rejection into the workspace taxonomy: one
+    /// more entry was needed and none were available.
+    fn from(_: TableFull) -> Self {
+        osnt_error::OsntError::Capacity {
+            what: "flow table",
+            needed: 1,
+            available: 0,
+        }
+    }
+}
+
 /// One installed flow entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowEntry {
@@ -297,6 +309,12 @@ pub fn covers(filter: &OfMatch, entry: &OfMatch) -> bool {
     )
 }
 
+// Panic audit: every `unwrap()` below is test-only. The production API
+// is fully `Result`/`Option`-typed — `add` returns `Err(TableFull)` (and
+// lifts into `OsntError::Capacity` via `From`), `lookup` returns
+// `Option` — so the unwraps assert *test fixtures* (tables sized to fit
+// their inserts, lookups of entries the test just installed), never
+// runtime input.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +409,13 @@ mod tests {
         // Same (match, priority) replaces without needing space.
         t.add(FlowEntry::new(m1, 1, out(9), SimTime::ZERO)).unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_full_lifts_into_the_workspace_taxonomy() {
+        let e: osnt_error::OsntError = TableFull.into();
+        assert!(matches!(e, osnt_error::OsntError::Capacity { .. }));
+        assert!(e.to_string().contains("flow table full"));
     }
 
     #[test]

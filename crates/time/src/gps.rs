@@ -15,9 +15,29 @@
 //!    offset samples, trimming the clock frequency. This drives both phase
 //!    and frequency error toward zero and *holds* them there against
 //!    oscillator wander.
+//!
+//! When the GPS signal drops (see [`crate::signal::GpsSignal`]) the
+//! discipline enters **holdover**: the servo freezes its last learned
+//! trim, the clock free-runs, and phase error accumulates at the
+//! residual rate until pulses return — exactly what a GPSDO does when
+//! the antenna goes dark.
 
 use crate::clock::HwClock;
+use crate::signal::GpsSignal;
 use crate::SimTime;
+
+/// Where the discipline currently is in its acquire/lock/holdover
+/// lifecycle. Experiments use this to annotate measurement windows whose
+/// timestamps were taken on a coasting clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisciplineState {
+    /// Pulses arriving, offset not yet held within the lock threshold.
+    Acquiring,
+    /// Offset held within the lock threshold for the required pulses.
+    Locked,
+    /// GPS signal lost: free-running on the frozen trim.
+    Holdover,
+}
 
 /// Proportional/integral gains of the PPS servo.
 ///
@@ -62,6 +82,9 @@ pub struct GpsDiscipline {
     /// Frequency trim learned during acquisition (phase-step) pulses; the
     /// fine PI servo's output rides on top of it.
     base_trim_ppm: f64,
+    in_holdover: bool,
+    pulses_missed: u64,
+    holdover_entries: u64,
 }
 
 impl GpsDiscipline {
@@ -77,6 +100,9 @@ impl GpsDiscipline {
             pulses_seen: 0,
             last_offset_ps: 0.0,
             base_trim_ppm: 0.0,
+            in_holdover: false,
+            pulses_missed: 0,
+            holdover_entries: 0,
         }
     }
 
@@ -88,6 +114,15 @@ impl GpsDiscipline {
         let offset = clock.offset_ps();
         self.pulses_seen += 1;
         self.last_offset_ps = offset;
+        if self.in_holdover {
+            // Reacquisition: the integral accumulated against pre-outage
+            // conditions; re-anchor the base trim at whatever held during
+            // holdover and restart the fine servo from there.
+            self.in_holdover = false;
+            self.base_trim_ppm = clock.trim_ppm();
+            self.integral_ps = 0.0;
+            self.in_spec_pulses = 0;
+        }
 
         if offset.abs() > self.step_threshold_ps {
             // Coarse correction: jam the counter to GPS time, and fold
@@ -119,10 +154,49 @@ impl GpsDiscipline {
         offset
     }
 
+    /// Handle a *missing* PPS edge at true time `t` (GPS signal lost).
+    /// The clock keeps the trim it last learned and free-runs — holdover.
+    /// Returns the (uncorrected) offset accumulated so far, picoseconds.
+    pub fn on_pps_missed(&mut self, clock: &mut HwClock, t: SimTime) -> f64 {
+        clock.advance_to(t);
+        self.pulses_missed += 1;
+        if !self.in_holdover {
+            self.in_holdover = true;
+            self.holdover_entries += 1;
+            // Lock status describes the *servo loop*; with no input the
+            // loop is open, whatever the phase error happens to be.
+            self.in_spec_pulses = 0;
+        }
+        let offset = clock.offset_ps();
+        self.last_offset_ps = offset;
+        offset
+    }
+
     /// Whether the servo has held the offset within the lock threshold for
     /// the required number of consecutive pulses.
     pub fn is_locked(&self) -> bool {
-        self.in_spec_pulses >= self.lock_pulses
+        !self.in_holdover && self.in_spec_pulses >= self.lock_pulses
+    }
+
+    /// Current lifecycle state (see [`DisciplineState`]).
+    pub fn state(&self) -> DisciplineState {
+        if self.in_holdover {
+            DisciplineState::Holdover
+        } else if self.is_locked() {
+            DisciplineState::Locked
+        } else {
+            DisciplineState::Acquiring
+        }
+    }
+
+    /// PPS edges that never arrived because the signal was down.
+    pub fn pulses_missed(&self) -> u64 {
+        self.pulses_missed
+    }
+
+    /// Number of distinct holdover episodes entered.
+    pub fn holdover_entries(&self) -> u64 {
+        self.holdover_entries
     }
 
     /// Offset observed at the most recent pulse, picoseconds.
@@ -157,6 +231,45 @@ pub fn run_pps_session(
         offsets.push(disc.on_pps(clock, t));
     }
     offsets
+}
+
+/// One second of a [`run_pps_session_with_signal`] run: the pre-correction
+/// offset and the discipline state right after that pulse slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpsSample {
+    /// True time of the (possibly missing) pulse slot.
+    pub t: SimTime,
+    /// Local-minus-true offset in picoseconds, before any correction.
+    pub offset_ps: f64,
+    /// State after processing the slot.
+    pub state: DisciplineState,
+}
+
+/// Like [`run_pps_session`], but consults a [`GpsSignal`]: at each
+/// top-of-second where the signal has no fix the pulse is *missed* and
+/// the discipline coasts in holdover. Returns one sample per second.
+pub fn run_pps_session_with_signal(
+    clock: &mut HwClock,
+    disc: &mut GpsDiscipline,
+    signal: &GpsSignal,
+    start: SimTime,
+    seconds: u64,
+) -> Vec<PpsSample> {
+    let mut samples = Vec::with_capacity(seconds as usize);
+    for s in 1..=seconds {
+        let t = SimTime::from_ps(start.as_ps() + s * crate::PS_PER_SEC);
+        let offset_ps = if signal.has_fix(t) {
+            disc.on_pps(clock, t)
+        } else {
+            disc.on_pps_missed(clock, t)
+        };
+        samples.push(PpsSample {
+            t,
+            offset_ps,
+            state: disc.state(),
+        });
+    }
+    samples
 }
 
 #[cfg(test)]
@@ -238,6 +351,101 @@ mod tests {
         let mut disc = GpsDiscipline::default();
         run_pps_session(&mut clock, &mut disc, SimTime::ZERO, 10);
         assert_eq!(disc.pulses_seen(), 10);
+    }
+
+    #[test]
+    fn holdover_coasts_and_reacquires() {
+        use crate::SimDuration;
+        let mut clock = drifty_clock(5);
+        let mut disc = GpsDiscipline::default();
+        // 60 s of lock, 30 s of outage, 60 s of reacquisition.
+        let signal = GpsSignal::outage(SimTime::from_secs(60), SimDuration::from_secs(30));
+        let samples =
+            run_pps_session_with_signal(&mut clock, &mut disc, &signal, SimTime::ZERO, 150);
+
+        // Locked before the outage (sample i is the pulse at t = i+1 s;
+        // the outage window [60 s, 90 s) swallows pulses 60..=89, i.e.
+        // samples[59..89]).
+        assert_eq!(samples[58].state, DisciplineState::Locked);
+        // In holdover during the outage; the servo reports not-locked.
+        for s in &samples[59..89] {
+            assert_eq!(s.state, DisciplineState::Holdover);
+        }
+        // Holdover drift: the frozen trim cancels the *learned* rate, so
+        // the accumulated error stays far below undisciplined free-run
+        // (18 ppm ⇒ 540 µs over 30 s) but grows past the locked floor.
+        let end_of_holdover = samples[88].offset_ps.abs();
+        assert!(
+            end_of_holdover < 540e6 / 10.0,
+            "holdover drift {end_of_holdover} ps — trim was not frozen"
+        );
+        // Reacquired lock by the end.
+        assert_eq!(samples[149].state, DisciplineState::Locked);
+        assert!(samples[149].offset_ps.abs() < 1e6);
+        // Accounting.
+        assert_eq!(disc.pulses_missed(), 30);
+        assert_eq!(disc.holdover_entries(), 1);
+        assert_eq!(disc.pulses_seen(), 120);
+    }
+
+    #[test]
+    fn holdover_beats_undisciplined_free_run() {
+        use crate::SimDuration;
+        // Same oscillator, same outage; one clock disciplined-then-held,
+        // the other never disciplined at all.
+        let mut held = drifty_clock(21);
+        let mut disc = GpsDiscipline::default();
+        let signal = GpsSignal::outage(SimTime::from_secs(120), SimDuration::from_secs(60));
+        let samples =
+            run_pps_session_with_signal(&mut held, &mut disc, &signal, SimTime::ZERO, 180);
+        let holdover_err = samples[179 - 1].offset_ps.abs();
+
+        let mut free = drifty_clock(21);
+        free.advance_to(SimTime::from_secs(180));
+        let free_err = free.offset_ps().abs();
+
+        assert!(
+            holdover_err * 10.0 < free_err,
+            "holdover {holdover_err} ps should be ≪ free-run {free_err} ps"
+        );
+    }
+
+    #[test]
+    fn always_on_signal_matches_plain_session() {
+        let mut c1 = drifty_clock(9);
+        let mut d1 = GpsDiscipline::default();
+        let plain = run_pps_session(&mut c1, &mut d1, SimTime::ZERO, 40);
+
+        let mut c2 = drifty_clock(9);
+        let mut d2 = GpsDiscipline::default();
+        let with_sig = run_pps_session_with_signal(
+            &mut c2,
+            &mut d2,
+            &GpsSignal::always_on(),
+            SimTime::ZERO,
+            40,
+        );
+        let offsets: Vec<f64> = with_sig.iter().map(|s| s.offset_ps).collect();
+        assert_eq!(plain, offsets);
+        assert_eq!(d1.is_locked(), d2.is_locked());
+    }
+
+    #[test]
+    fn state_machine_walks_acquire_lock_holdover() {
+        let mut clock = HwClock::ideal();
+        let mut disc = GpsDiscipline::default();
+        assert_eq!(disc.state(), DisciplineState::Acquiring);
+        for s in 1..=3 {
+            disc.on_pps(&mut clock, SimTime::from_secs(s));
+        }
+        assert_eq!(disc.state(), DisciplineState::Locked);
+        disc.on_pps_missed(&mut clock, SimTime::from_secs(4));
+        assert_eq!(disc.state(), DisciplineState::Holdover);
+        assert!(!disc.is_locked());
+        // One good pulse leaves holdover but lock needs consecutive
+        // in-spec pulses again.
+        disc.on_pps(&mut clock, SimTime::from_secs(5));
+        assert_eq!(disc.state(), DisciplineState::Acquiring);
     }
 
     #[test]

@@ -26,10 +26,15 @@
 pub mod clock;
 pub mod gps;
 pub mod rng;
+pub mod signal;
 pub mod timestamp;
 
 pub use clock::{DriftModel, HwClock};
-pub use gps::{GpsDiscipline, ServoGains};
+pub use gps::{
+    run_pps_session, run_pps_session_with_signal, DisciplineState, GpsDiscipline, PpsSample,
+    ServoGains,
+};
+pub use signal::GpsSignal;
 pub use timestamp::HwTimestamp;
 
 use core::fmt;

@@ -1,0 +1,105 @@
+//! GPS fix availability schedule.
+//!
+//! A real GPS receiver loses its fix — antenna faults, urban canyons,
+//! interference. While the fix is gone there are no PPS edges and the
+//! discipline must go into **holdover**: free-run on the last learned
+//! frequency trim and let phase error accumulate at the residual rate.
+//! [`GpsSignal`] is the deterministic schedule of such outages that a
+//! fault-injection experiment scripts in advance.
+
+use crate::{SimDuration, SimTime};
+
+/// A deterministic schedule of GPS signal-loss windows.
+///
+/// The signal is *up* everywhere except inside the configured
+/// `[start, end)` outage windows. Windows may be given in any order;
+/// they are sorted and merged at construction.
+#[derive(Debug, Clone, Default)]
+pub struct GpsSignal {
+    /// Sorted, non-overlapping outage windows.
+    outages: Vec<(SimTime, SimTime)>,
+}
+
+impl GpsSignal {
+    /// A signal with no outages (permanent fix) — the behaviour every
+    /// experiment had before fault injection existed.
+    pub fn always_on() -> Self {
+        GpsSignal::default()
+    }
+
+    /// Build from a list of `[start, end)` outage windows. Empty and
+    /// inverted windows are discarded; overlapping windows are merged.
+    pub fn with_outages(mut windows: Vec<(SimTime, SimTime)>) -> Self {
+        windows.retain(|(s, e)| e > s);
+        windows.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        GpsSignal { outages: merged }
+    }
+
+    /// A single outage of `length` starting at `start`.
+    pub fn outage(start: SimTime, length: SimDuration) -> Self {
+        GpsSignal::with_outages(vec![(start, start + length)])
+    }
+
+    /// Whether the receiver has a fix (and therefore emits a PPS edge)
+    /// at true time `t`.
+    pub fn has_fix(&self, t: SimTime) -> bool {
+        // Windows are few (an experiment scripts a handful); linear scan
+        // beats a binary search at these sizes and is obviously correct.
+        !self.outages.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// The scheduled outage windows (sorted, non-overlapping).
+    pub fn windows(&self) -> &[(SimTime, SimTime)] {
+        &self.outages
+    }
+
+    /// Total scheduled outage time.
+    pub fn total_outage(&self) -> SimDuration {
+        self.outages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(s, e)| acc + (e - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_has_fix_everywhere() {
+        let s = GpsSignal::always_on();
+        assert!(s.has_fix(SimTime::ZERO));
+        assert!(s.has_fix(SimTime::from_secs(3600)));
+        assert_eq!(s.total_outage(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let s = GpsSignal::outage(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert!(s.has_fix(SimTime::from_secs(9)));
+        assert!(!s.has_fix(SimTime::from_secs(10)));
+        assert!(!s.has_fix(SimTime::from_ps(15 * crate::PS_PER_SEC - 1)));
+        assert!(s.has_fix(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn overlapping_windows_merge() {
+        let s = GpsSignal::with_outages(vec![
+            (SimTime::from_secs(20), SimTime::from_secs(30)),
+            (SimTime::from_secs(10), SimTime::from_secs(25)),
+            (SimTime::from_secs(50), SimTime::from_secs(50)), // empty, dropped
+        ]);
+        assert_eq!(
+            s.windows(),
+            &[(SimTime::from_secs(10), SimTime::from_secs(30))]
+        );
+        assert_eq!(s.total_outage(), SimDuration::from_secs(20));
+    }
+}

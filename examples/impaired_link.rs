@@ -27,6 +27,7 @@ fn main() {
             clock_model: DriftModel::ideal(),
             clock_seed: 1,
             gps: None,
+            gps_signal: osnt::time::GpsSignal::always_on(),
             ports: vec![
                 PortRole::generator(
                     Box::new(FixedTemplate::new(FixedTemplate::udp_frame(512)).with_sequence_tag()),

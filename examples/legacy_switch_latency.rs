@@ -22,7 +22,9 @@ fn main() {
             warmup: SimDuration::from_ms(5),
             ..LatencyExperiment::default()
         };
-        let report = experiment.run_legacy(LegacyConfig::default());
+        let report = experiment
+            .run_legacy(LegacyConfig::default())
+            .expect("statically valid experiment");
         match &report.latency {
             Some(s) => println!(
                 "{:>10.0} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>9.2}",

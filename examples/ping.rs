@@ -47,6 +47,7 @@ fn main() {
             clock_model: DriftModel::ideal(),
             clock_seed: 1,
             gps: None,
+            gps_signal: osnt::time::GpsSignal::always_on(),
             ports: vec![PortRole::generator(
                 Box::new(PingWorkload),
                 GenConfig {

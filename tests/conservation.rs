@@ -54,6 +54,7 @@ fn four_port_ring_conserves_every_frame() {
             clock_model: osnt::time::DriftModel::ideal(),
             clock_seed: 1,
             gps: None,
+            gps_signal: osnt::time::GpsSignal::always_on(),
             ports: roles,
         },
     );
@@ -125,6 +126,7 @@ fn system_scale_determinism() {
                 clock_model: osnt::time::DriftModel::commodity_xo(),
                 clock_seed: 77,
                 gps: Some(osnt::time::ServoGains::default()),
+                gps_signal: osnt::time::GpsSignal::always_on(),
                 ports: vec![
                     PortRole::generator(
                         Box::new(FixedTemplate::new(FixedTemplate::udp_frame(256))),

@@ -23,6 +23,7 @@ fn tester_measures_impaired_link_loss_with_sequence_tags() {
             clock_model: DriftModel::ideal(),
             clock_seed: 1,
             gps: None,
+            gps_signal: osnt::time::GpsSignal::always_on(),
             ports: vec![
                 PortRole::generator(
                     Box::new(FixedTemplate::new(FixedTemplate::udp_frame(256)).with_sequence_tag()),
@@ -78,6 +79,7 @@ fn impairment_jitter_inflates_measured_latency_spread() {
                 clock_model: DriftModel::ideal(),
                 clock_seed: 1,
                 gps: None,
+                gps_signal: osnt::time::GpsSignal::always_on(),
                 ports: vec![
                     PortRole::generator(
                         Box::new(FixedTemplate::new(FixedTemplate::udp_frame(256))),

@@ -22,7 +22,7 @@ fn part_one_legacy_switch_latency_curve() {
             warmup: SimDuration::from_ms(4),
             ..LatencyExperiment::default()
         };
-        let r = exp.run_legacy(LegacyConfig::default());
+        let r = exp.run_legacy(LegacyConfig::default()).expect("valid run");
         assert_eq!(r.loss, 0.0, "no loss below saturation (load {load})");
         medians.push(r.latency.expect("samples").p50_ns);
     }
@@ -48,6 +48,7 @@ fn part_one_with_realistic_clocks_still_measures_accurately() {
         ..LatencyExperiment::default()
     }
     .run_legacy(LegacyConfig::default())
+    .expect("valid run")
     .latency
     .unwrap();
     let real = LatencyExperiment {
@@ -58,6 +59,7 @@ fn part_one_with_realistic_clocks_still_measures_accurately() {
         ..LatencyExperiment::default()
     }
     .run_legacy(LegacyConfig::default())
+    .expect("valid run")
     .latency
     .unwrap();
     let err = (real.mean_ns - ideal.mean_ns).abs();
