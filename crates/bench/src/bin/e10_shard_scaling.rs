@@ -1,0 +1,214 @@
+//! E10 — shard scaling: the E1 four-port line-rate workload run on the
+//! sharded parallel kernel at 1, 2 and 4 shards.
+//!
+//! Each of the four 10G ports is an independent generator→sink pair
+//! with its **own** hardware clock (unlike the tester device, whose
+//! four ports share one card clock and therefore must co-shard), so
+//! the auto-partitioner places one pair per shard and the pairs run
+//! with no cross-shard wires — the embarrassingly-parallel best case
+//! the paper's four physical ports correspond to.
+//!
+//! Two properties are checked on every run:
+//!
+//! * **determinism** — each sink folds every arrival (timestamp and
+//!   payload CRC) into a running digest; the per-port digests must be
+//!   identical at every shard count, else the run panics;
+//! * **scaling** — wall-clock time per shard count is reported, and
+//!   with `OSNT_REQUIRE_SPEEDUP=1` the run fails unless 4 shards reach
+//!   ≥ 1.8× over 1 shard. The gate is opt-in because speedup is a
+//!   property of the host: on a single-core box (like the machine that
+//!   produced the committed artifact) parallel shards cannot beat one
+//!   thread, and the numbers would be noise, not signal.
+//!
+//! `--json PATH` writes the results (including `host_cores`, so a
+//! reader can judge whether speedup was even possible) as JSON.
+
+use osnt_bench::Table;
+use osnt_gen::workload::FixedTemplate;
+use osnt_gen::{GenConfig, GeneratorPort, Schedule};
+use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
+use osnt_packet::hash::{crc32, crc32_update};
+use osnt_packet::Packet;
+use osnt_time::HwClock;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PORTS: usize = 4;
+const FRAME_LEN: usize = 64;
+
+/// Swallows traffic while folding every arrival into a running digest,
+/// so two runs can be compared byte-for-byte without storing traces.
+struct DigestSink {
+    state: Rc<RefCell<SinkState>>,
+}
+
+#[derive(Default)]
+struct SinkState {
+    frames: u64,
+    digest: u32,
+}
+
+impl Component for DigestSink {
+    fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, pkt: Packet) {
+        let mut s = self.state.borrow_mut();
+        s.frames += 1;
+        s.digest = crc32_update(s.digest, &k.now().as_ps().to_le_bytes());
+        s.digest = crc32_update(s.digest, &crc32(pkt.data()).to_le_bytes());
+    }
+}
+
+struct RunResult {
+    shards_effective: usize,
+    wall_s: f64,
+    events: u64,
+    digests: Vec<(u64, u32)>,
+}
+
+fn run(n_shards: usize, frames_per_port: u64) -> RunResult {
+    let mut b = SimBuilder::new();
+    let mut states = Vec::new();
+    for i in 0..PORTS {
+        // Per-port clock: no Rc is shared across pairs, so every pair
+        // may land on its own shard.
+        let clock = Rc::new(RefCell::new(HwClock::ideal()));
+        let cfg = GenConfig {
+            schedule: Schedule::BackToBack,
+            count: Some(frames_per_port),
+            batch: 32,
+            ..GenConfig::default()
+        };
+        let (port, _stats) = GeneratorPort::new(
+            Box::new(FixedTemplate::new(FixedTemplate::udp_frame(FRAME_LEN))),
+            cfg,
+            clock,
+        );
+        let gen = b.add_component(&format!("gen{i}"), Box::new(port), 1);
+        let state = Rc::new(RefCell::new(SinkState::default()));
+        let sink = b.add_component(
+            &format!("sink{i}"),
+            Box::new(DigestSink {
+                state: state.clone(),
+            }),
+            1,
+        );
+        b.connect(gen, 0, sink, 0, LinkSpec::ten_gig());
+        states.push(state);
+    }
+    let mut sim = b.build_auto_sharded(n_shards);
+    let t0 = std::time::Instant::now();
+    sim.run_to_quiescence(frames_per_port * (PORTS as u64) * 4 + 1000);
+    let wall_s = t0.elapsed().as_secs_f64();
+    RunResult {
+        shards_effective: sim.n_shards(),
+        wall_s,
+        events: sim.events_dispatched(),
+        digests: states
+            .iter()
+            .map(|s| {
+                let s = s.borrow();
+                (s.frames, s.digest)
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let mut frames_per_port: u64 = 200_000;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frames" => {
+                let v = args.next().expect("--frames takes a count");
+                frames_per_port = v.parse().expect("--frames takes an integer");
+            }
+            "--json" => json = Some(args.next().expect("--json takes a path")),
+            other => panic!("unknown argument {other} (expected --frames N / --json PATH)"),
+        }
+    }
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "E10: shard scaling, {PORTS}x10G back-to-back, {FRAME_LEN}B frames, \
+         {frames_per_port} frames/port, host has {host_cores} core(s)\n"
+    );
+
+    let mut table = Table::new(["shards", "wall(ms)", "events", "events/wall-s", "speedup"]);
+    let mut json_rows = Vec::new();
+    let mut baseline: Option<RunResult> = None;
+    for &shards in &[1usize, 2, 4] {
+        let r = run(shards, frames_per_port);
+        assert_eq!(
+            r.shards_effective, shards,
+            "auto-partitioner used fewer shards"
+        );
+        for (port, (frames, _)) in r.digests.iter().enumerate() {
+            assert_eq!(
+                *frames, frames_per_port,
+                "port {port} received {frames} of {frames_per_port} frames at {shards} shards"
+            );
+        }
+        let speedup = match &baseline {
+            Some(base) => {
+                assert_eq!(
+                    r.digests, base.digests,
+                    "trace digest mismatch: {shards} shards diverged from 1 shard"
+                );
+                assert_eq!(
+                    r.events, base.events,
+                    "event count diverged at {shards} shards"
+                );
+                base.wall_s / r.wall_s
+            }
+            None => 1.0,
+        };
+        let events_per_s = r.events as f64 / r.wall_s;
+        table.row([
+            shards.to_string(),
+            format!("{:.2}", r.wall_s * 1e3),
+            r.events.to_string(),
+            format!("{events_per_s:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        let digests: Vec<String> = r
+            .digests
+            .iter()
+            .map(|(_, d)| format!("\"{d:08x}\""))
+            .collect();
+        json_rows.push(format!(
+            "{{\"shards\":{shards},\"wall_s\":{:.6},\"events\":{},\
+             \"events_per_wall_s\":{events_per_s:.0},\"speedup\":{speedup:.4},\
+             \"port_digests\":[{}]}}",
+            r.wall_s,
+            r.events,
+            digests.join(",")
+        ));
+        if baseline.is_none() {
+            baseline = Some(r);
+        }
+        if shards == 4 && std::env::var("OSNT_REQUIRE_SPEEDUP").as_deref() == Ok("1") {
+            assert!(
+                speedup >= 1.8,
+                "4-shard speedup {speedup:.2}x < 1.8x (host has {host_cores} cores)"
+            );
+        }
+    }
+    table.print();
+    println!("\nPer-port trace digests identical at every shard count (checked above).");
+    if std::env::var("OSNT_REQUIRE_SPEEDUP").as_deref() == Ok("1") {
+        println!("Speedup gate (>= 1.8x at 4 shards): passed.");
+    } else {
+        println!("Speedup gate skipped (set OSNT_REQUIRE_SPEEDUP=1 to enforce).");
+    }
+    if let Some(path) = json {
+        let body = format!(
+            "{{\"bench\":\"e10_shard_scaling\",\"frames_per_port\":{frames_per_port},\
+             \"frame_len\":{FRAME_LEN},\"ports\":{PORTS},\"host_cores\":{host_cores},\
+             \"results\":[{}]}}\n",
+            json_rows.join(",")
+        );
+        std::fs::write(&path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+}

@@ -22,7 +22,7 @@ use osnt_gen::workload::FixedTemplate;
 use osnt_gen::{GenConfig, Schedule};
 use osnt_mon::{FilterAction, FilterTable, HostPathConfig, MonConfig};
 use osnt_netsim::{
-    Component, ComponentId, FaultConfig, FaultStats, FaultyLink, LinkSpec, SimBuilder,
+    Component, ComponentId, FaultConfig, FaultStats, FaultyLink, LinkSpec, ShardPlan, SimBuilder,
 };
 use osnt_packet::{MacAddr, PacketBuilder, WildcardRule};
 use osnt_switch::{LegacyConfig, LegacySwitch};
@@ -299,9 +299,29 @@ impl LatencyExperiment {
             );
         }
 
-        let mut sim = b.build();
-        // Run to the end of generation plus drain time.
-        sim.run_until(stop_at + SimDuration::from_ms(10));
+        // Run to the end of generation plus drain time. With
+        // `OSNT_SHARDS` ≥ 2 the run executes on the sharded kernel:
+        // the tester device (whose four ports share one card-clock
+        // `Rc`, and so must stay together) plus the probe-path fault
+        // injector on shard 0, the DUT alone on shard 1. Any larger
+        // requested count still yields two shards — this topology has
+        // exactly two `Rc`-independent islands — and the report is
+        // byte-identical either way (the sharded kernel's determinism
+        // contract, pinned in `tests/shard_experiment_parity.rs`).
+        let horizon = stop_at + SimDuration::from_ms(10);
+        let shards = std::env::var("OSNT_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        if shards >= 2 {
+            let mut plan = ShardPlan::new(b.component_count(), 2);
+            plan.assign(dut.id, 1);
+            let mut sim = b.build_sharded(plan);
+            sim.run_until(horizon);
+        } else {
+            let mut sim = b.build();
+            sim.run_until(horizon);
+        }
 
         let probe_gen = device.ports[0]
             .gen_stats

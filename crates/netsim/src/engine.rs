@@ -4,6 +4,7 @@ use crate::component::{Component, ComponentId};
 use crate::event::EventKind;
 use crate::kernel::Kernel;
 use crate::link::LinkSpec;
+use crate::shard::{ShardPlan, ShardedSim};
 use crate::trace::Tracer;
 use osnt_time::{SimDuration, SimTime};
 
@@ -39,8 +40,8 @@ impl SimBuilder {
         id
     }
 
-    /// Wire `a`'s port `pa` to `b`'s port `pb` with a full-duplex link of
-    /// the given spec (one simplex channel each way).
+    /// Wire `a`'s port `pa` to `b`'s port `pb` with a symmetric
+    /// full-duplex link (the same spec in each simplex direction).
     pub fn connect(
         &mut self,
         a: ComponentId,
@@ -49,8 +50,29 @@ impl SimBuilder {
         pb: usize,
         spec: LinkSpec,
     ) {
-        self.kernel.connect_simplex(a, pa, b, pb, spec);
-        self.kernel.connect_simplex(b, pb, a, pa, spec);
+        self.connect_asym(a, pa, b, pb, spec, spec);
+    }
+
+    /// Wire `a`'s port `pa` to `b`'s port `pb` with an asymmetric
+    /// full-duplex link: `spec_ab` governs the `a → b` direction,
+    /// `spec_ba` the `b → a` direction (e.g. a 10G downstream / 1G
+    /// upstream pair, or unequal cable runs).
+    pub fn connect_asym(
+        &mut self,
+        a: ComponentId,
+        pa: usize,
+        b: ComponentId,
+        pb: usize,
+        spec_ab: LinkSpec,
+        spec_ba: LinkSpec,
+    ) {
+        self.kernel.connect_simplex(a, pa, b, pb, spec_ab);
+        self.kernel.connect_simplex(b, pb, a, pa, spec_ba);
+    }
+
+    /// Number of components added so far (shard plans need the count).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
     }
 
     /// Register a trace observer.
@@ -67,6 +89,83 @@ impl SimBuilder {
             started: false,
         }
     }
+
+    /// Finish construction as a [`ShardedSim`] running the component
+    /// graph across `plan.n_shards()` worker threads.
+    ///
+    /// Requirements the plan author must uphold:
+    ///
+    /// * every link crossing a shard boundary has **nonzero
+    ///   propagation delay** (it becomes the lookahead window;
+    ///   violated → panic here),
+    /// * components that share non-`Send` state (an `Rc<RefCell<..>>`
+    ///   clock, a shared result log) are assigned to the **same
+    ///   shard** — the wiring is visible to this builder, Rust-level
+    ///   sharing is not, so this is a contract, not a check,
+    /// * no kernel [`Tracer`]s are registered (panics here; per-port
+    ///   traces belong in components, which shard cleanly).
+    ///
+    /// For any plan the run is byte-identical to [`SimBuilder::build`]
+    /// plus [`Sim::run_until`]: same event order, counters, and
+    /// component state. See `crate::shard` for the determinism
+    /// argument.
+    pub fn build_sharded(self, plan: ShardPlan) -> ShardedSim {
+        ShardedSim::build(self.kernel, self.components, self.names, plan)
+    }
+
+    /// [`SimBuilder::build_sharded`] with an automatic plan: wire-
+    /// connected component groups stay together and are packed onto at
+    /// most `n_shards` shards, largest group first. Topologies whose
+    /// graph is one connected component collapse to a single shard —
+    /// use an explicit [`ShardPlan`] to cut through links instead.
+    pub fn build_auto_sharded(self, n_shards: usize) -> ShardedSim {
+        let edges: Vec<_> = self
+            .kernel
+            .wire_endpoints()
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let plan = ShardPlan::auto(self.components.len(), n_shards, &edges);
+        self.build_sharded(plan)
+    }
+}
+
+/// The shared dispatch loop: pop and run every event at or before
+/// `limit`. Used verbatim by the single-threaded [`Sim`] and by each
+/// shard worker — one code path, one semantics.
+pub(crate) fn dispatch_events(
+    kernel: &mut Kernel,
+    components: &mut [Option<Box<dyn Component>>],
+    limit: SimTime,
+) -> u64 {
+    let mut dispatched = 0;
+    while let Some((_, kind)) = kernel.pop_event_until(limit) {
+        dispatched += 1;
+        match kind {
+            EventKind::Deliver { dst, port, packet } => {
+                kernel.note_rx(dst, port, packet.frame_len());
+                let mut c = components[dst.index()]
+                    .take()
+                    .unwrap_or_else(|| panic!("re-entrant dispatch to {}", dst.index()));
+                c.on_packet(kernel, dst, port, packet);
+                components[dst.index()] = Some(c);
+            }
+            EventKind::TxDone {
+                src,
+                port,
+                frame_len,
+            } => {
+                kernel.note_tx_done(src, port, frame_len);
+            }
+            EventKind::Timer { target, tag } => {
+                let mut c = components[target.index()]
+                    .take()
+                    .unwrap_or_else(|| panic!("re-entrant dispatch to {}", target.index()));
+                c.on_timer(kernel, target, tag);
+                components[target.index()] = Some(c);
+            }
+        }
+    }
+    dispatched
 }
 
 impl Default for SimBuilder {
@@ -116,34 +215,7 @@ impl Sim {
     /// clock to `limit`. Returns the number of events dispatched.
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
         self.start_if_needed();
-        let mut dispatched = 0;
-        while let Some((_, kind)) = self.kernel.pop_event_until(limit) {
-            dispatched += 1;
-            match kind {
-                EventKind::Deliver { dst, port, packet } => {
-                    self.kernel.note_rx(dst, port, packet.frame_len());
-                    let mut c = self.components[dst.index()]
-                        .take()
-                        .unwrap_or_else(|| panic!("re-entrant dispatch to {}", dst.index()));
-                    c.on_packet(&mut self.kernel, dst, port, packet);
-                    self.components[dst.index()] = Some(c);
-                }
-                EventKind::TxDone {
-                    src,
-                    port,
-                    frame_len,
-                } => {
-                    self.kernel.note_tx_done(src, port, frame_len);
-                }
-                EventKind::Timer { target, tag } => {
-                    let mut c = self.components[target.index()]
-                        .take()
-                        .unwrap_or_else(|| panic!("re-entrant dispatch to {}", target.index()));
-                    c.on_timer(&mut self.kernel, target, tag);
-                    self.components[target.index()] = Some(c);
-                }
-            }
-        }
+        let dispatched = dispatch_events(&mut self.kernel, &mut self.components, limit);
         self.kernel.advance_now(limit);
         dispatched
     }

@@ -1,6 +1,10 @@
 //! The event queue's payload types. Ordering lives in [`crate::wheel`]:
-//! events dispatch in ascending `(time, seq)` — simultaneous events fire
-//! in the order they were scheduled, a total, deterministic order.
+//! events dispatch in ascending `(time, key)` where the key encodes
+//! `(source component, per-source sequence)` — see
+//! [`crate::kernel::event_key`]. Simultaneous events fire in source
+//! component id order, then in the order the source scheduled them: a
+//! total order computable from the event alone, identical whether the
+//! simulation runs on one thread or across shards.
 
 use crate::component::ComponentId;
 use osnt_packet::Packet;
@@ -23,4 +27,15 @@ pub(crate) enum EventKind {
     },
     /// A component timer fires.
     Timer { target: ComponentId, tag: u64 },
+}
+
+impl EventKind {
+    /// The component whose shard must execute this event.
+    pub(crate) fn target(&self) -> ComponentId {
+        match self {
+            EventKind::Deliver { dst, .. } => *dst,
+            EventKind::TxDone { src, .. } => *src,
+            EventKind::Timer { target, .. } => *target,
+        }
+    }
 }

@@ -60,8 +60,8 @@ struct Wire {
     peer_port: usize,
 }
 
-#[derive(Debug)]
-struct OutPort {
+#[derive(Debug, Clone)]
+pub(crate) struct OutPort {
     wire: Option<Wire>,
     /// Instant the MAC becomes free to start another frame (includes the
     /// inter-frame gap of the previous frame).
@@ -86,33 +86,72 @@ impl OutPort {
     }
 }
 
+/// Bits of the event key reserved for the per-source sequence counter.
+/// The remaining high bits hold the source component id, so keys order
+/// by `(source component, per-source seq)` — see [`event_key`].
+pub(crate) const SRC_SEQ_BITS: u32 = 40;
+
+/// Largest component id the key encoding supports (16M components).
+pub(crate) const MAX_COMPONENTS: usize = 1 << (64 - SRC_SEQ_BITS);
+
+/// The total event order is ascending `(time, event_key)`. The key packs
+/// `(source component id, per-source sequence number)` so that ties at
+/// one instant break by source component id, then by the order the
+/// source scheduled them. Crucially the key depends only on *which*
+/// component scheduled the event and on that component's own scheduling
+/// history — never on the global interleaving — so a sharded run
+/// computes byte-identical keys to the single-threaded kernel and
+/// dispatches in byte-identical order.
+#[inline]
+pub(crate) fn event_key(src: ComponentId, ctr: u64) -> u64 {
+    // 2^40 events per component outlasts any realistic run (a port at
+    // 14.88 Mpps takes ~20 simulated hours to get there).
+    debug_assert!(
+        ctr < 1 << SRC_SEQ_BITS,
+        "per-component event counter overflow"
+    );
+    ((src.0 as u64) << SRC_SEQ_BITS) | ctr
+}
+
 /// The simulation kernel. Components receive `&mut Kernel` in their event
 /// handlers; harness code reaches it through [`crate::Sim::kernel`].
 pub struct Kernel {
-    now: SimTime,
-    seq: u64,
-    queue: TimerWheel<EventKind>,
+    pub(crate) now: SimTime,
+    /// Per-component event sequence counters (the low bits of
+    /// [`event_key`]). Indexed by component id; counts every event the
+    /// component has scheduled, including cross-shard ones.
+    pub(crate) comp_seq: Vec<u64>,
+    pub(crate) queue: TimerWheel<EventKind>,
     /// ports[component][port]
-    ports: Vec<Vec<OutPort>>,
-    tracers: Vec<Box<dyn Tracer>>,
-    events_dispatched: u64,
+    pub(crate) ports: Vec<Vec<OutPort>>,
+    pub(crate) tracers: Vec<Box<dyn Tracer>>,
+    pub(crate) events_dispatched: u64,
+    /// Cross-shard routing state — `None` on single-threaded sims, so the
+    /// fast path pays one branch.
+    pub(crate) router: Option<crate::shard::ShardRouter>,
 }
 
 impl Kernel {
     pub(crate) fn new() -> Self {
         Kernel {
             now: SimTime::ZERO,
-            seq: 0,
+            comp_seq: Vec::new(),
             queue: TimerWheel::new(),
             ports: Vec::new(),
             tracers: Vec::new(),
             events_dispatched: 0,
+            router: None,
         }
     }
 
     pub(crate) fn add_component_ports(&mut self, n_ports: usize) {
+        assert!(
+            self.ports.len() < MAX_COMPONENTS,
+            "component id space exhausted"
+        );
         self.ports
             .push((0..n_ports).map(|_| OutPort::new()).collect());
+        self.comp_seq.push(0);
     }
 
     pub(crate) fn add_tracer(&mut self, tracer: Box<dyn Tracer>) {
@@ -159,18 +198,81 @@ impl Kernel {
         self.events_dispatched
     }
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+    /// Schedule `kind` at `time` on behalf of `src` (the component whose
+    /// handler — or wiring — created the event). Events whose target
+    /// lives on another shard are routed over that shard's inbound
+    /// channel instead of the local wheel; the `(src, ctr)` key travels
+    /// with them so the destination wheel slots them into the same total
+    /// order the single-threaded kernel would.
+    fn push_event(&mut self, time: SimTime, src: ComponentId, kind: EventKind) {
         debug_assert!(time >= self.now, "event scheduled in the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(time, seq, kind);
+        let ctr = self.comp_seq[src.0];
+        self.comp_seq[src.0] = ctr + 1;
+        let key = event_key(src, ctr);
+        if let Some(router) = &mut self.router {
+            if router.is_remote(kind.target()) {
+                router.send(time, key, kind);
+                return;
+            }
+        }
+        self.queue.push(time, key, kind);
+    }
+
+    /// Insert an event that arrived from another shard, carrying the key
+    /// its source computed. Crate-internal: the shard executive calls
+    /// this while draining inbound channels at a window boundary.
+    pub(crate) fn inject(&mut self, time: SimTime, key: u64, kind: EventKind) {
+        debug_assert!(time >= self.now, "cross-shard event arrived in the past");
+        self.queue.push(time, key, kind);
+    }
+
+    /// Earliest pending event time in picoseconds (`None` when idle).
+    /// (`&mut` because the wheel may migrate overflow entries to find
+    /// its minimum.)
+    pub(crate) fn peek_next_ps(&mut self) -> Option<u64> {
+        self.queue.peek().map(|(t, _)| t.as_ps())
+    }
+
+    /// Every installed simplex wire as `(src, peer, propagation)` —
+    /// the shard builder derives lookahead from this.
+    pub(crate) fn wire_endpoints(
+        &self,
+    ) -> impl Iterator<Item = (ComponentId, ComponentId, SimDuration)> + '_ {
+        self.ports.iter().enumerate().flat_map(|(src, ports)| {
+            ports.iter().filter_map(move |p| {
+                p.wire
+                    .map(|w| (ComponentId(src), w.peer, w.spec.propagation))
+            })
+        })
+    }
+
+    /// Clone this kernel's static state (wiring, counters, clock) for
+    /// one shard of a sharded build. The event queue must be empty and
+    /// no tracers registered: events are created per-shard by
+    /// `on_start`, and `Box<dyn Tracer>` cannot be replicated (the
+    /// sharded builder rejects traced sims up front).
+    pub(crate) fn replicate_for_shard(&self) -> Kernel {
+        assert_eq!(self.queue.len(), 0, "replicate before scheduling events");
+        assert!(
+            self.tracers.is_empty(),
+            "kernel tracers are not supported on sharded sims"
+        );
+        Kernel {
+            now: self.now,
+            comp_seq: self.comp_seq.clone(),
+            queue: TimerWheel::new(),
+            ports: self.ports.clone(),
+            tracers: Vec::new(),
+            events_dispatched: 0,
+            router: None,
+        }
     }
 
     /// Arm a timer for `me` firing after `delay` with discriminator
     /// `tag`. A zero delay fires after the current handler returns, at
     /// the same simulated time.
     pub fn schedule_timer(&mut self, me: ComponentId, delay: SimDuration, tag: u64) {
-        self.push_event(self.now + delay, EventKind::Timer { target: me, tag });
+        self.push_event(self.now + delay, me, EventKind::Timer { target: me, tag });
     }
 
     /// Arm a timer at an absolute instant (must not be in the past).
@@ -180,7 +282,7 @@ impl Kernel {
             "schedule_timer_at: {at} is in the past (now {})",
             self.now
         );
-        self.push_event(at, EventKind::Timer { target: me, tag });
+        self.push_event(at, me, EventKind::Timer { target: me, tag });
     }
 
     /// The earliest instant a frame offered now on (`me`, `port`) would
@@ -247,6 +349,7 @@ impl Kernel {
         let (peer, peer_port) = (wire.peer, wire.peer_port);
         self.push_event(
             tx_end,
+            me,
             EventKind::TxDone {
                 src: me,
                 port,
@@ -255,6 +358,7 @@ impl Kernel {
         );
         self.push_event(
             delivery,
+            me,
             EventKind::Deliver {
                 dst: peer,
                 port: peer_port,
@@ -305,9 +409,20 @@ impl Kernel {
         // body touches disjoint fields instead of re-resolving the port
         // per frame.
         let mut ser_cache: Option<(usize, SimDuration, SimDuration)> = None;
-        let p = &mut self.ports[me.0][port];
+        let Kernel {
+            ports,
+            comp_seq,
+            queue,
+            router,
+            tracers,
+            ..
+        } = self;
+        let p = &mut ports[me.0][port];
         let wire = p.wire.expect("checked above");
-        let tracing = !self.tracers.is_empty();
+        let tracing = !tracers.is_empty();
+        // Is the peer on another shard? Resolved once for the batch —
+        // a wire's peer never moves.
+        let remote = router.as_ref().is_some_and(|r| r.is_remote(wire.peer));
         for packet in frames {
             let frame_len = packet.frame_len();
             let wire_len = packet.wire_len();
@@ -321,7 +436,7 @@ impl Kernel {
                             port,
                             frame_len,
                         };
-                        for tr in &mut self.tracers {
+                        for tr in tracers.iter_mut() {
                             tr.trace(now, &ev);
                         }
                     }
@@ -354,31 +469,39 @@ impl Kernel {
             if let Some(ts) = tx_starts.as_deref_mut() {
                 ts.push(tx_start);
             }
-            let seq = self.seq;
-            self.seq += 1;
-            self.queue.push(
-                delivery,
-                seq,
-                EventKind::Deliver {
-                    dst: wire.peer,
-                    port: wire.peer_port,
-                    packet,
-                },
-            );
+            let ctr = comp_seq[me.0];
+            comp_seq[me.0] = ctr + 1;
+            let key = event_key(me, ctr);
+            let ev = EventKind::Deliver {
+                dst: wire.peer,
+                port: wire.peer_port,
+                packet,
+            };
+            if remote {
+                router
+                    .as_mut()
+                    .expect("remote implies router")
+                    .send(delivery, key, ev);
+            } else {
+                queue.push(delivery, key, ev);
+            }
             if tracing {
                 let ev = TraceEvent::TxAccepted {
                     src: me,
                     port,
                     frame_len,
                 };
-                for tr in &mut self.tracers {
+                for tr in tracers.iter_mut() {
                     tr.trace(now, &ev);
                 }
             }
         }
         if let Some(tx_end) = last_tx_end {
+            // TxDone targets `me`, which is by definition local — no
+            // routing check needed, but push_event does it anyway.
             self.push_event(
                 tx_end,
+                me,
                 EventKind::TxDone {
                     src: me,
                     port,

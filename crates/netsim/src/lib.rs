@@ -19,11 +19,15 @@
 //! ## Architecture
 //!
 //! The design is event-driven in the reactor style: a totally ordered
-//! event queue (time, then insertion sequence — fully deterministic)
-//! dispatches to [`Component`]s, which react by scheduling timers and
-//! transmitting frames through the [`Kernel`]. Components are wired
-//! port-to-port with [`LinkSpec`]s at build time ([`SimBuilder`]), then
-//! the simulation is driven with [`Sim::run_until`].
+//! event queue — ascending `(time, source component, per-source
+//! sequence)`, fully deterministic and independent of how the run is
+//! partitioned — dispatches to [`Component`]s, which react by
+//! scheduling timers and transmitting frames through the [`Kernel`].
+//! Components are wired port-to-port with [`LinkSpec`]s at build time
+//! ([`SimBuilder`]), then the simulation is driven with
+//! [`Sim::run_until`] — or partitioned across worker threads with
+//! [`SimBuilder::build_sharded`] (see [`shard`]) for byte-identical
+//! results at a fraction of the wall clock.
 //!
 //! ```
 //! use osnt_netsim::{Component, Kernel, ComponentId, LinkSpec, SimBuilder};
@@ -65,7 +69,9 @@ pub mod impair;
 pub mod kernel;
 pub mod link;
 pub mod queue;
+pub mod shard;
 pub mod stats;
+mod sync;
 pub mod trace;
 pub mod wheel;
 
@@ -76,6 +82,7 @@ pub use impair::{ImpairConfig, Impairment};
 pub use kernel::{BatchTx, Kernel, TxResult};
 pub use link::LinkSpec;
 pub use queue::ByteFifo;
+pub use shard::{ShardPlan, ShardedSim};
 pub use stats::PortCounters;
 pub use trace::{TraceEvent, Tracer};
 pub use wheel::TimerWheel;

@@ -1,0 +1,57 @@
+//! End-to-end sharding parity: the canonical latency experiment (the
+//! paper's Fig. 2 topology) must produce a **byte-identical**
+//! `LatencyReport` whether it runs on the single-threaded kernel or on
+//! the sharded kernel (`OSNT_SHARDS` ≥ 2: tester device on one shard,
+//! DUT on the other). Every field — Poisson probe timestamps, latency
+//! summary floats, fault tallies — goes through the comparison via the
+//! report's `Debug` rendering, so even a one-ULP drift fails.
+
+use osnt::core::experiment::LatencyExperiment;
+use osnt::netsim::{FaultConfig, LossModel};
+use osnt::switch::LegacyConfig;
+use osnt::time::SimDuration;
+
+fn short_run(faults: Option<FaultConfig>, background: f64) -> String {
+    let exp = LatencyExperiment {
+        duration: SimDuration::from_ms(5),
+        warmup: SimDuration::from_ms(1),
+        background_load: background,
+        probe_faults: faults,
+        ..LatencyExperiment::default()
+    };
+    let report = exp
+        .run_legacy(LegacyConfig::default())
+        .expect("experiment runs");
+    format!("{report:?}")
+}
+
+/// One test (not several) because the shard count comes from a
+/// process-global environment variable.
+#[test]
+fn sharded_experiment_reports_are_byte_identical() {
+    let faulty = Some(FaultConfig {
+        loss: LossModel::Uniform { probability: 0.05 },
+        corrupt_probability: 0.05,
+        seed: 42,
+        ..FaultConfig::default()
+    });
+
+    std::env::remove_var("OSNT_SHARDS");
+    let clean_ref = short_run(None, 0.5);
+    let faulty_ref = short_run(faulty.clone(), 0.0);
+
+    for shards in ["2", "4"] {
+        std::env::set_var("OSNT_SHARDS", shards);
+        let clean = short_run(None, 0.5);
+        let faulty_run = short_run(faulty.clone(), 0.0);
+        std::env::remove_var("OSNT_SHARDS");
+        assert_eq!(
+            clean, clean_ref,
+            "clean report diverged at OSNT_SHARDS={shards}"
+        );
+        assert_eq!(
+            faulty_run, faulty_ref,
+            "faulty report diverged at OSNT_SHARDS={shards}"
+        );
+    }
+}
