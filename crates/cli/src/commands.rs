@@ -1,11 +1,12 @@
 //! The CLI subcommand implementations.
 
-use crate::args::{Args, UsageError};
+use crate::args::{Args, CliError, UsageError};
 use oflops_turbo::modules::{
     AddLatencyModule, AddLatencyReport, ConsistencyModule, ConsistencyReport, RoundRobinDst,
 };
 use oflops_turbo::{Testbed, TestbedSpec};
 use osnt_core::experiment::LatencyExperiment;
+use osnt_core::sweep::{render_report, SupervisedSweep, SweepConfig};
 use osnt_core::throughput::ThroughputSearch;
 use osnt_gen::txstamp::StampConfig;
 use osnt_gen::workload::{FixedTemplate, FlowPool};
@@ -13,10 +14,13 @@ use osnt_gen::{GenConfig, GeneratorPort, IdtMode, PcapReplay, Schedule};
 use osnt_mon::{FilterAction, FilterTable, MonConfig, MonitorPort, ThinConfig};
 use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
 use osnt_packet::{line_rate_pps, Packet, WildcardRule};
+use osnt_supervisor::{SupervisorConfig, WatchdogConfig};
 use osnt_switch::{LegacyConfig, OfSwitchConfig};
 use osnt_time::{HwClock, SimDuration, SimTime};
 use std::cell::RefCell;
+use std::path::Path;
 use std::rc::Rc;
+use std::time::Duration;
 
 struct Sink;
 impl Component for Sink {
@@ -28,7 +32,7 @@ fn dur_opt(d: Option<SimDuration>) -> String {
 }
 
 /// `osnt linerate` — generator saturation.
-pub fn linerate(args: &Args) -> Result<(), UsageError> {
+pub fn linerate(args: &Args) -> Result<(), CliError> {
     let frame: usize = args.get("frame", 64)?;
     let ms: u64 = args.get("duration-ms", 5)?;
     let ports: usize = args.get("ports", 1)?;
@@ -70,7 +74,7 @@ pub fn linerate(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `osnt latency` — legacy switch latency under load.
-pub fn latency(args: &Args) -> Result<(), UsageError> {
+pub fn latency(args: &Args) -> Result<(), CliError> {
     let frame: usize = args.get("frame", 512)?;
     let load: f64 = args.get("load", 0.5)?;
     let ms: u64 = args.get("duration-ms", 20)?;
@@ -83,9 +87,7 @@ pub fn latency(args: &Args) -> Result<(), UsageError> {
         warmup: SimDuration::from_ms(ms / 4),
         ..LatencyExperiment::default()
     };
-    let r = exp
-        .run_legacy(LegacyConfig::default())
-        .map_err(|e| UsageError(e.to_string()))?;
+    let r = exp.run_legacy(LegacyConfig::default())?;
     println!(
         "probe: sent {}  captured {}  loss {:.3}%",
         r.probe_sent,
@@ -100,7 +102,7 @@ pub fn latency(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `osnt capture` — filtered/thinned capture to pcap.
-pub fn capture(args: &Args) -> Result<(), UsageError> {
+pub fn capture(args: &Args) -> Result<(), CliError> {
     let frame: usize = args.get("frame", 512)?;
     let load: f64 = args.get("load", 1.0)?;
     let ms: u64 = args.get("duration-ms", 10)?;
@@ -165,9 +167,9 @@ pub fn capture(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `osnt replay <file>` — replay a pcap.
-pub fn replay(args: &Args) -> Result<(), UsageError> {
+pub fn replay(args: &Args) -> Result<(), CliError> {
     let [path] = args.positional() else {
-        return Err(UsageError("replay needs exactly one pcap file".into()));
+        return Err(UsageError("replay needs exactly one pcap file".into()).into());
     };
     let mode_str = args.get_str("mode").unwrap_or("asrec").to_string();
     args.reject_unknown()?;
@@ -232,7 +234,7 @@ fn parse_mode(s: &str) -> Result<IdtMode, UsageError> {
 }
 
 /// `osnt throughput` — RFC 2544-style search.
-pub fn throughput(args: &Args) -> Result<(), UsageError> {
+pub fn throughput(args: &Args) -> Result<(), CliError> {
     let frame: usize = args.get("frame", 512)?;
     let resolution: f64 = args.get("resolution", 0.01)?;
     args.reject_unknown()?;
@@ -241,9 +243,7 @@ pub fn throughput(args: &Args) -> Result<(), UsageError> {
         resolution,
         ..ThroughputSearch::default()
     };
-    let r = search
-        .run_legacy(&LegacyConfig::default())
-        .map_err(|e| UsageError(e.to_string()))?;
+    let r = search.run_legacy(&LegacyConfig::default())?;
     println!(
         "frame {} B: zero-loss throughput {:.1}% of line rate ({} trials; loss one step above: {:.3}%)",
         r.frame_len,
@@ -255,7 +255,7 @@ pub fn throughput(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `osnt oflops-add` — flow-insertion latency.
-pub fn oflops_add(args: &Args) -> Result<(), UsageError> {
+pub fn oflops_add(args: &Args) -> Result<(), CliError> {
     let rules: usize = args.get("rules", 50)?;
     let honest: bool = args.get("honest-barrier", false)?;
     args.reject_unknown()?;
@@ -301,7 +301,7 @@ pub fn oflops_add(args: &Args) -> Result<(), UsageError> {
 }
 
 /// `osnt oflops-mod` — update consistency.
-pub fn oflops_mod(args: &Args) -> Result<(), UsageError> {
+pub fn oflops_mod(args: &Args) -> Result<(), CliError> {
     let rules: usize = args.get("rules", 50)?;
     args.reject_unknown()?;
 
@@ -331,5 +331,105 @@ pub fn oflops_mod(args: &Args) -> Result<(), UsageError> {
         report.stale_after_barrier,
         dur_opt(report.max_stale_lag)
     );
+    Ok(())
+}
+
+fn parse_loads(s: &str) -> Result<Vec<f64>, UsageError> {
+    let loads: Vec<f64> = s
+        .split(',')
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| UsageError(format!("bad load in --loads: {x:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if loads.is_empty() {
+        return Err(UsageError("--loads must name at least one load".into()));
+    }
+    Ok(loads)
+}
+
+/// `osnt run` — the supervised multi-load latency sweep: journaled,
+/// watchdogged, resumable. A fresh run needs `--journal <path>`; after a
+/// crash or abort, `--resume <path>` picks the campaign back up from the
+/// journal (the configuration comes from the journal header and is
+/// digest-verified) and produces a report byte-identical to an
+/// uninterrupted run.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let resume = args.get_str("resume").map(str::to_string);
+    let journal = args.get_str("journal").map(str::to_string);
+    let frame: usize = args.get("frame", 512)?;
+    let probe_load: f64 = args.get("probe-load", 0.02)?;
+    let loads_str = args.get_str("loads").unwrap_or("0.0,0.5,0.9").to_string();
+    let ms: u64 = args.get("duration-ms", 20)?;
+    let warmup_ms: u64 = args.get("warmup-ms", 5)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let stall_ms: u64 = args.get("stall-timeout-ms", 30_000)?;
+    let kill_at: Option<u16> = args.get_opt("kill-at-phase")?;
+    let wedge_at: Option<u16> = args.get_opt("wedge-at-phase")?;
+    let out = args.get_str("out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let supervisor = SupervisorConfig {
+        watchdog: Some(WatchdogConfig {
+            stall_timeout: Duration::from_millis(stall_ms.max(1)),
+            poll_interval: Duration::from_millis((stall_ms / 4).clamp(1, 25)),
+        }),
+        ..SupervisorConfig::default()
+    };
+
+    let (config, outcome) = match (resume, journal) {
+        (Some(_), Some(_)) => {
+            return Err(UsageError(
+                "pass either --journal (fresh run) or --resume, not both".into(),
+            )
+            .into());
+        }
+        (Some(path), None) => {
+            if kill_at.is_some() || wedge_at.is_some() {
+                return Err(UsageError(
+                    "--kill-at-phase/--wedge-at-phase are fresh-run fault injections; \
+                     a resumed run must match the uninterrupted one"
+                        .into(),
+                )
+                .into());
+            }
+            SupervisedSweep::resume(Path::new(&path), supervisor)?
+        }
+        (None, Some(path)) => {
+            let config = SweepConfig {
+                frame_len: frame,
+                probe_load,
+                loads: parse_loads(&loads_str)?,
+                duration: SimDuration::from_ms(ms),
+                warmup: SimDuration::from_ms(warmup_ms),
+                seed,
+            };
+            let mut sweep = SupervisedSweep::new(config.clone());
+            sweep.supervisor = supervisor;
+            sweep.kill_at_phase = kill_at;
+            sweep.wedge_at_phase = wedge_at;
+            let outcome = sweep.run(Path::new(&path))?;
+            (config, outcome)
+        }
+        (None, None) => {
+            return Err(
+                UsageError("run needs --journal <path> (or --resume <path>)".into()).into(),
+            );
+        }
+    };
+
+    let report = render_report(&config, &outcome);
+    print!("{report}");
+    if let Some(path) = out {
+        std::fs::write(&path, &report)
+            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(info) = &outcome.aborted {
+        return Err(CliError::Partial(format!(
+            "phase {} ({}) aborted: {}",
+            info.phase_index, info.phase, info.reason
+        )));
+    }
     Ok(())
 }

@@ -9,7 +9,7 @@
 mod args;
 mod commands;
 
-use args::{Args, UsageError};
+use args::{Args, CliError, UsageError};
 
 const USAGE: &str = "\
 osnt — open source network tester (simulated 10 GbE platform)
@@ -33,22 +33,34 @@ COMMANDS:
                    --rules <50> --honest-barrier <false>
     oflops-mod   OpenFlow update consistency (demo Part II)
                    --rules <50>
+    run          supervised latency sweep: journaled, watchdogged, resumable
+                   --journal <path> --loads <0.0,0.5,0.9> --frame <B=512>
+                   --probe-load <0.02> --duration-ms <20> --warmup-ms <5>
+                   --seed <1> --stall-timeout-ms <30000> --out <report.txt>
+                   --resume <path>           continue a crashed/aborted run
+                   --kill-at-phase <n>       fault injection: die mid-phase
+                   --wedge-at-phase <n>      fault injection: livelock a phase
     help         print this text
+
+EXIT CODES:
+    0 success   1 other failure   2 usage error
+    3 run aborted (watchdog stall / contained panic)   4 partial result
 ";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().unwrap_or_else(|| "help".to_string());
     let rest: Vec<String> = argv.collect();
-    let result = dispatch(&command, rest);
-    if let Err(e) = result {
-        eprintln!("error: {e}\n");
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+    if let Err(e) = dispatch(&command, rest) {
+        eprintln!("error: {e}");
+        if e.is_usage() {
+            eprintln!("\n{USAGE}");
+        }
+        std::process::exit(e.exit_code());
     }
 }
 
-fn dispatch(command: &str, rest: Vec<String>) -> Result<(), UsageError> {
+fn dispatch(command: &str, rest: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(rest)?;
     match command {
         "linerate" => commands::linerate(&args),
@@ -58,10 +70,11 @@ fn dispatch(command: &str, rest: Vec<String>) -> Result<(), UsageError> {
         "throughput" => commands::throughput(&args),
         "oflops-add" => commands::oflops_add(&args),
         "oflops-mod" => commands::oflops_mod(&args),
+        "run" => commands::run(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(UsageError(format!("unknown command: {other}"))),
+        other => Err(UsageError(format!("unknown command: {other}")).into()),
     }
 }

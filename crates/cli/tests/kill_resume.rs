@@ -1,0 +1,112 @@
+//! End-to-end crash recovery through the real binary: kill `osnt run`
+//! mid-phase (deterministically, via `--kill-at-phase`), resume from the
+//! journal, and require the resumed report to be byte-identical to an
+//! uninterrupted run's. Also pins the exit-code taxonomy at the process
+//! boundary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn osnt(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_osnt"))
+        .args(args)
+        .output()
+        .expect("spawn osnt")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("osnt-cli-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+const SWEEP: &[&str] = &[
+    "--loads",
+    "0.0,0.3",
+    "--frame",
+    "512",
+    "--duration-ms",
+    "4",
+    "--warmup-ms",
+    "1",
+    "--seed",
+    "7",
+];
+
+#[test]
+fn kill_mid_phase_then_resume_yields_byte_identical_report() {
+    // Reference: uninterrupted run.
+    let ref_journal = tmp("ref.journal");
+    let mut args = vec!["run", "--journal", ref_journal.to_str().unwrap()];
+    args.extend_from_slice(SWEEP);
+    let reference = osnt(&args);
+    assert!(
+        reference.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    assert!(!reference.stdout.is_empty());
+
+    // Crash run: the process abort()s right after phase 1's start
+    // record is journaled — no unwinding, no cleanup, like SIGKILL.
+    let journal = tmp("killed.journal");
+    let mut args = vec!["run", "--journal", journal.to_str().unwrap()];
+    args.extend_from_slice(SWEEP);
+    args.extend_from_slice(&["--kill-at-phase", "1"]);
+    let killed = osnt(&args);
+    assert!(
+        !killed.status.success(),
+        "the injected crash must kill the run"
+    );
+    assert!(journal.exists(), "the journal must survive the crash");
+
+    // Resume: config comes from the journal; phase 0 is replayed from
+    // its journaled result, phase 1 is re-run.
+    let resumed = osnt(&["run", "--resume", journal.to_str().unwrap()]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_file(&ref_journal);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn wedged_run_exits_partial_and_resume_recovers() {
+    // A wedged phase: the watchdog aborts it, the run exits 4 (partial
+    // result) having printed the partial report.
+    let journal = tmp("wedged.journal");
+    let mut args = vec!["run", "--journal", journal.to_str().unwrap()];
+    args.extend_from_slice(SWEEP);
+    args.extend_from_slice(&["--wedge-at-phase", "1", "--stall-timeout-ms", "400"]);
+    let wedged = osnt(&args);
+    assert_eq!(wedged.status.code(), Some(4), "partial result exits 4");
+    let stdout = String::from_utf8_lossy(&wedged.stdout);
+    assert!(stdout.contains("RUN ABORTED"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&wedged.stderr);
+    assert!(stderr.contains("watchdog"), "{stderr}");
+
+    // Resuming (without the wedge) completes cleanly.
+    let resumed = osnt(&["run", "--resume", journal.to_str().unwrap()]);
+    assert_eq!(resumed.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&resumed.stdout).contains("phases completed: 2/2"));
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = osnt(&["run", "--bogus-flag", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = osnt(&["run"]);
+    assert_eq!(out.status.code(), Some(2), "run without --journal/--resume");
+    let out = osnt(&["no-such-command"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -68,6 +68,15 @@ pub struct LatencyExperiment {
     /// run still completes: losses, duplicates and corruption show up
     /// in the report's fault accounting instead of aborting anything.
     pub probe_faults: Option<FaultConfig>,
+    /// Supervisor heartbeat (`None` = unsupervised). When set, the
+    /// dispatch loop bumps the probe's simulated-time high-water mark
+    /// on every event and honours its abort flag; an aborted run
+    /// returns [`OsntError::RunAborted`] instead of a report.
+    pub progress: Option<std::sync::Arc<osnt_time::ProgressProbe>>,
+    /// Also return the per-sample raw latencies (picoseconds) in the
+    /// report — the supervisor journals them so a resumed run can
+    /// splice byte-identical sample streams.
+    pub record_raw: bool,
 }
 
 impl Default for LatencyExperiment {
@@ -81,12 +90,14 @@ impl Default for LatencyExperiment {
             clock_model: DriftModel::ideal(),
             seed: 1,
             probe_faults: None,
+            progress: None,
+            record_raw: false,
         }
     }
 }
 
 /// The outcome of a latency run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyReport {
     /// Background load that was offered (fraction of line rate).
     pub background_load: f64,
@@ -114,6 +125,9 @@ pub struct LatencyReport {
     /// What the probe-path fault injector did (`None` when the
     /// experiment scripted no faults).
     pub fault_stats: Option<FaultStats>,
+    /// Raw post-warmup latency samples in picoseconds, capture order
+    /// (`None` unless [`LatencyExperiment::record_raw`] was set).
+    pub raw_latencies_ps: Option<Vec<u64>>,
 }
 
 impl LatencyExperiment {
@@ -317,10 +331,27 @@ impl LatencyExperiment {
             let mut plan = ShardPlan::new(b.component_count(), 2);
             plan.assign(dut.id, 1);
             let mut sim = b.build_sharded(plan);
-            sim.run_until(horizon);
+            if let Some(probe) = &self.progress {
+                sim.attach_progress(std::sync::Arc::clone(probe));
+            }
+            // Worker panics are contained at the shard boundary and
+            // surface as a typed error instead of unwinding through
+            // the experiment.
+            sim.try_run_until(horizon)?;
         } else {
             let mut sim = b.build();
+            if let Some(probe) = &self.progress {
+                sim.attach_progress(std::sync::Arc::clone(probe));
+            }
             sim.run_until(horizon);
+        }
+        if let Some(probe) = &self.progress {
+            if probe.abort_requested() {
+                return Err(OsntError::RunAborted {
+                    phase: format!("latency run at load {:.2}", self.background_load),
+                    last_progress: probe.now_ps(),
+                });
+            }
         }
 
         let probe_gen = device.ports[0]
@@ -376,6 +407,9 @@ impl LatencyExperiment {
             filtered_out: mon.filtered_out,
             host_drops: mon.host_drops,
             fault_stats: probe_fault_stats.map(|s| *s.borrow()),
+            raw_latencies_ps: self
+                .record_raw
+                .then(|| lat.iter().map(|d| d.as_ps()).collect()),
         })
     }
 

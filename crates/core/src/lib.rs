@@ -20,6 +20,10 @@
 //! * [`baseline`] — the software-tester comparator: the same measurement
 //!   taken with host timestamps perturbed by OS noise, quantifying what
 //!   MAC-level timestamping buys (experiment E8).
+//! * [`sweep`] — the supervised campaign driver: a multi-load latency
+//!   sweep run under the `osnt-supervisor` lifecycle (per-phase
+//!   watchdogs, crash-consistent journal, resume with byte-identical
+//!   reports).
 
 pub mod baseline;
 pub mod device;
@@ -27,6 +31,7 @@ pub mod experiment;
 pub mod host;
 pub mod latency;
 pub mod seqtrack;
+pub mod sweep;
 pub mod throughput;
 
 pub use baseline::SoftwareStamper;
@@ -35,4 +40,5 @@ pub use experiment::{LatencyExperiment, LatencyReport};
 pub use host::{HostCounters, SimpleHost};
 pub use latency::{latencies_from_capture, Summary};
 pub use seqtrack::{analyze_sequence, SequenceReport};
+pub use sweep::{render_report, SupervisedSweep, SweepConfig, WedgeDut};
 pub use throughput::{ThroughputResult, ThroughputSearch};

@@ -65,6 +65,35 @@ pub enum OsntError {
         /// The experiment or pipeline that came up empty.
         context: &'static str,
     },
+    /// A supervised run was aborted before completing — the watchdog
+    /// detected a stalled heartbeat, or the operator cancelled it. The
+    /// phases finished before the abort are journaled and survive as a
+    /// partial report.
+    RunAborted {
+        /// The phase that was executing when the run died.
+        phase: String,
+        /// Last recorded progress: the simulated-time high-water mark
+        /// (picoseconds) the run had reached.
+        last_progress: u64,
+    },
+    /// The run journal failed at the I/O layer (create, append, fsync,
+    /// truncate). Distinct from [`OsntError::Decode`], which covers
+    /// corrupt *contents*; this is the disk itself failing.
+    Journal {
+        /// The journal operation that failed.
+        op: &'static str,
+        /// The underlying I/O detail.
+        reason: String,
+    },
+    /// A contained panic: a shard worker or a measurement module
+    /// unwound, was caught at the containment boundary, and converted
+    /// into this error instead of poisoning the process.
+    Panicked {
+        /// The containment boundary that caught it.
+        context: &'static str,
+        /// The panic payload, stringified.
+        reason: String,
+    },
 }
 
 impl OsntError {
@@ -89,6 +118,26 @@ impl OsntError {
         OsntError::ControlChannel {
             reason: reason.into(),
         }
+    }
+
+    /// Shorthand for a [`OsntError::Journal`].
+    pub fn journal(op: &'static str, reason: impl Into<String>) -> Self {
+        OsntError::Journal {
+            op,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a [`OsntError::Panicked`], stringifying the payload
+    /// a `catch_unwind` returned (the common `&str` / `String` cases;
+    /// anything else becomes an opaque marker).
+    pub fn from_panic(context: &'static str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let reason = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        OsntError::Panicked { context, reason }
     }
 }
 
@@ -117,6 +166,21 @@ impl fmt::Display for OsntError {
             }
             OsntError::NoSamples { context } => {
                 write!(f, "{context} produced no usable samples")
+            }
+            OsntError::RunAborted {
+                phase,
+                last_progress,
+            } => {
+                write!(
+                    f,
+                    "run aborted during phase {phase:?} (last progress: simulated {last_progress} ps)"
+                )
+            }
+            OsntError::Journal { op, reason } => {
+                write!(f, "run journal {op} failed: {reason}")
+            }
+            OsntError::Panicked { context, reason } => {
+                write!(f, "{context} panicked: {reason}")
             }
         }
     }

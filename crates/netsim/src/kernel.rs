@@ -129,6 +129,9 @@ pub struct Kernel {
     /// Cross-shard routing state — `None` on single-threaded sims, so the
     /// fast path pays one branch.
     pub(crate) router: Option<crate::shard::ShardRouter>,
+    /// Supervision heartbeat + cooperative abort flag — `None` on
+    /// unsupervised runs, so the dispatch loop pays one branch.
+    pub(crate) progress: Option<std::sync::Arc<osnt_time::ProgressProbe>>,
 }
 
 impl Kernel {
@@ -141,6 +144,7 @@ impl Kernel {
             tracers: Vec::new(),
             events_dispatched: 0,
             router: None,
+            progress: None,
         }
     }
 
@@ -265,6 +269,9 @@ impl Kernel {
             tracers: Vec::new(),
             events_dispatched: 0,
             router: None,
+            // Shards share the one probe: `fetch_max` publishing keeps
+            // the high-water mark coherent across workers.
+            progress: self.progress.clone(),
         }
     }
 

@@ -40,6 +40,7 @@ use crate::event::EventKind;
 use crate::kernel::Kernel;
 use crate::stats::PortCounters;
 use crate::sync::{SpinBarrier, SpscRing};
+use osnt_error::OsntError;
 use osnt_packet::SendPacket;
 use osnt_time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -294,6 +295,13 @@ struct RunShared {
     mins: Vec<AtomicU64>,
     /// Cumulative events dispatched across shards this run.
     dispatched: AtomicU64,
+    /// Coordinated abort decision. Worker 0 samples the supervision
+    /// probe's flag once per window (between barriers, while its peers
+    /// are quiescent) and publishes it here, so every worker reads the
+    /// *same* decision after the next barrier and the loop stays in
+    /// lockstep — workers sampling the probe directly could diverge on
+    /// a flag raised mid-read and deadlock the barrier.
+    abort: std::sync::atomic::AtomicBool,
 }
 
 /// Deterministic xorshift for the yield-stress harness (no external
@@ -363,11 +371,26 @@ fn run_windows(
         }
         slot.drain_inboxes();
         shared.mins[my_shard].store(slot.kernel.peek_next_ps().unwrap_or(IDLE), Ordering::SeqCst);
-        // Window boundary B: every minimum is published. Between here
-        // and the next boundary A no worker re-publishes, so all read
-        // the same values and take the same branch.
+        if my_shard == 0 {
+            let aborted = slot
+                .kernel
+                .progress
+                .as_ref()
+                .is_some_and(|p| p.abort_requested());
+            shared.abort.store(aborted, Ordering::SeqCst);
+        }
+        // Window boundary B: every minimum (and the abort decision) is
+        // published. Between here and the next boundary A no worker
+        // re-publishes, so all read the same values and take the same
+        // branch.
         if shared.barrier.wait(&mut sense).is_err() {
             std::panic::panic_any("shard worker aborted: a peer worker panicked");
+        }
+        if shared.abort.load(Ordering::SeqCst) {
+            // Supervised abort: leave the clock where it stopped so the
+            // probe's last_progress stays honest.
+            guard.armed = false;
+            return;
         }
         let m = shared
             .mins
@@ -578,26 +601,63 @@ impl ShardedSim {
         }
     }
 
+    /// Attach a supervision probe to every shard's kernel: workers
+    /// publish their simulated-time high-water mark into it, and a
+    /// raised abort flag stops the run at the next coordinated window
+    /// boundary. Attach before the first `run_*` call.
+    pub fn attach_progress(&mut self, probe: Arc<osnt_time::ProgressProbe>) {
+        for slot in &mut self.slots {
+            slot.kernel.progress = Some(probe.clone());
+        }
+    }
+
     /// Run every event scheduled at or before `limit` on all shards,
     /// then advance every shard's clock to `limit`. Returns the number
     /// of events dispatched. Byte-identical outcome to
-    /// [`crate::Sim::run_until`] on the same topology.
+    /// [`crate::Sim::run_until`] on the same topology. Panics if a
+    /// worker panicked — use [`ShardedSim::try_run_until`] to contain
+    /// worker panics as typed errors instead.
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
-        self.run_internal(limit.as_ps(), None)
+        self.try_run_until(limit).unwrap_or_else(|e| match e {
+            OsntError::Panicked { reason, .. } => panic!("{reason}"),
+            other => panic!("{other}"),
+        })
     }
 
     /// Drain every pending event; panics if more than `max_events`
     /// dispatch before quiescence — see
     /// [`crate::Sim::run_to_quiescence`].
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.try_run_to_quiescence(max_events)
+            .unwrap_or_else(|e| match e {
+                OsntError::Panicked { reason, .. } => panic!("{reason}"),
+                other => panic!("{other}"),
+            })
+    }
+
+    /// [`ShardedSim::run_until`] with panic containment: a panicking
+    /// shard worker (a component bug, a blown invariant) is caught at
+    /// the worker boundary, poisons the window barrier so its peers
+    /// stop instead of deadlocking, and surfaces as
+    /// [`OsntError::Panicked`] — the supervisor journals it as a
+    /// partial report instead of the process dying.
+    pub fn try_run_until(&mut self, limit: SimTime) -> Result<u64, OsntError> {
+        self.run_internal(limit.as_ps(), None)
+    }
+
+    /// [`ShardedSim::run_to_quiescence`] with panic containment — see
+    /// [`ShardedSim::try_run_until`]. The `max_events` overrun is also
+    /// reported as an [`OsntError::Panicked`] rather than unwinding.
+    pub fn try_run_to_quiescence(&mut self, max_events: u64) -> Result<u64, OsntError> {
         self.run_internal(u64::MAX, Some(max_events))
     }
 
-    fn run_internal(&mut self, limit_ps: u64, max_events: Option<u64>) -> u64 {
+    fn run_internal(&mut self, limit_ps: u64, max_events: Option<u64>) -> Result<u64, OsntError> {
         self.start_if_needed();
         if self.slots.len() == 1 {
             // Single shard: no threads, no barriers — the plain
-            // dispatch loop (identical to `Sim::run_until`).
+            // dispatch loop (identical to `Sim::run_until`), with the
+            // same containment contract as the threaded path.
             let slot = &mut self.slots[0];
             slot.drain_inboxes(); // no-op; keeps the code path honest
             let mut dispatched = 0;
@@ -608,10 +668,20 @@ impl ShardedSim {
                     SimTime::from_ps(limit_ps),
                 );
                 if let Some(cap) = max_events {
-                    assert!(
-                        dispatched <= cap,
-                        "simulation did not quiesce within {cap} events"
-                    );
+                    if dispatched > cap {
+                        return Err(OsntError::Panicked {
+                            context: "shard worker",
+                            reason: format!("simulation did not quiesce within {cap} events"),
+                        });
+                    }
+                }
+                if slot
+                    .kernel
+                    .progress
+                    .as_ref()
+                    .is_some_and(|p| p.abort_requested())
+                {
+                    return Ok(dispatched);
                 }
                 if slot.kernel.pending_events() == 0
                     || slot.kernel.peek_next_ps().unwrap_or(IDLE) > limit_ps
@@ -620,7 +690,7 @@ impl ShardedSim {
                 }
             }
             slot.kernel.advance_now(SimTime::from_ps(limit_ps));
-            return dispatched;
+            return Ok(dispatched);
         }
 
         let n = self.slots.len();
@@ -628,9 +698,11 @@ impl ShardedSim {
             barrier: SpinBarrier::new(n),
             mins: (0..n).map(|_| AtomicU64::new(IDLE)).collect(),
             dispatched: AtomicU64::new(0),
+            abort: std::sync::atomic::AtomicBool::new(false),
         };
         let lookahead_ps = self.lookahead_ps;
         let stress_seed = self.stress_seed;
+        let mut failures: Vec<String> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .slots
@@ -639,35 +711,48 @@ impl ShardedSim {
                 .map(|(i, slot)| {
                     let shared = &shared;
                     scope.spawn(move || {
-                        run_windows(
-                            slot,
-                            i,
-                            shared,
-                            limit_ps,
-                            lookahead_ps,
-                            max_events,
-                            stress_seed,
-                        )
+                        // Containment boundary: a panicking worker is
+                        // caught here; its `PoisonGuard` has already
+                        // poisoned the barrier during the unwind, so
+                        // peers return instead of spinning forever.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_windows(
+                                slot,
+                                i,
+                                shared,
+                                limit_ps,
+                                lookahead_ps,
+                                max_events,
+                                stress_seed,
+                            )
+                        }))
+                        .map_err(|p| {
+                            match OsntError::from_panic("shard worker", p.as_ref()) {
+                                OsntError::Panicked { reason, .. } => reason,
+                                _ => unreachable!("from_panic always yields Panicked"),
+                            }
+                        })
                     })
                 })
                 .collect();
-            // Join all workers; re-raise the most informative panic
-            // (a real failure, not the secondary "peer panicked").
-            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
             for h in handles {
-                if let Err(p) = h.join() {
-                    panics.push(p);
+                if let Ok(Err(reason)) = h.join() {
+                    failures.push(reason);
                 }
             }
-            if !panics.is_empty() {
-                let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
-                    p.downcast_ref::<&str>()
-                        .is_some_and(|s| s.contains("peer worker panicked"))
-                };
-                let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
-                std::panic::resume_unwind(panics.swap_remove(idx));
-            }
         });
-        shared.dispatched.load(Ordering::SeqCst)
+        if !failures.is_empty() {
+            // Surface the most informative failure: a real panic, not
+            // the secondary "peer worker panicked" echoes.
+            let idx = failures
+                .iter()
+                .position(|r| !r.contains("peer worker panicked"))
+                .unwrap_or(0);
+            return Err(OsntError::Panicked {
+                context: "shard worker",
+                reason: failures.swap_remove(idx),
+            });
+        }
+        Ok(shared.dispatched.load(Ordering::SeqCst))
     }
 }

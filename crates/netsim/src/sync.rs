@@ -281,4 +281,116 @@ mod tests {
         barrier.poison();
         assert!(t.join().unwrap().is_err());
     }
+
+    #[test]
+    fn poison_releases_every_parked_waiter_and_future_arrivals() {
+        // Three of four workers park; the fourth poisons instead of
+        // arriving. Every parked waiter must unblock with an error, and
+        // the barrier must stay dead for later arrivals — the shard
+        // executive relies on both to turn one panicking worker into a
+        // clean all-stop instead of a deadlock.
+        let barrier = Arc::new(SpinBarrier::new(4));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    b.wait(&mut sense)
+                })
+            })
+            .collect();
+        barrier.poison();
+        for w in waiters {
+            assert!(w.join().unwrap().is_err(), "parked waiter not released");
+        }
+        let mut sense = false;
+        assert!(
+            barrier.wait(&mut sense).is_err(),
+            "poison must be permanent for future waits"
+        );
+    }
+
+    #[test]
+    fn poison_from_unwinding_worker_releases_peer() {
+        // The executive's PoisonGuard pattern: a worker that unwinds
+        // poisons from its drop guard. The peer parked at the barrier
+        // must observe the poison, not spin forever.
+        struct Guard(Arc<SpinBarrier>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.poison();
+            }
+        }
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let b = barrier.clone();
+        let peer = std::thread::spawn(move || {
+            let mut sense = false;
+            b.wait(&mut sense)
+        });
+        let b = barrier.clone();
+        let dead = std::thread::spawn(move || {
+            let _guard = Guard(b);
+            panic!("worker died mid-window");
+        });
+        assert!(dead.join().is_err(), "worker must have panicked");
+        assert!(peer.join().unwrap().is_err(), "peer not released");
+    }
+
+    #[test]
+    fn spill_keeps_fill_order_within_a_cycle() {
+        // Capacity 2: entries 0,1 land in the ring, 2..5 in the spill.
+        // One drain must yield all of them, oldest first — the ring
+        // part precedes the spill part and each part is FIFO.
+        let r = SpscRing::new(2);
+        for i in 0..5 {
+            r.push(i);
+        }
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn repeated_overflow_cycles_lose_nothing() {
+        // Overflow into the spill, drain, overflow again: slot reuse
+        // after a spill must not drop or duplicate entries.
+        let r = SpscRing::new(3);
+        let mut next = 0u64;
+        for _ in 0..50 {
+            for _ in 0..8 {
+                r.push(next);
+                next += 1;
+            }
+            let mut out = Vec::new();
+            r.drain_into(&mut out);
+            assert_eq!(out, ((next - 8)..next).collect::<Vec<_>>());
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_producer_overflow_delivers_complete_set() {
+        // A tiny ring with a fast producer forces the spill path while
+        // the consumer drains concurrently (no barrier between them —
+        // harsher than the executive's phased pattern). Every pushed
+        // entry must arrive exactly once.
+        let r = Arc::new(SpscRing::new(4));
+        let p = r.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..20_000u64 {
+                p.push(i);
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 20_000 {
+            r.drain_into(&mut got);
+            std::thread::yield_now();
+        }
+        t.join().unwrap();
+        assert!(r.is_empty());
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, (0..20_000).collect::<Vec<_>>());
+    }
 }

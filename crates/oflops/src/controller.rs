@@ -66,6 +66,17 @@ pub enum ControlErrorKind {
         /// Decoder's description of the malformation.
         reason: String,
     },
+    /// The measurement module panicked inside one of its callbacks. The
+    /// unwind was caught at the controller boundary; the module is
+    /// poisoned (no further callbacks), but the controller's own
+    /// machinery — logging, retries, capture — keeps running so the
+    /// report survives.
+    ModulePanic {
+        /// Which callback unwound.
+        boundary: &'static str,
+        /// The panic payload, stringified.
+        reason: String,
+    },
 }
 
 /// One timestamped control-channel failure.
@@ -222,6 +233,13 @@ pub struct OflopsController {
     policy: RetryPolicy,
     next_xid: u32,
     handshake_done: bool,
+    /// Latched once a module callback panics: the unwind is contained
+    /// at the controller boundary and the module gets no further
+    /// callbacks (its internal state is unknowable mid-unwind).
+    module_poisoned: bool,
+    /// Control-channel heartbeat for the supervisor's watchdog: bumped
+    /// on every control event the controller processes.
+    progress: Option<std::sync::Arc<osnt_time::ProgressProbe>>,
 }
 
 impl OflopsController {
@@ -245,6 +263,8 @@ impl OflopsController {
                 policy,
                 next_xid: 1,
                 handshake_done: false,
+                module_poisoned: false,
+                progress: None,
             },
             log,
         )
@@ -256,14 +276,59 @@ impl OflopsController {
         self.errors.clone()
     }
 
+    /// Attach a supervisor heartbeat: every control event the
+    /// controller processes bumps the probe's simulated-time high-water
+    /// mark, so a watchdog can tell a dead control channel from a slow
+    /// one.
+    pub fn attach_progress(&mut self, probe: std::sync::Arc<osnt_time::ProgressProbe>) {
+        self.progress = Some(probe);
+    }
+
+    /// Whether a module callback panicked (the module is no longer
+    /// receiving callbacks; the error log has the detail).
+    pub fn module_poisoned(&self) -> bool {
+        self.module_poisoned
+    }
+
+    fn beat(&self, kernel: &Kernel) {
+        if let Some(probe) = &self.progress {
+            probe.advance_time(kernel.now().as_ps());
+            probe.tick();
+        }
+    }
+
+    fn contain_module_panic(
+        &mut self,
+        kernel: &mut Kernel,
+        boundary: &'static str,
+        payload: &(dyn std::any::Any + Send),
+    ) {
+        // Poison first: the panic handler below records an error, and
+        // error recording must not call back into the unwound module.
+        self.module_poisoned = true;
+        let reason = match OsntError::from_panic(boundary, payload) {
+            OsntError::Panicked { reason, .. } => reason,
+            _ => unreachable!("from_panic always builds Panicked"),
+        };
+        self.errors.borrow_mut().push(ControlError {
+            time: kernel.now(),
+            kind: ControlErrorKind::ModulePanic { boundary, reason },
+        });
+    }
+
     fn record_error(&mut self, kernel: &mut Kernel, me: ComponentId, kind: ControlErrorKind) {
         let error = ControlError {
             time: kernel.now(),
             kind,
         };
         self.errors.borrow_mut().push(error.clone());
-        let mut ctx = ctx_parts!(self, kernel, me);
-        self.module.on_control_error(&mut ctx, &error);
+        contained_call!(
+            self,
+            kernel,
+            me,
+            "measurement module on_control_error",
+            |ctx| self.module.on_control_error(&mut ctx, &error)
+        );
     }
 }
 
@@ -284,8 +349,27 @@ macro_rules! ctx_parts {
 }
 use ctx_parts;
 
+/// Invoke a module callback with the unwind contained at the controller
+/// boundary: a poisoned module is skipped, a panicking one is poisoned
+/// and its panic recorded as [`ControlErrorKind::ModulePanic`].
+macro_rules! contained_call {
+    ($s:expr, $kernel:expr, $me:expr, $boundary:expr, |$ctx:ident| $call:expr) => {{
+        if !$s.module_poisoned {
+            let outcome = {
+                let mut $ctx = ctx_parts!($s, $kernel, $me);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $call))
+            };
+            if let Err(payload) = outcome {
+                $s.contain_module_panic($kernel, $boundary, payload.as_ref());
+            }
+        }
+    }};
+}
+use contained_call;
+
 impl Component for OflopsController {
     fn on_start(&mut self, kernel: &mut Kernel, me: ComponentId) {
+        self.beat(kernel);
         let mut ctx = ctx_parts!(self, kernel, me);
         ctx.send(Message::Hello);
         // The handshake itself is tracked: a switch that boots with its
@@ -294,6 +378,7 @@ impl Component for OflopsController {
     }
 
     fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, _port: usize, packet: Packet) {
+        self.beat(kernel);
         let (message, xid) = match decap_control(&packet) {
             Some(Ok(ok)) => ok,
             Some(Err(e)) => {
@@ -318,21 +403,26 @@ impl Component for OflopsController {
             message: message.clone(),
             xid,
         });
-        let mut ctx = ctx_parts!(self, kernel, me);
         if !self.handshake_done {
             if let Message::FeaturesReply(_) = &message {
                 self.handshake_done = true;
-                self.module.on_ready(&mut ctx);
+                contained_call!(self, kernel, me, "measurement module on_ready", |ctx| self
+                    .module
+                    .on_ready(&mut ctx));
                 return;
             }
         }
-        self.module.on_message(&mut ctx, &message, xid);
+        contained_call!(self, kernel, me, "measurement module on_message", |ctx| {
+            self.module.on_message(&mut ctx, &message, xid)
+        });
     }
 
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
+        self.beat(kernel);
         if tag < TAG_CTRL_TIMEOUT_BASE {
-            let mut ctx = ctx_parts!(self, kernel, me);
-            self.module.on_timer(&mut ctx, tag);
+            contained_call!(self, kernel, me, "measurement module on_timer", |ctx| self
+                .module
+                .on_timer(&mut ctx, tag));
             return;
         }
         let xid = (tag - TAG_CTRL_TIMEOUT_BASE) as u32;

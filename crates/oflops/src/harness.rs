@@ -52,6 +52,10 @@ pub struct TestbedSpec {
     pub control_faults: Option<ControlFaultConfig>,
     /// Timeout/retry budget for tracked control requests.
     pub retry: RetryPolicy,
+    /// Supervisor heartbeat: when set, the controller bumps this probe
+    /// on every control event it processes, and the simulation's
+    /// dispatch loop both heartbeats it and honours its abort flag.
+    pub progress: Option<std::sync::Arc<osnt_time::ProgressProbe>>,
 }
 
 impl TestbedSpec {
@@ -64,6 +68,7 @@ impl TestbedSpec {
             clock_seed: 1,
             control_faults: None,
             retry: RetryPolicy::default(),
+            progress: None,
         }
     }
 }
@@ -110,8 +115,11 @@ impl Testbed {
         let kernel_ports = switch.kernel_ports();
         let sw = b.add_component("of-switch", Box::new(switch), kernel_ports);
 
-        let (controller, control_log) = OflopsController::with_policy(module, spec.retry);
+        let (mut controller, control_log) = OflopsController::with_policy(module, spec.retry);
         let control_errors = controller.errors_handle();
+        if let Some(probe) = &spec.progress {
+            controller.attach_progress(std::sync::Arc::clone(probe));
+        }
         let ctl = b.add_component("controller", Box::new(controller), 1);
         let control_fault_stats = match spec.control_faults {
             Some(cfg) => {
@@ -173,8 +181,12 @@ impl Testbed {
         );
 
         let gen_stats = device.ports[0].gen_stats.clone();
+        let mut sim = b.build();
+        if let Some(probe) = spec.progress {
+            sim.attach_progress(probe);
+        }
         Testbed {
-            sim: b.build(),
+            sim,
             control_log,
             capture_a: device.ports[1].capture.clone(),
             capture_b: device.ports[2].capture.clone(),

@@ -251,6 +251,129 @@ fn truncated_reads_become_decode_errors_not_crashes() {
     assert!(stats.truncated > 0);
 }
 
+/// Echoes like [`TrackedEcho`], but panics inside `on_timer` once the
+/// scheduled send counter reaches `panic_at`.
+struct PanickingEcho {
+    inner: TrackedEcho,
+    panic_at: u32,
+}
+
+impl MeasurementModule for PanickingEcho {
+    fn on_ready(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.inner.on_ready(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut ModuleCtx<'_>, message: &Message, xid: u32) {
+        self.inner.on_message(ctx, message, xid);
+    }
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        if self.inner.sent >= self.panic_at {
+            panic!("module bug: echo #{} exploded", self.inner.sent);
+        }
+        self.inner.on_timer(ctx, tag);
+    }
+    fn on_control_error(&mut self, ctx: &mut ModuleCtx<'_>, error: &oflops_turbo::ControlError) {
+        self.inner.on_control_error(ctx, error);
+    }
+}
+
+#[test]
+fn module_panic_is_contained_and_poisons_the_module() {
+    let (inner, state) = TrackedEcho::new(20, SimDuration::from_ms(1));
+    let module = PanickingEcho { inner, panic_at: 5 };
+    let mut tb = Testbed::build(TestbedSpec::control_only(), Box::new(module));
+    // The run must complete — the panic unwinds into the controller's
+    // containment boundary, not through the event loop.
+    tb.run_until(SimTime::from_ms(100));
+    let st = state.borrow();
+    assert!(st.ready);
+    assert_eq!(
+        st.answered, 5,
+        "echoes sent before the panic were answered; none after"
+    );
+    let errors = tb.control_errors.borrow();
+    let panics: Vec<_> = errors
+        .iter()
+        .filter_map(|e| match &e.kind {
+            ControlErrorKind::ModulePanic { boundary, reason } => Some((*boundary, reason.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        panics.len(),
+        1,
+        "exactly one panic recorded (poisoned module gets no further callbacks): {errors:?}"
+    );
+    assert_eq!(panics[0].0, "measurement module on_timer");
+    assert!(
+        panics[0].1.contains("echo #5 exploded"),
+        "panic payload preserved: {}",
+        panics[0].1
+    );
+}
+
+#[test]
+fn controller_machinery_outlives_a_poisoned_module() {
+    // The module dies in on_ready, *before* its first tracked echo is
+    // answered — but it already sent it. The controller's retry/timeout
+    // machinery must keep running for the in-flight request even though
+    // the module is poisoned: with the channel cut, the request must
+    // still be retried and abandoned with a GaveUp record.
+    struct DieOnReady;
+    impl MeasurementModule for DieOnReady {
+        fn on_ready(&mut self, ctx: &mut ModuleCtx<'_>) {
+            ctx.send_tracked(Message::EchoRequest(EchoData(vec![0xEE])));
+            panic!("dies right after arming the echo");
+        }
+    }
+    let spec = TestbedSpec {
+        control_faults: Some(ControlFaultConfig {
+            // The handshake round trip completes at ~56 µs and on_ready
+            // fires (and dies) there; the echo's own round trip needs
+            // ~50 µs more. Cutting at 60 µs lets the request out but
+            // swallows the reply — the tracked request must be retried
+            // into the dead channel and abandoned.
+            disconnects: vec![(SimTime::from_us(60), SimTime::from_secs(10))],
+            ..ControlFaultConfig::clean()
+        }),
+        retry: fast_retry(),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(DieOnReady));
+    tb.run_until(SimTime::from_secs(1));
+    let errors = tb.control_errors.borrow();
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e.kind, ControlErrorKind::ModulePanic { .. })),
+        "panic recorded: {errors:?}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e.kind, ControlErrorKind::GaveUp { .. })),
+        "retry machinery survived the poisoned module: {errors:?}"
+    );
+}
+
+#[test]
+fn controller_heartbeats_the_attached_probe() {
+    let probe = osnt_time::ProgressProbe::new();
+    let (module, state) = TrackedEcho::new(10, SimDuration::from_ms(1));
+    let spec = TestbedSpec {
+        progress: Some(std::sync::Arc::clone(&probe)),
+        ..TestbedSpec::control_only()
+    };
+    let mut tb = Testbed::build(spec, Box::new(module));
+    tb.run_until(SimTime::from_ms(50));
+    assert_eq!(state.borrow().answered, 10);
+    assert!(probe.ticks() > 0, "control events must tick the heartbeat");
+    assert!(
+        probe.now_ps() > 0,
+        "simulated-time high-water mark must advance"
+    );
+    assert!(!probe.abort_requested());
+}
+
 #[test]
 fn measurement_module_keeps_measuring_through_flaps() {
     // The acceptance bar from the issue: an insertion-latency run with

@@ -1,0 +1,230 @@
+//! # Deadline watchdog
+//!
+//! A wedged shard, a livelocked component scheduling zero-delay timers,
+//! or a stalled control channel all share one observable symptom: the
+//! run's *simulated-time* high-water mark stops advancing while wall
+//! clock keeps ticking. (Event counts are the wrong heartbeat — a
+//! livelock happily dispatches events forever at a frozen virtual
+//! time.)
+//!
+//! The watchdog is a small monitor thread that polls the
+//! [`ProgressProbe`]s a run exports, remembers when each probe's
+//! `now_ps` last changed, and — once one has been flat for longer than
+//! the stall timeout — requests a cooperative abort on **all** probes.
+//! The dispatch loops check the abort flag once per event, so the run
+//! winds down into a `RunAborted` partial report instead of hanging CI
+//! until the job-level timeout reaps it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use osnt_time::ProgressProbe;
+
+/// Watchdog tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How long a probe's simulated time may stay flat (wall clock)
+    /// before the run is declared stalled.
+    pub stall_timeout: Duration,
+    /// How often the monitor thread samples the probes.
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What the watchdog observed when it fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Name of the probe that went flat first.
+    pub probe: String,
+    /// The simulated-time high-water mark (ps) it was stuck at.
+    pub last_progress: u64,
+    /// How long it had been flat when the watchdog fired.
+    pub stalled_for: Duration,
+}
+
+impl StallReport {
+    /// The human sentence journaled as the abort reason.
+    pub fn reason(&self) -> String {
+        format!(
+            "watchdog: {} made no simulated-time progress for {:?} (stuck at {} ps)",
+            self.probe, self.stalled_for, self.last_progress
+        )
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    report: Mutex<Option<StallReport>>,
+}
+
+/// A running watchdog. Dropping it without calling [`Watchdog::stop`]
+/// detaches the monitor thread (it exits on its own once signalled or
+/// when the stall fires); prefer `stop()` to join it and learn whether
+/// it fired.
+pub struct Watchdog {
+    shared: Arc<Shared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Start monitoring `probes` (each with a name for the abort
+    /// report). The monitor thread aborts **all** probes as soon as any
+    /// one of them stalls — a multi-shard run cannot half-abort.
+    pub fn spawn(cfg: WatchdogConfig, probes: Vec<(String, Arc<ProgressProbe>)>) -> Self {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            report: Mutex::new(None),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("osnt-watchdog".into())
+            .spawn(move || monitor(cfg, probes, thread_shared))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the monitor thread and return its verdict: `Some` if it
+    /// detected a stall and requested an abort, `None` if the run
+    /// finished on its own.
+    pub fn stop(mut self) -> Option<StallReport> {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+        self.shared.report.lock().unwrap().clone()
+    }
+
+    /// Whether the watchdog has fired (non-blocking; usable while the
+    /// run is still executing).
+    pub fn fired(&self) -> bool {
+        self.shared.report.lock().unwrap().is_some()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+        }
+    }
+}
+
+fn monitor(cfg: WatchdogConfig, probes: Vec<(String, Arc<ProgressProbe>)>, shared: Arc<Shared>) {
+    let mut last_seen: Vec<(u64, Instant)> = probes
+        .iter()
+        .map(|(_, p)| (p.now_ps(), Instant::now()))
+        .collect();
+    while !shared.stop.load(Ordering::Acquire) {
+        thread::park_timeout(cfg.poll_interval);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        for (i, (name, probe)) in probes.iter().enumerate() {
+            let now_ps = probe.now_ps();
+            let (seen_ps, seen_at) = &mut last_seen[i];
+            if now_ps != *seen_ps {
+                *seen_ps = now_ps;
+                *seen_at = Instant::now();
+                continue;
+            }
+            let flat_for = seen_at.elapsed();
+            if flat_for >= cfg.stall_timeout {
+                let report = StallReport {
+                    probe: name.clone(),
+                    last_progress: now_ps,
+                    stalled_for: flat_for,
+                };
+                *shared.report.lock().unwrap() = Some(report);
+                for (_, p) in &probes {
+                    p.request_abort();
+                }
+                return; // fired once; the run is winding down
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            stall_timeout: Duration::from_millis(60),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn advancing_probe_never_fires() {
+        let probe = ProgressProbe::new();
+        let dog = Watchdog::spawn(fast_cfg(), vec![("sim".into(), Arc::clone(&probe))]);
+        let start = Instant::now();
+        let mut ps = 0u64;
+        while start.elapsed() < Duration::from_millis(200) {
+            ps += 1_000;
+            probe.advance_time(ps);
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dog.stop(), None);
+        assert!(!probe.abort_requested());
+    }
+
+    #[test]
+    fn flat_probe_fires_and_aborts_all() {
+        let stuck = ProgressProbe::new();
+        stuck.advance_time(777);
+        let healthy = ProgressProbe::new();
+        let dog = Watchdog::spawn(
+            fast_cfg(),
+            vec![
+                ("shard-0".into(), Arc::clone(&healthy)),
+                ("shard-1".into(), Arc::clone(&stuck)),
+            ],
+        );
+        let start = Instant::now();
+        let mut ps = 0u64;
+        while !dog.fired() && start.elapsed() < Duration::from_secs(5) {
+            ps += 1_000;
+            healthy.advance_time(ps); // shard-0 keeps making progress
+            thread::sleep(Duration::from_millis(5));
+        }
+        let report = dog.stop().expect("watchdog must fire on the flat probe");
+        assert_eq!(report.probe, "shard-1");
+        assert_eq!(report.last_progress, 777);
+        assert!(report.stalled_for >= Duration::from_millis(60));
+        assert!(stuck.abort_requested(), "stalled probe aborted");
+        assert!(healthy.abort_requested(), "healthy peer aborted too");
+        assert!(report.reason().contains("shard-1"));
+    }
+
+    #[test]
+    fn stop_before_timeout_reports_nothing() {
+        let probe = ProgressProbe::new();
+        let dog = Watchdog::spawn(
+            WatchdogConfig {
+                stall_timeout: Duration::from_secs(3600),
+                poll_interval: Duration::from_millis(5),
+            },
+            vec![("sim".into(), Arc::clone(&probe))],
+        );
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(dog.stop(), None);
+        assert!(!probe.abort_requested());
+    }
+}

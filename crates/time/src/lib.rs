@@ -25,6 +25,7 @@
 
 pub mod clock;
 pub mod gps;
+pub mod progress;
 pub mod rng;
 pub mod signal;
 pub mod timestamp;
@@ -34,6 +35,7 @@ pub use gps::{
     run_pps_session, run_pps_session_with_signal, DisciplineState, GpsDiscipline, PpsSample,
     ServoGains,
 };
+pub use progress::ProgressProbe;
 pub use signal::GpsSignal;
 pub use timestamp::HwTimestamp;
 
