@@ -9,27 +9,35 @@
 //! host-side noise.
 
 use osnt_gen::txstamp::extract_at;
-use osnt_mon::CaptureBuffer;
+use osnt_mon::{CaptureBuffer, CapturedPacket};
 use osnt_time::SimDuration;
+
+/// The latency of one captured packet: `rx_stamp − embedded tx_stamp`,
+/// or `None` when the packet is too short to carry a stamp at `offset`,
+/// the stamp decodes to zero (unstamped payload), or the stamp decodes
+/// later than the arrival (corrupt or foreign payload). The single
+/// source of the skip rules, shared by [`latencies_from_capture`] and
+/// the streaming pass in `experiment`.
+pub fn latency_of(cap: &CapturedPacket, offset: usize) -> Option<SimDuration> {
+    let tx = extract_at(&cap.packet, offset)?;
+    let rx_ps = cap.rx_stamp.to_ps();
+    let tx_ps = tx.to_ps();
+    if tx_ps == 0 || tx_ps > rx_ps {
+        return None;
+    }
+    Some(SimDuration::from_ps(rx_ps - tx_ps))
+}
 
 /// Extract per-packet latencies from a capture: `rx_stamp − embedded
 /// tx_stamp` for every packet long enough to carry a stamp at `offset`.
 /// Packets whose stamp decodes later than their arrival (corrupt or
 /// foreign payloads) are skipped.
 pub fn latencies_from_capture(buffer: &CaptureBuffer, offset: usize) -> Vec<SimDuration> {
-    let mut out = Vec::with_capacity(buffer.packets.len());
-    for cap in &buffer.packets {
-        let Some(tx) = extract_at(&cap.packet, offset) else {
-            continue;
-        };
-        let rx_ps = cap.rx_stamp.to_ps();
-        let tx_ps = tx.to_ps();
-        if tx_ps == 0 || tx_ps > rx_ps {
-            continue;
-        }
-        out.push(SimDuration::from_ps(rx_ps - tx_ps));
-    }
-    out
+    buffer
+        .packets
+        .iter()
+        .filter_map(|cap| latency_of(cap, offset))
+        .collect()
 }
 
 /// Summary statistics over a set of latency samples.

@@ -31,6 +31,7 @@ pub mod experiment;
 pub mod host;
 pub mod latency;
 pub mod seqtrack;
+pub mod streaming;
 pub mod sweep;
 pub mod throughput;
 
@@ -38,7 +39,8 @@ pub use baseline::SoftwareStamper;
 pub use device::{CardPort, DeviceConfig, OsntDevice, PortHandle, PortRole};
 pub use experiment::{LatencyExperiment, LatencyReport};
 pub use host::{HostCounters, SimpleHost};
-pub use latency::{latencies_from_capture, Summary};
+pub use latency::{latencies_from_capture, latency_of, Summary};
 pub use seqtrack::{analyze_sequence, SequenceReport};
+pub use streaming::StreamingSummary;
 pub use sweep::{render_report, SupervisedSweep, SweepConfig, WedgeDut};
 pub use throughput::{ThroughputResult, ThroughputSearch};

@@ -33,8 +33,11 @@ pub struct GenConfig {
     /// bookkeeping — but TxDone events are merged, so keep the default
     /// of `1` where the legacy per-frame event stream must be preserved
     /// byte for byte. Ignored (per-frame path) for paced schedules,
-    /// pcap replay, TX stamping and `stop_at` windows, which all need
-    /// per-frame control of departure instants.
+    /// pcap replay and `stop_at` windows, which all need per-frame
+    /// control of departure instants. TX stamping batches fine: the
+    /// kernel hands the batch path each frame's reserved wire slot
+    /// before the frame is enqueued, so stamps are identical to the
+    /// per-frame path's.
     pub batch: u64,
 }
 
@@ -206,14 +209,15 @@ impl GeneratorPort {
 
     /// True when this port takes the batched departure path (K frames
     /// per timer event via [`Kernel::transmit_batch`]). Only pure
-    /// back-to-back synthesis qualifies: paced schedules, pcap replay,
-    /// TX stamping and `stop_at` windows all need per-frame control of
-    /// the departure instant.
+    /// back-to-back synthesis qualifies: paced schedules, pcap replay
+    /// and `stop_at` windows all need per-frame control of the
+    /// departure instant. TX stamping is fine — the kernel hands the
+    /// frame factory each frame's reserved wire slot, so batched frames
+    /// carry the same stamps the per-frame path would write.
     fn batching_active(&self) -> bool {
         self.config.batch > 1
             && matches!(self.config.schedule, Schedule::BackToBack)
             && self.replay_gaps.is_none()
-            && self.embedder.is_none()
             && self.config.stop_at.is_none()
     }
 
@@ -230,8 +234,19 @@ impl GeneratorPort {
         };
         let record = self.config.record_departures;
         let mut starts = Vec::new();
-        let (workload, base_seq) = (&mut self.workload, self.seq);
-        let mut frames = (0..k).map(|i| workload.next_frame(base_seq + i));
+        let (workload, embedder, clock, base_seq) =
+            (&mut self.workload, &self.embedder, &self.clock, self.seq);
+        let mut produced = 0u64;
+        let mut frames = |tx_start| {
+            (produced < k).then(|| {
+                let mut pkt = workload.next_frame(base_seq + produced);
+                produced += 1;
+                if let Some(emb) = embedder {
+                    emb.stamp(&mut pkt, &mut clock.borrow_mut(), tx_start);
+                }
+                pkt
+            })
+        };
         let r = kernel.transmit_batch(
             me,
             0,
@@ -577,5 +592,49 @@ mod tests {
             assert!(stamp_ps < arrival.as_ps());
             assert!(arrival.as_ps() - stamp_ps < 200_000, "wire latency sane");
         }
+    }
+
+    #[test]
+    fn stamped_batched_departures_match_per_frame_stamps() {
+        // The batched path stamps each frame with the wire slot the
+        // kernel reserved for it — every (arrival, embedded stamp) pair
+        // must be identical to the per-frame reference.
+        let run = |batch: u64| {
+            let clock = Rc::new(RefCell::new(HwClock::ideal()));
+            let (port, _stats) = GeneratorPort::new(
+                Box::new(FixedTemplate::new(FixedTemplate::udp_frame(128))),
+                GenConfig {
+                    schedule: Schedule::BackToBack,
+                    count: Some(40),
+                    stamp: Some(StampConfig::default_payload()),
+                    batch,
+                    ..GenConfig::default()
+                },
+                clock,
+            );
+            let got: Rc<RefCell<Vec<(SimTime, osnt_time::HwTimestamp)>>> =
+                Rc::new(RefCell::new(Vec::new()));
+            struct StampSink {
+                got: Rc<RefCell<Vec<(SimTime, osnt_time::HwTimestamp)>>>,
+            }
+            impl Component for StampSink {
+                fn on_packet(&mut self, k: &mut Kernel, _: ComponentId, _: usize, pkt: Packet) {
+                    let ts = crate::txstamp::extract_at(&pkt, StampConfig::DEFAULT_OFFSET).unwrap();
+                    self.got.borrow_mut().push((k.now(), ts));
+                }
+            }
+            let mut b = SimBuilder::new();
+            let gen = b.add_component("gen", Box::new(port), 1);
+            let sink = b.add_component("sink", Box::new(StampSink { got: got.clone() }), 1);
+            b.connect(gen, 0, sink, 0, LinkSpec::ten_gig());
+            let mut sim = b.build();
+            sim.run_to_quiescence(10_000);
+            let got = got.borrow().clone();
+            got
+        };
+        let per_frame = run(1);
+        let batched = run(32);
+        assert_eq!(per_frame.len(), 40);
+        assert_eq!(per_frame, batched, "batched stamps diverge from per-frame");
     }
 }

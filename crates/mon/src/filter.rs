@@ -4,7 +4,7 @@
 //! packet is captured (forwarded toward the host) or dropped. An empty
 //! table captures everything — the hardware's reset behaviour.
 
-use osnt_packet::{ParsedPacket, WildcardRule};
+use osnt_packet::{CompiledRule, FlowKey, ParsedPacket, WildcardRule};
 
 /// What a matching rule does with the packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,75 @@ impl FilterTable {
         self.default_hits += 1;
         self.default_action
     }
+
+    /// Lower the current rule list into a [`FilterProgram`] — a snapshot
+    /// of the *rules and order* at compile time. Rules pushed afterwards
+    /// are invisible to the program until it is recompiled; the default
+    /// action and all hit counters stay live in the table, so flipping
+    /// [`FilterTable::default_action`] mid-run takes effect immediately
+    /// and counters accumulate seamlessly across any number of
+    /// `compile()` calls.
+    pub fn compile(&self) -> FilterProgram {
+        FilterProgram {
+            rules: self
+                .entries
+                .iter()
+                .map(|e| (CompiledRule::compile(&e.rule), e.action))
+                .collect(),
+        }
+    }
+
+    /// Classify a pre-extracted flow key against a compiled `program`,
+    /// updating this table's hit counters — same first-match-wins
+    /// semantics and same counter updates as [`FilterTable::classify`],
+    /// minus the per-rule `Option` walk. `program` must have been
+    /// compiled from this table (rules are only ever appended, so an
+    /// older program's indices remain valid).
+    #[inline]
+    pub fn classify_compiled(&mut self, program: &FilterProgram, key: &FlowKey) -> FilterAction {
+        match program.matches(key) {
+            Some((i, action)) => {
+                debug_assert!(i < self.entries.len(), "program from a different table");
+                self.entries[i].hits += 1;
+                action
+            }
+            None => {
+                self.default_hits += 1;
+                self.default_action
+            }
+        }
+    }
+}
+
+/// A [`FilterTable`]'s rule list lowered to masked-word compares over a
+/// [`FlowKey`] — the compiled half of the fast classification path.
+/// Holds no counters and no default action: those stay canonical in the
+/// table (see [`FilterTable::classify_compiled`]).
+#[derive(Debug, Clone, Default)]
+pub struct FilterProgram {
+    rules: Vec<(CompiledRule, FilterAction)>,
+}
+
+impl FilterProgram {
+    /// First-match lookup: the index and action of the first rule `key`
+    /// satisfies, or `None` for a default-action fall-through.
+    #[inline]
+    pub fn matches(&self, key: &FlowKey) -> Option<(usize, FilterAction)> {
+        self.rules
+            .iter()
+            .position(|(r, _)| r.matches(key))
+            .map(|i| (i, self.rules[i].1))
+    }
+
+    /// Number of compiled rules (the table's length at compile time).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the program holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +213,86 @@ mod tests {
             .udp(1, 2)
             .build();
         assert_eq!(t.classify(&other.parse()), FilterAction::Drop);
+    }
+
+    fn key(p: &osnt_packet::Packet) -> FlowKey {
+        FlowKey::extract(&p.parse())
+    }
+
+    #[test]
+    fn compiled_program_matches_like_the_interpreter() {
+        let mut interp = FilterTable::drop_by_default();
+        interp.push(WildcardRule::any().with_dst_port(80), FilterAction::Drop);
+        interp.push(
+            WildcardRule::any()
+                .with_src_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)), 24)),
+            FilterAction::Capture,
+        );
+        let mut compiled = interp.clone();
+        let program = compiled.compile();
+        for port in [80, 81, 9001, 0] {
+            let p = udp(port);
+            assert_eq!(
+                compiled.classify_compiled(&program, &key(&p)),
+                interp.classify(&p.parse()),
+                "port {port}"
+            );
+        }
+        assert_eq!(compiled.entries()[0].hits, interp.entries()[0].hits);
+        assert_eq!(compiled.entries()[1].hits, interp.entries()[1].hits);
+        assert_eq!(compiled.default_hits, interp.default_hits);
+    }
+
+    #[test]
+    fn rule_pushed_after_counting_starts_fresh() {
+        let mut t = FilterTable::capture_all();
+        t.push(WildcardRule::any().with_dst_port(80), FilterAction::Drop);
+        let program = t.compile();
+        for _ in 0..3 {
+            t.classify_compiled(&program, &key(&udp(80)));
+        }
+        assert_eq!(t.entries()[0].hits, 3);
+
+        // A rule appended mid-run starts at zero and leaves the existing
+        // counters intact…
+        t.push(WildcardRule::any().with_dst_port(81), FilterAction::Drop);
+        assert_eq!(t.entries()[0].hits, 3);
+        assert_eq!(t.entries()[1].hits, 0);
+
+        // …and a stale program is an honest snapshot: it cannot see the
+        // new rule until recompiled.
+        t.classify_compiled(&program, &key(&udp(81)));
+        assert_eq!(t.entries()[1].hits, 0, "stale program misses new rule");
+        assert_eq!(t.default_hits, 1);
+        let fresh = t.compile();
+        t.classify_compiled(&fresh, &key(&udp(81)));
+        assert_eq!(t.entries()[1].hits, 1);
+    }
+
+    #[test]
+    fn default_action_flip_mid_run_is_honored() {
+        let mut t = FilterTable::drop_by_default();
+        let program = t.compile();
+        let p = key(&udp(5));
+        assert_eq!(t.classify_compiled(&program, &p), FilterAction::Drop);
+        // The default action lives in the table, not the program, so a
+        // flip takes effect without recompiling.
+        t.default_action = FilterAction::Capture;
+        assert_eq!(t.classify_compiled(&program, &p), FilterAction::Capture);
+        assert_eq!(t.default_hits, 2);
+    }
+
+    #[test]
+    fn hit_counters_are_stable_across_compile() {
+        let mut t = FilterTable::capture_all();
+        t.push(WildcardRule::any().with_dst_port(80), FilterAction::Drop);
+        t.classify(&udp(80).parse());
+        let p1 = t.compile();
+        t.classify_compiled(&p1, &key(&udp(80)));
+        let p2 = t.compile();
+        t.classify_compiled(&p2, &key(&udp(80)));
+        // Interpreted and compiled hits accumulate in one counter, and
+        // recompiling never resets it.
+        assert_eq!(t.entries()[0].hits, 3);
     }
 }

@@ -30,7 +30,7 @@ pub mod stats;
 pub mod thin;
 
 pub use capture::{CaptureBuffer, CapturedPacket};
-pub use filter::{FilterAction, FilterTable};
+pub use filter::{FilterAction, FilterProgram, FilterTable};
 pub use host::{HostPath, HostPathConfig};
 pub use pipeline::{MonConfig, MonitorPort};
 pub use rates::{RateEstimator, WindowSample};

@@ -2,15 +2,15 @@
 //! datapath — stamp at the MAC, filter, thin, DMA to the host.
 
 use crate::capture::{CaptureBuffer, CapturedPacket};
-use crate::filter::{FilterAction, FilterTable};
+use crate::filter::{FilterAction, FilterProgram, FilterTable};
 use crate::host::{HostPath, HostPathConfig};
 use crate::rates::RateEstimator;
 use crate::rxstamp::RxStamper;
 use crate::stats::MonStats;
 use crate::thin::{ThinConfig, Thinner};
 use osnt_netsim::{Component, ComponentId, Kernel};
-use osnt_packet::Packet;
-use osnt_time::{HwClock, SimDuration};
+use osnt_packet::{FlowKey, Packet};
+use osnt_time::{HwClock, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -23,6 +23,19 @@ pub struct MonConfig {
     pub thin: ThinConfig,
     /// Host DMA model (default: the 8 Gb/s loss-limited path).
     pub host: HostPathConfig,
+    /// Match frames against a compiled [`FilterProgram`] (one parse +
+    /// flow-key extraction per frame, masked-word compares per rule)
+    /// instead of interpreting each [`osnt_packet::WildcardRule`]
+    /// per packet. Default: true. Verdicts and hit counters are
+    /// identical either way — see [`FilterTable::compile`].
+    pub compiled_filter: bool,
+    /// Opt into kernel burst delivery: frames arriving back-to-back in
+    /// one event window are stamped, filtered, thinned and
+    /// DMA-accounted as a batch, amortizing `RefCell` borrows and
+    /// per-frame stats publication. Default: true. `MonStats` and
+    /// capture output are byte-identical to the scalar path (pinned by
+    /// the parity tests below).
+    pub batch: bool,
 }
 
 impl Default for MonConfig {
@@ -31,6 +44,8 @@ impl Default for MonConfig {
             filter: FilterTable::capture_all(),
             thin: ThinConfig::disabled(),
             host: HostPathConfig::default(),
+            compiled_filter: true,
+            batch: true,
         }
     }
 }
@@ -61,11 +76,15 @@ impl MonConfig {
 pub struct MonitorPort {
     stamper: RxStamper,
     filter: FilterTable,
+    /// The filter table lowered to masked-word compares (when
+    /// `MonConfig::compiled_filter`); counters stay in `filter`.
+    program: Option<FilterProgram>,
     thinner: Thinner,
     host: HostPath,
     buffer: Rc<RefCell<CaptureBuffer>>,
     stats: Rc<RefCell<MonStats>>,
     rates: Option<Rc<RefCell<RateEstimator>>>,
+    batch: bool,
 }
 
 impl MonitorPort {
@@ -77,19 +96,38 @@ impl MonitorPort {
     ) -> (Self, Rc<RefCell<CaptureBuffer>>, Rc<RefCell<MonStats>>) {
         let buffer = CaptureBuffer::new_shared();
         let stats = Rc::new(RefCell::new(MonStats::default()));
+        let program = config.compiled_filter.then(|| config.filter.compile());
         (
             MonitorPort {
                 stamper: RxStamper::new(clock),
                 filter: config.filter,
+                program,
                 thinner: Thinner::new(config.thin),
                 host: HostPath::new(config.host),
                 buffer: buffer.clone(),
                 stats: stats.clone(),
                 rates: None,
+                batch: config.batch,
             },
             buffer,
             stats,
         )
+    }
+
+    /// Classify one frame, through the compiled program when one is
+    /// installed and the rule interpreter otherwise. Same verdicts, same
+    /// hit counters.
+    #[inline]
+    fn classify(
+        filter: &mut FilterTable,
+        program: &Option<FilterProgram>,
+        packet: &Packet,
+    ) -> FilterAction {
+        let parsed = packet.parse();
+        match program {
+            Some(prog) => filter.classify_compiled(prog, &FlowKey::extract(&parsed)),
+            None => filter.classify(&parsed),
+        }
     }
 
     /// Read access to the filter table (hit counters).
@@ -127,7 +165,7 @@ impl Component for MonitorPort {
             return;
         }
         // 3. Wildcard filters (hardware: per-packet at line rate).
-        let action = self.filter.classify(&packet.parse());
+        let action = Self::classify(&mut self.filter, &self.program, &packet);
         if action == FilterAction::Drop {
             self.stats.borrow_mut().filtered_out += 1;
             return;
@@ -157,6 +195,76 @@ impl Component for MonitorPort {
             hash: thinned.hash,
             port,
         });
+    }
+
+    fn wants_packet_batches(&self) -> bool {
+        self.batch
+    }
+
+    /// The burst path: one `RefCell` borrow of the clock, rate
+    /// estimator, and capture buffer per batch instead of per frame, and
+    /// one `MonStats` publication per batch (a local delta folded in at
+    /// the end via [`MonStats::accumulate`]). Per-frame processing runs
+    /// in arrival order with each frame's own arrival instant, so every
+    /// observable — stamps, verdicts, hit counters, DMA admission,
+    /// capture contents — is byte-identical to the scalar
+    /// [`Component::on_packet`] path.
+    fn on_packet_batch(
+        &mut self,
+        _kernel: &mut Kernel,
+        _me: ComponentId,
+        port: usize,
+        batch: &mut Vec<(SimTime, Packet)>,
+    ) {
+        let mut delta = MonStats::default();
+        let overhead = self.host.config().per_packet_overhead;
+        let clock = self.stamper.clock();
+        let mut clock = clock.borrow_mut();
+        let mut rates = self.rates.as_ref().map(|r| r.borrow_mut());
+        let mut buf = self.buffer.borrow_mut();
+        for (t, packet) in batch.drain(..) {
+            // Same per-frame order as `on_packet`, against `t` — the
+            // instant this frame's last bit arrived.
+            let rx_stamp = clock.read(t);
+            delta.rx_frames += 1;
+            delta.rx_bytes += packet.frame_len() as u64;
+            if let Some(rates) = rates.as_deref_mut() {
+                rates.record(t, packet.frame_len());
+            }
+            if !packet.fcs_ok() {
+                delta.crc_fail += 1;
+                continue;
+            }
+            let action = Self::classify(&mut self.filter, &self.program, &packet);
+            if action == FilterAction::Drop {
+                delta.filtered_out += 1;
+                continue;
+            }
+            let before_len = packet.len();
+            let thinned = self.thinner.process(packet);
+            if thinned.packet.len() < before_len {
+                delta.thinned += 1;
+            }
+            let captured_bytes = thinned.packet.len();
+            if !self.host.admit(t, captured_bytes) {
+                delta.host_drops += 1;
+                continue;
+            }
+            delta.host_frames += 1;
+            delta.host_bytes += captured_bytes as u64 + overhead;
+            buf.packets.push(CapturedPacket {
+                rx_stamp,
+                rx_true: t,
+                packet: thinned.packet,
+                orig_len: thinned.orig_len,
+                hash: thinned.hash,
+                port,
+            });
+        }
+        drop(buf);
+        drop(rates);
+        drop(clock);
+        self.stats.borrow_mut().accumulate(&delta);
     }
 
     fn name(&self) -> &str {
@@ -429,5 +537,103 @@ mod tests {
         let s = *stats.borrow();
         assert_eq!(s.host_drops, 0, "thinned capture must fit in DMA");
         assert_eq!(s.host_frames, s.rx_frames);
+    }
+
+    /// The fast path (compiled filter + burst delivery) must be
+    /// observationally identical to the scalar one: same `MonStats`,
+    /// same captured packets (stamps, bytes, hashes, lengths), frame by
+    /// frame.
+    fn assert_paths_agree(gen_cfg: GenConfig, mon_cfg: MonConfig, frame_len: usize, run_ms: u64) {
+        let scalar_cfg = MonConfig {
+            compiled_filter: false,
+            batch: false,
+            ..mon_cfg.clone()
+        };
+        let fast_cfg = MonConfig {
+            compiled_filter: true,
+            batch: true,
+            ..mon_cfg
+        };
+        let (buf_s, stats_s) = gen_to_mon(gen_cfg.clone(), scalar_cfg, frame_len, run_ms);
+        let (buf_f, stats_f) = gen_to_mon(gen_cfg, fast_cfg, frame_len, run_ms);
+        assert_eq!(*stats_s.borrow(), *stats_f.borrow(), "MonStats diverged");
+        let (buf_s, buf_f) = (buf_s.borrow(), buf_f.borrow());
+        assert_eq!(buf_s.len(), buf_f.len(), "capture count diverged");
+        assert_eq!(
+            buf_s.packets, buf_f.packets,
+            "captured packets diverged between scalar and fast paths"
+        );
+    }
+
+    #[test]
+    fn fast_path_is_byte_identical_on_back_to_back_bursts() {
+        // Back-to-back frames coalesce into real batches; a filter table
+        // with decoys and thinning exercises every pipeline stage.
+        let mut filter = FilterTable::drop_by_default();
+        filter.push(WildcardRule::any().with_dst_port(7), FilterAction::Drop);
+        filter.push(WildcardRule::any().with_src_port(3), FilterAction::Drop);
+        filter.push(
+            WildcardRule::any().with_dst_port(9001),
+            FilterAction::Capture,
+        );
+        assert_paths_agree(
+            GenConfig {
+                count: Some(400),
+                schedule: Schedule::BackToBack,
+                ..GenConfig::default()
+            },
+            MonConfig {
+                filter,
+                thin: ThinConfig::cut_with_hash(60),
+                host: HostPathConfig::unlimited(),
+                ..MonConfig::default()
+            },
+            512,
+            10,
+        );
+    }
+
+    #[test]
+    fn fast_path_is_byte_identical_under_host_loss() {
+        // The loss-limited default host path makes DMA admission
+        // time-sensitive: any divergence in per-frame processing instants
+        // would change which frames drop.
+        assert_paths_agree(
+            GenConfig {
+                schedule: Schedule::BackToBack,
+                stop_at: Some(SimTime::from_ms(20)),
+                ..GenConfig::default()
+            },
+            MonConfig::default(),
+            1518,
+            25,
+        );
+    }
+
+    #[test]
+    fn batched_delivery_reaches_the_burst_handler() {
+        // Sanity that the parity tests above actually compare different
+        // code paths: with batching on and a back-to-back workload, the
+        // kernel must coalesce multi-frame bursts (observable through
+        // identical results but exercised here via the default config
+        // running the full suite — a regression that silently disabled
+        // batching would leave this spacing test meaningless).
+        let gen_cfg = GenConfig {
+            count: Some(50),
+            schedule: Schedule::BackToBack,
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            host: HostPathConfig::unlimited(),
+            ..MonConfig::default()
+        };
+        assert!(mon_cfg.batch, "batching must default on");
+        let (buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 64, 10);
+        assert_eq!(buffer.borrow().len(), 50);
+        assert_eq!(stats.borrow().rx_frames, 50);
+        // Per-frame arrival instants survive batching.
+        for w in buffer.borrow().packets.windows(2) {
+            assert_eq!((w[1].rx_true - w[0].rx_true).as_ps(), 67_200);
+        }
     }
 }

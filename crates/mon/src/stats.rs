@@ -29,14 +29,37 @@ impl MonStats {
     /// Fraction of filter-passing frames that reached the host
     /// (1.0 when nothing was dropped). `None` before any frame passed
     /// the filter.
+    ///
+    /// Saturates rather than failing on transiently inconsistent
+    /// snapshots: a reader sampling the counters mid-batch can observe
+    /// `filtered_out + crc_fail > rx_frames` (the batched pipeline
+    /// publishes its delta after classifying the whole burst), which
+    /// used to make the subtraction return `None` even though frames
+    /// had demonstrably reached the host. The ratio is clamped to
+    /// `[0, 1]` for the same reason.
     pub fn host_delivery_ratio(&self) -> Option<f64> {
         let passed = self
             .rx_frames
-            .checked_sub(self.filtered_out + self.crc_fail)?;
+            .saturating_sub(self.filtered_out + self.crc_fail);
         if passed == 0 {
-            return None;
+            return (self.host_frames > 0).then_some(1.0);
         }
-        Some(self.host_frames as f64 / passed as f64)
+        Some((self.host_frames as f64 / passed as f64).min(1.0))
+    }
+
+    /// Fold another counter snapshot into this one (used by the batched
+    /// monitor pipeline to publish one per-burst delta instead of eight
+    /// `RefCell` round-trips per frame).
+    #[inline]
+    pub fn accumulate(&mut self, delta: &MonStats) {
+        self.rx_frames += delta.rx_frames;
+        self.rx_bytes += delta.rx_bytes;
+        self.crc_fail += delta.crc_fail;
+        self.filtered_out += delta.filtered_out;
+        self.thinned += delta.thinned;
+        self.host_frames += delta.host_frames;
+        self.host_bytes += delta.host_bytes;
+        self.host_drops += delta.host_drops;
     }
 }
 
@@ -59,5 +82,64 @@ mod tests {
     #[test]
     fn delivery_ratio_empty_is_none() {
         assert_eq!(MonStats::default().host_delivery_ratio(), None);
+    }
+
+    #[test]
+    fn delivery_ratio_saturates_on_mid_batch_snapshots() {
+        // Regression: a snapshot taken while a burst is half-published
+        // can show more filtered/corrupt frames than received ones. The
+        // old checked_sub turned that into None; it must saturate.
+        let s = MonStats {
+            rx_frames: 10,
+            filtered_out: 8,
+            crc_fail: 4,
+            host_frames: 3,
+            ..MonStats::default()
+        };
+        assert_eq!(s.host_delivery_ratio(), Some(1.0));
+        // Same inconsistency with nothing delivered yet: still no signal.
+        let s = MonStats {
+            rx_frames: 10,
+            filtered_out: 12,
+            ..MonStats::default()
+        };
+        assert_eq!(s.host_delivery_ratio(), None);
+        // A consistent snapshot can also momentarily show host_frames
+        // ahead of passed; the ratio clamps at 1.
+        let s = MonStats {
+            rx_frames: 10,
+            filtered_out: 6,
+            host_frames: 5,
+            ..MonStats::default()
+        };
+        assert_eq!(s.host_delivery_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = MonStats {
+            rx_frames: 1,
+            rx_bytes: 2,
+            crc_fail: 3,
+            filtered_out: 4,
+            thinned: 5,
+            host_frames: 6,
+            host_bytes: 7,
+            host_drops: 8,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(
+            a,
+            MonStats {
+                rx_frames: 2,
+                rx_bytes: 4,
+                crc_fail: 6,
+                filtered_out: 8,
+                thinned: 10,
+                host_frames: 12,
+                host_bytes: 14,
+                host_drops: 16,
+            }
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::kernel::Kernel;
 use osnt_packet::Packet;
+use osnt_time::SimTime;
 
 /// Identifies a component within one simulation. Handed out by
 /// [`crate::SimBuilder::add_component`].
@@ -38,6 +39,38 @@ pub trait Component {
     /// caller-chosen discriminator.
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {
         let _ = (kernel, me, tag);
+    }
+
+    /// Opt into burst delivery: when true, the dispatch loop hands
+    /// consecutive same-port arrivals to [`Component::on_packet_batch`]
+    /// in one call instead of one [`Component::on_packet`] each.
+    ///
+    /// Intended for pure *sinks* (the monitor capture path): the kernel
+    /// pops the whole run of back-to-back `Deliver` events up front, so
+    /// during the batch handler `Kernel::now()` reads the *batch-end*
+    /// instant — per-frame arrival instants come with the batch.
+    /// Components that transmit or schedule timers from their packet
+    /// handler should not opt in (their scheduling would see batch-end
+    /// time rather than each frame's arrival time).
+    fn wants_packet_batches(&self) -> bool {
+        false
+    }
+
+    /// A burst of frames arrived on `port`; `batch` holds each frame
+    /// with the instant its last bit was received, in arrival order.
+    /// Only called when [`Component::wants_packet_batches`] is true.
+    /// The default implementation replays the scalar path one frame at
+    /// a time, so opting in without overriding this changes nothing.
+    fn on_packet_batch(
+        &mut self,
+        kernel: &mut Kernel,
+        me: ComponentId,
+        port: usize,
+        batch: &mut Vec<(SimTime, Packet)>,
+    ) {
+        for (_, packet) in batch.drain(..) {
+            self.on_packet(kernel, me, port, packet);
+        }
     }
 
     /// Human-readable name for traces and panics.

@@ -132,6 +132,9 @@ pub struct Kernel {
     /// Supervision heartbeat + cooperative abort flag — `None` on
     /// unsupervised runs, so the dispatch loop pays one branch.
     pub(crate) progress: Option<std::sync::Arc<osnt_time::ProgressProbe>>,
+    /// Reusable arrival buffer for batch delivery (capacity persists
+    /// across bursts; taken/restored around each `on_packet_batch`).
+    pub(crate) batch_buf: Vec<(SimTime, Packet)>,
 }
 
 impl Kernel {
@@ -145,6 +148,7 @@ impl Kernel {
             events_dispatched: 0,
             router: None,
             progress: None,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -272,6 +276,7 @@ impl Kernel {
             // Shards share the one probe: `fetch_max` publishing keeps
             // the high-water mark coherent across workers.
             progress: self.progress.clone(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -386,10 +391,20 @@ impl Kernel {
     /// Deliver events — the peer observes identical arrival times as
     /// `count` separate [`Kernel::transmit`] calls).
     ///
+    /// `frames` is a factory, not an iterator: it is handed the wire
+    /// start instant the MAC has reserved for the next frame and returns
+    /// the frame to put there (`None` ends the batch). Knowing the
+    /// departure instant *before* the frame is enqueued is what lets the
+    /// generator embed TX timestamps on the batched path — the stamp it
+    /// writes is exactly the `tx_start` the per-frame path would have
+    /// observed from [`Kernel::transmit`]. A frame the factory built for
+    /// a slot may still be tail-dropped by the output buffer, exactly as
+    /// in per-frame transmit (the per-frame path also stamps before it
+    /// learns the drop verdict); the slot is then re-offered to the next
+    /// frame.
+    ///
     /// Each accepted frame's wire start time is appended to `tx_starts`
-    /// when provided (the generator's departure log / timestamp stamping
-    /// hook). Frames that don't fit the output buffer are tail-dropped
-    /// individually, exactly as in per-frame transmit.
+    /// when provided (the generator's departure log).
     ///
     /// Note the event stream is *not* byte-for-byte identical to
     /// per-frame transmits — TxDone events are merged, so sequence
@@ -399,7 +414,7 @@ impl Kernel {
         &mut self,
         me: ComponentId,
         port: usize,
-        frames: &mut dyn Iterator<Item = Packet>,
+        frames: &mut dyn FnMut(SimTime) -> Option<Packet>,
         mut tx_starts: Option<&mut Vec<SimTime>>,
     ) -> BatchTx {
         let now = self.now;
@@ -430,7 +445,11 @@ impl Kernel {
         // Is the peer on another shard? Resolved once for the batch —
         // a wire's peer never moves.
         let remote = router.as_ref().is_some_and(|r| r.is_remote(wire.peer));
-        for packet in frames {
+        loop {
+            let tx_start = now.max(p.busy_until);
+            let Some(packet) = frames(tx_start) else {
+                break;
+            };
             let frame_len = packet.frame_len();
             let wire_len = packet.wire_len();
             if let Some(cap) = p.buffer_bytes {
@@ -450,7 +469,6 @@ impl Kernel {
                     continue;
                 }
             }
-            let tx_start = now.max(p.busy_until);
             let (ser_visible, ser_total) = match ser_cache {
                 Some((len, vis, tot)) if len == wire_len => (vis, tot),
                 _ => {
@@ -548,6 +566,62 @@ impl Kernel {
         let p = self.out_port_mut(src, port);
         debug_assert!(p.queued_bytes >= frame_len);
         p.queued_bytes -= frame_len;
+    }
+
+    /// Extend a delivery batch: keep popping events at or before `limit`
+    /// for as long as the head of the queue is either another `Deliver`
+    /// to the same `(dst, port)` or a `TxDone` (which carries no handler
+    /// and only decrements per-port byte accounting, so running it
+    /// inline preserves observable state exactly). Stops — leaving the
+    /// queue untouched — at the first timer, foreign delivery, or event
+    /// past `limit`. Returns the number of events consumed.
+    ///
+    /// Every event is popped at its exact position in the total order
+    /// and stamps `now`/`events_dispatched` just like
+    /// [`Kernel::pop_event_until`], so a run with coalescing dispatches
+    /// the same events in the same order as one without — only the
+    /// handler granularity changes.
+    pub(crate) fn coalesce_arrivals(
+        &mut self,
+        dst: ComponentId,
+        port: usize,
+        limit: SimTime,
+        batch: &mut Vec<(SimTime, Packet)>,
+    ) -> u64 {
+        let lim = limit;
+        let mut consumed = 0;
+        loop {
+            let take = match self.queue.peek_item() {
+                Some((t, _seq, kind)) if t <= lim => match kind {
+                    EventKind::Deliver {
+                        dst: d, port: p, ..
+                    } => *d == dst && *p == port,
+                    EventKind::TxDone { .. } => true,
+                    EventKind::Timer { .. } => false,
+                },
+                _ => false,
+            };
+            if !take {
+                return consumed;
+            }
+            let (time, _seq, kind) = self.queue.pop().expect("peeked above");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events_dispatched += 1;
+            consumed += 1;
+            match kind {
+                EventKind::Deliver { dst, port, packet } => {
+                    self.note_rx(dst, port, packet.frame_len());
+                    batch.push((time, packet));
+                }
+                EventKind::TxDone {
+                    src,
+                    port,
+                    frame_len,
+                } => self.note_tx_done(src, port, frame_len),
+                EventKind::Timer { .. } => unreachable!("filtered above"),
+            }
+        }
     }
 
     /// Pop the next event if it fires at or before `limit`.
@@ -701,7 +775,13 @@ mod tests {
         fn on_timer(&mut self, k: &mut Kernel, me: ComponentId, _tag: u64) {
             let mut starts = Vec::new();
             let template = Packet::zeroed(64);
-            let mut frames = (0..self.n).map(|_| template.clone());
+            let (n, mut sent) = (self.n, 0u64);
+            let mut frames = |_tx_start: SimTime| {
+                (sent < n).then(|| {
+                    sent += 1;
+                    template.clone()
+                })
+            };
             let r = k.transmit_batch(me, 0, &mut frames, Some(&mut starts));
             *self.tx_starts.borrow_mut() = starts;
             *self.result.borrow_mut() = Some(r);

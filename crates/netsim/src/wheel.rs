@@ -283,6 +283,22 @@ impl<T> TimerWheel<T> {
         self.batch.last().map(|e| (SimTime::from_ps(e.ps), e.seq))
     }
 
+    /// Like [`TimerWheel::peek`], but also exposes a borrow of the
+    /// earliest item so a caller can decide whether to pop it (the
+    /// arrival-coalescing loop inspects the event kind without
+    /// committing to dispatch).
+    pub fn peek_item(&mut self) -> Option<(SimTime, u64, &T)> {
+        if self.front.is_none() {
+            self.refill();
+            return self
+                .batch
+                .last()
+                .map(|e| (SimTime::from_ps(e.ps), e.seq, &e.item));
+        }
+        let f = self.front.as_ref().expect("checked above");
+        Some((SimTime::from_ps(f.ps), f.seq, &f.item))
+    }
+
     /// Remove and return the earliest pending item.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         let e = match self.front.take() {

@@ -1,0 +1,388 @@
+//! Compiled wildcard matching: fixed-width flow keys and masked-word
+//! rules.
+//!
+//! [`crate::WildcardRule::matches`] re-walks a [`ParsedPacket`]'s
+//! `Option` fields per rule — fine for a handful of rules, ruinous for a
+//! filter-heavy monitor table where every frame pays the whole walk at
+//! line rate. This module lowers both sides of the comparison to flat
+//! machine words:
+//!
+//! * [`FlowKey::extract`] packs every filterable header field of one
+//!   parsed frame into eight `u64` words (one parse, one extraction per
+//!   packet, shared by every rule), and
+//! * [`CompiledRule::compile`] lowers a `WildcardRule` into a
+//!   value/mask pair over the same words, so a match is eight
+//!   `(key & mask) == value` compares with no branches on header shape.
+//!
+//! `Option` semantics ("a named field requires its layer to exist")
+//! survive lowering through the presence-flag word: a rule naming
+//! `dst_port` also demands the `HAS_L4` bit, so an ARP frame whose key
+//! holds zeroed port bits can never match a `dst_port == 0` rule by
+//! accident. [`CompiledRule::compile`] is exact by construction —
+//! `compiled.matches(&FlowKey::extract(&p)) == rule.matches(&p)` for
+//! every frame, pinned by the corpus test below and the proptest suite.
+
+use crate::mac::MacAddr;
+use crate::parser::{ParsedPacket, L3};
+use crate::wildcard::WildcardRule;
+use core::net::IpAddr;
+
+/// Number of `u64` words in a [`FlowKey`].
+pub const KEY_WORDS: usize = 8;
+
+// Word layout (field → word, bit position):
+//   w0: src MAC (bits 0..48) | effective EtherType (bits 48..64)
+//   w1: dst MAC (bits 0..48) | VLAN vid (bits 48..64)
+//   w2: src IP high 64 bits (IPv6; zero for IPv4)
+//   w3: src IP low 64 bits (IPv6) or the IPv4 address (bits 0..32)
+//   w4: dst IP high 64 bits
+//   w5: dst IP low 64 bits / IPv4 address
+//   w6: src port (bits 0..16) | dst port (bits 16..32) | IP proto (32..40)
+//   w7: presence flags (see the `flag` constants)
+const W_SRC: usize = 0;
+const W_DST: usize = 1;
+const W_SIP_HI: usize = 2;
+const W_SIP_LO: usize = 3;
+const W_DIP_HI: usize = 4;
+const W_DIP_LO: usize = 5;
+const W_L4: usize = 6;
+const W_FLAGS: usize = 7;
+
+const MAC_MASK: u64 = (1 << 48) - 1;
+const ETHERTYPE_SHIFT: u32 = 48;
+const VID_SHIFT: u32 = 48;
+const DPORT_SHIFT: u32 = 16;
+const PROTO_SHIFT: u32 = 32;
+
+/// Presence flags stored in word 7 of a [`FlowKey`]. A compiled rule
+/// that names a field also requires the flag of the layer carrying it,
+/// which is how `Option`-field semantics survive the lowering.
+pub mod flag {
+    /// An Ethernet header was parsed.
+    pub const HAS_ETH: u64 = 1 << 0;
+    /// An 802.1Q tag is present.
+    pub const HAS_VLAN: u64 = 1 << 1;
+    /// The frame is IP (v4 or v6).
+    pub const HAS_IP: u64 = 1 << 2;
+    /// The frame is IPv4.
+    pub const IS_V4: u64 = 1 << 3;
+    /// The frame is IPv6.
+    pub const IS_V6: u64 = 1 << 4;
+    /// A transport summary exists (every IP frame has one; ports are
+    /// zero when the transport header is truncated or portless).
+    pub const HAS_L4: u64 = 1 << 5;
+}
+
+#[inline]
+fn mac_bits(m: MacAddr) -> u64 {
+    m.octets().iter().fold(0u64, |a, &b| (a << 8) | b as u64)
+}
+
+/// Every filterable header field of one frame, pre-extracted into
+/// fixed-width words. Extract once per packet, match against any number
+/// of [`CompiledRule`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowKey {
+    /// The packed field words (layout documented in the module source).
+    pub words: [u64; KEY_WORDS],
+}
+
+impl FlowKey {
+    /// Pack `p`'s header fields. Absent layers leave their words zero
+    /// and their presence flags clear.
+    pub fn extract(p: &ParsedPacket<'_>) -> FlowKey {
+        let mut w = [0u64; KEY_WORDS];
+        let mut flags = 0u64;
+        if let Some(eth) = p.ethernet {
+            flags |= flag::HAS_ETH;
+            w[W_SRC] = mac_bits(eth.src);
+            w[W_DST] = mac_bits(eth.dst);
+            // `effective_ethertype` is Some exactly when ethernet is.
+            if let Some(t) = p.effective_ethertype() {
+                w[W_SRC] |= (t as u64) << ETHERTYPE_SHIFT;
+            }
+        }
+        if let Some(tag) = p.vlan {
+            flags |= flag::HAS_VLAN;
+            w[W_DST] |= (tag.vid as u64) << VID_SHIFT;
+        }
+        match p.l3 {
+            Some(L3::Ipv4(h)) => {
+                flags |= flag::HAS_IP | flag::IS_V4;
+                w[W_SIP_LO] = u32::from(h.src) as u64;
+                w[W_DIP_LO] = u32::from(h.dst) as u64;
+            }
+            Some(L3::Ipv6(h)) => {
+                flags |= flag::HAS_IP | flag::IS_V6;
+                let (s, d) = (u128::from(h.src), u128::from(h.dst));
+                w[W_SIP_HI] = (s >> 64) as u64;
+                w[W_SIP_LO] = s as u64;
+                w[W_DIP_HI] = (d >> 64) as u64;
+                w[W_DIP_LO] = d as u64;
+            }
+            _ => {}
+        }
+        if let Some(l4) = p.l4 {
+            flags |= flag::HAS_L4;
+            w[W_L4] = l4.src_port as u64
+                | (l4.dst_port as u64) << DPORT_SHIFT
+                | (l4.protocol as u64) << PROTO_SHIFT;
+        }
+        w[W_FLAGS] = flags;
+        FlowKey { words: w }
+    }
+
+    /// Parse + extract in one call (the per-rule cost this module
+    /// exists to avoid; use only where no parse is at hand).
+    pub fn of_bytes(bytes: &[u8]) -> FlowKey {
+        FlowKey::extract(&ParsedPacket::parse(bytes))
+    }
+}
+
+/// A [`WildcardRule`] lowered to value/mask words over a [`FlowKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledRule {
+    value: [u64; KEY_WORDS],
+    mask: [u64; KEY_WORDS],
+}
+
+impl CompiledRule {
+    /// Lower `rule`. Exact: matches the same packets as
+    /// [`WildcardRule::matches`].
+    pub fn compile(rule: &WildcardRule) -> CompiledRule {
+        let mut value = [0u64; KEY_WORDS];
+        let mut mask = [0u64; KEY_WORDS];
+        let mut req_flags = 0u64;
+        if let Some(m) = rule.src_mac {
+            req_flags |= flag::HAS_ETH;
+            mask[W_SRC] |= MAC_MASK;
+            value[W_SRC] |= mac_bits(m);
+        }
+        if let Some(m) = rule.dst_mac {
+            req_flags |= flag::HAS_ETH;
+            mask[W_DST] |= MAC_MASK;
+            value[W_DST] |= mac_bits(m);
+        }
+        if let Some(t) = rule.ethertype {
+            req_flags |= flag::HAS_ETH;
+            mask[W_SRC] |= 0xFFFF << ETHERTYPE_SHIFT;
+            value[W_SRC] |= (t as u64) << ETHERTYPE_SHIFT;
+        }
+        if let Some(vid) = rule.vlan {
+            req_flags |= flag::HAS_VLAN;
+            mask[W_DST] |= 0xFFFF << VID_SHIFT;
+            value[W_DST] |= (vid as u64) << VID_SHIFT;
+        }
+        if let Some(prefix) = rule.src_ip {
+            compile_prefix(prefix, W_SIP_HI, W_SIP_LO, &mut value, &mut mask);
+        }
+        if let Some(prefix) = rule.dst_ip {
+            compile_prefix(prefix, W_DIP_HI, W_DIP_LO, &mut value, &mut mask);
+        }
+        if let Some(proto) = rule.ip_protocol {
+            req_flags |= flag::HAS_IP;
+            mask[W_L4] |= 0xFF << PROTO_SHIFT;
+            value[W_L4] |= (proto as u64) << PROTO_SHIFT;
+        }
+        if let Some(port) = rule.src_port {
+            req_flags |= flag::HAS_L4;
+            mask[W_L4] |= 0xFFFF;
+            value[W_L4] |= port as u64;
+        }
+        if let Some(port) = rule.dst_port {
+            req_flags |= flag::HAS_L4;
+            mask[W_L4] |= 0xFFFF << DPORT_SHIFT;
+            value[W_L4] |= (port as u64) << DPORT_SHIFT;
+        }
+        mask[W_FLAGS] |= req_flags;
+        value[W_FLAGS] |= req_flags;
+        CompiledRule { value, mask }
+    }
+
+    /// Whether `key` satisfies every named field: eight masked compares.
+    #[inline]
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        let mut diff = 0u64;
+        for i in 0..KEY_WORDS {
+            diff |= (key.words[i] & self.mask[i]) ^ self.value[i];
+        }
+        diff == 0
+    }
+}
+
+/// Lower an IP-prefix match into address-word masks plus the family
+/// flag. A zero-length prefix keeps only the family requirement —
+/// exactly [`crate::wildcard::IpPrefix::contains`]'s behaviour.
+fn compile_prefix(
+    prefix: crate::wildcard::IpPrefix,
+    w_hi: usize,
+    w_lo: usize,
+    value: &mut [u64; KEY_WORDS],
+    mask: &mut [u64; KEY_WORDS],
+) {
+    match prefix.addr {
+        IpAddr::V4(base) => {
+            mask[W_FLAGS] |= flag::IS_V4;
+            value[W_FLAGS] |= flag::IS_V4;
+            let plen = prefix.prefix_len.min(32) as u32;
+            if plen > 0 {
+                let m = (!0u32) << (32 - plen);
+                mask[w_lo] |= m as u64;
+                value[w_lo] |= (u32::from(base) & m) as u64;
+            }
+        }
+        IpAddr::V6(base) => {
+            mask[W_FLAGS] |= flag::IS_V6;
+            value[W_FLAGS] |= flag::IS_V6;
+            let plen = prefix.prefix_len.min(128) as u32;
+            if plen > 0 {
+                let m = (!0u128) << (128 - plen);
+                let v = u128::from(base) & m;
+                mask[w_hi] |= (m >> 64) as u64;
+                mask[w_lo] |= m as u64;
+                value[w_hi] |= (v >> 64) as u64;
+                value[w_lo] |= v as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::ethernet::EthernetHeader;
+    use crate::ipv4::protocol;
+    use crate::wildcard::IpPrefix;
+    use crate::Packet;
+    use core::net::{Ipv4Addr, Ipv6Addr};
+
+    /// A shape-diverse frame corpus: every layer combination the parser
+    /// can produce.
+    fn corpus() -> Vec<Packet> {
+        let v4 = |s: u8, sp: u16, dp: u16| {
+            PacketBuilder::ethernet(MacAddr::local(s), MacAddr::local(2))
+                .ipv4(Ipv4Addr::new(10, 0, 0, s), Ipv4Addr::new(192, 168, 1, 2))
+                .udp(sp, dp)
+                .build()
+        };
+        let mut frames = vec![
+            v4(1, 5000, 9000),
+            v4(1, 0, 0),
+            v4(7, 53, 53),
+            PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+                .vlan(42)
+                .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+                .udp(1, 2)
+                .build(),
+            PacketBuilder::ethernet(MacAddr::local(3), MacAddr::local(4))
+                .ipv6(
+                    Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+                    Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+                )
+                .udp(5000, 9000)
+                .build(),
+            // A zeroed frame: MACs 00:…:00, EtherType 0 — the aliasing
+            // trap presence flags exist to defuse.
+            Packet::zeroed(64),
+        ];
+        // Non-IP ethertype, and a truncated-at-IP frame (ports zeroed).
+        let mut raw = Vec::new();
+        EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(9),
+            ethertype: 0x88B5,
+        }
+        .write_to(&mut raw);
+        raw.extend_from_slice(&[0u8; 50]);
+        frames.push(Packet::from_vec(raw));
+        frames.push(Packet::from_vec(vec![0u8; 5]));
+        frames
+    }
+
+    fn rules() -> Vec<WildcardRule> {
+        let any = WildcardRule::any;
+        vec![
+            any(),
+            any().with_src_mac(MacAddr::local(1)),
+            any().with_src_mac(MacAddr([0; 6])),
+            any().with_dst_mac(MacAddr::local(2)),
+            any().with_ethertype(crate::ethernet::ethertype::IPV4),
+            any().with_ethertype(0),
+            any().with_vlan(42),
+            any().with_vlan(0),
+            any().with_src_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)), 24)),
+            any().with_src_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0)),
+            any().with_src_ip(IpPrefix::host(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)))),
+            any().with_dst_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(192, 168, 0, 0)), 16)),
+            any().with_src_ip(IpPrefix::new(
+                IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 0)),
+                32,
+            )),
+            any().with_src_ip(IpPrefix::new(IpAddr::V6(Ipv6Addr::UNSPECIFIED), 0)),
+            any().with_ip_protocol(protocol::UDP),
+            any().with_ip_protocol(0),
+            any().with_src_port(5000),
+            any().with_dst_port(9000),
+            any().with_src_port(0),
+            any().with_dst_port(0),
+            any()
+                .with_src_mac(MacAddr::local(1))
+                .with_ethertype(crate::ethernet::ethertype::IPV4)
+                .with_src_ip(IpPrefix::new(IpAddr::V4(Ipv4Addr::new(10, 0, 0, 0)), 8))
+                .with_ip_protocol(protocol::UDP)
+                .with_dst_port(9000),
+        ]
+    }
+
+    #[test]
+    fn compiled_rules_match_exactly_like_interpreted() {
+        for rule in rules() {
+            let compiled = CompiledRule::compile(&rule);
+            for frame in corpus() {
+                let parsed = frame.parse();
+                let key = FlowKey::extract(&parsed);
+                assert_eq!(
+                    compiled.matches(&key),
+                    rule.matches(&parsed),
+                    "divergence: rule {rule:?} on frame {:02x?}",
+                    frame.data()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn presence_flags_defuse_zero_field_aliasing() {
+        // A 5-byte runt parses to nothing; its key is all-zero words.
+        // Rules naming zero-valued fields must still miss it.
+        let key = FlowKey::of_bytes(&[0u8; 5]);
+        assert_eq!(key.words, [0u64; KEY_WORDS]);
+        for rule in [
+            WildcardRule::any().with_src_mac(MacAddr([0; 6])),
+            WildcardRule::any().with_ethertype(0),
+            WildcardRule::any().with_vlan(0),
+            WildcardRule::any().with_ip_protocol(0),
+            WildcardRule::any().with_dst_port(0),
+        ] {
+            assert!(!CompiledRule::compile(&rule).matches(&key));
+        }
+        // The all-wildcard rule still matches everything.
+        assert!(CompiledRule::compile(&WildcardRule::any()).matches(&key));
+    }
+
+    #[test]
+    fn one_extraction_serves_many_rules() {
+        let frame = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(5000, 9000)
+            .build();
+        let key = FlowKey::extract(&frame.parse());
+        assert!(CompiledRule::compile(&WildcardRule::any().with_dst_port(9000)).matches(&key));
+        assert!(!CompiledRule::compile(&WildcardRule::any().with_dst_port(9001)).matches(&key));
+        assert!(
+            CompiledRule::compile(&WildcardRule::any().with_ip_protocol(protocol::UDP))
+                .matches(&key)
+        );
+    }
+}

@@ -30,6 +30,7 @@ pub mod builder;
 pub mod checksum;
 pub mod ethernet;
 pub mod flow;
+pub mod flowkey;
 pub mod hash;
 pub mod icmp;
 pub mod ipv4;
@@ -45,6 +46,7 @@ pub mod wildcard;
 
 pub use builder::PacketBuilder;
 pub use flow::FiveTuple;
+pub use flowkey::{CompiledRule, FlowKey};
 pub use mac::MacAddr;
 pub use parser::ParsedPacket;
 pub use pool::PacketPool;

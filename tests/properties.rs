@@ -406,3 +406,137 @@ proptest! {
         prop_assert_eq!(s.count, samples.len());
     }
 }
+
+// ---------------- streaming summary parity ----------------
+
+proptest! {
+    /// `StreamingSummary` must agree with the exact collect-and-sort
+    /// `Summary` on any sample sequence: count/min/max/mean/jitter
+    /// bit-for-bit (same accumulation order), stddev to floating-point
+    /// association, percentiles within the documented 1/256 relative
+    /// error bound.
+    #[test]
+    fn streaming_summary_matches_exact_summary(
+        samples in proptest::collection::vec(1u64..20_000_000_000, 1..400),
+    ) {
+        use osnt::core::{StreamingSummary, Summary};
+        let d: Vec<SimDuration> = samples.iter().map(|&p| SimDuration::from_ps(p)).collect();
+        let exact = Summary::from_durations(&d).unwrap();
+        let mut stream = StreamingSummary::new();
+        for s in &d {
+            stream.record(*s);
+        }
+        let got = stream.finish().unwrap();
+        prop_assert_eq!(got.count, exact.count);
+        prop_assert_eq!(got.min_ns, exact.min_ns);
+        prop_assert_eq!(got.max_ns, exact.max_ns);
+        prop_assert_eq!(got.mean_ns, exact.mean_ns);
+        prop_assert_eq!(got.jitter_ns, exact.jitter_ns);
+        let sd_tol = 1e-6 * exact.stddev_ns.max(1.0);
+        prop_assert!((got.stddev_ns - exact.stddev_ns).abs() <= sd_tol,
+            "stddev {} vs {}", got.stddev_ns, exact.stddev_ns);
+        for (g, e) in [(got.p50_ns, exact.p50_ns), (got.p90_ns, exact.p90_ns), (got.p99_ns, exact.p99_ns)] {
+            let rel = (g - e).abs() / e.max(1e-9);
+            prop_assert!(rel <= 1.0 / 256.0 + 1e-12, "quantile rel error {rel}: {g} vs {e}");
+        }
+    }
+
+    /// Sharded merge: splitting a stream into chunks, summarising each
+    /// independently and merging must reproduce the single-stream
+    /// result — and the merge must be order-independent for everything
+    /// except jitter (whose boundary terms depend on concatenation
+    /// order by definition).
+    #[test]
+    fn streaming_merge_is_order_independent(
+        samples in proptest::collection::vec(1u64..20_000_000_000, 2..400),
+        cuts in proptest::collection::vec(1usize..100, 1..4),
+    ) {
+        use osnt::core::StreamingSummary;
+        // Split into chunks at pseudo-random boundaries.
+        let mut chunks: Vec<&[u64]> = Vec::new();
+        let mut rest: &[u64] = &samples;
+        for c in &cuts {
+            if rest.len() <= 1 { break; }
+            let at = 1 + (c % (rest.len() - 1));
+            let (head, tail) = rest.split_at(at);
+            chunks.push(head);
+            rest = tail;
+        }
+        chunks.push(rest);
+        let summarise = |xs: &[u64]| {
+            let mut s = StreamingSummary::new();
+            for &p in xs { s.record_ps(p); }
+            s
+        };
+        let mut whole = StreamingSummary::new();
+        for &p in &samples { whole.record_ps(p); }
+        let whole = whole.finish().unwrap();
+
+        // Merge in shard order: everything agrees (jitter included —
+        // concatenation of adjacent chunks is the original sequence).
+        let mut fwd = StreamingSummary::new();
+        for c in &chunks { fwd.merge(&summarise(c)); }
+        let fwd = fwd.finish().unwrap();
+        prop_assert_eq!(fwd.count, whole.count);
+        prop_assert_eq!(fwd.min_ns, whole.min_ns);
+        prop_assert_eq!(fwd.max_ns, whole.max_ns);
+        prop_assert_eq!(fwd.p50_ns, whole.p50_ns);
+        prop_assert_eq!(fwd.p90_ns, whole.p90_ns);
+        prop_assert_eq!(fwd.p99_ns, whole.p99_ns);
+        let tol = 1e-6 * whole.mean_ns.max(1.0);
+        prop_assert!((fwd.mean_ns - whole.mean_ns).abs() <= tol);
+        prop_assert!((fwd.jitter_ns - whole.jitter_ns).abs() <= 1e-6 * whole.jitter_ns.max(1.0));
+
+        // Merge in reversed chunk order: count/min/max and the
+        // histogram-derived percentiles are exactly order-independent.
+        let mut rev = StreamingSummary::new();
+        for c in chunks.iter().rev() { rev.merge(&summarise(c)); }
+        let rev = rev.finish().unwrap();
+        prop_assert_eq!(rev.count, whole.count);
+        prop_assert_eq!(rev.min_ns, whole.min_ns);
+        prop_assert_eq!(rev.max_ns, whole.max_ns);
+        prop_assert_eq!(rev.p50_ns, whole.p50_ns);
+        prop_assert_eq!(rev.p90_ns, whole.p90_ns);
+        prop_assert_eq!(rev.p99_ns, whole.p99_ns);
+        prop_assert!((rev.mean_ns - whole.mean_ns).abs() <= tol);
+    }
+
+    /// Compiled wildcard rules agree with the interpreter on arbitrary
+    /// generated frames and rules (the flow-key lowering is exact).
+    #[test]
+    fn compiled_rule_matches_interpreter(
+        src in arb_mac(), dst in arb_mac(),
+        sip in arb_ipv4(), dip in arb_ipv4(),
+        sport in 0u16..3, dport in 0u16..3,
+        // The vendored proptest stand-in has no Option strategies:
+        // sentinel values encode "field not named by the rule".
+        rule_sport in 0u16..4, // 3 = absent
+        rule_dport in 0u16..4, // 3 = absent
+        rule_proto in 0u8..3,  // 0 = absent, 1 = TCP, 2 = UDP
+        plen in 0u8..34,       // 33 = absent
+    ) {
+        use osnt::packet::{CompiledRule, FlowKey, WildcardRule};
+        use osnt::packet::wildcard::IpPrefix;
+        let pkt = PacketBuilder::ethernet(src, dst)
+            .ipv4(sip, dip)
+            .udp(sport, dport)
+            .build();
+        let mut rule = WildcardRule::any();
+        if rule_sport < 3 { rule = rule.with_src_port(rule_sport); }
+        if rule_dport < 3 { rule = rule.with_dst_port(rule_dport); }
+        match rule_proto {
+            1 => rule = rule.with_ip_protocol(6),
+            2 => rule = rule.with_ip_protocol(17),
+            _ => {}
+        }
+        if plen <= 32 {
+            rule = rule.with_src_ip(IpPrefix::new(std::net::IpAddr::V4(sip), plen));
+        }
+        let parsed = pkt.parse();
+        let key = FlowKey::extract(&parsed);
+        prop_assert_eq!(
+            CompiledRule::compile(&rule).matches(&key),
+            rule.matches(&parsed)
+        );
+    }
+}
