@@ -202,9 +202,16 @@ fn main() {
         println!("Speedup gate skipped (set OSNT_REQUIRE_SPEEDUP=1 to enforce).");
     }
     if let Some(path) = json {
+        // `cores_limited` flags artifacts produced on hosts with fewer
+        // cores than the widest shard count: the speedups in such a
+        // file measure scheduling overhead, not parallelism, and a
+        // perf-trajectory consumer must not compare them against
+        // multi-core runs.
+        let cores_limited = host_cores < 4;
         let body = format!(
             "{{\"bench\":\"e10_shard_scaling\",\"frames_per_port\":{frames_per_port},\
              \"frame_len\":{FRAME_LEN},\"ports\":{PORTS},\"host_cores\":{host_cores},\
+             \"cores_limited\":{cores_limited},\
              \"results\":[{}]}}\n",
             json_rows.join(",")
         );

@@ -1,0 +1,339 @@
+//! E13 — end-to-end burst datapath: SendPacket burst vectors through
+//! gen → link → switch → mon, swept over offered burst size.
+//!
+//! One 10G generator streams stamped UDP frames back-to-back through a
+//! fault-free `FaultyLink` (burst-forwarding pass-through) into an
+//! OpenFlow switch whose hardware table carries `DECOY_RULES` near-miss
+//! flow rules (same priority, different IPv4 destination) plus the one
+//! rule that forwards the traffic out the monitored port — the worst
+//! case for the rule interpreter, which walks every decoy's full field
+//! chain per frame. The forwarded stream lands on a monitor port that
+//! captures everything with hardware stamps.
+//!
+//! For each burst size B in the sweep the identical workload (generator
+//! batch = B) runs twice:
+//!
+//! * **scalar** — switch rule interpreter, per-frame dispatch
+//!   (`batch = false, compiled_lookup = false`), monitor likewise;
+//! * **burst** — the full fast path: bursts propagate as single queue
+//!   entries, the switch classifies whole `FlowKeyBlock`s against
+//!   compiled masked-word rows, the monitor runs its compiled filter
+//!   over kernel batches.
+//!
+//! Both runs of a pair must produce byte-identical output — same
+//! `MonStats`, same capture digest (rx stamps, arrival instants, stored
+//! bytes, lengths, hashes), same latency summary, zero control-plane
+//! punts — else the bench panics. With `OSNT_REQUIRE_SPEEDUP=1` the run
+//! additionally fails unless the burst path reaches >= 2x the scalar
+//! frames/wall-s at the largest burst size. Like E12's gate (and unlike
+//! E10's shard gate) this is safe on a single-core runner: the speedup
+//! is algorithmic, not parallelism.
+//!
+//! `--frames N` sets frames per run; `--json PATH` writes the sweep as
+//! JSON (committed as `BENCH_burst.json`, consumed by the CI
+//! perf-regression guard).
+
+use osnt_bench::Table;
+use osnt_core::{latencies_from_capture, Summary};
+use osnt_gen::workload::FixedTemplate;
+use osnt_gen::{GenConfig, GeneratorPort, Schedule, StampConfig};
+use osnt_mon::{FilterAction, FilterTable, HostPathConfig, MonConfig, MonStats, MonitorPort};
+use osnt_netsim::{Component, ComponentId, FaultConfig, FaultyLink, Kernel, LinkSpec, SimBuilder};
+use osnt_openflow::match_field::wildcards;
+use osnt_openflow::messages::{FlowMod, Message};
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::hash::crc32_update;
+use osnt_packet::{MacAddr, Packet, WildcardRule};
+use osnt_switch::{encap_control, OfSwitchConfig, OpenFlowSwitch};
+use osnt_time::{HwClock, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+const FRAME_LEN: usize = 128;
+const DECOY_RULES: u32 = 256;
+/// Generator starts well after the last decoy has reached hardware
+/// (64 x 25 us CPU + 1 ms install << 10 ms).
+const TRAFFIC_START_MS: u64 = 10;
+
+/// Fire-and-forget controller: installs the scripted flow mods at t=0
+/// and counts every frame the switch sends back up (there must be
+/// none — a punt means the table missed).
+struct RuleLoader {
+    mods: Vec<FlowMod>,
+    punts: Rc<RefCell<u64>>,
+}
+
+impl Component for RuleLoader {
+    fn on_start(&mut self, k: &mut Kernel, me: ComponentId) {
+        for (i, fm) in self.mods.iter().enumerate() {
+            let _ = k.transmit(
+                me,
+                0,
+                encap_control(&Message::FlowMod(fm.clone()), i as u32 + 1),
+            );
+        }
+    }
+    fn on_packet(&mut self, _: &mut Kernel, _: ComponentId, _: usize, _: Packet) {
+        *self.punts.borrow_mut() += 1;
+    }
+}
+
+/// A full 10-tuple exact match on the offered flow, parameterised by
+/// UDP destination port — the field [`OfMatch::matches`] checks
+/// *last*, so a near-miss on it costs the interpreter the entire field
+/// chain.
+fn flow_match(tp_dst: u16) -> OfMatch {
+    let mut m = OfMatch::any();
+    m.dl_src = MacAddr::local(1);
+    m.dl_dst = MacAddr::local(2);
+    m.dl_type = 0x0800;
+    m.nw_proto = 17;
+    m.nw_src = Ipv4Addr::new(10, 0, 0, 1);
+    m.nw_dst = Ipv4Addr::new(10, 0, 0, 2);
+    m.tp_src = 5001;
+    m.tp_dst = tp_dst;
+    m.wildcards &= !(wildcards::DL_SRC
+        | wildcards::DL_DST
+        | wildcards::DL_TYPE
+        | wildcards::NW_PROTO
+        | wildcards::TP_SRC
+        | wildcards::TP_DST);
+    m.set_nw_src_prefix(32);
+    m.set_nw_dst_prefix(32);
+    m
+}
+
+/// The switch's hardware table: `DECOY_RULES` near-miss flow rules
+/// that agree with the offered traffic on every field except the UDP
+/// destination port, then the one rule that forwards to the monitored
+/// port — a table of almost-equal per-flow entries, the workload the
+/// compiled block classifier exists for. The interpreter walks the
+/// full field chain of every decoy per frame (early-exit never helps);
+/// the compiled path classifies eight frames per masked-word pass.
+fn table_mods() -> Vec<FlowMod> {
+    let mut mods: Vec<FlowMod> = (0..DECOY_RULES)
+        .map(|i| {
+            FlowMod::add(
+                flow_match(10_000 + i as u16),
+                10,
+                vec![Action::Output {
+                    port: 3,
+                    max_len: 0,
+                }],
+            )
+        })
+        .collect();
+    // The live rule: template traffic is UDP 5001 -> 9001, out the wire
+    // port feeding the monitor, at a higher priority than the decoy
+    // sea. The rank-sorted compiled table ends every scan at this row;
+    // the interpreter still walks all the decoys to prove nothing
+    // outranks its hit.
+    mods.push(FlowMod::add(
+        flow_match(9001),
+        20,
+        vec![Action::Output {
+            port: 2,
+            max_len: 0,
+        }],
+    ));
+    mods
+}
+
+struct RunOut {
+    wall_s: f64,
+    stats: MonStats,
+    captured: usize,
+    digest: u32,
+    latency: Option<Summary>,
+}
+
+fn run(frames: u64, burst: u32, fast: bool) -> RunOut {
+    let clock_tx = Rc::new(RefCell::new(HwClock::ideal()));
+    let clock_rx = Rc::new(RefCell::new(HwClock::ideal()));
+    let gen_cfg = GenConfig {
+        schedule: Schedule::BackToBack,
+        count: Some(frames),
+        stamp: Some(StampConfig::default_payload()),
+        batch: u64::from(burst),
+        start_at: SimTime::from_ms(TRAFFIC_START_MS),
+        ..GenConfig::default()
+    };
+    let (gen, _gstats) = GeneratorPort::new(
+        Box::new(FixedTemplate::new(FixedTemplate::udp_frame(FRAME_LEN))),
+        gen_cfg,
+        clock_tx,
+    );
+    let (link, _lstats) =
+        FaultyLink::new(FaultConfig::default()).expect("fault-free config is valid");
+    let sw_cfg = OfSwitchConfig {
+        compiled_lookup: fast,
+        batch: fast,
+        ..OfSwitchConfig::default()
+    };
+    let switch = OpenFlowSwitch::new(sw_cfg);
+    let ctrl_port = switch.control_port();
+    let kports = switch.kernel_ports();
+    let mut filter = FilterTable::drop_by_default();
+    filter.push(
+        WildcardRule::any().with_dst_port(9001),
+        FilterAction::Capture,
+    );
+    let mon_cfg = MonConfig {
+        filter,
+        host: HostPathConfig::unlimited(),
+        compiled_filter: fast,
+        batch: fast,
+        ..MonConfig::default()
+    };
+    let (mon, buffer, stats) = MonitorPort::new(mon_cfg, clock_rx);
+    let punts = Rc::new(RefCell::new(0u64));
+
+    let mut b = SimBuilder::new();
+    let g = b.add_component("gen", Box::new(gen), 1);
+    let l = b.add_component("link", Box::new(link), 2);
+    let sw = b.add_component("switch", Box::new(switch), kports);
+    let m = b.add_component("mon", Box::new(mon), 1);
+    let ctl = b.add_component(
+        "ctl",
+        Box::new(RuleLoader {
+            mods: table_mods(),
+            punts: punts.clone(),
+        }),
+        1,
+    );
+    b.connect(ctl, 0, sw, ctrl_port, LinkSpec::one_gig());
+    b.connect(g, 0, l, 0, LinkSpec::ten_gig());
+    b.connect(l, 1, sw, 0, LinkSpec::ten_gig());
+    b.connect(sw, 1, m, 0, LinkSpec::ten_gig());
+    let mut sim = b.build();
+
+    // The switch re-arms a 100 ms expiry sweep forever, so the sim
+    // never quiesces; run to a horizon that comfortably covers the
+    // back-to-back stream (~118 ns per 128B frame at 10G) instead.
+    let horizon = SimTime::from_ms(TRAFFIC_START_MS + 5) + SimDuration::from_ns(frames * 150);
+    let t0 = std::time::Instant::now();
+    sim.run_until(horizon);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(*punts.borrow(), 0, "switch punted frames to the controller");
+    let buf = buffer.borrow();
+    let mut digest = 0u32;
+    for cap in &buf.packets {
+        digest = crc32_update(digest, &cap.rx_stamp.to_ps().to_le_bytes());
+        digest = crc32_update(digest, &cap.rx_true.as_ps().to_le_bytes());
+        digest = crc32_update(digest, cap.packet.data());
+        digest = crc32_update(digest, &(cap.orig_len as u64).to_le_bytes());
+    }
+    let latency =
+        Summary::from_durations(&latencies_from_capture(&buf, StampConfig::DEFAULT_OFFSET));
+    let stats_copy = *stats.borrow();
+    RunOut {
+        wall_s,
+        stats: stats_copy,
+        captured: buf.len(),
+        digest,
+        latency,
+    }
+}
+
+fn main() {
+    let mut frames: u64 = 100_000;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frames" => {
+                let v = args.next().expect("--frames takes a count");
+                frames = v.parse().expect("--frames takes an integer");
+            }
+            "--json" => json = Some(args.next().expect("--json takes a path")),
+            other => panic!("unknown argument {other} (expected --frames N / --json PATH)"),
+        }
+    }
+    println!(
+        "E13: end-to-end burst datapath, gen -> link -> switch -> mon, 10G\n\
+         back-to-back, {FRAME_LEN}B stamped frames, {frames} frames per run,\n\
+         {DECOY_RULES} decoy rules + 1 forwarding rule, burst sweep\n"
+    );
+
+    let mut table = Table::new([
+        "burst",
+        "scalar(ms)",
+        "burst(ms)",
+        "frames/wall-s",
+        "speedup",
+        "digest",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut last_speedup = 0.0f64;
+    for burst in [1u32, 8, 32, 128] {
+        let scalar = run(frames, burst, false);
+        let fast = run(frames, burst, true);
+        assert_eq!(
+            fast.stats, scalar.stats,
+            "burst {burst}: MonStats diverged from scalar"
+        );
+        assert_eq!(
+            fast.captured, scalar.captured,
+            "burst {burst}: capture count diverged from scalar"
+        );
+        assert_eq!(
+            fast.digest, scalar.digest,
+            "burst {burst}: capture digest diverged from scalar"
+        );
+        assert_eq!(
+            fast.latency, scalar.latency,
+            "burst {burst}: latency summary diverged from scalar"
+        );
+        assert_eq!(
+            fast.captured as u64, frames,
+            "burst {burst}: monitor captured {} of {frames} frames",
+            fast.captured
+        );
+        let speedup = scalar.wall_s / fast.wall_s;
+        last_speedup = speedup;
+        table.row([
+            burst.to_string(),
+            format!("{:.2}", scalar.wall_s * 1e3),
+            format!("{:.2}", fast.wall_s * 1e3),
+            format!("{:.0}", frames as f64 / fast.wall_s),
+            format!("{speedup:.2}x"),
+            format!("{:08x}", fast.digest),
+        ]);
+        json_rows.push(format!(
+            "{{\"burst\":{burst},\"scalar_wall_s\":{:.6},\"burst_wall_s\":{:.6},\
+             \"frames_per_wall_s\":{:.0},\"speedup\":{speedup:.4},\
+             \"digest\":\"{:08x}\",\"captured\":{}}}",
+            scalar.wall_s,
+            fast.wall_s,
+            frames as f64 / fast.wall_s,
+            fast.digest,
+            fast.captured
+        ));
+    }
+    table.print();
+    println!(
+        "\nMonStats, capture digests and latency summaries identical on every\n\
+         pair; zero control-plane punts."
+    );
+    if std::env::var("OSNT_REQUIRE_SPEEDUP").as_deref() == Ok("1") {
+        assert!(
+            last_speedup >= 2.0,
+            "burst-path speedup {last_speedup:.2}x < 2.0x over scalar at burst 128"
+        );
+        println!("Speedup gate (>= 2.0x burst over scalar at burst 128): passed.");
+    } else {
+        println!("Speedup gate skipped (set OSNT_REQUIRE_SPEEDUP=1 to enforce).");
+    }
+
+    if let Some(path) = json {
+        let body = format!(
+            "{{\"bench\":\"e13_burst\",\"frames\":{frames},\"frame_len\":{FRAME_LEN},\
+             \"decoy_rules\":{DECOY_RULES},\"results\":[{}]}}\n",
+            json_rows.join(",")
+        );
+        std::fs::write(&path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+}

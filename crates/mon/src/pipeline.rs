@@ -9,8 +9,8 @@ use crate::rxstamp::RxStamper;
 use crate::stats::MonStats;
 use crate::thin::{ThinConfig, Thinner};
 use osnt_netsim::{Component, ComponentId, Kernel};
-use osnt_packet::{FlowKey, Packet};
-use osnt_time::{HwClock, SimDuration, SimTime};
+use osnt_packet::{FlowKey, FlowKeyBlock, Packet};
+use osnt_time::{HwClock, HwTimestamp, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -32,9 +32,22 @@ pub struct MonConfig {
     /// Opt into kernel burst delivery: frames arriving back-to-back in
     /// one event window are stamped, filtered, thinned and
     /// DMA-accounted as a batch, amortizing `RefCell` borrows and
-    /// per-frame stats publication. Default: true. `MonStats` and
-    /// capture output are byte-identical to the scalar path (pinned by
-    /// the parity tests below).
+    /// per-frame stats publication. When `compiled_filter` is also set,
+    /// batched frames are classified in [`osnt_packet::FlowKeyBlock`]
+    /// groups of [`osnt_packet::BLOCK_LANES`] via masked-word compares
+    /// over all lanes at once. Default: true. `MonStats` and capture
+    /// output are byte-identical to the scalar path (pinned by the
+    /// parity tests below).
+    ///
+    /// Caveat: batching needs the kernel's arrival-coalescing fast
+    /// path, and that path switches itself off while any
+    /// [`osnt_netsim::Tracer`] is installed on the kernel (tracers
+    /// observe individual `Deliver` events, so coalescing them would
+    /// change what the trace records). With a tracer present this flag
+    /// still *works* — results are identical — but every frame arrives
+    /// through the scalar [`Component::on_packet`] path, so the batch
+    /// speedup silently disappears. The kernel prints a one-time
+    /// warning naming the first batch-capable component it downgrades.
     pub batch: bool,
 }
 
@@ -204,11 +217,18 @@ impl Component for MonitorPort {
     /// The burst path: one `RefCell` borrow of the clock, rate
     /// estimator, and capture buffer per batch instead of per frame, and
     /// one `MonStats` publication per batch (a local delta folded in at
-    /// the end via [`MonStats::accumulate`]). Per-frame processing runs
-    /// in arrival order with each frame's own arrival instant, so every
-    /// observable — stamps, verdicts, hit counters, DMA admission,
-    /// capture contents — is byte-identical to the scalar
-    /// [`Component::on_packet`] path.
+    /// the end via [`MonStats::accumulate`]). With a compiled program
+    /// installed, FCS-clean frames are additionally staged into
+    /// [`FlowKeyBlock`]s of up to [`osnt_packet::BLOCK_LANES`] flow keys
+    /// and classified with one masked-word sweep per rule over all
+    /// lanes ([`FilterTable::classify_block_compiled`]).
+    ///
+    /// Per-frame processing still runs in arrival order with each
+    /// frame's own arrival instant — staging only reorders the *pure*
+    /// classification step relative to the stamps, and hit counters are
+    /// order-independent sums — so every observable (stamps, verdicts,
+    /// hit counters, DMA admission, capture contents) is byte-identical
+    /// to the scalar [`Component::on_packet`] path.
     fn on_packet_batch(
         &mut self,
         _kernel: &mut Kernel,
@@ -216,12 +236,91 @@ impl Component for MonitorPort {
         port: usize,
         batch: &mut Vec<(SimTime, Packet)>,
     ) {
+        /// Thin + DMA-admit + capture one frame whose verdict was not
+        /// `Drop` (stages 4–5 of the scalar pipeline).
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn capture_tail(
+            thinner: &mut Thinner,
+            host: &mut HostPath,
+            delta: &mut MonStats,
+            buf: &mut CaptureBuffer,
+            overhead: u64,
+            port: usize,
+            t: SimTime,
+            rx_stamp: HwTimestamp,
+            packet: Packet,
+        ) {
+            let before_len = packet.len();
+            let thinned = thinner.process(packet);
+            if thinned.packet.len() < before_len {
+                delta.thinned += 1;
+            }
+            let captured_bytes = thinned.packet.len();
+            if !host.admit(t, captured_bytes) {
+                delta.host_drops += 1;
+                return;
+            }
+            delta.host_frames += 1;
+            delta.host_bytes += captured_bytes as u64 + overhead;
+            buf.packets.push(CapturedPacket {
+                rx_stamp,
+                rx_true: t,
+                packet: thinned.packet,
+                orig_len: thinned.orig_len,
+                hash: thinned.hash,
+                port,
+            });
+        }
+
+        /// Classify the staged block in one sweep and run the pipeline
+        /// tail for every surviving lane, in arrival order.
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn flush_block(
+            filter: &mut FilterTable,
+            program: &FilterProgram,
+            block: &mut FlowKeyBlock,
+            staged: &mut Vec<(SimTime, HwTimestamp, Packet)>,
+            thinner: &mut Thinner,
+            host: &mut HostPath,
+            delta: &mut MonStats,
+            buf: &mut CaptureBuffer,
+            overhead: u64,
+            port: usize,
+        ) {
+            let verdicts = filter.classify_block_compiled(program, block);
+            for (lane, (t, rx_stamp, packet)) in staged.drain(..).enumerate() {
+                if verdicts[lane] == FilterAction::Drop {
+                    delta.filtered_out += 1;
+                    continue;
+                }
+                capture_tail(
+                    thinner, host, delta, buf, overhead, port, t, rx_stamp, packet,
+                );
+            }
+            block.clear();
+        }
+
         let mut delta = MonStats::default();
         let overhead = self.host.config().per_packet_overhead;
-        let clock = self.stamper.clock();
+        let MonitorPort {
+            stamper,
+            filter,
+            program,
+            thinner,
+            host,
+            buffer,
+            rates,
+            ..
+        } = self;
+        let clock = stamper.clock();
         let mut clock = clock.borrow_mut();
-        let mut rates = self.rates.as_ref().map(|r| r.borrow_mut());
-        let mut buf = self.buffer.borrow_mut();
+        let mut rates = rates.as_ref().map(|r| r.borrow_mut());
+        let mut buf = buffer.borrow_mut();
+        // Lane i of `block` is the flow key of `staged[i]`.
+        let mut block = FlowKeyBlock::new();
+        let mut staged: Vec<(SimTime, HwTimestamp, Packet)> = Vec::new();
         for (t, packet) in batch.drain(..) {
             // Same per-frame order as `on_packet`, against `t` — the
             // instant this frame's last bit arrived.
@@ -235,31 +334,53 @@ impl Component for MonitorPort {
                 delta.crc_fail += 1;
                 continue;
             }
-            let action = Self::classify(&mut self.filter, &self.program, &packet);
-            if action == FilterAction::Drop {
-                delta.filtered_out += 1;
-                continue;
+            match program {
+                Some(prog) => {
+                    block.push(&FlowKey::extract(&packet.parse()));
+                    staged.push((t, rx_stamp, packet));
+                    if block.is_full() {
+                        flush_block(
+                            filter,
+                            prog,
+                            &mut block,
+                            &mut staged,
+                            thinner,
+                            host,
+                            &mut delta,
+                            &mut buf,
+                            overhead,
+                            port,
+                        );
+                    }
+                }
+                None => {
+                    // Interpreted rules have no block form; classify
+                    // frame by frame as the scalar path does.
+                    if filter.classify(&packet.parse()) == FilterAction::Drop {
+                        delta.filtered_out += 1;
+                        continue;
+                    }
+                    capture_tail(
+                        thinner, host, &mut delta, &mut buf, overhead, port, t, rx_stamp, packet,
+                    );
+                }
             }
-            let before_len = packet.len();
-            let thinned = self.thinner.process(packet);
-            if thinned.packet.len() < before_len {
-                delta.thinned += 1;
+        }
+        if let Some(prog) = program {
+            if !staged.is_empty() {
+                flush_block(
+                    filter,
+                    prog,
+                    &mut block,
+                    &mut staged,
+                    thinner,
+                    host,
+                    &mut delta,
+                    &mut buf,
+                    overhead,
+                    port,
+                );
             }
-            let captured_bytes = thinned.packet.len();
-            if !self.host.admit(t, captured_bytes) {
-                delta.host_drops += 1;
-                continue;
-            }
-            delta.host_frames += 1;
-            delta.host_bytes += captured_bytes as u64 + overhead;
-            buf.packets.push(CapturedPacket {
-                rx_stamp,
-                rx_true: t,
-                packet: thinned.packet,
-                orig_len: thinned.orig_len,
-                hash: thinned.hash,
-                port,
-            });
         }
         drop(buf);
         drop(rates);

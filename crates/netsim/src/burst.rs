@@ -1,0 +1,174 @@
+//! Burst vectors: the batched unit of work of the fast datapath.
+//!
+//! [`crate::Kernel::transmit_batch`] and [`crate::Kernel::transmit_burst`]
+//! coalesce a back-to-back run of frames into one [`PacketBurst`] that
+//! travels the timer wheel (and the cross-shard rings) as a *single*
+//! entry, instead of one `Deliver` event per frame. The burst carries
+//! each member's exact arrival instant, and the event key of member `i`
+//! is `first_key + i` — the same per-source sequence keys the scalar
+//! path would have allocated — so the partition-independent total event
+//! order is preserved: the dispatch loop splits a burst lazily (re-
+//! queuing the un-consumed tail under its own member key) whenever a
+//! foreign event, a timer, or the run limit lands between two members.
+
+use osnt_packet::Packet;
+use osnt_time::SimTime;
+use smallvec::SmallVec;
+
+/// Number of members kept inline (no heap allocation) in a burst.
+/// Bursts are boxed inside the event payload, so this trades one
+/// allocation against burst-box size; 8 covers the common small-batch
+/// configurations.
+pub const BURST_INLINE: usize = 8;
+
+/// A vector of frames sharing one wire-timing base: consecutive frames
+/// transmitted back-to-back out of one port, each paired with the
+/// instant its last bit arrives at the peer. Members are in strictly
+/// ascending arrival order, and member `i` owns event key
+/// `first_key + i` in the kernel's total order.
+#[derive(Debug)]
+pub struct PacketBurst {
+    /// Event key of `members[0]`.
+    first_key: u64,
+    members: SmallVec<(SimTime, Packet), BURST_INLINE>,
+}
+
+impl PacketBurst {
+    /// An empty burst whose first member will carry `first_key`.
+    pub(crate) fn new(first_key: u64) -> Self {
+        PacketBurst {
+            first_key,
+            members: SmallVec::new(),
+        }
+    }
+
+    /// Append a member (arrival instants must be pushed in ascending
+    /// order; the kernel's MAC arithmetic guarantees it).
+    pub(crate) fn push(&mut self, at: SimTime, packet: Packet) {
+        debug_assert!(
+            self.members.last().is_none_or(|(t, _)| *t < at),
+            "burst members must have strictly ascending arrival times"
+        );
+        self.members.push((at, packet));
+    }
+
+    /// Number of frames in the burst.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the burst holds no frames.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Event key of the first (current) member.
+    #[inline]
+    pub(crate) fn first_key(&self) -> u64 {
+        self.first_key
+    }
+
+    /// Arrival instant of the first member. Panics on an empty burst.
+    #[inline]
+    pub fn first_time(&self) -> SimTime {
+        self.members[0].0
+    }
+
+    /// Arrival instant of the last member. Panics on an empty burst.
+    #[inline]
+    pub fn last_time(&self) -> SimTime {
+        self.members[self.members.len() - 1].0
+    }
+
+    /// The members as a slice of `(arrival instant, frame)` pairs.
+    #[inline]
+    pub fn members(&self) -> &[(SimTime, Packet)] {
+        self.members.as_slice()
+    }
+
+    /// Remove and return the first member (advancing `first_key`).
+    pub(crate) fn pop_front(&mut self) -> Option<(SimTime, Packet)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        self.first_key += 1;
+        Some(self.members.remove(0))
+    }
+
+    /// Split off the tail starting at member index `at`, leaving
+    /// `0..at` in `self`. The returned burst keeps its members' event
+    /// keys (`first_key + at` onward). Returns `None` when `at` is past
+    /// the end.
+    pub(crate) fn split_off(&mut self, at: usize) -> Option<PacketBurst> {
+        if at >= self.members.len() {
+            return None;
+        }
+        let tail = self.members.split_off(at);
+        Some(PacketBurst {
+            first_key: self.first_key + at as u64,
+            members: tail,
+        })
+    }
+
+    /// Split off every member arriving strictly after `limit` (for
+    /// dispatch-window boundaries). Returns `None` when all members are
+    /// at or before `limit`.
+    pub(crate) fn split_after(&mut self, limit: SimTime) -> Option<PacketBurst> {
+        let at = self.members.partition_point(|(t, _)| *t <= limit);
+        self.split_off(at)
+    }
+
+    /// Consume the burst, yielding `(arrival instant, frame)` pairs in
+    /// arrival order.
+    pub fn into_members(self) -> impl ExactSizeIterator<Item = (SimTime, Packet)> {
+        self.members.into_iter()
+    }
+}
+
+impl IntoIterator for PacketBurst {
+    type Item = (SimTime, Packet);
+    type IntoIter = smallvec::IntoIter<(SimTime, Packet), BURST_INLINE>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(times: &[u64]) -> PacketBurst {
+        let mut b = PacketBurst::new(100);
+        for &t in times {
+            b.push(SimTime::from_ps(t), Packet::zeroed(64));
+        }
+        b
+    }
+
+    #[test]
+    fn keys_track_pops_and_splits() {
+        let mut b = burst(&[10, 20, 30, 40]);
+        assert_eq!(b.first_key(), 100);
+        assert_eq!(b.first_time().as_ps(), 10);
+        let (t, _) = b.pop_front().unwrap();
+        assert_eq!(t.as_ps(), 10);
+        assert_eq!(b.first_key(), 101);
+        let tail = b.split_off(1).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(tail.first_key(), 102);
+        assert_eq!(tail.first_time().as_ps(), 30);
+    }
+
+    #[test]
+    fn split_after_partitions_on_the_limit() {
+        let mut b = burst(&[10, 20, 30]);
+        assert!(b.split_after(SimTime::from_ps(30)).is_none());
+        let tail = b.split_after(SimTime::from_ps(15)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.first_key(), 101);
+        assert_eq!(tail.first_time().as_ps(), 20);
+    }
+}

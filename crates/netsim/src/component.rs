@@ -1,8 +1,9 @@
 //! The component model: everything attached to the simulated network.
 
+use crate::burst::PacketBurst;
 use crate::kernel::Kernel;
 use osnt_packet::Packet;
-use osnt_time::SimTime;
+use osnt_time::{SimDuration, SimTime};
 
 /// Identifies a component within one simulation. Handed out by
 /// [`crate::SimBuilder::add_component`].
@@ -56,6 +57,40 @@ pub trait Component {
         false
     }
 
+    /// Per-port refinement of [`Component::wants_packet_batches`]:
+    /// individual ports can opt out of batching while the rest batch.
+    /// A switch uses this to keep its control channel on the exact
+    /// scalar path (its handler transmits immediate replies, which need
+    /// per-frame `now`) while data ports batch. Defaults to the
+    /// component-wide answer.
+    fn wants_packet_batches_on(&self, port: usize) -> bool {
+        let _ = port;
+        self.wants_packet_batches()
+    }
+
+    /// Bound how far past a batch's first arrival the dispatch loop may
+    /// coalesce, making batching sound for components that *schedule*
+    /// from their packet handler.
+    ///
+    /// A handler processing member `j` (arrival `t_j`) may schedule
+    /// events no earlier than `t_j + D`, where `D` is the component's
+    /// minimum side-effect delay (e.g. a switch fabric's lookup
+    /// latency). If the coalescing window is capped at `t_0 + w` with
+    /// `w <= D`, two things follow: every event the batch handler
+    /// schedules lands at or after the batch-end `now` (no retroactive
+    /// scheduling), and the scalar run would not have fired any of this
+    /// handler's own events *inside* the window either — so the batch
+    /// contains exactly the deliveries the scalar run would have
+    /// processed back-to-back, and total order stays byte-identical.
+    ///
+    /// Return `Some(w)` with `w` no greater than the component's
+    /// minimum side-effect delay. `None` (the default) means unbounded,
+    /// which is only sound for components that schedule nothing from
+    /// their packet handler (pure sinks like the monitor).
+    fn batch_window(&self) -> Option<SimDuration> {
+        None
+    }
+
     /// A burst of frames arrived on `port`; `batch` holds each frame
     /// with the instant its last bit was received, in arrival order.
     /// Only called when [`Component::wants_packet_batches`] is true.
@@ -69,6 +104,40 @@ pub trait Component {
         batch: &mut Vec<(SimTime, Packet)>,
     ) {
         for (_, packet) in batch.drain(..) {
+            self.on_packet(kernel, me, port, packet);
+        }
+    }
+
+    /// Opt into burst *forwarding*: when true, a [`crate::PacketBurst`]
+    /// arriving on the wire is handed to [`Component::on_burst`] whole —
+    /// one handler call, one queue entry in and (via
+    /// [`Kernel::transmit_burst`]) one queue entry out — instead of
+    /// being split back into per-member [`Component::on_packet`] calls.
+    ///
+    /// Intended for stateless-per-frame *forwarders* (impairment stages,
+    /// fault models, switch fabrics). The contract differs from the
+    /// scalar path in one way: during [`Component::on_burst`],
+    /// [`Kernel::now`] reads the **first** member's arrival instant for
+    /// the whole call. Handlers must therefore derive timing from each
+    /// member's own arrival time — re-transmit with
+    /// [`Kernel::transmit_burst`] / [`Kernel::transmit_at`] and schedule
+    /// with [`Kernel::schedule_timer_at`] — never from `now()` offsets.
+    /// Components whose observable behaviour depends on the *global*
+    /// event interleaving between two member arrivals (not just on the
+    /// members themselves) must not opt in; the default scalar dispatch
+    /// replays exact total order for them.
+    fn wants_bursts(&self) -> bool {
+        false
+    }
+
+    /// A burst of frames arrived on `port` (only called when
+    /// [`Component::wants_bursts`] is true). Members carry their exact
+    /// per-frame arrival instants in ascending order; `kernel.now()`
+    /// stays at the first member's arrival for the whole call (see
+    /// [`Component::wants_bursts`]). The default implementation replays
+    /// the scalar path one member at a time.
+    fn on_burst(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, burst: PacketBurst) {
+        for (_, packet) in burst {
             self.on_packet(kernel, me, port, packet);
         }
     }

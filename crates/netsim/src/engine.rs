@@ -129,6 +129,23 @@ impl SimBuilder {
     }
 }
 
+/// Arrival coalescing (and burst delivery) silently falls back to
+/// per-frame dispatch while kernel tracers are installed — correct, but
+/// easy to mistake for a performance regression. Say so once per
+/// process instead of never.
+fn warn_coalescing_disabled_once(name: &str) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "osnt-netsim: note: kernel tracers are installed, so batch-capable \
+             components (first: {name:?}) receive frames one at a time instead of \
+             coalesced batches. This preserves trace interleaving but costs \
+             throughput; detach tracers for performance runs."
+        );
+    }
+}
+
 /// The shared dispatch loop: pop and run every event at or before
 /// `limit`. Used verbatim by the single-threaded [`Sim`] and by each
 /// shard worker — one code path, one semantics.
@@ -183,11 +200,18 @@ pub(crate) fn dispatch_events(
                 // under kernel tracers purely to keep trace interleaving
                 // questions out of scope; per-port traces live in
                 // components, which see the same frames either way.
-                if c.wants_packet_batches() && kernel.tracers.is_empty() {
+                if c.wants_packet_batches_on(port) && kernel.tracers.is_empty() {
+                    // Components that schedule from their handler bound
+                    // the window (`Component::batch_window`) so nothing
+                    // they arm can land before batch-end `now`.
+                    let lim = match c.batch_window() {
+                        Some(w) => limit.min(time + w),
+                        None => limit,
+                    };
                     let mut batch = std::mem::take(&mut kernel.batch_buf);
                     batch.clear();
                     batch.push((time, packet));
-                    let coalesced = kernel.coalesce_arrivals(dst, port, limit, &mut batch);
+                    let coalesced = kernel.coalesce_arrivals(dst, port, lim, &mut batch);
                     dispatched += coalesced;
                     if kernel.progress.is_some() {
                         since_beat += coalesced;
@@ -197,7 +221,105 @@ pub(crate) fn dispatch_events(
                     batch.clear();
                     kernel.batch_buf = batch;
                 } else {
+                    if c.wants_packet_batches_on(port) {
+                        warn_coalescing_disabled_once(c.name());
+                    }
                     c.on_packet(kernel, dst, port, packet);
+                }
+                components[dst.index()] = Some(c);
+            }
+            EventKind::DeliverBurst {
+                dst,
+                port,
+                mut burst,
+            } => {
+                // Bursts are only created when no kernel tracers are
+                // installed (both transmit_batch and transmit_burst fall
+                // back to per-frame Deliver events under tracers), so the
+                // tracer gates of the scalar branch don't reappear here.
+                let mut c = components[dst.index()]
+                    .take()
+                    .unwrap_or_else(|| panic!("re-entrant dispatch to {}", dst.index()));
+                if c.wants_bursts() {
+                    // Members past the window limit re-enter the queue
+                    // under their own keys; the rest go to the handler
+                    // whole. `now` stays at member 0's arrival for the
+                    // duration of the call (see `Component::wants_bursts`
+                    // for the timing contract).
+                    if let Some(tail) = burst.split_after(limit) {
+                        kernel.requeue_burst(dst, port, Box::new(tail));
+                    }
+                    let extra = burst.len() as u64 - 1;
+                    for i in 0..burst.len() {
+                        let frame_len = burst.members()[i].1.frame_len();
+                        kernel.note_rx(dst, port, frame_len);
+                    }
+                    kernel.events_dispatched += extra;
+                    dispatched += extra;
+                    if kernel.progress.is_some() {
+                        since_beat += extra;
+                        last_ps = kernel.now().as_ps();
+                    }
+                    c.on_burst(kernel, dst, port, *burst);
+                } else if c.wants_packet_batches_on(port) {
+                    // Batch sinks: member 0 seeds the arrival batch and
+                    // the tail re-enters the queue, where
+                    // `coalesce_arrivals` consumes it member-at-a-time in
+                    // exact total order (its DeliverBurst arm) along with
+                    // any interleaved TxDones.
+                    let lim = match c.batch_window() {
+                        Some(w) => limit.min(time + w),
+                        None => limit,
+                    };
+                    let mut batch = std::mem::take(&mut kernel.batch_buf);
+                    batch.clear();
+                    let (t0, pkt0) = burst.pop_front().expect("bursts are non-empty");
+                    kernel.note_rx(dst, port, pkt0.frame_len());
+                    batch.push((t0, pkt0));
+                    if !burst.is_empty() {
+                        kernel.requeue_burst(dst, port, burst);
+                    }
+                    let coalesced = kernel.coalesce_arrivals(dst, port, lim, &mut batch);
+                    dispatched += coalesced;
+                    if kernel.progress.is_some() {
+                        since_beat += coalesced;
+                        last_ps = kernel.now().as_ps();
+                    }
+                    c.on_packet_batch(kernel, dst, port, &mut batch);
+                    batch.clear();
+                    kernel.batch_buf = batch;
+                } else {
+                    // Exact scalar replay: each member dispatches at its
+                    // own `(time, key)` slot, yielding to the queue head
+                    // (a timer the handler just armed, a TxDone, a
+                    // competing delivery) whenever that would
+                    // scalar-dispatch first. Byte-identical total order.
+                    let (_t0, pkt0) = burst.pop_front().expect("bursts are non-empty");
+                    kernel.note_rx(dst, port, pkt0.frame_len());
+                    c.on_packet(kernel, dst, port, pkt0);
+                    while let Some(&(t_next, _)) = burst.members().first() {
+                        if t_next > limit {
+                            break;
+                        }
+                        if let Some((th, kh)) = kernel.queue.peek() {
+                            if (th, kh) < (t_next, burst.first_key()) {
+                                break;
+                            }
+                        }
+                        let (t, pkt) = burst.pop_front().expect("checked above");
+                        kernel.now = t;
+                        kernel.events_dispatched += 1;
+                        dispatched += 1;
+                        if kernel.progress.is_some() {
+                            since_beat += 1;
+                            last_ps = t.as_ps();
+                        }
+                        kernel.note_rx(dst, port, pkt.frame_len());
+                        c.on_packet(kernel, dst, port, pkt);
+                    }
+                    if !burst.is_empty() {
+                        kernel.requeue_burst(dst, port, burst);
+                    }
                 }
                 components[dst.index()] = Some(c);
             }

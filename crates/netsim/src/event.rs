@@ -6,6 +6,7 @@
 //! total order computable from the event alone, identical whether the
 //! simulation runs on one thread or across shards.
 
+use crate::burst::PacketBurst;
 use crate::component::ComponentId;
 use osnt_packet::Packet;
 
@@ -17,6 +18,17 @@ pub(crate) enum EventKind {
         dst: ComponentId,
         port: usize,
         packet: Packet,
+    },
+    /// A back-to-back run of frames arrives at `dst`'s input `port` as
+    /// one queue entry. Scheduled at the first member's arrival instant
+    /// under the first member's event key; member `i` owns key
+    /// `first_key + i`, so splitting the burst at any point restores
+    /// the exact scalar total order. Boxed to keep the common event
+    /// variants small (wheel entries move by value).
+    DeliverBurst {
+        dst: ComponentId,
+        port: usize,
+        burst: Box<PacketBurst>,
     },
     /// A frame finishes leaving `src`'s output `port` (internal: releases
     /// queued-byte accounting).
@@ -34,6 +46,7 @@ impl EventKind {
     pub(crate) fn target(&self) -> ComponentId {
         match self {
             EventKind::Deliver { dst, .. } => *dst,
+            EventKind::DeliverBurst { dst, .. } => *dst,
             EventKind::TxDone { src, .. } => *src,
             EventKind::Timer { target, .. } => *target,
         }

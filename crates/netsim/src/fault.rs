@@ -23,6 +23,7 @@
 //! experiments can report *partial results with explicit fault
 //! accounting* instead of dying.
 
+use crate::burst::PacketBurst;
 use crate::component::{Component, ComponentId};
 use crate::kernel::Kernel;
 use osnt_error::OsntError;
@@ -320,10 +321,19 @@ impl FaultyLink {
         self.pending.insert(id, (out, packet));
         kernel.schedule_timer_at(me, release, TAG_FAULT_BASE + id);
     }
-}
 
-impl Component for FaultyLink {
-    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, mut packet: Packet) {
+    /// The full per-frame fault pipeline at an explicit arrival instant
+    /// `at` (`kernel.now()` on the scalar path; the member's own arrival
+    /// on the burst fallback path — see
+    /// [`crate::Component::wants_bursts`]).
+    fn process_frame(
+        &mut self,
+        kernel: &mut Kernel,
+        me: ComponentId,
+        port: usize,
+        at: SimTime,
+        mut packet: Packet,
+    ) {
         debug_assert!(port < 2, "faulty link is a 2-port device");
         let out = 1 - port;
         self.stats.borrow_mut().offered += 1;
@@ -347,7 +357,7 @@ impl Component for FaultyLink {
             self.stats.borrow_mut().corrupted += 1;
         }
         // 3. Base delay + jitter.
-        let mut release = kernel.now() + self.config.extra_delay;
+        let mut release = at + self.config.extra_delay;
         if self.config.jitter.as_ps() > 0 {
             release += SimDuration::from_ps(self.rng.gen_range(0..self.config.jitter.as_ps()));
         }
@@ -377,6 +387,80 @@ impl Component for FaultyLink {
             self.schedule_release(kernel, me, out, release, packet.clone());
         }
         self.schedule_release(kernel, me, out, release, packet);
+    }
+}
+
+impl Component for FaultyLink {
+    fn on_packet(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, packet: Packet) {
+        let now = kernel.now();
+        self.process_frame(kernel, me, port, now, packet);
+    }
+
+    fn wants_bursts(&self) -> bool {
+        true
+    }
+
+    fn on_burst(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, burst: PacketBurst) {
+        debug_assert!(port < 2, "faulty link is a 2-port device");
+        // Reordering — or frames already in flight whose release timers
+        // could interleave with this burst — needs the timer-based
+        // release machinery: replay the scalar pipeline per member at
+        // its own arrival instant (same RNG draws, same release times,
+        // same stats; only event keys differ, which no handler
+        // observes).
+        if self.config.reorder_probability > 0.0 || !self.pending.is_empty() {
+            for (at, packet) in burst {
+                self.process_frame(kernel, me, port, at, packet);
+            }
+            return;
+        }
+        // Vector fast path: without reordering and with nothing in
+        // flight, releases are FIFO-clamped monotone, so the whole
+        // burst leaves as one [`Kernel::transmit_burst`] whose
+        // per-member earliest-start offers are exactly the scalar
+        // release instants.
+        let out = 1 - port;
+        let mut members: Vec<(SimTime, Packet)> = Vec::with_capacity(burst.len());
+        for (at, mut packet) in burst {
+            self.stats.borrow_mut().offered += 1;
+            if self.loss_decision(port) {
+                self.stats.borrow_mut().dropped += 1;
+                continue;
+            }
+            if self.config.corrupt_probability > 0.0
+                && self
+                    .rng
+                    .gen_bool(self.config.corrupt_probability.clamp(0.0, 1.0))
+            {
+                for _ in 0..self.config.corrupt_bits {
+                    let bit = self.rng.gen_range(0..packet.len().max(1) * 8);
+                    packet.flip_bit(bit);
+                }
+                self.stats.borrow_mut().corrupted += 1;
+            }
+            let mut release = at + self.config.extra_delay;
+            if self.config.jitter.as_ps() > 0 {
+                release += SimDuration::from_ps(self.rng.gen_range(0..self.config.jitter.as_ps()));
+            }
+            let duplicate = self.config.duplicate_probability > 0.0
+                && self
+                    .rng
+                    .gen_bool(self.config.duplicate_probability.clamp(0.0, 1.0));
+            // (No reorder draw: probability is 0, so the scalar path
+            // would not have drawn either.)
+            release = release.max(self.last_release[out]);
+            self.last_release[out] = release;
+            if duplicate {
+                self.stats.borrow_mut().duplicated += 1;
+                members.push((release, packet.clone()));
+            }
+            members.push((release, packet));
+        }
+        if !members.is_empty() {
+            let delivered = members.len() as u64;
+            let _ = kernel.transmit_burst(me, out, members);
+            self.stats.borrow_mut().delivered += delivered;
+        }
     }
 
     fn on_timer(&mut self, kernel: &mut Kernel, me: ComponentId, tag: u64) {

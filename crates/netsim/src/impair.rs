@@ -6,10 +6,11 @@
 //! network-testing example needs (and the thing a network *tester* like
 //! OSNT exists to measure). All randomness is seeded.
 
+use crate::burst::PacketBurst;
 use crate::component::{Component, ComponentId};
 use crate::kernel::Kernel;
 use osnt_packet::Packet;
-use osnt_time::SimDuration;
+use osnt_time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -104,6 +105,56 @@ impl Component for Impairment {
         } else {
             self.pending[out].push_back(packet);
             kernel.schedule_timer(me, delay, TAG_RELEASE_BASE + out as u64);
+        }
+    }
+
+    fn wants_bursts(&self) -> bool {
+        // With jitter, which members get delayed (and by how much) is
+        // data-dependent, and the scalar path resolves the resulting
+        // immediate-vs-timer transmit interleaving through the event
+        // queue; keep exact scalar dispatch for those configs.
+        self.config.jitter.as_ps() == 0
+    }
+
+    fn on_burst(&mut self, kernel: &mut Kernel, me: ComponentId, port: usize, burst: PacketBurst) {
+        debug_assert!(port < 2, "impairment is a 2-port device");
+        let out = 1 - port;
+        let delay = self.config.extra_delay; // jitter == 0 per wants_bursts
+        if delay.as_ps() == 0 {
+            // Pure pass-through (with optional drops): the survivors
+            // leave as one burst, offered at their own arrival instants.
+            let mut members: Vec<(SimTime, Packet)> = Vec::with_capacity(burst.len());
+            for (at, packet) in burst {
+                if self.config.drop_probability > 0.0
+                    && self
+                        .rng
+                        .gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+                {
+                    self.dropped += 1;
+                    continue;
+                }
+                members.push((at, packet));
+            }
+            if !members.is_empty() {
+                self.passed += members.len() as u64;
+                let _ = kernel.transmit_burst(me, out, members);
+            }
+        } else {
+            // Fixed delay: every member goes through the release queue
+            // at its own arrival + delay — exactly the scalar schedule
+            // (the scalar path always schedules when delay > 0).
+            for (at, packet) in burst {
+                if self.config.drop_probability > 0.0
+                    && self
+                        .rng
+                        .gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+                {
+                    self.dropped += 1;
+                    continue;
+                }
+                self.pending[out].push_back(packet);
+                kernel.schedule_timer_at(me, at + delay, TAG_RELEASE_BASE + out as u64);
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! The simulation kernel: virtual time, the event queue, the MAC/link
 //! timing model and per-port accounting.
 
+use crate::burst::PacketBurst;
 use crate::component::ComponentId;
 use crate::event::EventKind;
 use crate::link::LinkSpec;
@@ -329,7 +330,31 @@ impl Kernel {
     /// preamble and inter-frame gap) and is delivered to the peer when its
     /// last bit arrives.
     pub fn transmit(&mut self, me: ComponentId, port: usize, packet: Packet) -> TxResult {
-        let now = self.now;
+        self.transmit_at(me, port, self.now, packet)
+    }
+
+    /// [`Kernel::transmit`] with an explicit earliest-start instant:
+    /// the frame starts at `earliest` (which must not be in the past),
+    /// or later if the MAC is still clocking out earlier frames.
+    ///
+    /// This is the per-member primitive of burst handlers
+    /// ([`crate::Component::on_burst`]): during a burst the kernel
+    /// clock reads the *burst-start* instant, so a forwarder passes
+    /// each member's own arrival (or release) time here to get exactly
+    /// the wire timing the scalar path would have produced.
+    pub fn transmit_at(
+        &mut self,
+        me: ComponentId,
+        port: usize,
+        earliest: SimTime,
+        packet: Packet,
+    ) -> TxResult {
+        debug_assert!(
+            earliest >= self.now,
+            "transmit_at: earliest start {earliest} is in the past (now {})",
+            self.now
+        );
+        let now = earliest;
         let frame_len = packet.frame_len();
         let wire_len = packet.wire_len();
         let p = self.out_port_mut(me, port);
@@ -406,6 +431,14 @@ impl Kernel {
     /// Each accepted frame's wire start time is appended to `tx_starts`
     /// when provided (the generator's departure log).
     ///
+    /// With no tracers installed the accepted frames leave as a single
+    /// [`crate::PacketBurst`] event — one timer-wheel entry for the
+    /// whole run, carrying per-member arrival instants and the same
+    /// per-member event keys the per-frame path would have allocated,
+    /// so the dispatch-side total order is unchanged (the dispatch loop
+    /// splits the burst lazily when a timer or foreign event interleaves).
+    /// Under tracers the batch falls back to one `Deliver` per frame.
+    ///
     /// Note the event stream is *not* byte-for-byte identical to
     /// per-frame transmits — TxDone events are merged, so sequence
     /// numbers differ. Paths that must preserve the legacy event stream
@@ -445,6 +478,9 @@ impl Kernel {
         // Is the peer on another shard? Resolved once for the batch —
         // a wire's peer never moves.
         let remote = router.as_ref().is_some_and(|r| r.is_remote(wire.peer));
+        // Accepted frames accumulate into one burst event (traced runs
+        // keep the legacy one-Deliver-per-frame stream instead).
+        let mut burst: Option<Box<PacketBurst>> = None;
         loop {
             let tx_start = now.max(p.busy_until);
             let Some(packet) = frames(tx_start) else {
@@ -497,20 +533,20 @@ impl Kernel {
             let ctr = comp_seq[me.0];
             comp_seq[me.0] = ctr + 1;
             let key = event_key(me, ctr);
-            let ev = EventKind::Deliver {
-                dst: wire.peer,
-                port: wire.peer_port,
-                packet,
-            };
-            if remote {
-                router
-                    .as_mut()
-                    .expect("remote implies router")
-                    .send(delivery, key, ev);
-            } else {
-                queue.push(delivery, key, ev);
-            }
             if tracing {
+                let ev = EventKind::Deliver {
+                    dst: wire.peer,
+                    port: wire.peer_port,
+                    packet,
+                };
+                if remote {
+                    router
+                        .as_mut()
+                        .expect("remote implies router")
+                        .send(delivery, key, ev);
+                } else {
+                    queue.push(delivery, key, ev);
+                }
                 let ev = TraceEvent::TxAccepted {
                     src: me,
                     port,
@@ -519,6 +555,38 @@ impl Kernel {
                 for tr in tracers.iter_mut() {
                     tr.trace(now, &ev);
                 }
+            } else {
+                burst
+                    .get_or_insert_with(|| Box::new(PacketBurst::new(key)))
+                    .push(delivery, packet);
+            }
+        }
+        if let Some(mut b) = burst {
+            let time = b.first_time();
+            let key = b.first_key();
+            // A one-frame "burst" ships as a plain Deliver: same key,
+            // same arrival, smaller event.
+            let ev = if b.len() == 1 {
+                let (_, packet) = b.pop_front().expect("len checked");
+                EventKind::Deliver {
+                    dst: wire.peer,
+                    port: wire.peer_port,
+                    packet,
+                }
+            } else {
+                EventKind::DeliverBurst {
+                    dst: wire.peer,
+                    port: wire.peer_port,
+                    burst: b,
+                }
+            };
+            if remote {
+                router
+                    .as_mut()
+                    .expect("remote implies router")
+                    .send(time, key, ev);
+            } else {
+                queue.push(time, key, ev);
             }
         }
         if let Some(tx_end) = last_tx_end {
@@ -535,6 +603,153 @@ impl Kernel {
             );
         }
         out
+    }
+
+    /// Transmit a burst of frames out of (`me`, `port`), each with its
+    /// own earliest-start instant (the member-wise analogue of
+    /// [`Kernel::transmit_at`], the burst-wise analogue of
+    /// [`Kernel::transmit_batch`]).
+    ///
+    /// This is how burst-aware forwarders ([`crate::Component::on_burst`])
+    /// keep a burst *one* queue entry across a hop: the accepted frames
+    /// leave as a single [`crate::PacketBurst`] plus one merged TxDone,
+    /// and every member's wire timing is exactly what per-frame
+    /// [`Kernel::transmit_at`] calls with the same `earliest` instants
+    /// would have produced.
+    ///
+    /// Falls back to per-frame transmits (scalar event stream) on
+    /// buffer-capped ports — a merged TxDone would delay the
+    /// queued-byte drain and change tail-drop verdicts — and under
+    /// kernel tracers.
+    pub fn transmit_burst(
+        &mut self,
+        me: ComponentId,
+        port: usize,
+        frames: impl IntoIterator<Item = (SimTime, Packet)>,
+    ) -> BatchTx {
+        let mut out = BatchTx::default();
+        if self.ports[me.0][port].wire.is_none() {
+            out.not_connected = true;
+            return out;
+        }
+        if self.ports[me.0][port].buffer_bytes.is_some() || !self.tracers.is_empty() {
+            for (earliest, packet) in frames {
+                match self.transmit_at(me, port, earliest, packet) {
+                    TxResult::Transmitted { tx_start, delivery } => {
+                        out.accepted += 1;
+                        out.first_tx_start.get_or_insert(tx_start);
+                        out.last_tx_start = Some(tx_start);
+                        out.last_delivery = Some(delivery);
+                    }
+                    TxResult::Dropped => out.dropped += 1,
+                    TxResult::NotConnected => unreachable!("wire checked above"),
+                }
+            }
+            return out;
+        }
+        let mut batch_bytes = 0usize;
+        let mut last_tx_end = None;
+        let mut ser_cache: Option<(usize, SimDuration, SimDuration)> = None;
+        let now = self.now;
+        let Kernel {
+            ports,
+            comp_seq,
+            queue,
+            router,
+            ..
+        } = self;
+        let p = &mut ports[me.0][port];
+        let wire = p.wire.expect("checked above");
+        let remote = router.as_ref().is_some_and(|r| r.is_remote(wire.peer));
+        let mut burst: Option<Box<PacketBurst>> = None;
+        for (earliest, packet) in frames {
+            debug_assert!(
+                earliest >= now,
+                "transmit_burst: earliest start {earliest} is in the past (now {now})"
+            );
+            let frame_len = packet.frame_len();
+            let wire_len = packet.wire_len();
+            let (ser_visible, ser_total) = match ser_cache {
+                Some((len, vis, tot)) if len == wire_len => (vis, tot),
+                _ => {
+                    let vis = wire.spec.serialization(wire_len - IFG_LEN);
+                    let tot = wire.spec.serialization(wire_len);
+                    ser_cache = Some((wire_len, vis, tot));
+                    (vis, tot)
+                }
+            };
+            let tx_start = earliest.max(p.busy_until);
+            let tx_end = tx_start + ser_visible;
+            let delivery = tx_end + wire.spec.propagation;
+            p.busy_until = tx_start + ser_total;
+            p.queued_bytes += frame_len;
+            p.counters.tx_frames += 1;
+            p.counters.tx_bytes += frame_len as u64;
+            batch_bytes += frame_len;
+            last_tx_end = Some(tx_end);
+            out.accepted += 1;
+            out.accepted_bytes += frame_len as u64;
+            out.first_tx_start.get_or_insert(tx_start);
+            out.last_tx_start = Some(tx_start);
+            out.last_delivery = Some(delivery);
+            let ctr = comp_seq[me.0];
+            comp_seq[me.0] = ctr + 1;
+            let key = event_key(me, ctr);
+            burst
+                .get_or_insert_with(|| Box::new(PacketBurst::new(key)))
+                .push(delivery, packet);
+        }
+        if let Some(mut b) = burst {
+            let time = b.first_time();
+            let key = b.first_key();
+            let ev = if b.len() == 1 {
+                let (_, packet) = b.pop_front().expect("len checked");
+                EventKind::Deliver {
+                    dst: wire.peer,
+                    port: wire.peer_port,
+                    packet,
+                }
+            } else {
+                EventKind::DeliverBurst {
+                    dst: wire.peer,
+                    port: wire.peer_port,
+                    burst: b,
+                }
+            };
+            if remote {
+                router
+                    .as_mut()
+                    .expect("remote implies router")
+                    .send(time, key, ev);
+            } else {
+                queue.push(time, key, ev);
+            }
+        }
+        if let Some(tx_end) = last_tx_end {
+            self.push_event(
+                tx_end,
+                me,
+                EventKind::TxDone {
+                    src: me,
+                    port,
+                    frame_len: batch_bytes,
+                },
+            );
+        }
+        out
+    }
+
+    /// Put a partially consumed burst back on the queue under its next
+    /// member's own `(time, key)` — the lazy-split half of burst
+    /// dispatch (the un-consumed tail re-enters the total order exactly
+    /// where its members always were).
+    pub(crate) fn requeue_burst(&mut self, dst: ComponentId, port: usize, burst: Box<PacketBurst>) {
+        debug_assert!(!burst.is_empty(), "requeue of an empty burst");
+        self.queue.push(
+            burst.first_time(),
+            burst.first_key(),
+            EventKind::DeliverBurst { dst, port, burst },
+        );
     }
 
     #[inline]
@@ -596,6 +811,9 @@ impl Kernel {
                     EventKind::Deliver {
                         dst: d, port: p, ..
                     } => *d == dst && *p == port,
+                    EventKind::DeliverBurst {
+                        dst: d, port: p, ..
+                    } => *d == dst && *p == port,
                     EventKind::TxDone { .. } => true,
                     EventKind::Timer { .. } => false,
                 },
@@ -613,6 +831,43 @@ impl Kernel {
                 EventKind::Deliver { dst, port, packet } => {
                     self.note_rx(dst, port, packet.frame_len());
                     batch.push((time, packet));
+                }
+                EventKind::DeliverBurst {
+                    dst,
+                    port,
+                    mut burst,
+                } => {
+                    // The pop above accounted for member 0 only; the
+                    // remaining members dispatch one at a time at their
+                    // own `(time, key)` slots, stopping (and re-queuing
+                    // the tail) as soon as the queue head — a TxDone or
+                    // a competing delivery — would scalar-dispatch
+                    // first. The batch a coalescing run hands to the
+                    // sink is therefore byte-identical to the scalar
+                    // event stream's.
+                    let (t0, pkt0) = burst.pop_front().expect("bursts are non-empty");
+                    debug_assert_eq!(t0, time, "burst scheduled at member 0's arrival");
+                    self.note_rx(dst, port, pkt0.frame_len());
+                    batch.push((t0, pkt0));
+                    while let Some(&(t_next, _)) = burst.members().first() {
+                        if t_next > lim {
+                            break;
+                        }
+                        if let Some((th, kh)) = self.queue.peek() {
+                            if (th, kh) < (t_next, burst.first_key()) {
+                                break;
+                            }
+                        }
+                        let (t, pkt) = burst.pop_front().expect("checked above");
+                        self.now = t;
+                        self.events_dispatched += 1;
+                        consumed += 1;
+                        self.note_rx(dst, port, pkt.frame_len());
+                        batch.push((t, pkt));
+                    }
+                    if !burst.is_empty() {
+                        self.requeue_burst(dst, port, burst);
+                    }
                 }
                 EventKind::TxDone {
                     src,

@@ -61,6 +61,7 @@
 //! sim.run_until(SimTime::from_ms(1));
 //! ```
 
+pub mod burst;
 pub mod component;
 pub mod engine;
 pub mod event;
@@ -75,6 +76,7 @@ mod sync;
 pub mod trace;
 pub mod wheel;
 
+pub use burst::{PacketBurst, BURST_INLINE};
 pub use component::{Component, ComponentId};
 pub use engine::{Sim, SimBuilder};
 pub use fault::{FaultConfig, FaultStats, FaultyLink, GilbertElliott, LossModel};

@@ -63,6 +63,13 @@ pub(crate) enum CrossKind {
         port: usize,
         packet: SendPacket,
     },
+    /// A whole [`crate::PacketBurst`] crossing in one ring slot: member
+    /// arrival times in ps, keys reconstructed as `entry.key + i`.
+    DeliverBurst {
+        dst: ComponentId,
+        port: usize,
+        members: Vec<(u64, SendPacket)>,
+    },
     TxDone {
         src: ComponentId,
         port: usize,
@@ -89,6 +96,14 @@ impl CrossEntry {
                 port,
                 packet: packet.into_send(),
             },
+            EventKind::DeliverBurst { dst, port, burst } => CrossKind::DeliverBurst {
+                dst,
+                port,
+                members: burst
+                    .into_members()
+                    .map(|(t, p)| (t.as_ps(), p.into_send()))
+                    .collect(),
+            },
             EventKind::TxDone {
                 src,
                 port,
@@ -114,6 +129,13 @@ impl CrossEntry {
                 port,
                 packet: packet.into_packet(),
             },
+            CrossKind::DeliverBurst { dst, port, members } => {
+                let mut burst = Box::new(crate::burst::PacketBurst::new(self.key));
+                for (t, p) in members {
+                    burst.push(SimTime::from_ps(t), p.into_packet());
+                }
+                EventKind::DeliverBurst { dst, port, burst }
+            }
             CrossKind::TxDone {
                 src,
                 port,

@@ -137,69 +137,239 @@ impl FlowKey {
     pub fn of_bytes(bytes: &[u8]) -> FlowKey {
         FlowKey::extract(&ParsedPacket::parse(bytes))
     }
+
+    /// The frame's source MAC, when an Ethernet header was parsed —
+    /// recovered from the packed words, so consumers holding only a key
+    /// (e.g. a switch learning addresses from staged burst lanes) need
+    /// no second parse.
+    pub fn src_mac(&self) -> Option<MacAddr> {
+        if self.words[W_FLAGS] & flag::HAS_ETH == 0 {
+            return None;
+        }
+        let bits = self.words[W_SRC] & MAC_MASK;
+        let b = bits.to_be_bytes();
+        Some(MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
 }
 
-/// A [`WildcardRule`] lowered to value/mask words over a [`FlowKey`].
+/// Number of key lanes in a [`FlowKeyBlock`]. Must stay ≤ 8 so a hit
+/// mask fits a `u8`.
+pub const BLOCK_LANES: usize = 8;
+
+/// A struct-of-arrays block of up to [`BLOCK_LANES`] flow keys.
+///
+/// The layout is the transpose of `[FlowKey; BLOCK_LANES]`:
+/// `words[w][lane]` holds word `w` of lane `lane`'s key, so one
+/// [`CompiledRule`]'s masked compare of word `w` touches eight
+/// consecutive `u64`s — a loop shape the compiler auto-vectorizes
+/// across packets instead of across words. Classifying a burst fills a
+/// block once and runs every rule against it
+/// ([`CompiledRule::matches_block`]), turning the per-frame
+/// rule-table walk into a per-block one.
+#[derive(Debug, Clone)]
+pub struct FlowKeyBlock {
+    words: [[u64; BLOCK_LANES]; KEY_WORDS],
+    len: usize,
+}
+
+impl Default for FlowKeyBlock {
+    fn default() -> Self {
+        FlowKeyBlock::new()
+    }
+}
+
+impl FlowKeyBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        FlowKeyBlock {
+            words: [[0; BLOCK_LANES]; KEY_WORDS],
+            len: 0,
+        }
+    }
+
+    /// Number of occupied lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no lane is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when all [`BLOCK_LANES`] lanes are occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == BLOCK_LANES
+    }
+
+    /// Reset to empty (keeps the allocation-free storage).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Transpose `key` into the next free lane; returns its lane index.
+    /// Panics when the block is full.
+    #[inline]
+    pub fn push(&mut self, key: &FlowKey) -> usize {
+        assert!(self.len < BLOCK_LANES, "flow-key block is full");
+        let lane = self.len;
+        for w in 0..KEY_WORDS {
+            self.words[w][lane] = key.words[w];
+        }
+        self.len = lane + 1;
+        lane
+    }
+
+    /// Reconstruct the key in `lane` (must be occupied).
+    pub fn key(&self, lane: usize) -> FlowKey {
+        assert!(lane < self.len, "lane {lane} not occupied");
+        let mut words = [0u64; KEY_WORDS];
+        for (w, word) in words.iter_mut().enumerate() {
+            *word = self.words[w][lane];
+        }
+        FlowKey { words }
+    }
+}
+
+/// A raw value/mask requirement over [`FlowKey`] words — the shared
+/// substrate every compiled rule language lowers onto.
+///
+/// [`CompiledRule`] (the monitor's [`WildcardRule`] lowering) is a thin
+/// wrapper over it, and foreign rule languages — the switch crate's
+/// OpenFlow 1.0 `ofp_match` — compile onto the same key layout through
+/// the named `require_*` methods, without this module having to export
+/// its private word layout. Every `require_*` call ANDs one more field
+/// constraint into the value/mask pair; the presence-flag discipline
+/// (naming a field also demands the flag of the layer carrying it) is
+/// applied by each method, so `Option`-field semantics survive any
+/// lowering built on this type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CompiledRule {
+pub struct KeyMatch {
     value: [u64; KEY_WORDS],
     mask: [u64; KEY_WORDS],
 }
 
-impl CompiledRule {
-    /// Lower `rule`. Exact: matches the same packets as
-    /// [`WildcardRule::matches`].
-    pub fn compile(rule: &WildcardRule) -> CompiledRule {
-        let mut value = [0u64; KEY_WORDS];
-        let mut mask = [0u64; KEY_WORDS];
-        let mut req_flags = 0u64;
-        if let Some(m) = rule.src_mac {
-            req_flags |= flag::HAS_ETH;
-            mask[W_SRC] |= MAC_MASK;
-            value[W_SRC] |= mac_bits(m);
+impl Default for KeyMatch {
+    fn default() -> Self {
+        KeyMatch::new()
+    }
+}
+
+impl KeyMatch {
+    /// The unconstrained match (accepts every key).
+    pub fn new() -> Self {
+        KeyMatch {
+            value: [0u64; KEY_WORDS],
+            mask: [0u64; KEY_WORDS],
         }
-        if let Some(m) = rule.dst_mac {
-            req_flags |= flag::HAS_ETH;
-            mask[W_DST] |= MAC_MASK;
-            value[W_DST] |= mac_bits(m);
-        }
-        if let Some(t) = rule.ethertype {
-            req_flags |= flag::HAS_ETH;
-            mask[W_SRC] |= 0xFFFF << ETHERTYPE_SHIFT;
-            value[W_SRC] |= (t as u64) << ETHERTYPE_SHIFT;
-        }
-        if let Some(vid) = rule.vlan {
-            req_flags |= flag::HAS_VLAN;
-            mask[W_DST] |= 0xFFFF << VID_SHIFT;
-            value[W_DST] |= (vid as u64) << VID_SHIFT;
-        }
-        if let Some(prefix) = rule.src_ip {
-            compile_prefix(prefix, W_SIP_HI, W_SIP_LO, &mut value, &mut mask);
-        }
-        if let Some(prefix) = rule.dst_ip {
-            compile_prefix(prefix, W_DIP_HI, W_DIP_LO, &mut value, &mut mask);
-        }
-        if let Some(proto) = rule.ip_protocol {
-            req_flags |= flag::HAS_IP;
-            mask[W_L4] |= 0xFF << PROTO_SHIFT;
-            value[W_L4] |= (proto as u64) << PROTO_SHIFT;
-        }
-        if let Some(port) = rule.src_port {
-            req_flags |= flag::HAS_L4;
-            mask[W_L4] |= 0xFFFF;
-            value[W_L4] |= port as u64;
-        }
-        if let Some(port) = rule.dst_port {
-            req_flags |= flag::HAS_L4;
-            mask[W_L4] |= 0xFFFF << DPORT_SHIFT;
-            value[W_L4] |= (port as u64) << DPORT_SHIFT;
-        }
-        mask[W_FLAGS] |= req_flags;
-        value[W_FLAGS] |= req_flags;
-        CompiledRule { value, mask }
     }
 
-    /// Whether `key` satisfies every named field: eight masked compares.
+    #[inline]
+    fn require(&mut self, w: usize, mask: u64, value: u64) {
+        debug_assert_eq!(value & !mask, 0, "value bits outside the mask");
+        self.mask[w] |= mask;
+        self.value[w] |= value;
+    }
+
+    #[inline]
+    fn require_flags(&mut self, flags: u64) {
+        self.require(W_FLAGS, flags, flags);
+    }
+
+    /// Demand an Ethernet source address.
+    pub fn require_src_mac(&mut self, m: MacAddr) {
+        self.require_flags(flag::HAS_ETH);
+        self.require(W_SRC, MAC_MASK, mac_bits(m));
+    }
+
+    /// Demand an Ethernet destination address.
+    pub fn require_dst_mac(&mut self, m: MacAddr) {
+        self.require_flags(flag::HAS_ETH);
+        self.require(W_DST, MAC_MASK, mac_bits(m));
+    }
+
+    /// Demand an effective EtherType (the inner type when VLAN-tagged).
+    pub fn require_ethertype(&mut self, t: u16) {
+        self.require_flags(flag::HAS_ETH);
+        self.require(
+            W_SRC,
+            0xFFFF << ETHERTYPE_SHIFT,
+            (t as u64) << ETHERTYPE_SHIFT,
+        );
+    }
+
+    /// Demand an 802.1Q tag carrying `vid`.
+    pub fn require_vlan(&mut self, vid: u16) {
+        self.require_flags(flag::HAS_VLAN);
+        self.require(W_DST, 0xFFFF << VID_SHIFT, (vid as u64) << VID_SHIFT);
+    }
+
+    /// Demand the *absence* of an 802.1Q tag (OpenFlow's
+    /// `OFP_VLAN_NONE`) — something [`WildcardRule`] cannot express.
+    pub fn forbid_vlan(&mut self) {
+        self.require(W_FLAGS, flag::HAS_VLAN, 0);
+    }
+
+    /// Demand an IP protocol / next-header value (implies the frame is
+    /// IP).
+    pub fn require_ip_protocol(&mut self, proto: u8) {
+        self.require_flags(flag::HAS_IP);
+        self.require(W_L4, 0xFF << PROTO_SHIFT, (proto as u64) << PROTO_SHIFT);
+    }
+
+    /// Demand a transport source port.
+    pub fn require_src_port(&mut self, port: u16) {
+        self.require_flags(flag::HAS_L4);
+        self.require(W_L4, 0xFFFF, port as u64);
+    }
+
+    /// Demand a transport destination port.
+    pub fn require_dst_port(&mut self, port: u16) {
+        self.require_flags(flag::HAS_L4);
+        self.require(W_L4, 0xFFFF << DPORT_SHIFT, (port as u64) << DPORT_SHIFT);
+    }
+
+    /// Demand a source address inside `prefix` (implies the matching
+    /// address family). A zero-length prefix keeps only the family
+    /// requirement — exactly
+    /// [`crate::wildcard::IpPrefix::contains`]'s behaviour.
+    pub fn require_src_ip(&mut self, prefix: crate::wildcard::IpPrefix) {
+        self.require_prefix(prefix, W_SIP_HI, W_SIP_LO);
+    }
+
+    /// Demand a destination address inside `prefix`.
+    pub fn require_dst_ip(&mut self, prefix: crate::wildcard::IpPrefix) {
+        self.require_prefix(prefix, W_DIP_HI, W_DIP_LO);
+    }
+
+    fn require_prefix(&mut self, prefix: crate::wildcard::IpPrefix, w_hi: usize, w_lo: usize) {
+        match prefix.addr {
+            IpAddr::V4(base) => {
+                self.require_flags(flag::IS_V4);
+                let plen = prefix.prefix_len.min(32) as u32;
+                if plen > 0 {
+                    let m = (!0u32) << (32 - plen);
+                    self.require(w_lo, m as u64, (u32::from(base) & m) as u64);
+                }
+            }
+            IpAddr::V6(base) => {
+                self.require_flags(flag::IS_V6);
+                let plen = prefix.prefix_len.min(128) as u32;
+                if plen > 0 {
+                    let m = (!0u128) << (128 - plen);
+                    let v = u128::from(base) & m;
+                    self.require(w_hi, (m >> 64) as u64, (v >> 64) as u64);
+                    self.require(w_lo, m as u64, v as u64);
+                }
+            }
+        }
+    }
+
+    /// Whether `key` satisfies every requirement: eight masked compares.
     #[inline]
     pub fn matches(&self, key: &FlowKey) -> bool {
         let mut diff = 0u64;
@@ -208,42 +378,84 @@ impl CompiledRule {
         }
         diff == 0
     }
+
+    /// Match every occupied lane of `block` at once; bit `i` of the
+    /// returned mask is set when lane `i` matches. The lane loop is
+    /// innermost — eight independent `(word & mask) ^ value`
+    /// accumulations over consecutive memory — so the compiler
+    /// vectorizes the compare across packets. Exactly equivalent to
+    /// eight [`KeyMatch::matches`] calls.
+    #[inline]
+    pub fn matches_block(&self, block: &FlowKeyBlock) -> u8 {
+        const { assert!(BLOCK_LANES <= 8, "hit mask is a u8") };
+        let mut diff = [0u64; BLOCK_LANES];
+        for w in 0..KEY_WORDS {
+            let (value, mask) = (self.value[w], self.mask[w]);
+            for (d, &kw) in diff.iter_mut().zip(&block.words[w]) {
+                *d |= (kw & mask) ^ value;
+            }
+        }
+        let mut hits = 0u8;
+        for (lane, &d) in diff.iter().enumerate().take(block.len) {
+            hits |= u8::from(d == 0) << lane;
+        }
+        hits
+    }
 }
 
-/// Lower an IP-prefix match into address-word masks plus the family
-/// flag. A zero-length prefix keeps only the family requirement —
-/// exactly [`crate::wildcard::IpPrefix::contains`]'s behaviour.
-fn compile_prefix(
-    prefix: crate::wildcard::IpPrefix,
-    w_hi: usize,
-    w_lo: usize,
-    value: &mut [u64; KEY_WORDS],
-    mask: &mut [u64; KEY_WORDS],
-) {
-    match prefix.addr {
-        IpAddr::V4(base) => {
-            mask[W_FLAGS] |= flag::IS_V4;
-            value[W_FLAGS] |= flag::IS_V4;
-            let plen = prefix.prefix_len.min(32) as u32;
-            if plen > 0 {
-                let m = (!0u32) << (32 - plen);
-                mask[w_lo] |= m as u64;
-                value[w_lo] |= (u32::from(base) & m) as u64;
-            }
+/// A [`WildcardRule`] lowered to value/mask words over a [`FlowKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledRule {
+    km: KeyMatch,
+}
+
+impl CompiledRule {
+    /// Lower `rule`. Exact: matches the same packets as
+    /// [`WildcardRule::matches`].
+    pub fn compile(rule: &WildcardRule) -> CompiledRule {
+        let mut km = KeyMatch::new();
+        if let Some(m) = rule.src_mac {
+            km.require_src_mac(m);
         }
-        IpAddr::V6(base) => {
-            mask[W_FLAGS] |= flag::IS_V6;
-            value[W_FLAGS] |= flag::IS_V6;
-            let plen = prefix.prefix_len.min(128) as u32;
-            if plen > 0 {
-                let m = (!0u128) << (128 - plen);
-                let v = u128::from(base) & m;
-                mask[w_hi] |= (m >> 64) as u64;
-                mask[w_lo] |= m as u64;
-                value[w_hi] |= (v >> 64) as u64;
-                value[w_lo] |= v as u64;
-            }
+        if let Some(m) = rule.dst_mac {
+            km.require_dst_mac(m);
         }
+        if let Some(t) = rule.ethertype {
+            km.require_ethertype(t);
+        }
+        if let Some(vid) = rule.vlan {
+            km.require_vlan(vid);
+        }
+        if let Some(prefix) = rule.src_ip {
+            km.require_src_ip(prefix);
+        }
+        if let Some(prefix) = rule.dst_ip {
+            km.require_dst_ip(prefix);
+        }
+        if let Some(proto) = rule.ip_protocol {
+            km.require_ip_protocol(proto);
+        }
+        if let Some(port) = rule.src_port {
+            km.require_src_port(port);
+        }
+        if let Some(port) = rule.dst_port {
+            km.require_dst_port(port);
+        }
+        CompiledRule { km }
+    }
+
+    /// Whether `key` satisfies every named field: eight masked compares.
+    #[inline]
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.km.matches(key)
+    }
+
+    /// Match every occupied lane of `block` at once (see
+    /// [`KeyMatch::matches_block`]). Exactly equivalent to eight
+    /// [`CompiledRule::matches`] calls.
+    #[inline]
+    pub fn matches_block(&self, block: &FlowKeyBlock) -> u8 {
+        self.km.matches_block(block)
     }
 }
 
@@ -369,6 +581,54 @@ mod tests {
         }
         // The all-wildcard rule still matches everything.
         assert!(CompiledRule::compile(&WildcardRule::any()).matches(&key));
+    }
+
+    #[test]
+    fn block_matching_equals_per_lane_matching() {
+        // Every rule × every block fill level: matches_block bit i must
+        // equal matches() on lane i's key, with unoccupied lanes 0.
+        let frames = corpus();
+        for rule in rules() {
+            let compiled = CompiledRule::compile(&rule);
+            let mut block = FlowKeyBlock::new();
+            let mut expect = 0u8;
+            for (i, frame) in frames.iter().take(BLOCK_LANES).enumerate() {
+                let key = FlowKey::extract(&frame.parse());
+                let lane = block.push(&key);
+                assert_eq!(lane, i);
+                expect |= u8::from(compiled.matches(&key)) << lane;
+                // Partial fills must agree too (mask of occupied lanes).
+                assert_eq!(
+                    compiled.matches_block(&block),
+                    expect,
+                    "rule {rule:?} at fill {}",
+                    block.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_roundtrips_keys_and_clears() {
+        let frames = corpus();
+        let keys: Vec<FlowKey> = frames
+            .iter()
+            .map(|f| FlowKey::extract(&f.parse()))
+            .collect();
+        let mut block = FlowKeyBlock::new();
+        for k in keys.iter().take(BLOCK_LANES) {
+            block.push(k);
+        }
+        for (i, k) in keys.iter().take(BLOCK_LANES).enumerate() {
+            assert_eq!(block.key(i), *k);
+        }
+        block.clear();
+        assert!(block.is_empty());
+        assert_eq!(
+            CompiledRule::compile(&WildcardRule::any()).matches_block(&block),
+            0,
+            "empty block matches nothing"
+        );
     }
 
     #[test]

@@ -46,11 +46,11 @@ pub mod wildcard;
 
 pub use builder::PacketBuilder;
 pub use flow::FiveTuple;
-pub use flowkey::{CompiledRule, FlowKey};
+pub use flowkey::{CompiledRule, FlowKey, FlowKeyBlock, KeyMatch, BLOCK_LANES};
 pub use mac::MacAddr;
 pub use parser::ParsedPacket;
 pub use pool::PacketPool;
-pub use wildcard::WildcardRule;
+pub use wildcard::{IpPrefix, WildcardRule};
 
 use core::fmt;
 use std::rc::{Rc, Weak};

@@ -1,8 +1,9 @@
 //! The OpenFlow switch's flow table.
 
+use crate::compiled::CompiledOfMatch;
 use osnt_openflow::match_field::wildcards;
 use osnt_openflow::{Action, OfMatch};
-use osnt_packet::ParsedPacket;
+use osnt_packet::{FlowKey, FlowKeyBlock, ParsedPacket, BLOCK_LANES};
 use osnt_time::SimTime;
 
 /// Returned when an ADD would exceed the table capacity
@@ -90,11 +91,34 @@ impl RemovalReason {
     }
 }
 
+/// One row of the compiled lookup cache: the entry's match lowered to
+/// masked-word compares plus its precomputed tie-break rank.
+///
+/// Rows are kept **sorted by descending rank** (stable, so ties keep
+/// installation order). That turns best-match search into first-match
+/// search: the scan stops at the first row that matches, where the
+/// interpreter must always walk the whole table to find the best rank.
+#[derive(Debug, Clone, Copy)]
+struct CompiledRow {
+    m: CompiledOfMatch,
+    /// `(priority, specificity)` — cached so winner selection doesn't
+    /// recount wildcard bits, and the sort key of the compiled order.
+    rank: (u16, u32),
+    /// Index of the source row in `entries` (rank-sorting reorders the
+    /// compiled rows but lookups must report entry indices).
+    idx: usize,
+}
+
 /// A bounded, priority-ordered flow table.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
     capacity: usize,
+    /// Entries lowered for the key-word lookup path, parallel to
+    /// `entries`. `None` means stale; rebuilt lazily on the next
+    /// compiled lookup, so flow-mod trains pay one rebuild, not one per
+    /// mod. MODIFY doesn't invalidate — it only rewrites actions.
+    compiled: Option<Vec<CompiledRow>>,
 }
 
 impl FlowTable {
@@ -103,6 +127,7 @@ impl FlowTable {
         FlowTable {
             entries: Vec::new(),
             capacity,
+            compiled: None,
         }
     }
 
@@ -134,6 +159,7 @@ impl FlowTable {
             .iter_mut()
             .find(|e| e.of_match == entry.of_match && e.priority == entry.priority)
         {
+            // Same (match, priority): the compiled row is unchanged.
             *existing = entry;
             return Ok(());
         }
@@ -141,6 +167,7 @@ impl FlowTable {
             return Err(TableFull);
         }
         self.entries.push(entry);
+        self.compiled = None;
         Ok(())
     }
 
@@ -148,6 +175,13 @@ impl FlowTable {
     /// priority break toward more exact-match bits, then earlier
     /// installation — deterministic, like a TCAM's fixed row order.
     pub fn lookup(&mut self, in_port: u16, packet: &ParsedPacket<'_>) -> Option<&mut FlowEntry> {
+        self.lookup_idx(in_port, packet)
+            .map(move |i| &mut self.entries[i])
+    }
+
+    /// Index form of [`FlowTable::lookup`], for callers that need to
+    /// release the borrow between lookup and accounting.
+    pub fn lookup_idx(&self, in_port: u16, packet: &ParsedPacket<'_>) -> Option<usize> {
         let mut best: Option<usize> = None;
         for (i, e) in self.entries.iter().enumerate() {
             if !e.of_match.matches(in_port, packet) {
@@ -165,7 +199,82 @@ impl FlowTable {
                 }
             }
         }
-        best.map(move |i| &mut self.entries[i])
+        best
+    }
+
+    /// The entry at an index returned by [`FlowTable::lookup_idx`],
+    /// [`FlowTable::lookup_key_idx`] or [`FlowTable::lookup_block_idx`].
+    /// Indices are invalidated by any table mutation.
+    pub fn entry_mut(&mut self, idx: usize) -> &mut FlowEntry {
+        &mut self.entries[idx]
+    }
+
+    fn ensure_compiled(&mut self) -> &[CompiledRow] {
+        if self.compiled.is_none() {
+            let mut rows: Vec<CompiledRow> = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(idx, e)| CompiledRow {
+                    m: CompiledOfMatch::compile(&e.of_match),
+                    rank: (e.priority, e.of_match.specificity()),
+                    idx,
+                })
+                .collect();
+            // Stable descending-rank sort: first match == best match,
+            // and equal ranks keep installation order, reproducing the
+            // interpreter's strict-greater tie-break exactly.
+            rows.sort_by_key(|row| std::cmp::Reverse(row.rank));
+            self.compiled = Some(rows);
+        }
+        self.compiled.as_deref().unwrap_or_default()
+    }
+
+    /// [`FlowTable::lookup_idx`] over a pre-extracted [`FlowKey`] using
+    /// the compiled rows. Same result, same tie-break — rows are
+    /// rank-sorted, so the first hit *is* the best match and the scan
+    /// ends there, where the interpreter must walk the whole table.
+    pub fn lookup_key_idx(&mut self, in_port: u16, key: &FlowKey) -> Option<usize> {
+        self.ensure_compiled()
+            .iter()
+            .find(|row| row.m.matches(in_port, key))
+            .map(|row| row.idx)
+    }
+
+    /// Look up every occupied lane of `block` (a burst that arrived on
+    /// `in_port`) in one sweep: each compiled row's masked-word compare
+    /// runs across all lanes before moving to the next row, so the
+    /// per-row constants stay in registers. Rank-sorted rows make each
+    /// lane's first hit final; the scan stops as soon as every lane is
+    /// decided. Lane `i` of the result is what
+    /// [`FlowTable::lookup_key_idx`] would return for key `i`.
+    pub fn lookup_block_idx(
+        &mut self,
+        in_port: u16,
+        block: &FlowKeyBlock,
+    ) -> [Option<usize>; BLOCK_LANES] {
+        let occupied: u8 = if block.len() >= BLOCK_LANES {
+            u8::MAX
+        } else {
+            (1u8 << block.len()) - 1
+        };
+        let rows = self.ensure_compiled();
+        let mut verdict: [Option<usize>; BLOCK_LANES] = [None; BLOCK_LANES];
+        let mut undecided = occupied;
+        for row in rows {
+            let hits = row.m.matches_block(in_port, block) & undecided;
+            let mut h = hits;
+            while h != 0 {
+                let lane = h.trailing_zeros() as usize;
+                h &= h - 1;
+                verdict[lane] = Some(row.idx);
+            }
+            undecided &= !hits;
+            if undecided == 0 {
+                break;
+            }
+        }
+        verdict
     }
 
     /// Record that `entry_bytes` matched (updates counters and idle
@@ -218,6 +327,9 @@ impl FlowTable {
                 true
             }
         });
+        if !removed.is_empty() {
+            self.compiled = None;
+        }
         removed
     }
 
@@ -243,6 +355,9 @@ impl FlowTable {
             }
             true
         });
+        if !out.is_empty() {
+            self.compiled = None;
+        }
         out
     }
 }
@@ -523,6 +638,97 @@ mod tests {
         let gone = t.expire(SimTime::from_ms(3600));
         assert_eq!(gone.len(), 1);
         assert_eq!(gone[0].1, RemovalReason::IdleTimeout);
+    }
+
+    #[test]
+    fn compiled_lookup_matches_interpreted_including_ties() {
+        use osnt_packet::FlowKey;
+        let mut t = FlowTable::new(32);
+        // Overlapping entries: wildcards, port matches, prefixes, an
+        // exact-priority tie (two distinct matches, same priority and
+        // specificity, both hitting port-9001 frames to 10.0.0.0/8 —
+        // earliest row must win), and an in_port-constrained row.
+        t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+            .unwrap();
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(9001),
+            5,
+            out(2),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        let mut src8 = OfMatch::any();
+        src8.nw_src = Ipv4Addr::new(10, 0, 0, 0);
+        src8.set_nw_src_prefix(8);
+        t.add(FlowEntry::new(src8, 5, out(3), SimTime::ZERO))
+            .unwrap();
+        let mut dst8 = OfMatch::any();
+        dst8.nw_dst = Ipv4Addr::new(10, 0, 0, 0);
+        dst8.set_nw_dst_prefix(8);
+        t.add(FlowEntry::new(dst8, 5, out(4), SimTime::ZERO))
+            .unwrap();
+        let mut inport = OfMatch::any();
+        inport.in_port = 2;
+        inport.wildcards &= !wildcards::IN_PORT;
+        t.add(FlowEntry::new(inport, 7, out(5), SimTime::ZERO))
+            .unwrap();
+
+        let frames: Vec<osnt_packet::Packet> = vec![
+            udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001),
+            udp_frame(Ipv4Addr::new(10, 1, 0, 1), 80),
+            udp_frame(Ipv4Addr::new(192, 168, 0, 1), 9001),
+            udp_frame(Ipv4Addr::new(192, 168, 0, 1), 80),
+            PacketBuilder::ethernet(MacAddr::local(1), MacAddr::BROADCAST)
+                .raw_ethertype(0x0806)
+                .payload(&[0u8; 46])
+                .build(),
+        ];
+        for in_port in [1u16, 2, 3] {
+            let mut block = FlowKeyBlock::new();
+            let mut expect = Vec::new();
+            for frame in &frames {
+                let parsed = frame.parse();
+                let key = FlowKey::extract(&parsed);
+                let interp = t.lookup_idx(in_port, &parsed);
+                assert_eq!(t.lookup_key_idx(in_port, &key), interp);
+                block.push(&key);
+                expect.push(interp);
+            }
+            let lanes = t.lookup_block_idx(in_port, &block);
+            assert_eq!(&lanes[..expect.len()], &expect[..]);
+            for lane in lanes.iter().skip(expect.len()) {
+                assert_eq!(*lane, None);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_cache_invalidates_on_mutation() {
+        use osnt_packet::FlowKey;
+        let mut t = FlowTable::new(8);
+        let frame = udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001);
+        let key = FlowKey::extract(&frame.parse());
+        assert_eq!(t.lookup_key_idx(0, &key), None);
+        t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+            .unwrap();
+        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+        t.add(FlowEntry::new(
+            OfMatch::udp_dst_port(9001),
+            5,
+            out(2),
+            SimTime::ZERO,
+        ))
+        .unwrap();
+        assert_eq!(t.lookup_key_idx(0, &key), Some(1));
+        t.delete(&OfMatch::udp_dst_port(9001), 5, true);
+        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+        // Expiry invalidates too.
+        let mut short = FlowEntry::new(OfMatch::udp_dst_port(9001), 5, out(2), SimTime::ZERO);
+        short.hard_timeout = 1;
+        t.add(short).unwrap();
+        assert_eq!(t.lookup_key_idx(0, &key), Some(1));
+        t.expire(SimTime::from_secs(2));
+        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
     }
 
     #[test]

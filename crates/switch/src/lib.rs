@@ -19,6 +19,7 @@
 //!
 //! Both switches expose SNMP-style counters ([`snmp`]).
 
+pub mod compiled;
 pub mod control;
 pub mod fabric;
 pub mod flowtable;
@@ -26,6 +27,7 @@ pub mod legacy;
 pub mod openflow_switch;
 pub mod snmp;
 
+pub use compiled::CompiledOfMatch;
 pub use control::{decap_control, encap_control, CONTROL_ETHERTYPE};
 pub use fabric::ForwardingPipeline;
 pub use flowtable::{FlowEntry, FlowTable, TableFull};

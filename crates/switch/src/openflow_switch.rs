@@ -27,7 +27,7 @@ use osnt_openflow::messages::{
     PacketIn, PacketInReason, PacketOut, PhyPort, PortStats, StatsBody,
 };
 use osnt_openflow::{Action, OfMatch};
-use osnt_packet::{MacAddr, Packet};
+use osnt_packet::{FlowKey, FlowKeyBlock, MacAddr, Packet};
 use osnt_time::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -73,6 +73,19 @@ pub struct OfSwitchConfig {
     pub output_buffer_bytes: usize,
     /// Bytes of a punted frame included in PACKET_IN.
     pub miss_send_len: usize,
+    /// Use the compiled flow-table lookup (masked-word compares against
+    /// pre-extracted flow keys) instead of interpreting each entry's
+    /// `ofp_match` per packet. Results are identical; this only trades
+    /// a lazy compile per table change for cheaper per-packet matching.
+    pub compiled_lookup: bool,
+    /// Classify coalesced data-port arrivals in [`osnt_packet::FlowKeyBlock`]
+    /// groups (one masked-word sweep per table row across up to 8
+    /// frames). Byte-identical to scalar dispatch: the coalescing window
+    /// is bounded by the switch's minimum side-effect delay (see
+    /// `Component::batch_window`), and each member's forwarding is
+    /// anchored at its own arrival instant. The control channel always
+    /// stays on the scalar path.
+    pub batch: bool,
 }
 
 impl Default for OfSwitchConfig {
@@ -93,6 +106,8 @@ impl Default for OfSwitchConfig {
             lookup_latency: SimDuration::from_ns(900),
             output_buffer_bytes: 512 * 1024,
             miss_send_len: 128,
+            compiled_lookup: true,
+            batch: true,
         }
     }
 }
@@ -192,14 +207,19 @@ impl OpenFlowSwitch {
         let _ = kernel.transmit(me, ctrl, frame);
     }
 
+    /// Queue a job on the serial management CPU as of instant `at` (the
+    /// triggering frame's arrival). Batched data-path callers pass each
+    /// member's own arrival time so CPU occupancy accrues exactly as in
+    /// scalar dispatch; scalar callers pass `kernel.now()`.
     fn enqueue_cpu(
         &mut self,
         kernel: &mut Kernel,
         me: ComponentId,
+        at: SimTime,
         job: CpuJob,
         proc: SimDuration,
     ) {
-        let start = kernel.now().max(self.cpu_busy_until);
+        let start = at.max(self.cpu_busy_until);
         let done = start + proc;
         self.cpu_busy_until = done;
         self.cpu_fifo.push_back(job);
@@ -216,20 +236,20 @@ impl OpenFlowSwitch {
             }
             Message::EchoRequest(data) => {
                 let proc = self.config.echo_proc;
-                self.enqueue_cpu(kernel, me, CpuJob::Echo(data, xid), proc);
+                self.enqueue_cpu(kernel, me, kernel.now(), CpuJob::Echo(data, xid), proc);
             }
             Message::FeaturesRequest => {
                 let proc = self.config.features_proc;
-                self.enqueue_cpu(kernel, me, CpuJob::Features(xid), proc);
+                self.enqueue_cpu(kernel, me, kernel.now(), CpuJob::Features(xid), proc);
             }
             Message::FlowMod(fm) => {
                 let proc = self.config.flowmod_proc;
-                self.enqueue_cpu(kernel, me, CpuJob::FlowMod(fm, xid), proc);
+                self.enqueue_cpu(kernel, me, kernel.now(), CpuJob::FlowMod(fm, xid), proc);
             }
             Message::BarrierRequest => {
                 // The barrier itself is cheap; ordering is the point.
                 let proc = SimDuration::from_us(1);
-                self.enqueue_cpu(kernel, me, CpuJob::Barrier(xid), proc);
+                self.enqueue_cpu(kernel, me, kernel.now(), CpuJob::Barrier(xid), proc);
             }
             Message::StatsRequest(StatsBody::FlowRequest { of_match, .. }) => {
                 let proc = self.config.stats_proc_base
@@ -237,15 +257,27 @@ impl OpenFlowSwitch {
                         .config
                         .stats_proc_per_entry
                         .saturating_mul(self.table.len() as u64);
-                self.enqueue_cpu(kernel, me, CpuJob::StatsFlow(of_match, xid), proc);
+                self.enqueue_cpu(
+                    kernel,
+                    me,
+                    kernel.now(),
+                    CpuJob::StatsFlow(of_match, xid),
+                    proc,
+                );
             }
             Message::StatsRequest(StatsBody::PortRequest { port_no }) => {
                 let proc = self.config.stats_proc_base;
-                self.enqueue_cpu(kernel, me, CpuJob::StatsPort(port_no, xid), proc);
+                self.enqueue_cpu(
+                    kernel,
+                    me,
+                    kernel.now(),
+                    CpuJob::StatsPort(port_no, xid),
+                    proc,
+                );
             }
             Message::PacketOut(po) => {
                 let proc = self.config.packet_out_proc;
-                self.enqueue_cpu(kernel, me, CpuJob::PacketOut(po), proc);
+                self.enqueue_cpu(kernel, me, kernel.now(), CpuJob::PacketOut(po), proc);
             }
             // Replies/asynchronous messages are never valid *to* a switch.
             _ => {}
@@ -374,7 +406,7 @@ impl OpenFlowSwitch {
                 let pkt = Packet::from_vec(po.data);
                 let in_port = po.in_port;
                 for a in po.actions.clone() {
-                    self.execute_action(kernel, me, &a, in_port, &pkt);
+                    self.execute_action(kernel, me, kernel.now(), &a, in_port, &pkt);
                 }
             }
             CpuJob::Punt {
@@ -482,46 +514,42 @@ impl OpenFlowSwitch {
         );
     }
 
+    /// Execute one action for a frame that arrived at `at`. Fabric
+    /// submissions and punts are anchored at `at`, so batched members
+    /// behave exactly as if each had been dispatched at its own arrival
+    /// instant; scalar callers pass `kernel.now()`.
     fn execute_action(
         &mut self,
         kernel: &mut Kernel,
         me: ComponentId,
+        at: SimTime,
         action: &Action,
         in_port_wire: u16,
         packet: &Packet,
     ) {
+        let release_at = at + self.config.lookup_latency;
         match action {
             Action::Output { port, .. } => match *port {
                 port_no::CONTROLLER => {
-                    self.punt(kernel, me, in_port_wire, PacketInReason::Action, packet);
+                    self.punt(kernel, me, at, in_port_wire, PacketInReason::Action, packet);
                 }
                 port_no::FLOOD | port_no::ALL => {
                     let ingress = in_port_wire as usize;
                     for p in 1..=self.config.n_ports {
                         if p != ingress {
-                            self.pipeline.submit(
-                                kernel,
-                                me,
-                                self.config.lookup_latency,
-                                p - 1,
-                                packet.clone(),
-                            );
+                            self.pipeline
+                                .submit_at(kernel, me, release_at, p - 1, packet.clone());
                         }
                     }
                 }
                 port_no::NORMAL => {
-                    self.forward_normal(kernel, me, in_port_wire, packet);
+                    self.forward_normal(kernel, me, at, in_port_wire, packet);
                 }
                 wire_port => {
                     let idx = wire_port as usize;
                     if idx >= 1 && idx <= self.config.n_ports {
-                        self.pipeline.submit(
-                            kernel,
-                            me,
-                            self.config.lookup_latency,
-                            idx - 1,
-                            packet.clone(),
-                        );
+                        self.pipeline
+                            .submit_at(kernel, me, release_at, idx - 1, packet.clone());
                     }
                 }
             },
@@ -541,6 +569,7 @@ impl OpenFlowSwitch {
         &mut self,
         kernel: &mut Kernel,
         me: ComponentId,
+        at: SimTime,
         actions: &[Action],
         in_port_wire: u16,
         packet: Packet,
@@ -557,7 +586,7 @@ impl OpenFlowSwitch {
         }
         for a in actions {
             if matches!(a, Action::Output { .. }) {
-                self.execute_action(kernel, me, a, in_port_wire, &frame);
+                self.execute_action(kernel, me, at, a, in_port_wire, &frame);
             }
         }
     }
@@ -566,33 +595,25 @@ impl OpenFlowSwitch {
         &mut self,
         kernel: &mut Kernel,
         me: ComponentId,
+        at: SimTime,
         in_port_wire: u16,
         packet: &Packet,
     ) {
+        let release_at = at + self.config.lookup_latency;
         let parsed = packet.parse();
         let Some(dst) = parsed.dst_mac() else { return };
         match self.cam.get(&dst) {
             Some(&out) if dst.is_unicast() => {
                 if out + 1 != in_port_wire as usize {
-                    self.pipeline.submit(
-                        kernel,
-                        me,
-                        self.config.lookup_latency,
-                        out,
-                        packet.clone(),
-                    );
+                    self.pipeline
+                        .submit_at(kernel, me, release_at, out, packet.clone());
                 }
             }
             _ => {
                 for p in 1..=self.config.n_ports {
                     if p != in_port_wire as usize {
-                        self.pipeline.submit(
-                            kernel,
-                            me,
-                            self.config.lookup_latency,
-                            p - 1,
-                            packet.clone(),
-                        );
+                        self.pipeline
+                            .submit_at(kernel, me, release_at, p - 1, packet.clone());
                     }
                 }
             }
@@ -603,6 +624,7 @@ impl OpenFlowSwitch {
         &mut self,
         kernel: &mut Kernel,
         me: ComponentId,
+        at: SimTime,
         in_port_wire: u16,
         reason: PacketInReason,
         packet: &Packet,
@@ -615,7 +637,96 @@ impl OpenFlowSwitch {
             total_len: packet.frame_len() as u16,
         };
         let proc = self.config.packet_in_proc;
-        self.enqueue_cpu(kernel, me, job, proc);
+        self.enqueue_cpu(kernel, me, at, job, proc);
+    }
+
+    /// The dataplane path for one frame that arrived on data port
+    /// `port` at instant `at`: CAM learn, table lookup, forward or
+    /// punt. Used by scalar dispatch (`at == kernel.now()`) and by the
+    /// non-block batch fallback.
+    fn data_frame_at(
+        &mut self,
+        kernel: &mut Kernel,
+        me: ComponentId,
+        at: SimTime,
+        port: usize,
+        packet: Packet,
+    ) {
+        let in_port_wire = (port + 1) as u16;
+        let parsed = packet.parse();
+        if let Some(src) = parsed.src_mac() {
+            if src.is_unicast() {
+                self.cam.insert(src, port);
+            }
+        }
+        let frame_len = packet.frame_len();
+        let idx = if self.config.compiled_lookup {
+            self.table
+                .lookup_key_idx(in_port_wire, &FlowKey::extract(&parsed))
+        } else {
+            self.table.lookup_idx(in_port_wire, &parsed)
+        };
+        match idx {
+            Some(i) => {
+                let entry = self.table.entry_mut(i);
+                FlowTable::account(entry, at, frame_len);
+                let actions = entry.actions.clone();
+                self.forward_with_actions(kernel, me, at, &actions, in_port_wire, packet);
+            }
+            None => {
+                self.punt(
+                    kernel,
+                    me,
+                    at,
+                    in_port_wire,
+                    PacketInReason::NoMatch,
+                    &packet,
+                );
+            }
+        }
+    }
+
+    /// Forward one block's worth of staged arrivals: one classification
+    /// sweep for the whole block, then each member's forwarding at its
+    /// own arrival instant, in arrival order.
+    fn flush_block(
+        &mut self,
+        kernel: &mut Kernel,
+        me: ComponentId,
+        in_port_wire: u16,
+        block: &FlowKeyBlock,
+        staged: &mut Vec<(SimTime, Packet, FlowKey)>,
+    ) {
+        let verdicts = self.table.lookup_block_idx(in_port_wire, block);
+        for (lane, (at, packet, key)) in staged.drain(..).enumerate() {
+            // CAM learning stays in member order — a later member's
+            // NORMAL forwarding may depend on this member's learn. The
+            // lookup itself is learn-independent, so classifying the
+            // block before learning is exact.
+            if let Some(src) = key.src_mac() {
+                if src.is_unicast() {
+                    self.cam.insert(src, (in_port_wire - 1) as usize);
+                }
+            }
+            match verdicts[lane] {
+                Some(i) => {
+                    let entry = self.table.entry_mut(i);
+                    FlowTable::account(entry, at, packet.frame_len());
+                    let actions = entry.actions.clone();
+                    self.forward_with_actions(kernel, me, at, &actions, in_port_wire, packet);
+                }
+                None => {
+                    self.punt(
+                        kernel,
+                        me,
+                        at,
+                        in_port_wire,
+                        PacketInReason::NoMatch,
+                        &packet,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -667,25 +778,59 @@ impl Component for OpenFlowSwitch {
             self.on_control_frame(kernel, me, &packet);
             return;
         }
+        self.data_frame_at(kernel, me, kernel.now(), port, packet);
+    }
+
+    fn wants_packet_batches(&self) -> bool {
+        self.config.batch
+    }
+
+    fn wants_packet_batches_on(&self, port: usize) -> bool {
+        // The control channel stays scalar: its handler sends immediate
+        // Hello replies, which need per-frame `now`.
+        self.config.batch && port != self.control_port()
+    }
+
+    fn batch_window(&self) -> Option<SimDuration> {
+        // Everything the data path schedules is at least this far after
+        // the triggering arrival: fabric submissions release at
+        // `lookup_latency`, punts occupy the CPU for `packet_in_proc`.
+        // Capping coalescing at this window keeps batch dispatch
+        // byte-identical to scalar (see `Component::batch_window`).
+        Some(self.config.lookup_latency.min(self.config.packet_in_proc))
+    }
+
+    fn on_packet_batch(
+        &mut self,
+        kernel: &mut Kernel,
+        me: ComponentId,
+        port: usize,
+        batch: &mut Vec<(SimTime, Packet)>,
+    ) {
+        debug_assert_ne!(port, self.control_port());
+        if !self.config.compiled_lookup {
+            for (t, packet) in batch.drain(..) {
+                self.data_frame_at(kernel, me, t, port, packet);
+            }
+            return;
+        }
+        // Block path: stage up to a block's worth of arrivals, classify
+        // them against the whole table in one masked-word sweep per row,
+        // then forward each at its own arrival instant.
         let in_port_wire = (port + 1) as u16;
-        // Learn for the NORMAL pipeline.
-        let parsed = packet.parse();
-        if let Some(src) = parsed.src_mac() {
-            if src.is_unicast() {
-                self.cam.insert(src, port);
+        let mut block = FlowKeyBlock::new();
+        let mut staged: Vec<(SimTime, Packet, FlowKey)> = Vec::with_capacity(batch.len());
+        for (t, packet) in batch.drain(..) {
+            let key = FlowKey::extract(&packet.parse());
+            block.push(&key);
+            staged.push((t, packet, key));
+            if block.is_full() {
+                self.flush_block(kernel, me, in_port_wire, &block, &mut staged);
+                block.clear();
             }
         }
-        let frame_len = packet.frame_len();
-        let lookup = self.table.lookup(in_port_wire, &parsed);
-        match lookup {
-            Some(entry) => {
-                FlowTable::account(entry, kernel.now(), frame_len);
-                let actions = entry.actions.clone();
-                self.forward_with_actions(kernel, me, &actions, in_port_wire, packet);
-            }
-            None => {
-                self.punt(kernel, me, in_port_wire, PacketInReason::NoMatch, &packet);
-            }
+        if !staged.is_empty() {
+            self.flush_block(kernel, me, in_port_wire, &block, &mut staged);
         }
     }
 

@@ -1,0 +1,400 @@
+//! Offline stand-in for the `smallvec` crate (the build environment has
+//! no crates.io access): a growable vector that stores up to `N`
+//! elements inline — no heap allocation — and spills to an ordinary
+//! `Vec<T>` once it grows past the inline capacity.
+//!
+//! Only the API subset this workspace uses is provided. The shape
+//! differs from upstream `smallvec` (const-generic `SmallVec<T, N>`
+//! instead of the `SmallVec<[T; N]>` array-trait encoding) because the
+//! stand-in targets our call sites, not drop-in source compatibility.
+
+use std::mem::MaybeUninit;
+
+/// A vector holding up to `N` elements inline, spilling to the heap
+/// beyond that.
+pub struct SmallVec<T, const N: usize> {
+    /// Inline storage; elements `0..len` are initialised iff `!spilled`.
+    inline: [MaybeUninit<T>; N],
+    /// Length of the inline prefix (0 once spilled).
+    len: usize,
+    /// Heap storage; holds *all* elements once `spilled`.
+    heap: Vec<T>,
+    spilled: bool,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            // SAFETY: an array of `MaybeUninit` needs no initialisation.
+            inline: unsafe { MaybeUninit::uninit().assume_init() },
+            len: 0,
+            heap: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once elements have moved to the heap.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// The inline capacity `N`.
+    #[inline]
+    pub fn inline_size(&self) -> usize {
+        N
+    }
+
+    /// Append an element, spilling to the heap when the inline buffer
+    /// is full.
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+            return;
+        }
+        if self.len < N {
+            self.inline[self.len].write(value);
+            self.len += 1;
+            return;
+        }
+        self.spill(self.len + 1);
+        self.heap.push(value);
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            return self.heap.pop();
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: index `len` was initialised and is now out of the
+        // live prefix, so ownership moves out exactly once.
+        Some(unsafe { self.inline[self.len].assume_init_read() })
+    }
+
+    /// Remove and return the element at `index`, shifting the tail
+    /// left. Panics when out of bounds.
+    pub fn remove(&mut self, index: usize) -> T {
+        if self.spilled {
+            return self.heap.remove(index);
+        }
+        assert!(index < self.len, "remove index {index} out of bounds");
+        // SAFETY: `index` is initialised; the shift below re-fills its
+        // slot, keeping `0..len-1` the initialised prefix.
+        let out = unsafe { self.inline[index].assume_init_read() };
+        for i in index..self.len - 1 {
+            // SAFETY: slot i+1 is initialised; moving it left leaves
+            // slot i initialised and i+1 logically vacant.
+            let v = unsafe { self.inline[i + 1].assume_init_read() };
+            self.inline[i].write(v);
+        }
+        self.len -= 1;
+        out
+    }
+
+    /// Split into two at `at`: `self` keeps `0..at`, the returned
+    /// vector holds `at..len`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        let n = self.len();
+        assert!(at <= n, "split_off index {at} out of bounds (len {n})");
+        let mut tail = SmallVec::new();
+        if self.spilled {
+            tail.extend(self.heap.split_off(at));
+            return tail;
+        }
+        for i in at..n {
+            // SAFETY: `i` is in the initialised prefix; each slot is
+            // read exactly once and the length is truncated below.
+            tail.push(unsafe { self.inline[i].assume_init_read() });
+        }
+        self.len = at;
+        tail
+    }
+
+    /// View the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            // SAFETY: `0..len` is the initialised inline prefix.
+            unsafe { std::slice::from_raw_parts(self.inline.as_ptr() as *const T, self.len) }
+        }
+    }
+
+    /// View the elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            // SAFETY: `0..len` is the initialised inline prefix.
+            unsafe { std::slice::from_raw_parts_mut(self.inline.as_mut_ptr() as *mut T, self.len) }
+        }
+    }
+
+    /// Iterate by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Iterate by mutable reference.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.as_mut_slice().iter_mut()
+    }
+
+    /// Move every inline element into the heap vector.
+    fn spill(&mut self, capacity: usize) {
+        debug_assert!(!self.spilled);
+        self.heap.reserve(capacity.max(self.len));
+        for i in 0..self.len {
+            // SAFETY: `0..len` is initialised; each slot is moved out
+            // exactly once and `len` is zeroed right after.
+            self.heap.push(unsafe { self.inline[i].assume_init_read() });
+        }
+        self.len = 0;
+        self.spilled = true;
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        if !self.spilled {
+            for i in 0..self.len {
+                // SAFETY: `0..len` is the initialised prefix; dropped
+                // exactly once here.
+                unsafe { self.inline[i].assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        self.iter().cloned().collect()
+    }
+}
+
+/// Consuming iterator over a [`SmallVec`].
+pub struct IntoIter<T, const N: usize> {
+    vec: SmallVec<T, N>,
+    next: usize,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if self.vec.spilled {
+            if self.next >= self.vec.heap.len() {
+                return None;
+            }
+            // Draining from the front of the heap vec: swap-free read
+            // via replace would need T: Default; a VecDeque would be
+            // overkill. Take ownership by index using a raw read and
+            // mark the element consumed by advancing `next`; the Drop
+            // impl below skips consumed slots.
+            let v = unsafe { std::ptr::read(self.vec.heap.as_ptr().add(self.next)) };
+            self.next += 1;
+            Some(v)
+        } else {
+            if self.next >= self.vec.len {
+                return None;
+            }
+            // SAFETY: each inline slot is read exactly once; Drop skips
+            // `0..next`.
+            let v = unsafe { self.vec.inline[self.next].assume_init_read() };
+            self.next += 1;
+            Some(v)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len().saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        // Drop the unconsumed tail, then defuse the SmallVec's own Drop
+        // (and Vec's) so nothing is dropped twice.
+        if self.vec.spilled {
+            for i in self.next..self.vec.heap.len() {
+                unsafe { std::ptr::drop_in_place(self.vec.heap.as_mut_ptr().add(i)) };
+            }
+            // SAFETY: all heap elements are either moved out or dropped.
+            unsafe { self.vec.heap.set_len(0) };
+        } else {
+            for i in self.next..self.vec.len {
+                unsafe { self.vec.inline[i].assume_init_drop() };
+            }
+            self.vec.len = 0;
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { vec: self, next: 0 }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn pop_and_remove() {
+        let mut v: SmallVec<String, 3> = SmallVec::new();
+        for s in ["a", "b", "c"] {
+            v.push(s.to_string());
+        }
+        assert_eq!(v.remove(0), "a");
+        assert_eq!(v.as_slice(), &["b".to_string(), "c".to_string()]);
+        assert_eq!(v.pop().as_deref(), Some("c"));
+        assert_eq!(v.pop().as_deref(), Some("b"));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn split_off_inline_and_spilled() {
+        let mut v: SmallVec<u8, 2> = (0..6).collect();
+        assert!(v.spilled());
+        let tail = v.split_off(2);
+        assert_eq!(v.as_slice(), &[0, 1]);
+        assert_eq!(tail.as_slice(), &[2, 3, 4, 5]);
+
+        let mut w: SmallVec<u8, 8> = (0..6).collect();
+        assert!(!w.spilled());
+        let tail = w.split_off(4);
+        assert_eq!(w.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(tail.as_slice(), &[4, 5]);
+    }
+
+    #[test]
+    fn into_iter_moves_everything_once() {
+        // Rc counts prove each element is dropped/moved exactly once.
+        let token = Rc::new(());
+        let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+        for _ in 0..5 {
+            v.push(token.clone());
+        }
+        assert_eq!(Rc::strong_count(&token), 6);
+        let collected: Vec<_> = v.into_iter().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(Rc::strong_count(&token), 6);
+        drop(collected);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn partial_into_iter_drops_tail() {
+        let token = Rc::new(());
+        let mut v: SmallVec<Rc<()>, 8> = SmallVec::new();
+        for _ in 0..5 {
+            v.push(token.clone());
+        }
+        let mut it = v.into_iter();
+        let _first = it.next().unwrap();
+        drop(it);
+        assert_eq!(Rc::strong_count(&token), 2); // token + _first
+    }
+
+    #[test]
+    fn drop_inline_releases_elements() {
+        let token = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(token.clone());
+            v.push(token.clone());
+            assert_eq!(Rc::strong_count(&token), 3);
+        }
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+}
