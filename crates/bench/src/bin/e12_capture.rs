@@ -128,6 +128,7 @@ fn run(frames: u64, compiled: bool, batch: bool) -> RunOut {
         host: HostPathConfig::unlimited(),
         compiled_filter: compiled,
         batch,
+        capture_limit: None,
     };
     let (mon, buffer, stats) = MonitorPort::new(mon_cfg, clock_rx);
     let mut b = SimBuilder::new();

@@ -1,0 +1,133 @@
+//! E14 — deterministic chaos campaign: composed fault schedules,
+//! crash-point injection, and the global invariant audit.
+//!
+//! "Can you trust a number this platform prints?" is an experiment,
+//! not an assertion. This harness runs the built-in chaos corpus —
+//! bursty loss, corruption storms, reorder+duplicate, GPS holdover,
+//! capture overload, control-channel flaps, supervisor crash sweeps and
+//! journal torture — across a seed axis and at 1/2/4 kernel shards, and
+//! audits **every** report with the invariant auditor:
+//!
+//! * packet conservation: every generated frame ends in exactly one
+//!   ledger (captured, CRC-failed, fault-dropped, host-dropped, shed);
+//! * latency sanity: order statistics ordered, samples causal;
+//! * shard parity: the same scenario at 1, 2 and 4 shards renders
+//!   byte-identical reports;
+//! * control ledger: offered == dropped + delivered, sink agrees;
+//! * crash-resume: every journal append is a crash point; resume is
+//!   byte-identical or honestly partial;
+//! * journal torture: torn tails and bit flips never panic, never
+//!   fabricate.
+//!
+//! The pass criterion is printed last: **zero violations**. The JSON
+//! artifact (`--json PATH`) carries the full tally for CI trending; it
+//! deliberately has no throughput rows — `scripts/perf_guard.py` knows
+//! this artifact is a correctness record, not a rate record.
+
+use osnt_chaos::{run_campaign, CampaignConfig, ChaosPlan};
+
+fn main() {
+    let mut seeds: u64 = 4;
+    let mut shards: Vec<usize> = vec![1, 2, 4];
+    let mut crash_points = true;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = args.next().expect("--seeds takes a count");
+                seeds = v.parse().expect("--seeds takes an integer");
+            }
+            "--shards" => {
+                let v = args.next().expect("--shards takes a list like 1,2,4");
+                shards = v
+                    .split(',')
+                    .map(|p| p.trim().parse().expect("--shards takes integers"))
+                    .collect();
+            }
+            "--crash-points" => {
+                let v = args.next().expect("--crash-points takes true/false");
+                crash_points = v.parse().expect("--crash-points takes true/false");
+            }
+            "--json" => json = Some(args.next().expect("--json takes a path")),
+            other => panic!(
+                "unknown argument {other} (expected --seeds N / --shards 1,2,4 / --crash-points B / --json PATH)"
+            ),
+        }
+    }
+
+    let plan = ChaosPlan::builtin();
+    println!(
+        "E14: chaos campaign, {} scenarios x {seeds} seeds x shards {:?}, crash points: {crash_points}\n",
+        plan.scenarios.len(),
+        shards
+    );
+    let cfg = CampaignConfig {
+        plan,
+        seeds,
+        shard_counts: shards.clone(),
+        crash_points,
+        scratch_dir: std::env::temp_dir(),
+    };
+    let start = std::time::Instant::now();
+    let report = run_campaign(&cfg).expect("campaign configuration is valid");
+    let wall = start.elapsed().as_secs_f64();
+    print!("{}", report.render());
+    println!("wall time: {wall:.1}s");
+
+    if let Some(path) = json {
+        let scenarios = report
+            .scenarios
+            .iter()
+            .map(|s| {
+                let (cp, bi, hp) = s
+                    .crash
+                    .map(|c| (c.crash_points, c.byte_identical, c.honest_partial))
+                    .unwrap_or((0, 0, 0));
+                let (tt, tf, tr, th) = s
+                    .torture
+                    .map(|t| (t.truncations, t.bit_flips, t.resumed_identical, t.honest_errors))
+                    .unwrap_or((0, 0, 0, 0));
+                format!(
+                    "{{\"name\":\"{}\",\"runs\":{},\"offered\":{},\"dropped\":{},\"duplicated\":{},\"corrupted\":{},\"reordered\":{},\"capture_shed\":{},\"crash_points\":{cp},\"byte_identical\":{bi},\"honest_partial\":{hp},\"truncations\":{tt},\"bit_flips\":{tf},\"torture_resumed\":{tr},\"torture_honest\":{th}}}",
+                    s.scenario,
+                    s.runs,
+                    s.fault_totals.offered,
+                    s.fault_totals.dropped,
+                    s.fault_totals.duplicated,
+                    s.fault_totals.corrupted,
+                    s.fault_totals.reordered,
+                    s.capture_shed,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let shard_list = shards
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let body = format!(
+            "{{\"bench\":\"e14_chaos\",\"plan\":\"{}\",\"seeds\":{seeds},\"shards\":[{shard_list}],\"crash_points\":{crash_points},\"runs\":{},\"audited\":{},\"violations\":{},\"wall_s\":{wall:.3},\"scenarios\":[{scenarios}]}}\n",
+            report.plan,
+            report.runs(),
+            report.audited,
+            report.violations.len(),
+        );
+        std::fs::write(&path, body).expect("write json artifact");
+    }
+
+    // The bench *is* the acceptance gate: a dirty audit fails the run.
+    assert!(
+        report.is_clean(),
+        "chaos campaign found {} invariant violation(s):\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+    println!("\nPASS: zero invariant violations across the corpus");
+}

@@ -1,0 +1,732 @@
+//! Declarative chaos plans and their lowering.
+//!
+//! A [`ChaosPlan`] is a seeded schedule of *fault episodes* composed
+//! over simulated time: link loss/corrupt/reorder bursts, control
+//! channel stalls and disconnects, GPS holdover windows, capture-ring
+//! pressure, supervisor crash-point sweeps and journal torture. The
+//! plan itself is pure data — nothing here touches a kernel.
+//!
+//! Execution goes through [`ChaosScenario::lower`], which compiles the
+//! episode list onto the knobs the platform already has — a
+//! [`FaultConfig`] for the probe path, a [`GpsSignal`] outage schedule,
+//! a [`ControlFaultConfig`] window script, a capture bound — the same
+//! way `FilterTable::compile()` lowers match rules onto the fast path.
+//! Lowering validates: episodes that contradict each other (two loss
+//! processes on one wire) or fall outside the scenario window are typed
+//! [`OsntError`]s before any event executes.
+
+use crate::toml::{parse as parse_toml, TomlTable};
+use oflops_turbo::ControlFaultConfig;
+use osnt_error::OsntError;
+use osnt_netsim::{FaultConfig, GilbertElliott, LossModel};
+use osnt_time::{GpsSignal, SimDuration, SimTime};
+
+/// One fault episode. Each variant lowers onto an existing injection
+/// knob; composition rules live in [`ChaosScenario::lower`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Episode {
+    /// Gilbert–Elliott bursty loss on the probe path.
+    LossBurst {
+        /// Probability of entering a burst at a frame.
+        enter_probability: f64,
+        /// Mean burst length in frames.
+        mean_burst_frames: f64,
+    },
+    /// Independent per-frame loss on the probe path.
+    UniformLoss {
+        /// Per-frame drop probability.
+        probability: f64,
+    },
+    /// In-flight corruption (FCS-invalidating bit flips).
+    Corrupt {
+        /// Per-frame corruption probability.
+        probability: f64,
+        /// Bits flipped per corrupted frame.
+        bits: u32,
+    },
+    /// Bounded reordering.
+    Reorder {
+        /// Probability a frame is held back.
+        probability: f64,
+        /// Extra hold applied to reordered frames.
+        hold: SimDuration,
+    },
+    /// Frame duplication.
+    Duplicate {
+        /// Per-frame duplication probability.
+        probability: f64,
+    },
+    /// Fixed extra delay plus FIFO jitter.
+    Jitter {
+        /// Fixed extra one-way delay.
+        extra_delay: SimDuration,
+        /// Uniform jitter on top.
+        jitter: SimDuration,
+    },
+    /// GPS fix outage: the card's discipline coasts in holdover.
+    GpsOutage {
+        /// Outage start.
+        start: SimTime,
+        /// Outage length.
+        length: SimDuration,
+    },
+    /// Control-channel stall window (frames held, released in order).
+    ControlStall {
+        /// Window start.
+        start: SimTime,
+        /// Window length.
+        length: SimDuration,
+    },
+    /// Control-channel disconnect window (frames dropped).
+    ControlDown {
+        /// Window start.
+        start: SimTime,
+        /// Window length.
+        length: SimDuration,
+    },
+    /// Control-channel short reads.
+    ControlTruncate {
+        /// Per-frame truncation probability.
+        probability: f64,
+    },
+    /// Exhaustive supervisor crash-point sweep: kill the run at every
+    /// journal append, resume, and demand a byte-identical (or honestly
+    /// partial) report. See [`crate::crash::crash_point_sweep`].
+    CrashSweep,
+    /// Journal torture: torn tails and mid-file bit flips thrown at a
+    /// finished run's journal before resuming it. See
+    /// [`crate::crash::journal_torture`].
+    JournalTorture,
+}
+
+impl Episode {
+    fn kind(&self) -> &'static str {
+        match self {
+            Episode::LossBurst { .. } => "loss-burst",
+            Episode::UniformLoss { .. } => "uniform-loss",
+            Episode::Corrupt { .. } => "corrupt",
+            Episode::Reorder { .. } => "reorder",
+            Episode::Duplicate { .. } => "duplicate",
+            Episode::Jitter { .. } => "jitter",
+            Episode::GpsOutage { .. } => "gps-outage",
+            Episode::ControlStall { .. } => "control-stall",
+            Episode::ControlDown { .. } => "control-down",
+            Episode::ControlTruncate { .. } => "control-truncate",
+            Episode::CrashSweep => "crash-sweep",
+            Episode::JournalTorture => "journal-torture",
+        }
+    }
+}
+
+/// One scenario: a data-plane run shape plus its episode list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    /// Scenario name (unique within a plan).
+    pub name: String,
+    /// Generation window of the data-plane run.
+    pub duration: SimDuration,
+    /// Warm-up discarded at the head of the window.
+    pub warmup: SimDuration,
+    /// Background load offered alongside the probe.
+    pub background_load: f64,
+    /// Capture-ring bound (packets); `Some` arms backpressure shedding.
+    pub capture_limit: Option<usize>,
+    /// The fault episodes to compose.
+    pub episodes: Vec<Episode>,
+}
+
+impl Default for ChaosScenario {
+    fn default() -> Self {
+        ChaosScenario {
+            name: "unnamed".into(),
+            duration: SimDuration::from_ms(5),
+            warmup: SimDuration::from_ms(1),
+            background_load: 0.3,
+            capture_limit: None,
+            episodes: Vec::new(),
+        }
+    }
+}
+
+/// What a scenario's episodes compile down to.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredScenario {
+    /// Probe-path fault injection (`None` = clean wire).
+    pub faults: Option<FaultConfig>,
+    /// GPS signal with the scheduled outages (`None` = always locked).
+    pub gps: Option<GpsSignal>,
+    /// Control-channel fault script (`None` = no control episodes; the
+    /// campaign skips the control harness entirely).
+    pub control: Option<ControlFaultConfig>,
+    /// Run the supervisor crash-point sweep for this scenario.
+    pub crash_sweep: bool,
+    /// Run journal torture (torn tail + bit flips) for this scenario.
+    pub journal_torture: bool,
+}
+
+impl ChaosScenario {
+    fn conflict(&self, what: &str) -> OsntError {
+        OsntError::config(
+            "chaos plan",
+            format!("scenario {:?}: conflicting episodes: {what}", self.name),
+        )
+    }
+
+    /// Compile the episode list onto the platform's injection knobs.
+    /// `seed` feeds every stochastic episode, so the lowered scenario
+    /// is exactly reproducible and varies deterministically across the
+    /// campaign's seed axis.
+    pub fn lower(&self, seed: u64) -> Result<LoweredScenario, OsntError> {
+        let mut out = LoweredScenario::default();
+        let mut faults: Option<FaultConfig> = None;
+        let mut outages: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut control: Option<ControlFaultConfig> = None;
+        let horizon = SimTime::from_ms(1) + self.duration + SimDuration::from_ms(10);
+
+        fn fc(faults: &mut Option<FaultConfig>, seed: u64) -> &mut FaultConfig {
+            faults.get_or_insert_with(|| FaultConfig {
+                seed: seed ^ 0xDA7A_F1A7,
+                ..FaultConfig::default()
+            })
+        }
+        fn ctl(control: &mut Option<ControlFaultConfig>, seed: u64) -> &mut ControlFaultConfig {
+            control.get_or_insert_with(|| ControlFaultConfig {
+                seed: seed.rotate_left(17) ^ 0xC0DE,
+                ..ControlFaultConfig::clean()
+            })
+        }
+
+        for ep in &self.episodes {
+            match *ep {
+                Episode::LossBurst {
+                    enter_probability,
+                    mean_burst_frames,
+                } => {
+                    let f = fc(&mut faults, seed);
+                    if !matches!(f.loss, LossModel::None) {
+                        return Err(self.conflict("two loss processes on the probe path"));
+                    }
+                    f.loss = LossModel::GilbertElliott(GilbertElliott::bursty(
+                        enter_probability,
+                        mean_burst_frames,
+                    ));
+                }
+                Episode::UniformLoss { probability } => {
+                    let f = fc(&mut faults, seed);
+                    if !matches!(f.loss, LossModel::None) {
+                        return Err(self.conflict("two loss processes on the probe path"));
+                    }
+                    f.loss = LossModel::Uniform { probability };
+                }
+                Episode::Corrupt { probability, bits } => {
+                    let f = fc(&mut faults, seed);
+                    if f.corrupt_probability > 0.0 {
+                        return Err(self.conflict("two corruption episodes"));
+                    }
+                    f.corrupt_probability = probability;
+                    f.corrupt_bits = bits;
+                }
+                Episode::Reorder { probability, hold } => {
+                    let f = fc(&mut faults, seed);
+                    if f.reorder_probability > 0.0 {
+                        return Err(self.conflict("two reorder episodes"));
+                    }
+                    f.reorder_probability = probability;
+                    f.reorder_hold = hold;
+                }
+                Episode::Duplicate { probability } => {
+                    let f = fc(&mut faults, seed);
+                    if f.duplicate_probability > 0.0 {
+                        return Err(self.conflict("two duplication episodes"));
+                    }
+                    f.duplicate_probability = probability;
+                }
+                Episode::Jitter {
+                    extra_delay,
+                    jitter,
+                } => {
+                    let f = fc(&mut faults, seed);
+                    if f.extra_delay != SimDuration::ZERO || f.jitter != SimDuration::ZERO {
+                        return Err(self.conflict("two jitter episodes"));
+                    }
+                    f.extra_delay = extra_delay;
+                    f.jitter = jitter;
+                }
+                Episode::GpsOutage { start, length } => {
+                    if length == SimDuration::ZERO {
+                        return Err(self.conflict("zero-length GPS outage"));
+                    }
+                    outages.push((start, start + length));
+                }
+                Episode::ControlStall { start, length } => {
+                    if start >= horizon {
+                        return Err(self.conflict("control stall starts after the run horizon"));
+                    }
+                    ctl(&mut control, seed).stalls.push((start, start + length));
+                }
+                Episode::ControlDown { start, length } => {
+                    if start >= horizon {
+                        return Err(self.conflict("control outage starts after the run horizon"));
+                    }
+                    ctl(&mut control, seed)
+                        .disconnects
+                        .push((start, start + length));
+                }
+                Episode::ControlTruncate { probability } => {
+                    let c = ctl(&mut control, seed);
+                    if c.truncate_probability > 0.0 {
+                        return Err(self.conflict("two control-truncation episodes"));
+                    }
+                    c.truncate_probability = probability;
+                }
+                Episode::CrashSweep => out.crash_sweep = true,
+                Episode::JournalTorture => out.journal_torture = true,
+            }
+        }
+
+        if let Some(f) = &faults {
+            f.validate()?;
+        }
+        if let Some(c) = &control {
+            c.validate()?;
+        }
+        if !outages.is_empty() {
+            outages.sort();
+            out.gps = Some(GpsSignal::with_outages(outages));
+        }
+        out.faults = faults;
+        out.control = control;
+        Ok(out)
+    }
+}
+
+/// A full chaos campaign plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Plan name (lands in reports and artifacts).
+    pub name: String,
+    /// Base RNG seed; campaign seed *s* runs at `base_seed + s`.
+    pub base_seed: u64,
+    /// The scenario corpus.
+    pub scenarios: Vec<ChaosScenario>,
+}
+
+impl ChaosPlan {
+    /// Structural validation: at least one scenario, unique names,
+    /// every scenario lowers cleanly at the base seed.
+    pub fn validate(&self) -> Result<(), OsntError> {
+        if self.scenarios.is_empty() {
+            return Err(OsntError::config("chaos plan", "plan has no scenarios"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.scenarios {
+            if !seen.insert(s.name.as_str()) {
+                return Err(OsntError::config(
+                    "chaos plan",
+                    format!("duplicate scenario name {:?}", s.name),
+                ));
+            }
+            if s.warmup >= s.duration {
+                return Err(OsntError::config(
+                    "chaos plan",
+                    format!("scenario {:?}: warmup swallows the whole window", s.name),
+                ));
+            }
+            s.lower(self.base_seed)?;
+        }
+        Ok(())
+    }
+
+    /// Parse a plan from its TOML source. Top level: `name`,
+    /// `base_seed`; one `[[scenario]]` per scenario with nested
+    /// `[[scenario.episode]]` tables (each tagged by `kind`).
+    pub fn parse(src: &str) -> Result<ChaosPlan, OsntError> {
+        let tables = parse_toml(src)?;
+        let mut plan = ChaosPlan {
+            name: "chaos".into(),
+            base_seed: 1,
+            scenarios: Vec::new(),
+        };
+        for table in &tables {
+            match table.header.as_str() {
+                "" => {
+                    if let Some(n) = table.str_of("name")? {
+                        plan.name = n.to_string();
+                    }
+                    if let Some(s) = table.u64_of("base_seed")? {
+                        plan.base_seed = s;
+                    }
+                }
+                "scenario" => {
+                    let mut sc = ChaosScenario {
+                        name: table
+                            .str_of("name")?
+                            .ok_or_else(|| {
+                                OsntError::config(
+                                    "chaos plan",
+                                    format!("[[scenario]] (line {}) needs a name", table.line),
+                                )
+                            })?
+                            .to_string(),
+                        ..ChaosScenario::default()
+                    };
+                    if let Some(ms) = table.u64_of("duration_ms")? {
+                        sc.duration = SimDuration::from_ms(ms);
+                    }
+                    if let Some(ms) = table.u64_of("warmup_ms")? {
+                        sc.warmup = SimDuration::from_ms(ms);
+                    }
+                    if let Some(l) = table.f64_of("background_load")? {
+                        sc.background_load = l;
+                    }
+                    if let Some(n) = table.u64_of("capture_limit")? {
+                        sc.capture_limit = Some(n as usize);
+                    }
+                    plan.scenarios.push(sc);
+                }
+                "scenario.episode" => {
+                    let Some(sc) = plan.scenarios.last_mut() else {
+                        return Err(OsntError::config(
+                            "chaos plan",
+                            format!(
+                                "[[scenario.episode]] (line {}) before any [[scenario]]",
+                                table.line
+                            ),
+                        ));
+                    };
+                    sc.episodes.push(parse_episode(table)?);
+                }
+                other => {
+                    return Err(OsntError::config(
+                        "chaos plan",
+                        format!("unknown table [[{other}]] (line {})", table.line),
+                    ));
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The committed scenario corpus: every fault surface the platform
+    /// injects, composed. This is what `osnt chaos` and the E14
+    /// campaign run by default.
+    pub fn builtin() -> ChaosPlan {
+        let ms = SimDuration::from_ms;
+        let us = SimDuration::from_us;
+        let plan = ChaosPlan {
+            name: "builtin".into(),
+            base_seed: 11,
+            scenarios: vec![
+                ChaosScenario {
+                    name: "clean-baseline".into(),
+                    background_load: 0.5,
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "bursty-loss".into(),
+                    episodes: vec![Episode::LossBurst {
+                        enter_probability: 0.01,
+                        mean_burst_frames: 8.0,
+                    }],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "corrupt-storm".into(),
+                    episodes: vec![Episode::Corrupt {
+                        probability: 0.05,
+                        bits: 3,
+                    }],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "reorder-dup".into(),
+                    episodes: vec![
+                        Episode::Reorder {
+                            probability: 0.02,
+                            hold: us(50),
+                        },
+                        Episode::Duplicate { probability: 0.02 },
+                    ],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "kitchen-sink".into(),
+                    background_load: 0.6,
+                    episodes: vec![
+                        Episode::LossBurst {
+                            enter_probability: 0.005,
+                            mean_burst_frames: 5.0,
+                        },
+                        Episode::Corrupt {
+                            probability: 0.02,
+                            bits: 1,
+                        },
+                        Episode::Duplicate { probability: 0.02 },
+                        Episode::Reorder {
+                            probability: 0.01,
+                            hold: us(100),
+                        },
+                        Episode::Jitter {
+                            extra_delay: us(2),
+                            jitter: us(1),
+                        },
+                    ],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "gps-holdover".into(),
+                    episodes: vec![Episode::GpsOutage {
+                        start: SimTime::from_ms(2),
+                        length: ms(2),
+                    }],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "overload-shed".into(),
+                    background_load: 1.0,
+                    capture_limit: Some(128),
+                    episodes: Vec::new(),
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "control-chaos".into(),
+                    episodes: vec![
+                        Episode::ControlDown {
+                            start: SimTime::from_us(300),
+                            length: us(200),
+                        },
+                        Episode::ControlStall {
+                            start: SimTime::from_us(700),
+                            length: us(150),
+                        },
+                        Episode::ControlTruncate { probability: 0.05 },
+                    ],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "crash-resume".into(),
+                    episodes: vec![Episode::CrashSweep],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "journal-torture".into(),
+                    episodes: vec![Episode::JournalTorture],
+                    ..ChaosScenario::default()
+                },
+            ],
+        };
+        plan.validate().expect("builtin plan is valid");
+        plan
+    }
+}
+
+fn parse_episode(t: &TomlTable) -> Result<Episode, OsntError> {
+    let kind = t.str_of("kind")?.ok_or_else(|| {
+        OsntError::config(
+            "chaos plan",
+            format!("[[scenario.episode]] (line {}) needs a kind", t.line),
+        )
+    })?;
+    let missing = |key: &str| {
+        OsntError::config(
+            "chaos plan",
+            format!("episode {kind:?} (line {}) needs `{key}`", t.line),
+        )
+    };
+    let p = |key: &str| -> Result<f64, OsntError> { t.f64_of(key)?.ok_or_else(|| missing(key)) };
+    let us = |key: &str, default: u64| -> Result<SimDuration, OsntError> {
+        Ok(SimDuration::from_us(t.u64_of(key)?.unwrap_or(default)))
+    };
+    let ep = match kind {
+        "loss-burst" => Episode::LossBurst {
+            enter_probability: p("enter_probability")?,
+            mean_burst_frames: t.f64_of("mean_burst_frames")?.unwrap_or(8.0),
+        },
+        "uniform-loss" => Episode::UniformLoss {
+            probability: p("probability")?,
+        },
+        "corrupt" => Episode::Corrupt {
+            probability: p("probability")?,
+            bits: t.u64_of("bits")?.unwrap_or(1) as u32,
+        },
+        "reorder" => Episode::Reorder {
+            probability: p("probability")?,
+            hold: us("hold_us", 100)?,
+        },
+        "duplicate" => Episode::Duplicate {
+            probability: p("probability")?,
+        },
+        "jitter" => Episode::Jitter {
+            extra_delay: us("extra_delay_us", 0)?,
+            jitter: us("jitter_us", 0)?,
+        },
+        "gps-outage" => Episode::GpsOutage {
+            start: SimTime::from_us(t.u64_of("start_us")?.ok_or_else(|| missing("start_us"))?),
+            length: us("length_us", 1_000)?,
+        },
+        "control-stall" => Episode::ControlStall {
+            start: SimTime::from_us(t.u64_of("start_us")?.ok_or_else(|| missing("start_us"))?),
+            length: us("length_us", 100)?,
+        },
+        "control-down" => Episode::ControlDown {
+            start: SimTime::from_us(t.u64_of("start_us")?.ok_or_else(|| missing("start_us"))?),
+            length: us("length_us", 100)?,
+        },
+        "control-truncate" => Episode::ControlTruncate {
+            probability: p("probability")?,
+        },
+        "crash-sweep" => Episode::CrashSweep,
+        "journal-torture" => Episode::JournalTorture,
+        other => {
+            return Err(OsntError::config(
+                "chaos plan",
+                format!("unknown episode kind {other:?} (line {})", t.line),
+            ))
+        }
+    };
+    let _ = ep.kind();
+    Ok(ep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_plan_is_valid_and_broad() {
+        let plan = ChaosPlan::builtin();
+        assert!(plan.scenarios.len() >= 8, "corpus shrank");
+        plan.validate().unwrap();
+        // Every injection surface is represented somewhere.
+        let lowered: Vec<_> = plan
+            .scenarios
+            .iter()
+            .map(|s| s.lower(plan.base_seed).unwrap())
+            .collect();
+        assert!(lowered.iter().any(|l| l.faults.is_some()));
+        assert!(lowered.iter().any(|l| l.gps.is_some()));
+        assert!(lowered.iter().any(|l| l.control.is_some()));
+        assert!(lowered.iter().any(|l| l.crash_sweep));
+        assert!(lowered.iter().any(|l| l.journal_torture));
+        assert!(plan.scenarios.iter().any(|s| s.capture_limit.is_some()));
+    }
+
+    #[test]
+    fn lowering_composes_episodes_onto_one_fault_config() {
+        let sc = ChaosScenario {
+            episodes: vec![
+                Episode::LossBurst {
+                    enter_probability: 0.01,
+                    mean_burst_frames: 4.0,
+                },
+                Episode::Corrupt {
+                    probability: 0.1,
+                    bits: 2,
+                },
+                Episode::Duplicate { probability: 0.05 },
+            ],
+            ..ChaosScenario::default()
+        };
+        let low = sc.lower(7).unwrap();
+        let f = low.faults.expect("data-plane episodes lower to faults");
+        assert!(matches!(f.loss, LossModel::GilbertElliott(_)));
+        assert_eq!(f.corrupt_probability, 0.1);
+        assert_eq!(f.corrupt_bits, 2);
+        assert_eq!(f.duplicate_probability, 0.05);
+        assert!(low.control.is_none());
+        assert!(low.gps.is_none());
+        // The seed axis changes the lowered seed deterministically.
+        let low2 = sc.lower(8).unwrap();
+        assert_ne!(f.seed, low2.faults.unwrap().seed);
+    }
+
+    #[test]
+    fn conflicting_episodes_are_typed_errors() {
+        let sc = ChaosScenario {
+            episodes: vec![
+                Episode::UniformLoss { probability: 0.1 },
+                Episode::LossBurst {
+                    enter_probability: 0.01,
+                    mean_burst_frames: 4.0,
+                },
+            ],
+            ..ChaosScenario::default()
+        };
+        assert!(matches!(sc.lower(1), Err(OsntError::Config { .. })));
+        let sc = ChaosScenario {
+            episodes: vec![Episode::UniformLoss { probability: 1.5 }],
+            ..ChaosScenario::default()
+        };
+        assert!(matches!(sc.lower(1), Err(OsntError::Config { .. })));
+    }
+
+    #[test]
+    fn gps_and_control_episodes_lower_to_window_schedules() {
+        let sc = ChaosScenario {
+            episodes: vec![
+                Episode::GpsOutage {
+                    start: SimTime::from_ms(3),
+                    length: SimDuration::from_ms(1),
+                },
+                Episode::ControlDown {
+                    start: SimTime::from_us(10),
+                    length: SimDuration::from_us(20),
+                },
+                Episode::ControlTruncate { probability: 0.1 },
+            ],
+            ..ChaosScenario::default()
+        };
+        let low = sc.lower(3).unwrap();
+        let gps = low.gps.unwrap();
+        assert!(!gps.has_fix(SimTime::from_ms(3)));
+        assert!(gps.has_fix(SimTime::from_ms(5)));
+        let c = low.control.unwrap();
+        assert_eq!(c.disconnects.len(), 1);
+        assert_eq!(c.truncate_probability, 0.1);
+        assert!(low.faults.is_none());
+    }
+
+    #[test]
+    fn toml_roundtrip_of_a_plan() {
+        let src = r#"
+name = "from-toml"
+base_seed = 99
+
+[[scenario]]
+name = "wire"
+background_load = 0.4
+duration_ms = 6
+warmup_ms = 1
+
+[[scenario.episode]]
+kind = "loss-burst"
+enter_probability = 0.02
+mean_burst_frames = 6.0
+
+[[scenario.episode]]
+kind = "gps-outage"
+start_us = 2000
+length_us = 1500
+
+[[scenario]]
+name = "squeeze"
+capture_limit = 64
+background_load = 1.0
+"#;
+        let plan = ChaosPlan::parse(src).unwrap();
+        assert_eq!(plan.name, "from-toml");
+        assert_eq!(plan.base_seed, 99);
+        assert_eq!(plan.scenarios.len(), 2);
+        assert_eq!(plan.scenarios[0].episodes.len(), 2);
+        assert_eq!(plan.scenarios[1].capture_limit, Some(64));
+        // Bad plans are typed errors: unknown kind, orphan episode,
+        // duplicate names.
+        assert!(
+            ChaosPlan::parse("[[scenario]]\nname=\"a\"\n[[scenario.episode]]\nkind=\"nope\"")
+                .is_err()
+        );
+        assert!(ChaosPlan::parse("[[scenario.episode]]\nkind=\"crash-sweep\"").is_err());
+        assert!(ChaosPlan::parse("[[scenario]]\nname=\"a\"\n\n[[scenario]]\nname=\"a\"").is_err());
+    }
+}

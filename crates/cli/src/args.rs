@@ -90,7 +90,9 @@ impl From<osnt_error::OsntError> for CliError {
     fn from(e: osnt_error::OsntError) -> Self {
         use osnt_error::OsntError as E;
         match e {
-            E::RunAborted { .. } | E::Panicked { .. } => CliError::Aborted(e),
+            E::RunAborted { .. } | E::Panicked { .. } | E::CrashInjected { .. } => {
+                CliError::Aborted(e)
+            }
             E::NoSamples { .. } => CliError::Partial(e.to_string()),
             other => CliError::Other(other),
         }

@@ -5,6 +5,7 @@ use oflops_turbo::modules::{
     AddLatencyModule, AddLatencyReport, ConsistencyModule, ConsistencyReport, RoundRobinDst,
 };
 use oflops_turbo::{Testbed, TestbedSpec};
+use osnt_chaos::{run_campaign, CampaignConfig, ChaosPlan};
 use osnt_core::experiment::LatencyExperiment;
 use osnt_core::sweep::{render_report, SupervisedSweep, SweepConfig};
 use osnt_core::throughput::ThroughputSearch;
@@ -431,5 +432,54 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             info.phase_index, info.phase, info.reason
         )));
     }
+    Ok(())
+}
+
+/// `osnt chaos` — run a deterministic chaos campaign and audit every
+/// invariant the platform claims. Exit status is the audit: any broken
+/// invariant surfaces as a structured error, never a panic.
+pub fn chaos(args: &Args) -> Result<(), CliError> {
+    let plan_path = args.get_str("plan").map(str::to_string);
+    let seeds: u64 = args.get("seeds", 4)?;
+    let shards_str = args.get_str("shards").unwrap_or("1,2,4").to_string();
+    let crash_points: bool = args.get("crash-points", true)?;
+    let out = args.get_str("out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let plan = match plan_path {
+        Some(path) => {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+            ChaosPlan::parse(&src)?
+        }
+        None => ChaosPlan::builtin(),
+    };
+    let mut shard_counts = Vec::new();
+    for part in shards_str.split(',') {
+        let n: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| UsageError(format!("bad shard count {part:?}")))?;
+        shard_counts.push(n);
+    }
+
+    let cfg = CampaignConfig {
+        plan,
+        seeds,
+        shard_counts,
+        crash_points,
+        scratch_dir: std::env::temp_dir(),
+    };
+    let report = run_campaign(&cfg)?;
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = out {
+        std::fs::write(&path, &rendered)
+            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+    }
+    // The campaign itself always completes; a dirty audit is the
+    // failure. `into_result` carries the first violation as a typed
+    // error so scripts get a non-zero exit and a parseable reason.
+    report.into_result()?;
     Ok(())
 }

@@ -40,6 +40,10 @@ COMMANDS:
                    --resume <path>           continue a crashed/aborted run
                    --kill-at-phase <n>       fault injection: die mid-phase
                    --wedge-at-phase <n>      fault injection: livelock a phase
+    chaos        deterministic chaos campaign with a global invariant audit
+                   --plan <file.toml>        episode schedule (default: builtin corpus)
+                   --seeds <4> --shards <1,2,4> --out <report.txt>
+                   --crash-points <true>     false skips crash sweeps / journal torture
     help         print this text
 
 EXIT CODES:
@@ -71,6 +75,7 @@ fn dispatch(command: &str, rest: Vec<String>) -> Result<(), CliError> {
         "oflops-add" => commands::oflops_add(&args),
         "oflops-mod" => commands::oflops_mod(&args),
         "run" => commands::run(&args),
+        "chaos" => commands::chaos(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -78,6 +78,21 @@ pub struct LatencyExperiment {
     /// report — the supervisor journals them so a resumed run can
     /// splice byte-identical sample streams.
     pub record_raw: bool,
+    /// Shard count override. `Some(1)` forces the single kernel,
+    /// `Some(n ≥ 2)` the sharded one, regardless of the `OSNT_SHARDS`
+    /// environment variable; `None` keeps the env-driven behaviour.
+    /// Chaos campaigns use this to run the same plan at 1/2/4 shards in
+    /// one process without racing on process-global state.
+    pub shards: Option<usize>,
+    /// GPS signal feeding the card's PPS discipline (`None` =
+    /// always-locked). Chaos plans lower holdover episodes into outage
+    /// windows here.
+    pub gps_signal: Option<osnt_time::GpsSignal>,
+    /// Bound on the capture buffer (packets); overflowing frames are
+    /// shed and accounted in [`LatencyReport::capture_shed`]. `None`
+    /// (default) captures without bound. See
+    /// [`osnt_mon::MonConfig::capture_limit`].
+    pub capture_limit: Option<usize>,
 }
 
 impl Default for LatencyExperiment {
@@ -93,6 +108,9 @@ impl Default for LatencyExperiment {
             probe_faults: None,
             progress: None,
             record_raw: false,
+            shards: None,
+            gps_signal: None,
+            capture_limit: None,
         }
     }
 }
@@ -133,6 +151,11 @@ pub struct LatencyReport {
     /// Raw post-warmup latency samples in picoseconds, capture order
     /// (`None` unless [`LatencyExperiment::record_raw`] was set).
     pub raw_latencies_ps: Option<Vec<u64>>,
+    /// Probe frames shed by capture-buffer backpressure (non-zero only
+    /// when [`LatencyExperiment::capture_limit`] bounded the buffer and
+    /// the run overflowed it). A non-zero value flags the report as a
+    /// load-shedding partial: the capture is honest but incomplete.
+    pub capture_shed: u64,
 }
 
 impl LatencyExperiment {
@@ -232,6 +255,7 @@ impl LatencyExperiment {
         let mon_cfg = MonConfig {
             filter,
             host: HostPathConfig::unlimited(),
+            capture_limit: self.capture_limit,
             ..MonConfig::default()
         };
 
@@ -283,7 +307,10 @@ impl LatencyExperiment {
                 clock_model: self.clock_model.clone(),
                 clock_seed: self.seed,
                 gps: None,
-                gps_signal: osnt_time::GpsSignal::always_on(),
+                gps_signal: self
+                    .gps_signal
+                    .clone()
+                    .unwrap_or_else(osnt_time::GpsSignal::always_on),
                 ports,
             },
         );
@@ -328,10 +355,14 @@ impl LatencyExperiment {
         // byte-identical either way (the sharded kernel's determinism
         // contract, pinned in `tests/shard_experiment_parity.rs`).
         let horizon = stop_at + SimDuration::from_ms(10);
-        let shards = std::env::var("OSNT_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1);
+        // Explicit override first (chaos shard-parity runs 1/2/4 in one
+        // process), the environment second.
+        let shards = self.shards.unwrap_or_else(|| {
+            std::env::var("OSNT_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1)
+        });
         if shards >= 2 {
             let mut plan = ShardPlan::new(b.component_count(), 2);
             plan.assign(dut.id, 1);
@@ -418,6 +449,7 @@ impl LatencyExperiment {
             host_drops: mon.host_drops,
             fault_stats: probe_fault_stats.map(|s| *s.borrow()),
             raw_latencies_ps: raw,
+            capture_shed: mon.capture_shed,
         })
     }
 

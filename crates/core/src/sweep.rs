@@ -176,6 +176,7 @@ impl PhasePayload for LatencyReport {
                 }
             }
         }
+        e.u64(self.capture_shed);
     }
 
     fn decode(d: &mut Dec) -> Result<Self, OsntError> {
@@ -226,6 +227,7 @@ impl PhasePayload for LatencyReport {
                 Some(raw)
             }
         };
+        let capture_shed = d.u64()?;
         Ok(LatencyReport {
             background_load,
             probe_sent,
@@ -239,6 +241,7 @@ impl PhasePayload for LatencyReport {
             host_drops,
             fault_stats,
             raw_latencies_ps,
+            capture_shed,
         })
     }
 }
@@ -315,6 +318,9 @@ impl SupervisedSweep {
             probe_faults: None,
             progress: Some(std::sync::Arc::clone(&ctx.probe)),
             record_raw: true,
+            shards: None,
+            gps_signal: None,
+            capture_limit: None,
         };
         let report = if self.wedge_at_phase == Some(phase) {
             exp.run_boxed(Box::new(WedgeDut), 3)
@@ -470,6 +476,7 @@ mod tests {
                 delivered: 9,
             }),
             raw_latencies_ps: Some(vec![810_250, 1_200_000, u64::MAX]),
+            capture_shed: 13,
         };
         let empty = LatencyReport {
             background_load: 0.0,
@@ -484,6 +491,7 @@ mod tests {
             host_drops: 0,
             fault_stats: None,
             raw_latencies_ps: None,
+            capture_shed: 0,
         };
         for report in [full, empty] {
             let mut e = Enc::new();

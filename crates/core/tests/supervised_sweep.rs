@@ -41,6 +41,7 @@ fn fast_supervisor() -> SupervisorConfig {
             poll_interval: Duration::from_millis(10),
         }),
         sync_every_samples: 8,
+        crash_after_appends: None,
     }
 }
 

@@ -94,6 +94,25 @@ pub enum OsntError {
         /// The panic payload, stringified.
         reason: String,
     },
+    /// A deterministically injected crash (chaos testing): the journal
+    /// refused an append to simulate a SIGKILL landing at exactly that
+    /// point. Nothing after the refusal reaches the disk — on-disk state
+    /// is byte-identical to a real kill between two appends — so resume
+    /// must reconstruct the run from whatever the journal holds.
+    CrashInjected {
+        /// 1-based index of the journal append the simulated kill hit.
+        append: u64,
+    },
+    /// A chaos-campaign invariant audit failed: a conservation ledger,
+    /// an ordering/causality check, or an integrity check over a report,
+    /// capture, or journal did not hold. The system under test kept
+    /// running — the *answer* is what is untrustworthy.
+    InvariantViolated {
+        /// The invariant that failed (stable, grep-able name).
+        invariant: &'static str,
+        /// What the audit observed.
+        detail: String,
+    },
 }
 
 impl OsntError {
@@ -181,6 +200,12 @@ impl fmt::Display for OsntError {
             }
             OsntError::Panicked { context, reason } => {
                 write!(f, "{context} panicked: {reason}")
+            }
+            OsntError::CrashInjected { append } => {
+                write!(f, "injected crash: journal append #{append} was killed")
+            }
+            OsntError::InvariantViolated { invariant, detail } => {
+                write!(f, "invariant {invariant} violated: {detail}")
             }
         }
     }

@@ -49,6 +49,14 @@ pub struct MonConfig {
     /// speedup silently disappears. The kernel prints a one-time
     /// warning naming the first batch-capable component it downgrades.
     pub batch: bool,
+    /// Bound on the in-memory [`CaptureBuffer`] (packets). When the
+    /// buffer is full, further frames are *shed* — counted in
+    /// [`MonStats::capture_shed`] and discarded before DMA admission —
+    /// instead of growing the buffer without limit. `None` (the
+    /// default) keeps the historical unbounded behaviour; chaos/overload
+    /// campaigns set a bound so saturation degrades into accounted drops
+    /// rather than OOM.
+    pub capture_limit: Option<usize>,
 }
 
 impl Default for MonConfig {
@@ -59,6 +67,7 @@ impl Default for MonConfig {
             host: HostPathConfig::default(),
             compiled_filter: true,
             batch: true,
+            capture_limit: None,
         }
     }
 }
@@ -98,6 +107,7 @@ pub struct MonitorPort {
     stats: Rc<RefCell<MonStats>>,
     rates: Option<Rc<RefCell<RateEstimator>>>,
     batch: bool,
+    capture_limit: Option<usize>,
 }
 
 impl MonitorPort {
@@ -121,6 +131,7 @@ impl MonitorPort {
                 stats: stats.clone(),
                 rates: None,
                 batch: config.batch,
+                capture_limit: config.capture_limit,
             },
             buffer,
             stats,
@@ -189,7 +200,16 @@ impl Component for MonitorPort {
         if thinned.packet.len() < before_len {
             self.stats.borrow_mut().thinned += 1;
         }
-        // 5. The loss-limited host path.
+        // 5. Capture-buffer backpressure: a full ring sheds the frame
+        // *before* it consumes DMA budget, keeping memory bounded under
+        // overload (the shed load is accounted, never silent).
+        if let Some(limit) = self.capture_limit {
+            if self.buffer.borrow().len() >= limit {
+                self.stats.borrow_mut().capture_shed += 1;
+                return;
+            }
+        }
+        // 6. The loss-limited host path.
         let captured_bytes = thinned.packet.len();
         if !self.host.admit(now, captured_bytes) {
             self.stats.borrow_mut().host_drops += 1;
@@ -245,6 +265,7 @@ impl Component for MonitorPort {
             host: &mut HostPath,
             delta: &mut MonStats,
             buf: &mut CaptureBuffer,
+            limit: Option<usize>,
             overhead: u64,
             port: usize,
             t: SimTime,
@@ -255,6 +276,15 @@ impl Component for MonitorPort {
             let thinned = thinner.process(packet);
             if thinned.packet.len() < before_len {
                 delta.thinned += 1;
+            }
+            // Same backpressure point as the scalar path: a full ring
+            // sheds before DMA admission, so both paths stay
+            // byte-identical under a capture bound.
+            if let Some(limit) = limit {
+                if buf.len() >= limit {
+                    delta.capture_shed += 1;
+                    return;
+                }
             }
             let captured_bytes = thinned.packet.len();
             if !host.admit(t, captured_bytes) {
@@ -286,6 +316,7 @@ impl Component for MonitorPort {
             host: &mut HostPath,
             delta: &mut MonStats,
             buf: &mut CaptureBuffer,
+            limit: Option<usize>,
             overhead: u64,
             port: usize,
         ) {
@@ -296,7 +327,7 @@ impl Component for MonitorPort {
                     continue;
                 }
                 capture_tail(
-                    thinner, host, delta, buf, overhead, port, t, rx_stamp, packet,
+                    thinner, host, delta, buf, limit, overhead, port, t, rx_stamp, packet,
                 );
             }
             block.clear();
@@ -304,6 +335,7 @@ impl Component for MonitorPort {
 
         let mut delta = MonStats::default();
         let overhead = self.host.config().per_packet_overhead;
+        let limit = self.capture_limit;
         let MonitorPort {
             stamper,
             filter,
@@ -348,6 +380,7 @@ impl Component for MonitorPort {
                             host,
                             &mut delta,
                             &mut buf,
+                            limit,
                             overhead,
                             port,
                         );
@@ -361,7 +394,8 @@ impl Component for MonitorPort {
                         continue;
                     }
                     capture_tail(
-                        thinner, host, &mut delta, &mut buf, overhead, port, t, rx_stamp, packet,
+                        thinner, host, &mut delta, &mut buf, limit, overhead, port, t, rx_stamp,
+                        packet,
                     );
                 }
             }
@@ -377,6 +411,7 @@ impl Component for MonitorPort {
                     host,
                     &mut delta,
                     &mut buf,
+                    limit,
                     overhead,
                     port,
                 );
@@ -728,6 +763,52 @@ mod tests {
             MonConfig::default(),
             1518,
             25,
+        );
+    }
+
+    #[test]
+    fn capture_limit_bounds_memory_and_accounts_shed_load() {
+        let gen_cfg = GenConfig {
+            count: Some(500),
+            schedule: Schedule::BackToBack,
+            ..GenConfig::default()
+        };
+        let mon_cfg = MonConfig {
+            host: HostPathConfig::unlimited(),
+            capture_limit: Some(64),
+            ..MonConfig::default()
+        };
+        let (buffer, stats) = gen_to_mon(gen_cfg, mon_cfg, 256, 10);
+        let s = *stats.borrow();
+        assert_eq!(buffer.borrow().len(), 64, "buffer must stop at the bound");
+        assert_eq!(s.rx_frames, 500);
+        assert_eq!(s.host_frames, 64);
+        assert_eq!(s.capture_shed, 436, "every refused frame is accounted");
+        assert_eq!(
+            s.rx_frames,
+            s.crc_fail + s.filtered_out + s.host_drops + s.capture_shed + s.host_frames,
+            "shed load must slot into the conservation ledger"
+        );
+    }
+
+    #[test]
+    fn fast_path_is_byte_identical_under_a_capture_bound() {
+        // Shedding is time- and order-sensitive (first `limit` survivors
+        // win); any divergence between the scalar and batched pipelines
+        // would move the cutoff.
+        assert_paths_agree(
+            GenConfig {
+                count: Some(300),
+                schedule: Schedule::BackToBack,
+                ..GenConfig::default()
+            },
+            MonConfig {
+                host: HostPathConfig::unlimited(),
+                capture_limit: Some(97),
+                ..MonConfig::default()
+            },
+            512,
+            10,
         );
     }
 

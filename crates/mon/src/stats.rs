@@ -23,6 +23,12 @@ pub struct MonStats {
     pub host_bytes: u64,
     /// Frames lost at the DMA buffer (the loss-limited path).
     pub host_drops: u64,
+    /// Frames shed by capture-buffer backpressure: the in-memory
+    /// capture ring hit its configured bound
+    /// ([`crate::MonConfig::capture_limit`]) and refused the frame
+    /// *before* DMA admission. Keeps overload runs memory-bounded; the
+    /// shed load is accounted here so partial reports can flag it.
+    pub capture_shed: u64,
 }
 
 impl MonStats {
@@ -60,6 +66,7 @@ impl MonStats {
         self.host_frames += delta.host_frames;
         self.host_bytes += delta.host_bytes;
         self.host_drops += delta.host_drops;
+        self.capture_shed += delta.capture_shed;
     }
 }
 
@@ -126,6 +133,7 @@ mod tests {
             host_frames: 6,
             host_bytes: 7,
             host_drops: 8,
+            capture_shed: 9,
         };
         a.accumulate(&a.clone());
         assert_eq!(
@@ -139,6 +147,7 @@ mod tests {
                 host_frames: 12,
                 host_bytes: 14,
                 host_drops: 16,
+                capture_shed: 18,
             }
         );
     }

@@ -217,6 +217,23 @@ pub struct FaultStats {
     pub delivered: u64,
 }
 
+impl FaultStats {
+    /// Fold another tally into this one (mirrors `MonStats::accumulate`).
+    /// Campaign reports aggregate per-link counters across links, seeds
+    /// and shards; every field is a sum, so accumulation is associative
+    /// and order-independent.
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.offered += other.offered;
+        self.dropped += other.dropped;
+        self.dropped_in_burst += other.dropped_in_burst;
+        self.bursts += other.bursts;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.reordered += other.reordered;
+        self.delivered += other.delivered;
+    }
+}
+
 const TAG_FAULT_BASE: u64 = 0xFA17_0000_0000;
 
 /// Per-direction Gilbert–Elliott channel state.
@@ -703,6 +720,53 @@ mod tests {
         ));
         assert_eq!(fc.seed, 7);
         fc.validate().unwrap();
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let a = FaultStats {
+            offered: 10,
+            dropped: 1,
+            dropped_in_burst: 1,
+            bursts: 2,
+            duplicated: 3,
+            corrupted: 4,
+            reordered: 5,
+            delivered: 12,
+        };
+        let b = FaultStats {
+            offered: 100,
+            dropped: 20,
+            dropped_in_burst: 8,
+            bursts: 1,
+            duplicated: 0,
+            corrupted: 7,
+            reordered: 2,
+            delivered: 80,
+        };
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(
+            acc,
+            FaultStats {
+                offered: 110,
+                dropped: 21,
+                dropped_in_burst: 9,
+                bursts: 3,
+                duplicated: 3,
+                corrupted: 11,
+                reordered: 7,
+                delivered: 92,
+            }
+        );
+        // Order independence: (a + b) == (b + a).
+        let mut rev = b;
+        rev.accumulate(&a);
+        assert_eq!(acc, rev);
+        // Identity: accumulating the default changes nothing.
+        let before = acc;
+        acc.accumulate(&FaultStats::default());
+        assert_eq!(acc, before);
     }
 
     #[test]

@@ -158,6 +158,13 @@ pub struct JournalWriter {
     unsynced: usize,
     /// Fsync after this many batched (non-terminal) appends.
     sync_every: usize,
+    /// Frames appended so far through this writer.
+    appends: u64,
+    /// Chaos hook: when `Some(k)`, the k-th append (1-based) and every
+    /// later one fail with [`OsntError::CrashInjected`] *without writing
+    /// anything*, leaving the file byte-identical to a SIGKILL landing
+    /// between appends k-1 and k.
+    crash_after: Option<u64>,
 }
 
 impl JournalWriter {
@@ -176,6 +183,8 @@ impl JournalWriter {
             file,
             unsynced: 0,
             sync_every: sync_every.max(1),
+            appends: 0,
+            crash_after: None,
         };
         w.commit()?;
         Ok(w)
@@ -196,19 +205,43 @@ impl JournalWriter {
             file,
             unsynced: 0,
             sync_every: sync_every.max(1),
+            appends: 0,
+            crash_after: None,
         };
         w.commit()?;
         Ok(w)
     }
 
+    /// Arm the injected-crash hook: the `k`-th append (1-based, counted
+    /// from when this writer was opened) fails with
+    /// [`OsntError::CrashInjected`] and writes nothing. The chaos crash
+    /// sweep uses this to enumerate every append as a kill point.
+    pub fn arm_crash_after(&mut self, k: u64) {
+        self.crash_after = Some(k.max(1));
+    }
+
+    /// Frames appended so far through this writer.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
     fn append_frame(&mut self, payload: &[u8]) -> Result<(), OsntError> {
+        if let Some(k) = self.crash_after {
+            if self.appends + 1 >= k {
+                return Err(OsntError::CrashInjected { append: k });
+            }
+        }
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         // One write_all per frame keeps a torn frame contiguous at the
         // tail instead of interleaving partial frames.
-        self.file.write_all(&frame).map_err(|e| io_err("append", e))
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", e))?;
+        self.appends += 1;
+        Ok(())
     }
 
     /// Force everything appended so far onto stable storage.
@@ -347,6 +380,10 @@ pub struct RecoveredRun {
     /// [`JournalWriter::resume`] truncates the file to this before
     /// appending.
     pub valid_len: u64,
+    /// Number of intact frames in the valid prefix. The chaos crash
+    /// sweep uses a reference run's frame count to enumerate every
+    /// append as a kill point.
+    pub frames: u64,
 }
 
 impl RecoveredRun {
@@ -432,6 +469,7 @@ pub fn recover_bytes(bytes: &[u8]) -> Result<RecoveredRun, OsntError> {
         }
         pos += 8 + len as usize;
         rec.valid_len = pos as u64;
+        rec.frames += 1;
     }
     Ok(rec)
 }
@@ -625,6 +663,52 @@ mod tests {
             })
         );
         assert!(!rec.clean_close);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn armed_crash_refuses_the_kth_append_and_writes_nothing() {
+        let path = temp_path("armed-crash");
+        {
+            let mut w = JournalWriter::create(&path, 4).unwrap();
+            w.arm_crash_after(3);
+            w.header(&demo_header()).unwrap();
+            w.phase_start(0).unwrap();
+            assert_eq!(w.appends(), 2);
+            // Third append dies; so does every later one, terminal or not.
+            assert!(matches!(
+                w.phase_complete(0, b"never lands"),
+                Err(OsntError::CrashInjected { append: 3 })
+            ));
+            assert!(matches!(
+                w.aborted(0, 1, "post-crash abort must not reach disk"),
+                Err(OsntError::CrashInjected { .. })
+            ));
+            assert_eq!(w.appends(), 2);
+        }
+        // On-disk state is exactly the first two appends: no partial
+        // frame, no abort record — byte-identical to a SIGKILL between
+        // appends 2 and 3.
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.frames, 2);
+        assert!(!rec.truncated);
+        assert_eq!(rec.aborted, None);
+        assert_eq!(rec.phase_starts, vec![0]);
+        assert_eq!(rec.completed_prefix(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_counts_intact_frames() {
+        let path = temp_path("frame-count");
+        {
+            let mut w = JournalWriter::create(&path, 4).unwrap();
+            w.header(&demo_header()).unwrap();
+            w.phase_start(0).unwrap();
+            w.phase_complete(0, b"r").unwrap();
+            w.trailer(1).unwrap();
+        }
+        assert_eq!(recover(&path).unwrap().frames, 4);
         std::fs::remove_file(&path).ok();
     }
 

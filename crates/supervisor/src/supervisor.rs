@@ -43,6 +43,12 @@ pub struct SupervisorConfig {
     /// Fsync batch size for bulk sample records
     /// (see [`JournalWriter::create`]).
     pub sync_every_samples: usize,
+    /// Chaos hook: kill the run at the k-th journal append (1-based) by
+    /// arming [`JournalWriter::arm_crash_after`]. The run dies with
+    /// [`OsntError::CrashInjected`] and the journal is byte-identical to
+    /// a SIGKILL landing between appends k-1 and k — no abort record,
+    /// no torn frame. `None` (the default) disables the hook.
+    pub crash_after_appends: Option<u64>,
 }
 
 impl Default for SupervisorConfig {
@@ -56,6 +62,7 @@ impl Default for SupervisorConfig {
             // power crash loses at most the unsynced tail — recovery
             // re-runs those phases, it never corrupts.
             sync_every_samples: 32,
+            crash_after_appends: None,
         }
     }
 }
@@ -152,6 +159,9 @@ impl Supervisor {
         F: FnMut(u16, &mut PhaseCtx) -> Result<R, OsntError>,
     {
         let mut journal = JournalWriter::create(path, self.cfg.sync_every_samples)?;
+        if let Some(k) = self.cfg.crash_after_appends {
+            journal.arm_crash_after(k);
+        }
         journal.header(header)?;
         self.execute(journal, header, Vec::new(), phase_fn)
     }
@@ -198,7 +208,10 @@ impl Supervisor {
             let mut d = Dec::new(&rec.completed[&i]);
             done.push(R::decode(&mut d)?);
         }
-        let journal = JournalWriter::resume(path, rec.valid_len, self.cfg.sync_every_samples)?;
+        let mut journal = JournalWriter::resume(path, rec.valid_len, self.cfg.sync_every_samples)?;
+        if let Some(k) = self.cfg.crash_after_appends {
+            journal.arm_crash_after(k);
+        }
         let outcome = self.execute(journal, &header, done, phase_fn)?;
         Ok((header, outcome))
     }
@@ -220,9 +233,15 @@ impl Supervisor {
             journal.phase_start(phase)?;
             let probe = ProgressProbe::new();
             let dog = self.cfg.watchdog.map(|w| {
-                Watchdog::spawn(
+                // Thread the phase identity (index + header name) into
+                // the watchdog: the stall report must name the absolute
+                // phase even when this is a resumed run, where "first
+                // phase executed" and "phase 0" differ.
+                Watchdog::spawn_in_phase(
                     w,
-                    vec![(header.phases[phase as usize].clone(), Arc::clone(&probe))],
+                    phase,
+                    header.phases[phase as usize].clone(),
+                    vec![("sim".into(), Arc::clone(&probe))],
                 )
             });
             let result = {
@@ -492,6 +511,141 @@ mod tests {
         let jrec = rec.aborted.unwrap();
         assert_eq!(jrec.phase, 1);
         assert!(jrec.reason.contains("watchdog"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_crash_leaves_sigkill_state_and_resume_completes() {
+        let header = demo_header();
+        let body = |phase: u16, ctx: &mut PhaseCtx| {
+            ctx.probe.advance_time(u64::from(phase + 1) * 1_000);
+            ctx.journal_samples(&[u64::from(phase)])?;
+            Ok(DemoResult {
+                phase,
+                mean_ps: f64::from(phase) + 0.5,
+            })
+        };
+
+        // Reference: uninterrupted run, to learn the append count and
+        // the expected results.
+        let ref_path = temp_path("crash-ref");
+        let reference = no_watchdog()
+            .run::<DemoResult, _>(&ref_path, &header, body)
+            .unwrap();
+        let total_appends = recover(&ref_path).unwrap().frames;
+        assert!(total_appends > 0);
+
+        // Sweep every append as a kill point; each crashed run must
+        // resume to the same results (or fail honestly at k=1, where
+        // not even the header reached the disk).
+        for k in 1..=total_appends {
+            let path = temp_path(&format!("crash-k{k}"));
+            let sup = Supervisor::new(SupervisorConfig {
+                watchdog: None,
+                crash_after_appends: Some(k),
+                ..SupervisorConfig::default()
+            });
+            let err = sup
+                .run::<DemoResult, _>(&path, &header, body)
+                .expect_err("armed run must die");
+            assert!(matches!(err, OsntError::CrashInjected { append } if append == k));
+            // The journal holds exactly k-1 frames and no abort record:
+            // byte-identical to a SIGKILL between appends.
+            let rec = recover(&path).unwrap();
+            assert_eq!(rec.frames, k - 1);
+            assert_eq!(rec.aborted, None);
+
+            if k == 1 {
+                // Not even the header landed; resume must refuse with a
+                // typed error, not a panic.
+                let err = no_watchdog()
+                    .resume::<DemoResult, _>(&path, Some(&header), body)
+                    .unwrap_err();
+                assert!(matches!(err, OsntError::Decode { .. }));
+            } else {
+                let (h, outcome) = no_watchdog()
+                    .resume::<DemoResult, _>(&path, Some(&header), body)
+                    .unwrap();
+                assert_eq!(h, header);
+                assert!(outcome.is_complete());
+                assert_eq!(outcome.phases, reference.phases);
+                assert!(recover(&path).unwrap().clean_close);
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&ref_path).ok();
+    }
+
+    #[test]
+    fn stall_during_resume_carries_phase_identity() {
+        let path = temp_path("resume-stall");
+        let header = demo_header();
+
+        // Die cooperatively in phase 1 so the journal holds phase 0.
+        no_watchdog()
+            .run::<DemoResult, _>(&path, &header, |phase, ctx| {
+                ctx.probe.advance_time(1_000);
+                if phase == 1 {
+                    return Err(OsntError::RunAborted {
+                        phase: "b".into(),
+                        last_progress: 1_000,
+                    });
+                }
+                Ok(DemoResult {
+                    phase,
+                    mean_ps: 0.0,
+                })
+            })
+            .unwrap();
+
+        // Resume with a fast watchdog and wedge phase 2 ("c"): the
+        // stall fires *during resume*, and the journaled reason must
+        // still name the absolute phase — index 2, name "c" — not just
+        // a probe label.
+        let sup = Supervisor::new(SupervisorConfig {
+            watchdog: Some(WatchdogConfig {
+                stall_timeout: std::time::Duration::from_millis(50),
+                poll_interval: std::time::Duration::from_millis(5),
+            }),
+            ..SupervisorConfig::default()
+        });
+        let (_, outcome) = sup
+            .resume::<DemoResult, _>(&path, Some(&header), |phase, ctx| {
+                ctx.probe.advance_time(2_000);
+                if phase == 2 {
+                    let start = std::time::Instant::now();
+                    while !ctx.probe.abort_requested() {
+                        assert!(
+                            start.elapsed() < std::time::Duration::from_secs(10),
+                            "watchdog never fired"
+                        );
+                        std::thread::yield_now();
+                    }
+                    return Err(OsntError::RunAborted {
+                        phase: "c".into(),
+                        last_progress: ctx.probe.now_ps(),
+                    });
+                }
+                Ok(DemoResult {
+                    phase,
+                    mean_ps: 0.0,
+                })
+            })
+            .unwrap();
+        let info = outcome.aborted.expect("wedged resume must abort");
+        assert_eq!((info.phase_index, info.phase.as_str()), (2, "c"));
+        assert!(
+            info.reason.contains("phase 2") && info.reason.contains("(c)"),
+            "stall reason must carry the phase identity: {}",
+            info.reason
+        );
+        let jrec = recover(&path).unwrap().aborted.unwrap();
+        assert_eq!(jrec.phase, 2);
+        assert!(
+            jrec.reason.contains("phase 2") && jrec.reason.contains("(c)"),
+            "journaled reason must carry the phase identity: {}",
+            jrec.reason
+        );
         std::fs::remove_file(&path).ok();
     }
 

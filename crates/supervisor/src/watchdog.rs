@@ -46,6 +46,13 @@ impl Default for WatchdogConfig {
 pub struct StallReport {
     /// Name of the probe that went flat first.
     pub probe: String,
+    /// Index of the supervisor phase the watchdog was guarding, if it
+    /// was guarding one. Threaded from the supervisor's `PhaseCtx` so a
+    /// stall that fires during *resume* still names the absolute phase
+    /// (probe names alone lose it — they are per-spawn labels).
+    pub phase_index: Option<u16>,
+    /// Name of that phase, if known.
+    pub phase: Option<String>,
     /// The simulated-time high-water mark (ps) it was stuck at.
     pub last_progress: u64,
     /// How long it had been flat when the watchdog fired.
@@ -55,10 +62,16 @@ pub struct StallReport {
 impl StallReport {
     /// The human sentence journaled as the abort reason.
     pub fn reason(&self) -> String {
-        format!(
-            "watchdog: {} made no simulated-time progress for {:?} (stuck at {} ps)",
-            self.probe, self.stalled_for, self.last_progress
-        )
+        match (self.phase_index, &self.phase) {
+            (Some(i), Some(name)) => format!(
+                "watchdog: phase {i} ({name}): {} made no simulated-time progress for {:?} (stuck at {} ps)",
+                self.probe, self.stalled_for, self.last_progress
+            ),
+            _ => format!(
+                "watchdog: {} made no simulated-time progress for {:?} (stuck at {} ps)",
+                self.probe, self.stalled_for, self.last_progress
+            ),
+        }
     }
 }
 
@@ -81,6 +94,28 @@ impl Watchdog {
     /// report). The monitor thread aborts **all** probes as soon as any
     /// one of them stalls — a multi-shard run cannot half-abort.
     pub fn spawn(cfg: WatchdogConfig, probes: Vec<(String, Arc<ProgressProbe>)>) -> Self {
+        Watchdog::spawn_with_phase(cfg, None, probes)
+    }
+
+    /// [`Watchdog::spawn`] with the identity of the supervisor phase
+    /// being guarded. The phase index/name land in the [`StallReport`]
+    /// (and hence the journaled abort reason) so an operator reading a
+    /// resumed run's abort record sees *which* phase wedged, not just
+    /// which probe.
+    pub fn spawn_in_phase(
+        cfg: WatchdogConfig,
+        phase_index: u16,
+        phase: String,
+        probes: Vec<(String, Arc<ProgressProbe>)>,
+    ) -> Self {
+        Watchdog::spawn_with_phase(cfg, Some((phase_index, phase)), probes)
+    }
+
+    fn spawn_with_phase(
+        cfg: WatchdogConfig,
+        phase: Option<(u16, String)>,
+        probes: Vec<(String, Arc<ProgressProbe>)>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             report: Mutex::new(None),
@@ -88,7 +123,7 @@ impl Watchdog {
         let thread_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
             .name("osnt-watchdog".into())
-            .spawn(move || monitor(cfg, probes, thread_shared))
+            .spawn(move || monitor(cfg, phase, probes, thread_shared))
             .expect("spawn watchdog thread");
         Watchdog {
             shared,
@@ -124,7 +159,12 @@ impl Drop for Watchdog {
     }
 }
 
-fn monitor(cfg: WatchdogConfig, probes: Vec<(String, Arc<ProgressProbe>)>, shared: Arc<Shared>) {
+fn monitor(
+    cfg: WatchdogConfig,
+    phase: Option<(u16, String)>,
+    probes: Vec<(String, Arc<ProgressProbe>)>,
+    shared: Arc<Shared>,
+) {
     let mut last_seen: Vec<(u64, Instant)> = probes
         .iter()
         .map(|(_, p)| (p.now_ps(), Instant::now()))
@@ -146,6 +186,8 @@ fn monitor(cfg: WatchdogConfig, probes: Vec<(String, Arc<ProgressProbe>)>, share
             if flat_for >= cfg.stall_timeout {
                 let report = StallReport {
                     probe: name.clone(),
+                    phase_index: phase.as_ref().map(|(i, _)| *i),
+                    phase: phase.as_ref().map(|(_, n)| n.clone()),
                     last_progress: now_ps,
                     stalled_for: flat_for,
                 };
@@ -211,6 +253,38 @@ mod tests {
         assert!(stuck.abort_requested(), "stalled probe aborted");
         assert!(healthy.abort_requested(), "healthy peer aborted too");
         assert!(report.reason().contains("shard-1"));
+    }
+
+    #[test]
+    fn spawn_in_phase_threads_identity_into_the_report() {
+        let stuck = ProgressProbe::new();
+        stuck.advance_time(42);
+        let dog = Watchdog::spawn_in_phase(
+            fast_cfg(),
+            3,
+            "load-0.9000".into(),
+            vec![("sim".into(), Arc::clone(&stuck))],
+        );
+        let start = Instant::now();
+        while !dog.fired() && start.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let report = dog.stop().expect("watchdog must fire on the flat probe");
+        assert_eq!(report.phase_index, Some(3));
+        assert_eq!(report.phase.as_deref(), Some("load-0.9000"));
+        let reason = report.reason();
+        assert!(reason.contains("phase 3"), "reason was: {reason}");
+        assert!(reason.contains("load-0.9000"), "reason was: {reason}");
+        // The plain spawn keeps the unphased wording.
+        assert!(!StallReport {
+            probe: "sim".into(),
+            phase_index: None,
+            phase: None,
+            last_progress: 1,
+            stalled_for: Duration::from_millis(60),
+        }
+        .reason()
+        .contains("phase"));
     }
 
     #[test]

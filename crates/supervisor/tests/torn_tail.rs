@@ -161,4 +161,61 @@ proptest! {
             prop_assert!(rec.completed.len() <= full.completed.len());
         }
     }
+
+    /// Mid-file bit flips (not just the torn tail): CRC32 detects every
+    /// single-bit error, so the frame holding the flipped byte MUST be
+    /// rejected. Recovery therefore truncates to a point at or before
+    /// the damage, loses at least one frame, and the surviving prefix
+    /// is itself a clean journal that resume can truncate to and extend
+    /// — or, when the flip lands in the file magic, recovery fails with
+    /// the typed decode error, never a panic.
+    #[test]
+    fn mid_file_bit_flips_truncate_to_the_last_intact_frame(
+        seed in proptest::arbitrary::any::<u64>(),
+        ops in proptest::collection::vec(
+            (proptest::arbitrary::any::<u8>(), 0u64..1_000, 0u64..1_000_000),
+            2..12,
+        ),
+        victim in proptest::arbitrary::any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        let bytes = build_journal("midflip", seed, b"cfg", &ops);
+        let full = recover_bytes(&bytes).expect("intact journal recovers");
+        prop_assert!(full.frames >= 3, "header + >=2 ops journaled");
+
+        let mut mangled = bytes.clone();
+        let at = (victim % bytes.len() as u64) as usize;
+        mangled[at] ^= 1 << flip_bit;
+        match recover_bytes(&mangled) {
+            // The flip hit the file magic: the honest, typed refusal.
+            Err(e) => prop_assert!(
+                matches!(e, osnt_error::OsntError::Decode { .. }),
+                "corruption at {} surfaced as the wrong error class: {}", at, e,
+            ),
+            Ok(rec) => {
+                // The damaged frame starts at or before `at`; recovery
+                // must stop there — claiming bytes past the flip would
+                // mean a CRC accepted a single-bit error.
+                prop_assert!(
+                    rec.valid_len <= at as u64,
+                    "flip at byte {} but recovery claims {} valid bytes",
+                    at, rec.valid_len,
+                );
+                prop_assert!(
+                    rec.frames < full.frames,
+                    "flip at byte {} lost no frame ({} of {})",
+                    at, rec.frames, full.frames,
+                );
+                // What survives is exactly a resumable journal: the
+                // valid prefix re-recovers cleanly and identically.
+                let replay = recover_bytes(&mangled[..rec.valid_len as usize])
+                    .expect("valid prefix re-recovers");
+                prop_assert!(!replay.truncated);
+                prop_assert_eq!(replay.valid_len, rec.valid_len);
+                prop_assert_eq!(replay.frames, rec.frames);
+                prop_assert_eq!(replay.samples, rec.samples);
+                prop_assert_eq!(replay.completed, rec.completed);
+            }
+        }
+    }
 }

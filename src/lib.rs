@@ -2,6 +2,7 @@
 //!
 //! See the `osnt_core` crate for the main platform API.
 pub use oflops_turbo as oflops;
+pub use osnt_chaos as chaos;
 pub use osnt_core as core;
 pub use osnt_gen as gen;
 pub use osnt_mon as mon;

@@ -6,10 +6,11 @@
 //! summary floats, fault tallies — goes through the comparison via the
 //! report's `Debug` rendering, so even a one-ULP drift fails.
 
+use osnt::chaos::{ChaosScenario, Episode};
 use osnt::core::experiment::LatencyExperiment;
 use osnt::netsim::{FaultConfig, LossModel};
 use osnt::switch::LegacyConfig;
-use osnt::time::SimDuration;
+use osnt::time::{SimDuration, SimTime};
 
 fn short_run(faults: Option<FaultConfig>, background: f64) -> String {
     let exp = LatencyExperiment {
@@ -52,6 +53,70 @@ fn sharded_experiment_reports_are_byte_identical() {
         assert_eq!(
             faulty_run, faulty_ref,
             "faulty report diverged at OSNT_SHARDS={shards}"
+        );
+    }
+}
+
+/// A lowered chaos scenario — composed loss, duplication, jitter, GPS
+/// holdover and a capture bound all at once — is the hardest parity
+/// input the platform has: every stochastic subsystem is live. The
+/// experiment's explicit `shards` override (no env var) must still
+/// render byte-identical at 1, 2 and 4 shards.
+#[test]
+fn chaos_scenario_reports_are_byte_identical_across_shard_counts() {
+    let scenario = ChaosScenario {
+        name: "parity-chaos".into(),
+        duration: SimDuration::from_ms(5),
+        warmup: SimDuration::from_ms(1),
+        background_load: 0.6,
+        capture_limit: Some(256),
+        episodes: vec![
+            Episode::LossBurst {
+                enter_probability: 0.01,
+                mean_burst_frames: 6.0,
+            },
+            Episode::Duplicate { probability: 0.02 },
+            Episode::Jitter {
+                extra_delay: SimDuration::from_us(2),
+                jitter: SimDuration::from_us(1),
+            },
+            Episode::GpsOutage {
+                start: SimTime::from_ms(2),
+                length: SimDuration::from_ms(2),
+            },
+        ],
+    };
+    let lowered = scenario.lower(77).expect("scenario lowers");
+
+    let run_at = |shards: usize| -> String {
+        let exp = LatencyExperiment {
+            duration: scenario.duration,
+            warmup: scenario.warmup,
+            background_load: scenario.background_load,
+            probe_faults: lowered.faults.clone(),
+            gps_signal: lowered.gps.clone(),
+            capture_limit: scenario.capture_limit,
+            record_raw: true,
+            seed: 77,
+            shards: Some(shards),
+            ..LatencyExperiment::default()
+        };
+        let report = exp
+            .run_legacy(LegacyConfig::default())
+            .expect("chaos experiment runs");
+        format!("{report:?}")
+    };
+
+    let reference = run_at(1);
+    assert!(
+        reference.contains("fault_stats: Some"),
+        "the lowered fault channel must be live"
+    );
+    for shards in [2, 4] {
+        assert_eq!(
+            run_at(shards),
+            reference,
+            "chaos report diverged at {shards} shards"
         );
     }
 }
