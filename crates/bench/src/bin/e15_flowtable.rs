@@ -1,0 +1,368 @@
+//! E15 — tuple-space flow classification: wildcard tables from 100 to
+//! a million entries, swept over a lookup/update mix.
+//!
+//! Each table size is populated with a deterministic rule corpus spread
+//! over a handful of wildcard shapes (exact /32 + L4 port, exact /32,
+//! /24 prefix, /16 prefix + L4 port, port-constrained /32) — a few
+//! *tuples* in the tuple-space sense, which is exactly the regime real
+//! OpenFlow rule sets live in. The same corpus is loaded into two
+//! [`FlowTable`]s, one per classifier:
+//!
+//! * **linear** — the reference: rank-sorted compiled rows, O(table)
+//!   per lookup, full recompilation after any mutation;
+//! * **tuple** — the tuple-space engine: one hash probe per distinct
+//!   mask signature, O(1) flow_mods, rank-pruned probe order.
+//!
+//! Before anything is timed, both engines answer a 512-key verdict
+//! sweep (with an interpreter subsample as ground truth); the verdicts
+//! are CRC'd into a digest that must be byte-identical across engines
+//! or the bench panics. Then, per size:
+//!
+//! * **lookup** leg — pure `lookup_key_idx` over the key set;
+//! * **update** leg — sustained flow_mod churn (add one rule, strict-
+//!   delete the oldest, one lookup per iteration — the lookup is what
+//!   forces the linear engine to recompile, as any real datapath
+//!   interleaving would).
+//!
+//! Op counts are scaled per engine so the O(table) legs stay in CI
+//! budget while the sublinear legs accumulate enough ops to time
+//! honestly; rates (`ops_per_wall_s`) are what is compared. With
+//! `OSNT_REQUIRE_SPEEDUP=1` the run fails unless at 100 000 entries the
+//! tuple engine reaches >= 5x the linear lookup rate and >= 10x the
+//! linear update rate. Like E12/E13 the gate is safe on a single-core
+//! runner: the speedup is algorithmic, not parallelism.
+//!
+//! `--max-size N` caps the sweep; `--json PATH` writes the sweep as
+//! JSON (committed as `BENCH_e15.json`, consumed by the CI
+//! perf-regression guard).
+
+use osnt_bench::Table;
+use osnt_openflow::match_field::wildcards;
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::hash::crc32_update;
+use osnt_packet::{FlowKey, MacAddr, Packet, PacketBuilder};
+use osnt_switch::{Classifier, FlowEntry, FlowTable};
+use osnt_time::SimTime;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+const KEY_COUNT: usize = 512;
+/// Churn headroom: the update leg holds one extra rule in flight.
+const CAPACITY_SLACK: usize = 1_024;
+
+fn out(port: u16) -> Vec<Action> {
+    vec![Action::Output { port, max_len: 0 }]
+}
+
+/// Rule `i` of the corpus: the shape cycles with `i % 8`, the fields
+/// are index-derived so every rule is distinct (the generator is used
+/// far past the initial table size by the churn leg).
+fn rule(i: usize) -> (OfMatch, u16) {
+    let c = i / 8;
+    match i % 8 {
+        // Exact /32 destination + exact L4 port: the bulk tuple.
+        0..=2 => {
+            let mut m = OfMatch::ipv4_dst(Ipv4Addr::new(
+                10,
+                ((i >> 16) & 255) as u8,
+                ((i >> 8) & 255) as u8,
+                (i & 255) as u8,
+            ));
+            m.nw_proto = 17;
+            m.tp_dst = 9001;
+            m.wildcards &= !(wildcards::NW_PROTO | wildcards::TP_DST);
+            (m, 5)
+        }
+        // Exact /32 destination only.
+        3..=4 => (
+            OfMatch::ipv4_dst(Ipv4Addr::new(
+                10,
+                ((i >> 16) & 255) as u8,
+                ((i >> 8) & 255) as u8,
+                (i & 255) as u8,
+            )),
+            5,
+        ),
+        // /24 prefix.
+        5 => {
+            let mut m = OfMatch::ipv4_dst(Ipv4Addr::new(
+                (64 + ((c >> 16) & 63)) as u8,
+                ((c >> 8) & 255) as u8,
+                (c & 255) as u8,
+                0,
+            ));
+            m.set_nw_dst_prefix(24);
+            (m, 1)
+        }
+        // /16 prefix + exact L4 port (the port keeps rules distinct).
+        6 => {
+            let mut m = OfMatch::ipv4_dst(Ipv4Addr::new(172, ((c >> 14) & 255) as u8, 0, 0));
+            m.set_nw_dst_prefix(16);
+            m.nw_proto = 17;
+            m.tp_dst = 1024 + (c & 0x3fff) as u16;
+            m.wildcards &= !(wildcards::NW_PROTO | wildcards::TP_DST);
+            (m, 1)
+        }
+        // Port-constrained exact /32.
+        _ => {
+            let mut m = OfMatch::ipv4_dst(Ipv4Addr::new(
+                193,
+                ((c >> 16) & 255) as u8,
+                ((c >> 8) & 255) as u8,
+                (c & 255) as u8,
+            ));
+            m.in_port = 1 + (c & 1) as u16;
+            m.wildcards &= !wildcards::IN_PORT;
+            (m, 9)
+        }
+    }
+}
+
+fn build_table(classifier: Classifier, n: usize) -> FlowTable {
+    let mut t = FlowTable::with_classifier(n + CAPACITY_SLACK, classifier);
+    for i in 0..n {
+        let (m, prio) = rule(i);
+        t.add(FlowEntry::new(m, prio, out(2), SimTime::ZERO))
+            .expect("prefill fits the capacity");
+    }
+    assert_eq!(t.len(), n, "rule generator produced duplicates");
+    t
+}
+
+struct LookupKey {
+    frame: Packet,
+    key: FlowKey,
+    in_port: u16,
+}
+
+/// 512 probe keys: exact-rule hits, /24 hits, /16 hits, and misses, on
+/// alternating ingress ports.
+fn probe_keys(n: usize) -> Vec<LookupKey> {
+    (0..KEY_COUNT)
+        .map(|k| {
+            let i = ((k as u64).wrapping_mul(2_654_435_761) % n as u64) as usize;
+            let c = i / 8;
+            let (dst, dport) = match k % 4 {
+                0 => (
+                    Ipv4Addr::new(
+                        10,
+                        ((i >> 16) & 255) as u8,
+                        ((i >> 8) & 255) as u8,
+                        (i & 255) as u8,
+                    ),
+                    9001,
+                ),
+                1 => (
+                    Ipv4Addr::new(
+                        (64 + ((c >> 16) & 63)) as u8,
+                        ((c >> 8) & 255) as u8,
+                        (c & 255) as u8,
+                        7,
+                    ),
+                    9001,
+                ),
+                2 => (
+                    Ipv4Addr::new(172, ((c >> 14) & 255) as u8, 9, 9),
+                    1024 + (c & 0x3fff) as u16,
+                ),
+                _ => (Ipv4Addr::new(8, 8, 8, 8), 53),
+            };
+            let frame = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+                .ipv4(Ipv4Addr::new(10, 99, 0, 1), dst)
+                .udp(5001, dport)
+                .build();
+            let key = FlowKey::extract(&frame.parse());
+            LookupKey {
+                frame,
+                key,
+                in_port: 1 + (k as u16 & 1),
+            }
+        })
+        .collect()
+}
+
+/// Cross-engine verdict sweep: every key must get the same verdict from
+/// both engines (and from the interpreter on a subsample); the verdicts
+/// are CRC'd so the JSON artifact records *what* was agreed on, not
+/// just that agreement happened.
+fn parity_digest(linear: &mut FlowTable, tuple: &mut FlowTable, keys: &[LookupKey]) -> u32 {
+    let mut digest = 0u32;
+    let mut hits = 0u64;
+    for (k, lk) in keys.iter().enumerate() {
+        let lv = linear.lookup_key_idx(lk.in_port, &lk.key);
+        let tv = tuple.lookup_key_idx(lk.in_port, &lk.key);
+        assert_eq!(lv, tv, "key {k}: tuple verdict diverged from linear");
+        if k % 8 == 0 {
+            assert_eq!(
+                linear.lookup_idx(lk.in_port, &lk.frame.parse()),
+                lv,
+                "key {k}: compiled verdict diverged from the interpreter"
+            );
+        }
+        let v = lv.map_or(u64::MAX, |i| i as u64);
+        digest = crc32_update(digest, &v.to_le_bytes());
+        hits += u64::from(lv.is_some());
+    }
+    assert!(hits > 0, "probe keys never hit the table");
+    digest
+}
+
+fn bench_lookups(t: &mut FlowTable, keys: &[LookupKey], ops: u64) -> f64 {
+    // Warm once so the linear engine's compile pass is not timed.
+    black_box(t.lookup_key_idx(keys[0].in_port, &keys[0].key));
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for j in 0..ops {
+        let k = &keys[j as usize % keys.len()];
+        acc = acc.wrapping_add(
+            t.lookup_key_idx(k.in_port, &k.key)
+                .map_or(0, |i| i as u64 + 1),
+        );
+    }
+    black_box(acc);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Sustained churn: add rule `n+j`, strict-delete rule `j` (adds stay
+/// exactly `n` ahead of deletes, so the victim always exists), then one
+/// lookup — the lookup is what charges the linear engine its
+/// post-mutation recompilation, as interleaved datapath traffic would.
+/// Returns (wall seconds, flow_mods applied).
+fn bench_updates(t: &mut FlowTable, n: usize, iters: u64, keys: &[LookupKey]) -> (f64, u64) {
+    let t0 = std::time::Instant::now();
+    let mut acc = 0u64;
+    for j in 0..iters {
+        let (m, prio) = rule(n + j as usize);
+        t.add(FlowEntry::new(m, prio, out(3), SimTime::ZERO))
+            .expect("churn stays within the capacity slack");
+        let (dm, dprio) = rule(j as usize);
+        let removed = t.delete(&dm, dprio, true);
+        assert_eq!(removed.len(), 1, "churn victim {j} was missing");
+        let k = &keys[j as usize % keys.len()];
+        acc = acc.wrapping_add(
+            t.lookup_key_idx(k.in_port, &k.key)
+                .map_or(0, |i| i as u64 + 1),
+        );
+    }
+    black_box(acc);
+    assert_eq!(t.len(), n, "churn must leave the table at its set size");
+    (t0.elapsed().as_secs_f64(), iters * 2)
+}
+
+fn main() {
+    let mut max_size: usize = 1_000_000;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-size" => {
+                let v = args.next().expect("--max-size takes a count");
+                max_size = v.parse().expect("--max-size takes an integer");
+            }
+            "--json" => json = Some(args.next().expect("--json takes a path")),
+            other => panic!("unknown argument {other} (expected --max-size N / --json PATH)"),
+        }
+    }
+    println!(
+        "E15: tuple-space classification, table sweep to {max_size} entries,\n\
+         5 wildcard shapes, {KEY_COUNT} probe keys, lookup + flow_mod churn legs\n"
+    );
+
+    let mut table = Table::new([
+        "entries",
+        "tuples",
+        "lin lookup/s",
+        "tup lookup/s",
+        "speedup",
+        "lin mods/s",
+        "tup mods/s",
+        "speedup",
+        "digest",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut gate: Option<(f64, f64)> = None;
+    for &n in [100usize, 1_000, 10_000, 100_000, 1_000_000]
+        .iter()
+        .filter(|&&n| n <= max_size)
+    {
+        let mut linear = build_table(Classifier::Linear, n);
+        let mut tuple = build_table(Classifier::TupleSpace, n);
+        let tuples = tuple.lookup_cost_units();
+        let keys = probe_keys(n);
+        let digest = parity_digest(&mut linear, &mut tuple, &keys);
+
+        // Op counts: the O(table) linear legs shrink with size, the
+        // sublinear tuple legs stay large enough to time honestly.
+        let lin_lookup_ops = (4_000_000 / n as u64).max(64);
+        let tup_lookup_ops = 200_000;
+        let lin_update_iters = (1_000_000 / n as u64).max(16);
+        let tup_update_iters = 100_000;
+
+        let lin_lookup_s = bench_lookups(&mut linear, &keys, lin_lookup_ops);
+        let tup_lookup_s = bench_lookups(&mut tuple, &keys, tup_lookup_ops);
+        let (lin_update_s, lin_mods) = bench_updates(&mut linear, n, lin_update_iters, &keys);
+        let (tup_update_s, tup_mods) = bench_updates(&mut tuple, n, tup_update_iters, &keys);
+
+        let lin_lookup_rate = lin_lookup_ops as f64 / lin_lookup_s;
+        let tup_lookup_rate = tup_lookup_ops as f64 / tup_lookup_s;
+        let lin_update_rate = lin_mods as f64 / lin_update_s;
+        let tup_update_rate = tup_mods as f64 / tup_update_s;
+        let lookup_speedup = tup_lookup_rate / lin_lookup_rate;
+        let update_speedup = tup_update_rate / lin_update_rate;
+        if n == 100_000 {
+            gate = Some((lookup_speedup, update_speedup));
+        }
+
+        table.row([
+            n.to_string(),
+            tuples.to_string(),
+            format!("{lin_lookup_rate:.0}"),
+            format!("{tup_lookup_rate:.0}"),
+            format!("{lookup_speedup:.2}x"),
+            format!("{lin_update_rate:.0}"),
+            format!("{tup_update_rate:.0}"),
+            format!("{update_speedup:.2}x"),
+            format!("{digest:08x}"),
+        ]);
+        json_rows.push(format!(
+            "{{\"size\":{n},\"phase\":\"lookup\",\"ops\":{tup_lookup_ops},\
+             \"linear_wall_s\":{lin_lookup_s:.6},\"tuple_wall_s\":{tup_lookup_s:.6},\
+             \"ops_per_wall_s\":{tup_lookup_rate:.0},\"linear_ops_per_wall_s\":{lin_lookup_rate:.0},\
+             \"speedup\":{lookup_speedup:.4},\"digest\":\"{digest:08x}\"}}"
+        ));
+        json_rows.push(format!(
+            "{{\"size\":{n},\"phase\":\"update\",\"ops\":{tup_mods},\
+             \"linear_wall_s\":{lin_update_s:.6},\"tuple_wall_s\":{tup_update_s:.6},\
+             \"ops_per_wall_s\":{tup_update_rate:.0},\"linear_ops_per_wall_s\":{lin_update_rate:.0},\
+             \"speedup\":{update_speedup:.4},\"digest\":\"{digest:08x}\"}}"
+        ));
+    }
+    table.print();
+    println!("\nVerdict digests byte-identical across engines at every size.");
+
+    if std::env::var("OSNT_REQUIRE_SPEEDUP").as_deref() == Ok("1") {
+        let (lookup, update) =
+            gate.expect("speedup gate needs the 100000-entry point (--max-size >= 100000)");
+        assert!(
+            lookup >= 5.0,
+            "tuple-space lookup speedup {lookup:.2}x < 5.0x over linear at 100k entries"
+        );
+        assert!(
+            update >= 10.0,
+            "tuple-space update speedup {update:.2}x < 10.0x over linear at 100k entries"
+        );
+        println!("Speedup gate (>= 5x lookup, >= 10x flow_mod at 100k entries): passed.");
+    } else {
+        println!("Speedup gate skipped (set OSNT_REQUIRE_SPEEDUP=1 to enforce).");
+    }
+
+    if let Some(path) = json {
+        let body = format!(
+            "{{\"bench\":\"e15_flowtable\",\"max_size\":{max_size},\
+             \"key_count\":{KEY_COUNT},\"results\":[{}]}}\n",
+            json_rows.join(",")
+        );
+        std::fs::write(&path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+}

@@ -352,6 +352,23 @@ impl InvariantAuditor {
             format!("{label}: report at {shards} shard(s) diverges from the 1-shard report at byte {at}")
         });
     }
+
+    /// Audit classifier parity: the tuple-space flow-table engine must
+    /// leave the table in a byte-identical state to the linear
+    /// reference after an identical flow_mod history.
+    pub fn audit_classifier_parity(&mut self, label: &str, reference: &str, got: &str) {
+        self.audited += 1;
+        self.check("classifier-parity", reference == got, || {
+            let at = reference
+                .bytes()
+                .zip(got.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(reference.len().min(got.len()));
+            format!(
+                "{label}: tuple-space table state diverges from the linear reference at byte {at}"
+            )
+        });
+    }
 }
 
 impl InvariantAuditor {

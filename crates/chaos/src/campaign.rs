@@ -31,9 +31,11 @@ use osnt_core::experiment::LatencyExperiment;
 use osnt_core::sweep::SweepConfig;
 use osnt_error::OsntError;
 use osnt_netsim::{Component, ComponentId, FaultStats, Kernel, LinkSpec, SimBuilder};
-use osnt_packet::{MacAddr, Packet, PacketBuilder};
+use osnt_openflow::match_field::wildcards;
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::{FlowKey, MacAddr, Packet, PacketBuilder};
 use osnt_supervisor::SupervisorConfig;
-use osnt_switch::LegacyConfig;
+use osnt_switch::{Classifier, FlowEntry, FlowTable, LegacyConfig};
 use osnt_time::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
@@ -342,6 +344,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, OsntError> {
                 merged.delivered += stats.delivered;
             }
 
+            // Classifier parity: identical flow_mod history on both
+            // flow-table engines must be observationally identical.
+            classifier_parity_audit(seed, &mut auditor, &label);
+
             // Crash axes.
             if cfg.crash_points && lowered.crash_sweep {
                 match crash_point_sweep(
@@ -391,6 +397,105 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, OsntError> {
     report.audited = auditor.audited();
     report.violations = auditor.violations().to_vec();
     Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Classifier parity: tuple-space engine vs the linear reference.
+// ---------------------------------------------------------------------
+
+const PARITY_OPS: usize = 1_500;
+
+/// splitmix64 — a deterministic op stream without an RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A wildcard rule drawn from a small colliding pool: overlapping
+/// prefixes, shared values, frequent equal-priority ties.
+fn parity_rule(r: u64) -> (OfMatch, u16) {
+    let mut m = OfMatch::ipv4_dst(Ipv4Addr::new(10, 2, ((r >> 8) & 3) as u8, (r & 3) as u8));
+    m.set_nw_dst_prefix([8, 16, 24, 32][((r >> 16) & 3) as usize]);
+    if (r >> 20) & 3 == 0 {
+        m.tp_dst = 4000 + ((r >> 24) & 3) as u16;
+        m.wildcards &= !wildcards::TP_DST;
+    }
+    (m, [1u16, 5, 5, 9][((r >> 32) & 3) as usize])
+}
+
+/// Drive an identical flow_mod history into a linear- and a
+/// tuple-space-classified table, cross-checking lookup verdicts along
+/// the way and auditing the final table states byte-for-byte. This is
+/// the chaos matrix's standing guard that the `OSNT_CLASSIFIER` knob is
+/// behaviour-neutral.
+fn classifier_parity_audit(seed: u64, auditor: &mut InvariantAuditor, label: &str) {
+    let mut rng = seed;
+    let mut linear = FlowTable::with_classifier(256, Classifier::Linear);
+    let mut tuple = FlowTable::with_classifier(256, Classifier::TupleSpace);
+    for i in 0..PARITY_OPS {
+        let r = splitmix(&mut rng);
+        let (m, priority) = parity_rule(r);
+        let now = SimTime::from_us(i as u64);
+        match r % 8 {
+            0..=4 => {
+                let mut e = FlowEntry::new(
+                    m,
+                    priority,
+                    vec![Action::Output {
+                        port: 2,
+                        max_len: 0,
+                    }],
+                    now,
+                );
+                e.hard_timeout = ((r >> 40) & 1) as u16;
+                let _ = linear.add(e.clone());
+                let _ = tuple.add(e);
+            }
+            5 => {
+                linear.delete(&m, priority, true);
+                tuple.delete(&m, priority, true);
+            }
+            6 => {
+                linear.delete(&m, priority, false);
+                tuple.delete(&m, priority, false);
+            }
+            _ => {
+                linear.expire(now);
+                tuple.expire(now);
+            }
+        }
+        if i % 16 == 0 {
+            let k = splitmix(&mut rng);
+            let frame = PacketBuilder::ethernet(MacAddr::local(3), MacAddr::local(4))
+                .ipv4(
+                    Ipv4Addr::new(10, 9, 9, 9),
+                    Ipv4Addr::new(10, 2, ((k >> 2) & 3) as u8, (k & 3) as u8),
+                )
+                .udp(5000, 4000 + ((k >> 4) & 3) as u16)
+                .build();
+            let key = FlowKey::extract(&frame.parse());
+            let in_port = ((k >> 8) & 1) as u16 + 1;
+            let lv = linear.lookup_key_idx(in_port, &key);
+            let tv = tuple.lookup_key_idx(in_port, &key);
+            if lv != tv {
+                auditor.violate(
+                    "classifier-parity",
+                    format!(
+                        "{label}: lookup verdict diverged at op {i}: linear {lv:?} vs tuple {tv:?}"
+                    ),
+                );
+            }
+        }
+    }
+    let render = |t: &FlowTable| {
+        t.iter()
+            .map(|e| format!("{:?}|{}|{:?};", e.of_match, e.priority, e.actions))
+            .collect::<String>()
+    };
+    auditor.audit_classifier_parity(label, &render(&linear), &render(&tuple));
 }
 
 // ---------------------------------------------------------------------
@@ -603,6 +708,20 @@ mod tests {
         assert!(c.dropped > 0, "the disconnect window must bite");
         assert!(c.stalled > 0, "the stall window must bite");
         assert_eq!(c.offered, c.dropped + c.delivered);
+    }
+
+    #[test]
+    fn classifier_parity_audit_is_clean_across_seeds() {
+        let mut auditor = InvariantAuditor::new();
+        for seed in 0..4u64 {
+            classifier_parity_audit(seed, &mut auditor, &format!("parity@seed{seed}"));
+        }
+        assert_eq!(auditor.audited(), 4);
+        assert!(
+            auditor.violations().is_empty(),
+            "{:?}",
+            auditor.violations()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 pub mod add_latency;
 pub mod consistency;
 pub mod echo_load;
+pub mod flow_churn;
 pub mod packet_in;
 pub mod probe;
 pub mod stats_accuracy;
@@ -10,6 +11,7 @@ pub mod stats_accuracy;
 pub use add_latency::{AddLatencyModule, AddLatencyReport, AddLatencyState};
 pub use consistency::{ConsistencyModule, ConsistencyReport, ConsistencyState};
 pub use echo_load::{EchoLoadModule, EchoLoadState};
+pub use flow_churn::{FlowChurnModule, FlowChurnState};
 pub use packet_in::{PacketInModule, PacketInState};
 pub use probe::{rule_ip, RoundRobinDst};
 pub use stats_accuracy::{PollSample, StatsAccuracyModule, StatsAccuracyState};

@@ -138,6 +138,20 @@ impl FlowKey {
         FlowKey::extract(&ParsedPacket::parse(bytes))
     }
 
+    /// The key with `mask` applied word-wise: the canonical form a
+    /// tuple-space classifier hashes. For any [`KeyMatch`] whose mask is
+    /// `mask`, the match succeeds exactly when this equals the rule's
+    /// value words — so grouping rules by mask turns wildcard matching
+    /// into exact-match hashing on the masked key.
+    #[inline]
+    pub fn masked(&self, mask: &[u64; KEY_WORDS]) -> [u64; KEY_WORDS] {
+        let mut out = [0u64; KEY_WORDS];
+        for (o, (&k, &m)) in out.iter_mut().zip(self.words.iter().zip(mask)) {
+            *o = k & m;
+        }
+        out
+    }
+
     /// The frame's source MAC, when an Ethernet header was parsed —
     /// recovered from the packed words, so consumers holding only a key
     /// (e.g. a switch learning addresses from staged burst lanes) need
@@ -232,6 +246,19 @@ impl FlowKeyBlock {
             *word = self.words[w][lane];
         }
         FlowKey { words }
+    }
+
+    /// Lane `lane`'s key with `mask` applied, straight out of the
+    /// transposed storage — [`FlowKey::masked`] without materialising
+    /// the intermediate key. Lane must be occupied.
+    #[inline]
+    pub fn masked_lane(&self, lane: usize, mask: &[u64; KEY_WORDS]) -> [u64; KEY_WORDS] {
+        debug_assert!(lane < self.len, "lane {lane} not occupied");
+        let mut out = [0u64; KEY_WORDS];
+        for (w, (o, m)) in out.iter_mut().zip(mask).enumerate() {
+            *o = self.words[w][lane] & m;
+        }
+        out
     }
 }
 
@@ -367,6 +394,23 @@ impl KeyMatch {
                 }
             }
         }
+    }
+
+    /// The mask words — which key bits the match constrains. Two
+    /// `KeyMatch`es with equal masks differ only in value: the
+    /// "tuple" of tuple-space search.
+    #[inline]
+    pub fn mask_words(&self) -> &[u64; KEY_WORDS] {
+        &self.mask
+    }
+
+    /// The value words. Invariant (kept by [`KeyMatch::require`]):
+    /// `value & !mask == 0`, so for a key `k`, `matches(k)` ⇔
+    /// `k.masked(mask) == value` — the identity that lets a hash table
+    /// keyed on masked keys answer wildcard lookups exactly.
+    #[inline]
+    pub fn value_words(&self) -> &[u64; KEY_WORDS] {
+        &self.value
     }
 
     /// Whether `key` satisfies every requirement: eight masked compares.
@@ -629,6 +673,36 @@ mod tests {
             0,
             "empty block matches nothing"
         );
+    }
+
+    #[test]
+    fn masked_key_equality_is_exactly_matching() {
+        // The tuple-space identity: for every rule and frame,
+        // `km.matches(key)` ⇔ `key.masked(km.mask) == km.value`.
+        for rule in rules() {
+            let km = CompiledRule::compile(&rule).km;
+            for frame in corpus() {
+                let key = FlowKey::extract(&frame.parse());
+                assert_eq!(
+                    km.matches(&key),
+                    &key.masked(km.mask_words()) == km.value_words(),
+                    "identity broke: rule {rule:?} frame {:02x?}",
+                    frame.data()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_lane_equals_masked_key() {
+        let frames = corpus();
+        let mask: [u64; KEY_WORDS] = [MAC_MASK, !0, 0, !0, 0, 0xffff_ffff, 0xffff, 0b111111];
+        let mut block = FlowKeyBlock::new();
+        for (lane, frame) in frames.iter().take(BLOCK_LANES).enumerate() {
+            let key = FlowKey::extract(&frame.parse());
+            block.push(&key);
+            assert_eq!(block.masked_lane(lane, &mask), key.masked(&mask));
+        }
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod wildcard;
 
 pub use builder::PacketBuilder;
 pub use flow::FiveTuple;
-pub use flowkey::{CompiledRule, FlowKey, FlowKeyBlock, KeyMatch, BLOCK_LANES};
+pub use flowkey::{CompiledRule, FlowKey, FlowKeyBlock, KeyMatch, BLOCK_LANES, KEY_WORDS};
+pub use hash::{fx_hash_words, FxBuildHasher, FxHasher64};
 pub use mac::MacAddr;
 pub use parser::ParsedPacket;
 pub use pool::PacketPool;

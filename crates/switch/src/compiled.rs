@@ -77,6 +77,20 @@ impl CompiledOfMatch {
         CompiledOfMatch { key, in_port }
     }
 
+    /// The lowered value/mask requirement over the key words. Exposed
+    /// so classification structures (the tuple-space engine) can group
+    /// rows by mask signature and hash their value words.
+    #[inline]
+    pub fn key_match(&self) -> &KeyMatch {
+        &self.key
+    }
+
+    /// The out-of-band ingress-port requirement (`None` = any port).
+    #[inline]
+    pub fn in_port_req(&self) -> Option<u16> {
+        self.in_port
+    }
+
     /// Whether a frame with `key` arriving on `in_port` satisfies the
     /// match.
     #[inline]

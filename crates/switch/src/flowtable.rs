@@ -1,10 +1,22 @@
 //! The OpenFlow switch's flow table.
+//!
+//! Storage is a dense vector with `swap_remove` deletion, indexed two
+//! ways: a strict `(match, priority)` map makes strict flow_mods O(1),
+//! and a selectable **classifier** resolves packet lookups — either the
+//! rank-sorted compiled linear scan (the reference) or the
+//! [`TupleSpace`] engine (sublinear: probes per distinct wildcard mask,
+//! not per rule). Both produce byte-identical verdicts, including the
+//! priority/specificity/insertion-order tie-break, which installation
+//! sequence numbers keep exact even after `swap_remove` disturbs the
+//! vector order.
 
 use crate::compiled::CompiledOfMatch;
+use crate::tuple_space::{Rank, TupleSpace};
 use osnt_openflow::match_field::wildcards;
 use osnt_openflow::{Action, OfMatch};
-use osnt_packet::{FlowKey, FlowKeyBlock, ParsedPacket, BLOCK_LANES};
+use osnt_packet::{FlowKey, FlowKeyBlock, FxBuildHasher, ParsedPacket, BLOCK_LANES};
 use osnt_time::SimTime;
+use std::collections::HashMap;
 
 /// Returned when an ADD would exceed the table capacity
 /// (`OFPET_FLOW_MOD_FAILED` / `ALL_TABLES_FULL` on the wire).
@@ -19,6 +31,36 @@ impl From<TableFull> for osnt_error::OsntError {
             what: "flow table",
             needed: 1,
             available: 0,
+        }
+    }
+}
+
+/// Which classification structure resolves compiled lookups.
+///
+/// The interpreter path ([`FlowTable::lookup_idx`]) is always the
+/// semantic reference; this only selects how the key-word fast path is
+/// implemented. Both choices return identical verdicts — the tuple
+/// engine exists so verdict cost scales with mask diversity instead of
+/// rule count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Classifier {
+    /// Rank-sorted compiled rows, scanned first-hit. O(rules) per
+    /// lookup, O(rules) per strict flow_mod rebuild. The reference.
+    Linear,
+    /// Tuple-space search: hash probe per distinct wildcard mask with
+    /// rank pruning. O(masks) per lookup, O(1) per flow_mod.
+    #[default]
+    TupleSpace,
+}
+
+impl Classifier {
+    /// Resolve from the `OSNT_CLASSIFIER` environment variable:
+    /// `linear` selects the reference scan, anything else (including
+    /// unset) the tuple-space engine.
+    pub fn from_env() -> Self {
+        match std::env::var("OSNT_CLASSIFIER") {
+            Ok(v) if v.eq_ignore_ascii_case("linear") => Classifier::Linear,
+            _ => Classifier::TupleSpace,
         }
     }
 }
@@ -67,6 +109,11 @@ impl FlowEntry {
             bytes: 0,
         }
     }
+
+    /// The entry's tie-break rank: `(priority, specificity)`.
+    fn rank(&self) -> Rank {
+        (self.priority, self.of_match.specificity())
+    }
 }
 
 /// Why an entry was removed (OpenFlow 1.0 `ofp_flow_removed_reason`).
@@ -91,44 +138,113 @@ impl RemovalReason {
     }
 }
 
-/// One row of the compiled lookup cache: the entry's match lowered to
-/// masked-word compares plus its precomputed tie-break rank.
+/// One row of the linear engine's compiled cache: the entry's match
+/// lowered to masked-word compares plus its precomputed tie-break rank.
 ///
-/// Rows are kept **sorted by descending rank** (stable, so ties keep
-/// installation order). That turns best-match search into first-match
-/// search: the scan stops at the first row that matches, where the
-/// interpreter must always walk the whole table to find the best rank.
+/// Rows are kept sorted by **descending rank, ascending seq**. That
+/// turns best-match search into first-match search: the scan stops at
+/// the first row that matches, where the interpreter must always walk
+/// the whole table to find the best rank.
 #[derive(Debug, Clone, Copy)]
 struct CompiledRow {
     m: CompiledOfMatch,
     /// `(priority, specificity)` — cached so winner selection doesn't
-    /// recount wildcard bits, and the sort key of the compiled order.
-    rank: (u16, u32),
+    /// recount wildcard bits, and the primary sort key.
+    rank: Rank,
+    /// Installation sequence — the tie-break sort key, since
+    /// `swap_remove` storage means vector order is *not* install order.
+    seq: u64,
     /// Index of the source row in `entries` (rank-sorting reorders the
     /// compiled rows but lookups must report entry indices).
     idx: usize,
+}
+
+/// The selected classification structure. The linear engine compiles
+/// lazily (flow-mod trains pay one rebuild); the tuple engine is
+/// maintained incrementally (that's the point — flow_mods are hash
+/// ops, not rebuilds).
+#[derive(Debug, Clone)]
+enum Engine {
+    Linear {
+        /// `None` means stale; rebuilt on the next compiled lookup.
+        compiled: Option<Vec<CompiledRow>>,
+    },
+    Tuple(TupleSpace),
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Tuple(TupleSpace::default())
+    }
 }
 
 /// A bounded, priority-ordered flow table.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
+    /// Installation sequence numbers, parallel to `entries`. The
+    /// tie-break authority: equal-rank overlaps resolve to the lowest
+    /// seq (earliest install), independent of vector position.
+    seqs: Vec<u64>,
+    next_seq: u64,
     capacity: usize,
-    /// Entries lowered for the key-word lookup path, parallel to
-    /// `entries`. `None` means stale; rebuilt lazily on the next
-    /// compiled lookup, so flow-mod trains pay one rebuild, not one per
-    /// mod. MODIFY doesn't invalidate — it only rewrites actions.
-    compiled: Option<Vec<CompiledRow>>,
+    /// `(match, priority)` → entry index. ADD-replace semantics keep
+    /// the pairs unique, so strict flow_mods are single hash probes.
+    strict: HashMap<(OfMatch, u16), usize, FxBuildHasher>,
+    engine: Engine,
 }
 
 impl FlowTable {
-    /// A table holding at most `capacity` entries (a TCAM budget).
+    /// A table holding at most `capacity` entries (a TCAM budget),
+    /// classified by the default engine ([`Classifier::TupleSpace`]).
     pub fn new(capacity: usize) -> Self {
+        Self::with_classifier(capacity, Classifier::default())
+    }
+
+    /// A table with an explicit classifier choice.
+    pub fn with_classifier(capacity: usize, classifier: Classifier) -> Self {
         FlowTable {
             entries: Vec::new(),
+            seqs: Vec::new(),
+            next_seq: 0,
             capacity,
-            compiled: None,
+            strict: HashMap::default(),
+            engine: match classifier {
+                Classifier::Linear => Engine::Linear { compiled: None },
+                Classifier::TupleSpace => Engine::Tuple(TupleSpace::new()),
+            },
         }
+    }
+
+    /// The active classifier.
+    pub fn classifier(&self) -> Classifier {
+        match self.engine {
+            Engine::Linear { .. } => Classifier::Linear,
+            Engine::Tuple(_) => Classifier::TupleSpace,
+        }
+    }
+
+    /// Switch classifier, rebuilding the new engine's index over the
+    /// installed entries. A no-op when `classifier` is already active.
+    pub fn set_classifier(&mut self, classifier: Classifier) {
+        if self.classifier() == classifier {
+            return;
+        }
+        self.engine = match classifier {
+            Classifier::Linear => Engine::Linear { compiled: None },
+            Classifier::TupleSpace => {
+                let mut space = TupleSpace::new();
+                for (i, e) in self.entries.iter().enumerate() {
+                    space.insert(
+                        i as u32,
+                        self.seqs[i],
+                        e.rank(),
+                        &CompiledOfMatch::compile(&e.of_match),
+                    );
+                }
+                Engine::Tuple(space)
+            }
+        };
     }
 
     /// Installed entries.
@@ -151,24 +267,74 @@ impl FlowTable {
         self.entries.iter()
     }
 
+    /// The units of simulated work a lookup costs: rules scanned on the
+    /// linear engine, distinct tuples probed on the tuple engine. Pure
+    /// function of table state, so both datapath legs of a parity pair
+    /// charge identically.
+    pub fn lookup_cost_units(&self) -> usize {
+        match &self.engine {
+            Engine::Linear { .. } => self.entries.len(),
+            Engine::Tuple(space) => space.active_tuples(),
+        }
+    }
+
     /// ADD semantics: identical (match, priority) replaces in place;
     /// otherwise append, failing when full.
     pub fn add(&mut self, entry: FlowEntry) -> Result<(), TableFull> {
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.of_match == entry.of_match && e.priority == entry.priority)
-        {
-            // Same (match, priority): the compiled row is unchanged.
-            *existing = entry;
+        let key = (entry.of_match, entry.priority);
+        if let Some(&i) = self.strict.get(&key) {
+            // Same (match, priority): rank, seq, and the compiled form
+            // are all unchanged, so both engines stay valid.
+            self.entries[i] = entry;
             return Ok(());
         }
         if self.entries.len() >= self.capacity {
             return Err(TableFull);
         }
+        let id = self.entries.len();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &mut self.engine {
+            Engine::Linear { compiled } => *compiled = None,
+            Engine::Tuple(space) => space.insert(
+                id as u32,
+                seq,
+                entry.rank(),
+                &CompiledOfMatch::compile(&entry.of_match),
+            ),
+        }
+        self.strict.insert(key, id);
         self.entries.push(entry);
-        self.compiled = None;
+        self.seqs.push(seq);
         Ok(())
+    }
+
+    /// Remove the entry at `idx` (`swap_remove`: the tail entry slides
+    /// into the hole) and fix both indexes — O(1) in table size.
+    fn remove_at(&mut self, idx: usize) -> FlowEntry {
+        let last = self.entries.len() - 1;
+        let victim = &self.entries[idx];
+        self.strict.remove(&(victim.of_match, victim.priority));
+        match &mut self.engine {
+            Engine::Linear { compiled } => *compiled = None,
+            Engine::Tuple(space) => {
+                space.remove(idx as u32, &CompiledOfMatch::compile(&victim.of_match));
+                if idx < last {
+                    space.relocate(
+                        last as u32,
+                        idx as u32,
+                        &CompiledOfMatch::compile(&self.entries[last].of_match),
+                    );
+                }
+            }
+        }
+        let gone = self.entries.swap_remove(idx);
+        self.seqs.swap_remove(idx);
+        if idx < self.entries.len() {
+            let moved = &self.entries[idx];
+            self.strict.insert((moved.of_match, moved.priority), idx);
+        }
+        gone
     }
 
     /// Best-match lookup for a frame arriving on `in_port`. Ties on
@@ -180,26 +346,25 @@ impl FlowTable {
     }
 
     /// Index form of [`FlowTable::lookup`], for callers that need to
-    /// release the borrow between lookup and accounting.
+    /// release the borrow between lookup and accounting. This is the
+    /// interpreter — the semantic reference every classifier must
+    /// reproduce byte-for-byte.
     pub fn lookup_idx(&self, in_port: u16, packet: &ParsedPacket<'_>) -> Option<usize> {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(Rank, u64, usize)> = None;
         for (i, e) in self.entries.iter().enumerate() {
             if !e.of_match.matches(in_port, packet) {
                 continue;
             }
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let cur = &self.entries[b];
-                    let cand_key = (e.priority, e.of_match.specificity());
-                    let cur_key = (cur.priority, cur.of_match.specificity());
-                    if cand_key > cur_key {
-                        best = Some(i);
-                    }
-                }
+            let (rank, seq) = (e.rank(), self.seqs[i]);
+            let wins = match &best {
+                None => true,
+                Some((br, bs, _)) => rank > *br || (rank == *br && seq < *bs),
+            };
+            if wins {
+                best = Some((rank, seq, i));
             }
         }
-        best
+        best.map(|(_, _, i)| i)
     }
 
     /// The entry at an index returned by [`FlowTable::lookup_idx`],
@@ -210,31 +375,37 @@ impl FlowTable {
     }
 
     fn ensure_compiled(&mut self) -> &[CompiledRow] {
-        if self.compiled.is_none() {
+        let Engine::Linear { compiled } = &mut self.engine else {
+            unreachable!("compiled row cache exists only on the linear engine");
+        };
+        if compiled.is_none() {
             let mut rows: Vec<CompiledRow> = self
                 .entries
                 .iter()
                 .enumerate()
                 .map(|(idx, e)| CompiledRow {
                     m: CompiledOfMatch::compile(&e.of_match),
-                    rank: (e.priority, e.of_match.specificity()),
+                    rank: e.rank(),
+                    seq: self.seqs[idx],
                     idx,
                 })
                 .collect();
-            // Stable descending-rank sort: first match == best match,
-            // and equal ranks keep installation order, reproducing the
-            // interpreter's strict-greater tie-break exactly.
-            rows.sort_by_key(|row| std::cmp::Reverse(row.rank));
-            self.compiled = Some(rows);
+            // Descending rank, ascending seq within a rank: first match
+            // == best match, and equal ranks resolve to the earliest
+            // install, reproducing the interpreter's tie-break exactly.
+            rows.sort_by_key(|row| (std::cmp::Reverse(row.rank), row.seq));
+            *compiled = Some(rows);
         }
-        self.compiled.as_deref().unwrap_or_default()
+        compiled.as_deref().unwrap_or_default()
     }
 
     /// [`FlowTable::lookup_idx`] over a pre-extracted [`FlowKey`] using
-    /// the compiled rows. Same result, same tie-break — rows are
-    /// rank-sorted, so the first hit *is* the best match and the scan
-    /// ends there, where the interpreter must walk the whole table.
+    /// the active classifier. Same result, same tie-break; only the
+    /// probe cost differs — O(rules) linear, O(masks) tuple-space.
     pub fn lookup_key_idx(&mut self, in_port: u16, key: &FlowKey) -> Option<usize> {
+        if let Engine::Tuple(space) = &mut self.engine {
+            return space.lookup(in_port, key);
+        }
         self.ensure_compiled()
             .iter()
             .find(|row| row.m.matches(in_port, key))
@@ -242,17 +413,20 @@ impl FlowTable {
     }
 
     /// Look up every occupied lane of `block` (a burst that arrived on
-    /// `in_port`) in one sweep: each compiled row's masked-word compare
-    /// runs across all lanes before moving to the next row, so the
-    /// per-row constants stay in registers. Rank-sorted rows make each
-    /// lane's first hit final; the scan stops as soon as every lane is
-    /// decided. Lane `i` of the result is what
-    /// [`FlowTable::lookup_key_idx`] would return for key `i`.
+    /// `in_port`) in one sweep. On the linear engine each compiled
+    /// row's masked-word compare runs across all lanes before moving to
+    /// the next row; on the tuple engine each tuple is probed for all
+    /// still-undecided lanes before moving to the next tuple. Lane `i`
+    /// of the result is what [`FlowTable::lookup_key_idx`] would return
+    /// for key `i`.
     pub fn lookup_block_idx(
         &mut self,
         in_port: u16,
         block: &FlowKeyBlock,
     ) -> [Option<usize>; BLOCK_LANES] {
+        if let Engine::Tuple(space) = &mut self.engine {
+            return space.lookup_block(in_port, block);
+        }
         let occupied: u8 = if block.len() >= BLOCK_LANES {
             u8::MAX
         } else {
@@ -286,9 +460,10 @@ impl FlowTable {
     }
 
     /// MODIFY semantics: replace the actions of covered entries
-    /// (strict: exact match + priority). Returns how many entries
-    /// changed; OpenFlow adds a new entry when none matched — the caller
-    /// handles that case.
+    /// (strict: exact match + priority, resolved by one hash probe).
+    /// Returns how many entries changed; OpenFlow adds a new entry when
+    /// none matched — the caller handles that case. Actions don't
+    /// participate in classification, so no engine state is touched.
     pub fn modify(
         &mut self,
         of_match: &OfMatch,
@@ -296,14 +471,18 @@ impl FlowTable {
         strict: bool,
         actions: &[Action],
     ) -> usize {
+        if strict {
+            return match self.strict.get(&(*of_match, priority)) {
+                Some(&i) => {
+                    self.entries[i].actions = actions.to_vec();
+                    1
+                }
+                None => 0,
+            };
+        }
         let mut n = 0;
         for e in &mut self.entries {
-            let hit = if strict {
-                e.of_match == *of_match && e.priority == priority
-            } else {
-                covers(of_match, &e.of_match)
-            };
-            if hit {
+            if covers(of_match, &e.of_match) {
                 e.actions = actions.to_vec();
                 n += 1;
             }
@@ -311,53 +490,57 @@ impl FlowTable {
         n
     }
 
-    /// DELETE semantics. Returns the removed entries.
+    /// DELETE semantics. Returns the removed entries in table-scan
+    /// order. Strict deletes are one hash probe; non-strict deletes
+    /// scan for covering (inherently a wildcard-containment question).
     pub fn delete(&mut self, of_match: &OfMatch, priority: u16, strict: bool) -> Vec<FlowEntry> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            let hit = if strict {
-                e.of_match == *of_match && e.priority == priority
-            } else {
-                covers(of_match, &e.of_match)
+        if strict {
+            return match self.strict.get(&(*of_match, priority)).copied() {
+                Some(i) => vec![self.remove_at(i)],
+                None => Vec::new(),
             };
-            if hit {
-                removed.push(e.clone());
-                false
-            } else {
-                true
-            }
-        });
-        if !removed.is_empty() {
-            self.compiled = None;
         }
-        removed
+        let hits: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| covers(of_match, &self.entries[i].of_match))
+            .collect();
+        self.remove_all(&hits)
+    }
+
+    /// Remove the entries at ascending positions `hits`, reporting them
+    /// in that order. Removal walks the positions *descending* so each
+    /// `swap_remove` only ever moves a non-victim tail entry.
+    fn remove_all(&mut self, hits: &[usize]) -> Vec<FlowEntry> {
+        let mut out: Vec<FlowEntry> = hits.iter().rev().map(|&i| self.remove_at(i)).collect();
+        out.reverse();
+        out
     }
 
     /// Remove entries whose idle or hard timeout has elapsed at `now`.
     pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, RemovalReason)> {
-        let mut out = Vec::new();
-        self.entries.retain(|e| {
+        let mut hits: Vec<(usize, RemovalReason)> = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
             if e.hard_timeout > 0 {
                 let deadline =
                     e.installed_at + osnt_time::SimDuration::from_secs(e.hard_timeout as u64);
                 if now >= deadline {
-                    out.push((e.clone(), RemovalReason::HardTimeout));
-                    return false;
+                    hits.push((i, RemovalReason::HardTimeout));
+                    continue;
                 }
             }
             if e.idle_timeout > 0 {
                 let deadline =
                     e.last_match + osnt_time::SimDuration::from_secs(e.idle_timeout as u64);
                 if now >= deadline {
-                    out.push((e.clone(), RemovalReason::IdleTimeout));
-                    return false;
+                    hits.push((i, RemovalReason::IdleTimeout));
                 }
             }
-            true
-        });
-        if !out.is_empty() {
-            self.compiled = None;
         }
+        let mut out: Vec<(FlowEntry, RemovalReason)> = hits
+            .iter()
+            .rev()
+            .map(|&(i, reason)| (self.remove_at(i), reason))
+            .collect();
+        out.reverse();
         out
     }
 }
@@ -436,6 +619,8 @@ mod tests {
     use osnt_openflow::actions::Action;
     use osnt_packet::{MacAddr, PacketBuilder};
     use std::net::Ipv4Addr;
+
+    const BOTH: [Classifier; 2] = [Classifier::Linear, Classifier::TupleSpace];
 
     fn udp_frame(dst_ip: Ipv4Addr, dst_port: u16) -> osnt_packet::Packet {
         PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
@@ -535,42 +720,53 @@ mod tests {
 
     #[test]
     fn strict_delete_removes_only_exact() {
-        let mut t = FlowTable::new(10);
-        t.add(FlowEntry::new(
-            OfMatch::udp_dst_port(1),
-            5,
-            out(1),
-            SimTime::ZERO,
-        ))
-        .unwrap();
-        t.add(FlowEntry::new(
-            OfMatch::udp_dst_port(1),
-            9,
-            out(1),
-            SimTime::ZERO,
-        ))
-        .unwrap();
-        let removed = t.delete(&OfMatch::udp_dst_port(1), 5, true);
-        assert_eq!(removed.len(), 1);
-        assert_eq!(t.len(), 1);
-    }
-
-    #[test]
-    fn nonstrict_delete_uses_covering() {
-        let mut t = FlowTable::new(10);
-        for port in 1..=5 {
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(10, c);
             t.add(FlowEntry::new(
-                OfMatch::udp_dst_port(port),
+                OfMatch::udp_dst_port(1),
                 5,
                 out(1),
                 SimTime::ZERO,
             ))
             .unwrap();
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(1),
+                9,
+                out(1),
+                SimTime::ZERO,
+            ))
+            .unwrap();
+            let removed = t.delete(&OfMatch::udp_dst_port(1), 5, true);
+            assert_eq!(removed.len(), 1);
+            assert_eq!(removed[0].priority, 5);
+            assert_eq!(t.len(), 1);
+            // The survivor stays findable through every path.
+            let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
+            assert_eq!(t.lookup(0, &pkt.parse()).unwrap().priority, 9);
+            assert!(t.delete(&OfMatch::udp_dst_port(1), 5, true).is_empty());
         }
-        // Delete-all (any covers everything).
-        let removed = t.delete(&OfMatch::any(), 0, false);
-        assert_eq!(removed.len(), 5);
-        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nonstrict_delete_uses_covering() {
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(10, c);
+            for port in 1..=5 {
+                t.add(FlowEntry::new(
+                    OfMatch::udp_dst_port(port),
+                    5,
+                    out(1),
+                    SimTime::ZERO,
+                ))
+                .unwrap();
+            }
+            // Delete-all (any covers everything), reported in scan order.
+            let removed = t.delete(&OfMatch::any(), 0, false);
+            assert_eq!(removed.len(), 5);
+            let ports: Vec<u16> = removed.iter().map(|e| e.of_match.tp_dst).collect();
+            assert_eq!(ports, vec![1, 2, 3, 4, 5]);
+            assert!(t.is_empty());
+        }
     }
 
     #[test]
@@ -595,18 +791,22 @@ mod tests {
 
     #[test]
     fn modify_replaces_actions() {
-        let mut t = FlowTable::new(10);
-        t.add(FlowEntry::new(
-            OfMatch::udp_dst_port(1),
-            5,
-            out(1),
-            SimTime::ZERO,
-        ))
-        .unwrap();
-        let n = t.modify(&OfMatch::udp_dst_port(1), 5, true, &out(7));
-        assert_eq!(n, 1);
-        let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
-        assert_eq!(t.lookup(0, &pkt.parse()).unwrap().actions, out(7));
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(10, c);
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(1),
+                5,
+                out(1),
+                SimTime::ZERO,
+            ))
+            .unwrap();
+            let n = t.modify(&OfMatch::udp_dst_port(1), 5, true, &out(7));
+            assert_eq!(n, 1);
+            let pkt = udp_frame(Ipv4Addr::new(1, 1, 1, 1), 1);
+            assert_eq!(t.lookup(0, &pkt.parse()).unwrap().actions, out(7));
+            // Strict modify of an absent pair changes nothing.
+            assert_eq!(t.modify(&OfMatch::udp_dst_port(1), 6, true, &out(8)), 0);
+        }
     }
 
     #[test]
@@ -643,61 +843,63 @@ mod tests {
     #[test]
     fn compiled_lookup_matches_interpreted_including_ties() {
         use osnt_packet::FlowKey;
-        let mut t = FlowTable::new(32);
-        // Overlapping entries: wildcards, port matches, prefixes, an
-        // exact-priority tie (two distinct matches, same priority and
-        // specificity, both hitting port-9001 frames to 10.0.0.0/8 —
-        // earliest row must win), and an in_port-constrained row.
-        t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(32, c);
+            // Overlapping entries: wildcards, port matches, prefixes, an
+            // exact-priority tie (two distinct matches, same priority and
+            // specificity, both hitting port-9001 frames to 10.0.0.0/8 —
+            // earliest row must win), and an in_port-constrained row.
+            t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+                .unwrap();
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(9001),
+                5,
+                out(2),
+                SimTime::ZERO,
+            ))
             .unwrap();
-        t.add(FlowEntry::new(
-            OfMatch::udp_dst_port(9001),
-            5,
-            out(2),
-            SimTime::ZERO,
-        ))
-        .unwrap();
-        let mut src8 = OfMatch::any();
-        src8.nw_src = Ipv4Addr::new(10, 0, 0, 0);
-        src8.set_nw_src_prefix(8);
-        t.add(FlowEntry::new(src8, 5, out(3), SimTime::ZERO))
-            .unwrap();
-        let mut dst8 = OfMatch::any();
-        dst8.nw_dst = Ipv4Addr::new(10, 0, 0, 0);
-        dst8.set_nw_dst_prefix(8);
-        t.add(FlowEntry::new(dst8, 5, out(4), SimTime::ZERO))
-            .unwrap();
-        let mut inport = OfMatch::any();
-        inport.in_port = 2;
-        inport.wildcards &= !wildcards::IN_PORT;
-        t.add(FlowEntry::new(inport, 7, out(5), SimTime::ZERO))
-            .unwrap();
+            let mut src8 = OfMatch::any();
+            src8.nw_src = Ipv4Addr::new(10, 0, 0, 0);
+            src8.set_nw_src_prefix(8);
+            t.add(FlowEntry::new(src8, 5, out(3), SimTime::ZERO))
+                .unwrap();
+            let mut dst8 = OfMatch::any();
+            dst8.nw_dst = Ipv4Addr::new(10, 0, 0, 0);
+            dst8.set_nw_dst_prefix(8);
+            t.add(FlowEntry::new(dst8, 5, out(4), SimTime::ZERO))
+                .unwrap();
+            let mut inport = OfMatch::any();
+            inport.in_port = 2;
+            inport.wildcards &= !wildcards::IN_PORT;
+            t.add(FlowEntry::new(inport, 7, out(5), SimTime::ZERO))
+                .unwrap();
 
-        let frames: Vec<osnt_packet::Packet> = vec![
-            udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001),
-            udp_frame(Ipv4Addr::new(10, 1, 0, 1), 80),
-            udp_frame(Ipv4Addr::new(192, 168, 0, 1), 9001),
-            udp_frame(Ipv4Addr::new(192, 168, 0, 1), 80),
-            PacketBuilder::ethernet(MacAddr::local(1), MacAddr::BROADCAST)
-                .raw_ethertype(0x0806)
-                .payload(&[0u8; 46])
-                .build(),
-        ];
-        for in_port in [1u16, 2, 3] {
-            let mut block = FlowKeyBlock::new();
-            let mut expect = Vec::new();
-            for frame in &frames {
-                let parsed = frame.parse();
-                let key = FlowKey::extract(&parsed);
-                let interp = t.lookup_idx(in_port, &parsed);
-                assert_eq!(t.lookup_key_idx(in_port, &key), interp);
-                block.push(&key);
-                expect.push(interp);
-            }
-            let lanes = t.lookup_block_idx(in_port, &block);
-            assert_eq!(&lanes[..expect.len()], &expect[..]);
-            for lane in lanes.iter().skip(expect.len()) {
-                assert_eq!(*lane, None);
+            let frames: Vec<osnt_packet::Packet> = vec![
+                udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001),
+                udp_frame(Ipv4Addr::new(10, 1, 0, 1), 80),
+                udp_frame(Ipv4Addr::new(192, 168, 0, 1), 9001),
+                udp_frame(Ipv4Addr::new(192, 168, 0, 1), 80),
+                PacketBuilder::ethernet(MacAddr::local(1), MacAddr::BROADCAST)
+                    .raw_ethertype(0x0806)
+                    .payload(&[0u8; 46])
+                    .build(),
+            ];
+            for in_port in [1u16, 2, 3] {
+                let mut block = FlowKeyBlock::new();
+                let mut expect = Vec::new();
+                for frame in &frames {
+                    let parsed = frame.parse();
+                    let key = FlowKey::extract(&parsed);
+                    let interp = t.lookup_idx(in_port, &parsed);
+                    assert_eq!(t.lookup_key_idx(in_port, &key), interp, "{c:?}");
+                    block.push(&key);
+                    expect.push(interp);
+                }
+                let lanes = t.lookup_block_idx(in_port, &block);
+                assert_eq!(&lanes[..expect.len()], &expect[..], "{c:?}");
+                for lane in lanes.iter().skip(expect.len()) {
+                    assert_eq!(*lane, None);
+                }
             }
         }
     }
@@ -705,13 +907,79 @@ mod tests {
     #[test]
     fn compiled_cache_invalidates_on_mutation() {
         use osnt_packet::FlowKey;
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(8, c);
+            let frame = udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001);
+            let key = FlowKey::extract(&frame.parse());
+            assert_eq!(t.lookup_key_idx(0, &key), None);
+            t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
+                .unwrap();
+            assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+            t.add(FlowEntry::new(
+                OfMatch::udp_dst_port(9001),
+                5,
+                out(2),
+                SimTime::ZERO,
+            ))
+            .unwrap();
+            assert_eq!(t.lookup_key_idx(0, &key), Some(1));
+            t.delete(&OfMatch::udp_dst_port(9001), 5, true);
+            assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+            // Expiry invalidates too.
+            let mut short = FlowEntry::new(OfMatch::udp_dst_port(9001), 5, out(2), SimTime::ZERO);
+            short.hard_timeout = 1;
+            t.add(short).unwrap();
+            assert_eq!(t.lookup_key_idx(0, &key), Some(1));
+            t.expire(SimTime::from_secs(2));
+            assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+        }
+    }
+
+    #[test]
+    fn swap_remove_keeps_seq_tie_break_and_indices_coherent() {
+        // Install three equal-rank overlapping entries, delete the
+        // first: the vector reorders (tail slides into slot 0) but the
+        // tie-break must still pick the *earliest surviving install*,
+        // on every lookup path, under both classifiers.
+        for c in BOTH {
+            let mut t = FlowTable::with_classifier(8, c);
+            // Three overlapping matches of strictly increasing
+            // specificity at one priority.
+            let mut m1 = OfMatch::any();
+            m1.tp_src = 1000;
+            m1.wildcards &= !wildcards::TP_SRC;
+            let mut m2 = m1;
+            m2.dl_type = 0x0800;
+            m2.wildcards &= !wildcards::DL_TYPE;
+            let mut m3 = m2;
+            m3.nw_proto = 17;
+            m3.wildcards &= !wildcards::NW_PROTO;
+            t.add(FlowEntry::new(m1, 5, out(1), SimTime::ZERO)).unwrap();
+            t.add(FlowEntry::new(m2, 5, out(2), SimTime::ZERO)).unwrap();
+            t.add(FlowEntry::new(m3, 5, out(3), SimTime::ZERO)).unwrap();
+            let pkt = udp_frame(Ipv4Addr::new(9, 9, 9, 9), 7);
+            // m3 is most specific → wins; delete it, m2 wins; delete
+            // m2 (slot churn from swap_remove), m1 wins.
+            let parsed = pkt.parse();
+            let key = osnt_packet::FlowKey::extract(&parsed);
+            for (victim, expect_port) in [(None, 3u16), (Some(m3), 2), (Some(m2), 1)] {
+                if let Some(v) = victim {
+                    assert_eq!(t.delete(&v, 5, true).len(), 1);
+                }
+                let i = t.lookup_idx(0, &parsed).unwrap();
+                assert_eq!(t.entry_mut(i).actions, out(expect_port), "{c:?}");
+                let j = t.lookup_key_idx(0, &key).unwrap();
+                assert_eq!(j, i, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_classifier_rebuilds_in_place() {
         let mut t = FlowTable::new(8);
-        let frame = udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001);
-        let key = FlowKey::extract(&frame.parse());
-        assert_eq!(t.lookup_key_idx(0, &key), None);
+        assert_eq!(t.classifier(), Classifier::TupleSpace);
         t.add(FlowEntry::new(OfMatch::any(), 1, out(1), SimTime::ZERO))
             .unwrap();
-        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
         t.add(FlowEntry::new(
             OfMatch::udp_dst_port(9001),
             5,
@@ -719,16 +987,47 @@ mod tests {
             SimTime::ZERO,
         ))
         .unwrap();
+        let frame = udp_frame(Ipv4Addr::new(10, 1, 0, 1), 9001);
+        let key = osnt_packet::FlowKey::extract(&frame.parse());
         assert_eq!(t.lookup_key_idx(0, &key), Some(1));
-        t.delete(&OfMatch::udp_dst_port(9001), 5, true);
-        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
-        // Expiry invalidates too.
-        let mut short = FlowEntry::new(OfMatch::udp_dst_port(9001), 5, out(2), SimTime::ZERO);
-        short.hard_timeout = 1;
-        t.add(short).unwrap();
+        t.set_classifier(Classifier::Linear);
+        assert_eq!(t.classifier(), Classifier::Linear);
         assert_eq!(t.lookup_key_idx(0, &key), Some(1));
-        t.expire(SimTime::from_secs(2));
-        assert_eq!(t.lookup_key_idx(0, &key), Some(0));
+        t.set_classifier(Classifier::TupleSpace);
+        assert_eq!(t.lookup_key_idx(0, &key), Some(1));
+    }
+
+    #[test]
+    fn lookup_cost_units_track_the_engine() {
+        let mut linear = FlowTable::with_classifier(64, Classifier::Linear);
+        let mut tuple = FlowTable::with_classifier(64, Classifier::TupleSpace);
+        // 32 rules, 2 distinct masks.
+        for p in 0..16u16 {
+            for t in [&mut linear, &mut tuple] {
+                t.add(FlowEntry::new(
+                    OfMatch::udp_dst_port(p),
+                    5,
+                    out(1),
+                    SimTime::ZERO,
+                ))
+                .unwrap();
+                t.add(FlowEntry::new(
+                    OfMatch::ipv4_dst(Ipv4Addr::new(10, 0, 0, p as u8)),
+                    5,
+                    out(1),
+                    SimTime::ZERO,
+                ))
+                .unwrap();
+            }
+        }
+        assert_eq!(linear.lookup_cost_units(), 32);
+        assert_eq!(tuple.lookup_cost_units(), 2);
+    }
+
+    #[test]
+    fn classifier_env_knob_parses() {
+        // Pure parsing check (no env mutation: tests run in parallel).
+        assert_eq!(Classifier::default(), Classifier::TupleSpace);
     }
 
     #[test]

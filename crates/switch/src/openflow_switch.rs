@@ -19,7 +19,7 @@
 
 use crate::control::{decap_control, encap_control};
 use crate::fabric::{ForwardingPipeline, TIMER_FORWARD};
-use crate::flowtable::{FlowEntry, FlowTable, RemovalReason};
+use crate::flowtable::{Classifier, FlowEntry, FlowTable, RemovalReason};
 use osnt_netsim::{Component, ComponentId, Kernel};
 use osnt_openflow::actions::port_no;
 use osnt_openflow::messages::{
@@ -67,8 +67,19 @@ pub struct OfSwitchConfig {
     pub packet_out_proc: SimDuration,
     /// CPU time per punted packet (PACKET_IN generation).
     pub packet_in_proc: SimDuration,
-    /// Dataplane fabric/lookup latency.
+    /// Dataplane fabric/lookup latency (the fixed part).
     pub lookup_latency: SimDuration,
+    /// Additional dataplane latency per *unit of classification work*:
+    /// rules scanned on the linear classifier, distinct tuples probed on
+    /// the tuple-space classifier ([`FlowTable::lookup_cost_units`]).
+    /// This makes simulated DUT latency track the classification
+    /// structure — a million-rule table with ten masks costs ten units,
+    /// not a million. Zero (the default) keeps the flat-latency model.
+    pub lookup_per_unit: SimDuration,
+    /// Which classification engine backs the hardware table. Defaults
+    /// from the `OSNT_CLASSIFIER` env knob (`linear` | `tuple`); both
+    /// produce byte-identical forwarding.
+    pub classifier: Classifier,
     /// Output buffer per data port, bytes.
     pub output_buffer_bytes: usize,
     /// Bytes of a punted frame included in PACKET_IN.
@@ -104,6 +115,8 @@ impl Default for OfSwitchConfig {
             packet_out_proc: SimDuration::from_us(15),
             packet_in_proc: SimDuration::from_us(20),
             lookup_latency: SimDuration::from_ns(900),
+            lookup_per_unit: SimDuration::ZERO,
+            classifier: Classifier::from_env(),
             output_buffer_bytes: 512 * 1024,
             miss_send_len: 128,
             compiled_lookup: true,
@@ -164,7 +177,7 @@ impl OpenFlowSwitch {
     /// A switch with the given configuration.
     pub fn new(config: OfSwitchConfig) -> Self {
         OpenFlowSwitch {
-            table: FlowTable::new(config.table_capacity),
+            table: FlowTable::with_classifier(config.table_capacity, config.classifier),
             cam: HashMap::new(),
             pipeline: ForwardingPipeline::new(),
             cpu_fifo: VecDeque::new(),
@@ -514,6 +527,20 @@ impl OpenFlowSwitch {
         );
     }
 
+    /// The full dataplane lookup delay for the current table state:
+    /// fixed fabric latency plus the per-unit charge for the active
+    /// classifier's work ([`FlowTable::lookup_cost_units`] — rules
+    /// scanned linear, tuples probed tuple-space). A pure function of
+    /// config and table contents, so scalar and batched dispatch of the
+    /// same arrivals charge identically.
+    pub fn lookup_delay(&self) -> SimDuration {
+        self.config.lookup_latency
+            + self
+                .config
+                .lookup_per_unit
+                .saturating_mul(self.table.lookup_cost_units() as u64)
+    }
+
     /// Execute one action for a frame that arrived at `at`. Fabric
     /// submissions and punts are anchored at `at`, so batched members
     /// behave exactly as if each had been dispatched at its own arrival
@@ -527,7 +554,7 @@ impl OpenFlowSwitch {
         in_port_wire: u16,
         packet: &Packet,
     ) {
-        let release_at = at + self.config.lookup_latency;
+        let release_at = at + self.lookup_delay();
         match action {
             Action::Output { port, .. } => match *port {
                 port_no::CONTROLLER => {
@@ -599,7 +626,7 @@ impl OpenFlowSwitch {
         in_port_wire: u16,
         packet: &Packet,
     ) {
-        let release_at = at + self.config.lookup_latency;
+        let release_at = at + self.lookup_delay();
         let parsed = packet.parse();
         let Some(dst) = parsed.dst_mac() else { return };
         match self.cam.get(&dst) {
@@ -794,7 +821,8 @@ impl Component for OpenFlowSwitch {
     fn batch_window(&self) -> Option<SimDuration> {
         // Everything the data path schedules is at least this far after
         // the triggering arrival: fabric submissions release at
-        // `lookup_latency`, punts occupy the CPU for `packet_in_proc`.
+        // `lookup_delay()` (≥ `lookup_latency` — the per-unit charge
+        // only adds), punts occupy the CPU for `packet_in_proc`.
         // Capping coalescing at this window keeps batch dispatch
         // byte-identical to scalar (see `Component::batch_window`).
         Some(self.config.lookup_latency.min(self.config.packet_in_proc))
@@ -903,6 +931,53 @@ mod tests {
         // Stripping an untagged frame is a no-op.
         let out2 = strip_vlan(out.clone());
         assert_eq!(out2, out);
+    }
+
+    #[test]
+    fn lookup_delay_tracks_the_classifier() {
+        use osnt_openflow::OfMatch;
+        let base = SimDuration::from_ns(900);
+        let per_unit = SimDuration::from_ns(10);
+        for (classifier, want_units) in [(Classifier::Linear, 32u64), (Classifier::TupleSpace, 2)] {
+            let mut sw = OpenFlowSwitch::new(OfSwitchConfig {
+                lookup_per_unit: per_unit,
+                classifier,
+                table_capacity: 64,
+                ..OfSwitchConfig::default()
+            });
+            // 32 rules over 2 distinct wildcard masks: the linear
+            // engine charges per rule, the tuple engine per mask.
+            for p in 0..16u16 {
+                sw.table
+                    .add(FlowEntry::new(
+                        OfMatch::udp_dst_port(p),
+                        5,
+                        vec![],
+                        SimTime::ZERO,
+                    ))
+                    .unwrap();
+                sw.table
+                    .add(FlowEntry::new(
+                        OfMatch::ipv4_dst(std::net::Ipv4Addr::new(10, 0, 0, p as u8)),
+                        5,
+                        vec![],
+                        SimTime::ZERO,
+                    ))
+                    .unwrap();
+            }
+            assert_eq!(
+                sw.lookup_delay(),
+                base + per_unit.saturating_mul(want_units)
+            );
+        }
+    }
+
+    #[test]
+    fn default_per_unit_charge_is_zero() {
+        // The seed model (flat lookup latency) must survive the cost
+        // model unchanged unless a config opts in.
+        let sw = OpenFlowSwitch::new(OfSwitchConfig::default());
+        assert_eq!(sw.lookup_delay(), sw.config.lookup_latency);
     }
 
     // Full switch behaviour (control channel, barriers, install delay,

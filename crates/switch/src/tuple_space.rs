@@ -1,0 +1,490 @@
+//! Tuple-space search: sublinear wildcard classification.
+//!
+//! The interpreter ([`crate::flowtable::FlowTable::lookup_idx`]) and the
+//! compiled linear scan both walk O(n) rows per packet, and a strict
+//! `flow_mod` walks O(n) rows to find its victim — hopeless at the 10^6
+//! wildcard entries the ROADMAP demands. This module is the classical
+//! fix (Srinivasan/Suri/Varghese's tuple-space search, the same engine
+//! Open vSwitch ships): group rules by their wildcard **mask signature**
+//! (a "tuple"), so every rule inside a tuple masks the same key bits.
+//! Within one tuple a wildcard match degenerates to an *exact* match on
+//! the masked key words — a hash probe — because the lowering invariant
+//! (`value & !mask == 0`, see [`osnt_packet::KeyMatch::mask_words`])
+//! makes `rule.matches(key)` ⇔ `key & mask == value`.
+//!
+//! A lookup probes each distinct tuple once: mask the key, hash, compare.
+//! Rule count stops mattering; only *mask diversity* does, and real rule
+//! sets have tens of masks for millions of rules. Two refinements keep
+//! the probe loop short and the verdict byte-identical to the linear
+//! reference:
+//!
+//! * **Rank pruning** — tuples are visited in descending order of their
+//!   best `(priority, specificity)` rank. Once the best hit so far
+//!   *strictly* outranks everything a tuple can hold, the loop exits.
+//!   The exit must be strict: an equal-rank entry in a later tuple can
+//!   still win the tie-break by earlier installation (lower seq).
+//! * **Seq tie-break** — every entry carries its installation sequence
+//!   number, so equal `(priority, specificity)` collisions resolve to
+//!   the earliest install, exactly like the interpreter's first-wins
+//!   scan.
+//!
+//! `flow_mod` becomes a hash operation on one tuple: ADD inserts into
+//! the signature's bucket map, strict MODIFY/DELETE recompile the match
+//! to find the tuple and bucket directly. The per-tuple rank multiset
+//! (a `BTreeMap` counter) keeps the pruning bound exact under churn.
+
+use crate::compiled::CompiledOfMatch;
+use osnt_packet::{FlowKey, FlowKeyBlock, FxBuildHasher, BLOCK_LANES, KEY_WORDS};
+use std::collections::{BTreeMap, HashMap};
+
+/// A classification rank: `(priority, specificity)`, compared
+/// lexicographically, higher wins. Ties break toward the lower
+/// installation sequence number.
+pub type Rank = (u16, u32);
+
+/// A tuple's mask signature: the masked key words plus whether the rule
+/// constrains the ingress port (which lives beside the key words).
+type Signature = ([u64; KEY_WORDS], bool);
+
+/// Hash-bucket key inside one tuple: the key words under the tuple's
+/// mask, plus the ingress port when the tuple constrains it (0
+/// otherwise, so port-wildcarding tuples collapse all ports into one
+/// bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BucketKey {
+    words: [u64; KEY_WORDS],
+    port: u16,
+}
+
+/// One rule's residence inside a bucket. Self-contained — lookups never
+/// touch the flow-entry storage.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    rank: Rank,
+    /// Installation sequence (tie-break: lowest wins among equal rank).
+    seq: u64,
+    /// The owning [`crate::flowtable::FlowTable`] entry index.
+    id: u32,
+}
+
+/// All rules sharing one wildcard mask signature.
+#[derive(Debug, Clone, Default)]
+struct Tuple {
+    mask: [u64; KEY_WORDS],
+    port_masked: bool,
+    /// Masked-key-words → residents. Multiple residents per bucket are
+    /// possible (same lowered match at different priorities).
+    buckets: HashMap<BucketKey, Vec<Resident>, FxBuildHasher>,
+    /// Multiset of resident ranks; `last_key_value` is the pruning
+    /// bound. Kept exact under churn so the bound never goes stale.
+    ranks: BTreeMap<Rank, u32>,
+    len: usize,
+}
+
+impl Tuple {
+    /// The best rank any resident holds, or `None` when empty.
+    #[inline]
+    fn max_rank(&self) -> Option<Rank> {
+        self.ranks.last_key_value().map(|(r, _)| *r)
+    }
+
+    fn bucket_key(&self, compiled: &CompiledOfMatch) -> BucketKey {
+        BucketKey {
+            words: *compiled.key_match().value_words(),
+            port: compiled.in_port_req().unwrap_or(0),
+        }
+    }
+
+    fn probe_key(&self, in_port: u16, key: &FlowKey) -> BucketKey {
+        BucketKey {
+            words: key.masked(&self.mask),
+            port: if self.port_masked { in_port } else { 0 },
+        }
+    }
+}
+
+/// Winner of a probe: `(rank, Reverse-able seq, entry id)`. Candidate
+/// `a` beats `b` when `a.rank > b.rank`, or ranks tie and `a.seq <
+/// b.seq`.
+#[derive(Debug, Clone, Copy)]
+struct Best {
+    rank: Rank,
+    seq: u64,
+    id: u32,
+}
+
+impl Best {
+    #[inline]
+    fn beats(&self, other: &Option<Best>) -> bool {
+        match other {
+            None => true,
+            Some(o) => self.rank > o.rank || (self.rank == o.rank && self.seq < o.seq),
+        }
+    }
+}
+
+/// The tuple-space search engine. Owns no flow entries — it indexes the
+/// [`crate::flowtable::FlowTable`]'s dense entry vector by id and is
+/// kept in lock-step by the table's mutation paths.
+#[derive(Debug, Clone, Default)]
+pub struct TupleSpace {
+    tuples: Vec<Tuple>,
+    by_sig: HashMap<Signature, usize, FxBuildHasher>,
+    /// Tuple indices in descending `max_rank` order — the probe order
+    /// that makes rank pruning sound. Rebuilt lazily: mask diversity is
+    /// tiny next to rule count, so a rebuild is cheap and rare.
+    order: Vec<usize>,
+    order_dirty: bool,
+    len: usize,
+    /// Non-empty tuple count — the simulated cost model charges per
+    /// tuple probed, so this is the "units of work" a lookup costs.
+    active: usize,
+}
+
+impl TupleSpace {
+    /// An empty engine.
+    pub fn new() -> Self {
+        TupleSpace::default()
+    }
+
+    /// Indexed rules.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rules are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Distinct non-empty mask signatures — the number of hash probes a
+    /// worst-case lookup performs (pruning can only shorten it).
+    pub fn active_tuples(&self) -> usize {
+        self.active
+    }
+
+    fn signature(compiled: &CompiledOfMatch) -> Signature {
+        (
+            *compiled.key_match().mask_words(),
+            compiled.in_port_req().is_some(),
+        )
+    }
+
+    /// Index entry `id` (installed with sequence `seq` at `rank`) under
+    /// its compiled match.
+    pub fn insert(&mut self, id: u32, seq: u64, rank: Rank, compiled: &CompiledOfMatch) {
+        let sig = Self::signature(compiled);
+        let ti = *self.by_sig.entry(sig).or_insert_with(|| {
+            self.tuples.push(Tuple {
+                mask: sig.0,
+                port_masked: sig.1,
+                ..Tuple::default()
+            });
+            self.order_dirty = true;
+            self.tuples.len() - 1
+        });
+        let t = &mut self.tuples[ti];
+        let before = t.max_rank();
+        let key = t.bucket_key(compiled);
+        t.buckets
+            .entry(key)
+            .or_default()
+            .push(Resident { rank, seq, id });
+        *t.ranks.entry(rank).or_insert(0) += 1;
+        if t.len == 0 {
+            self.active += 1;
+        }
+        t.len += 1;
+        self.len += 1;
+        if t.max_rank() != before {
+            self.order_dirty = true;
+        }
+    }
+
+    /// Un-index entry `id`. The caller supplies the entry's compiled
+    /// match so the owning tuple and bucket are found by hashing, never
+    /// by scanning.
+    pub fn remove(&mut self, id: u32, compiled: &CompiledOfMatch) {
+        let sig = Self::signature(compiled);
+        let ti = *self
+            .by_sig
+            .get(&sig)
+            .expect("tuple-space remove: unknown mask signature");
+        let t = &mut self.tuples[ti];
+        let before = t.max_rank();
+        let key = t.bucket_key(compiled);
+        let bucket = t
+            .buckets
+            .get_mut(&key)
+            .expect("tuple-space remove: unknown bucket");
+        let pos = bucket
+            .iter()
+            .position(|r| r.id == id)
+            .expect("tuple-space remove: id not resident");
+        let gone = bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            t.buckets.remove(&key);
+        }
+        match t.ranks.get_mut(&gone.rank) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                t.ranks.remove(&gone.rank);
+            }
+        }
+        t.len -= 1;
+        self.len -= 1;
+        if t.len == 0 {
+            self.active -= 1;
+        }
+        if t.max_rank() != before {
+            self.order_dirty = true;
+        }
+    }
+
+    /// Rewrite the entry id of an already-indexed rule — the table's
+    /// `swap_remove` storage moves the tail entry into the vacated slot,
+    /// and its residence here must follow. O(bucket) via hashing.
+    pub fn relocate(&mut self, old_id: u32, new_id: u32, compiled: &CompiledOfMatch) {
+        let sig = Self::signature(compiled);
+        let ti = *self
+            .by_sig
+            .get(&sig)
+            .expect("tuple-space relocate: unknown mask signature");
+        let t = &mut self.tuples[ti];
+        let key = t.bucket_key(compiled);
+        let bucket = t
+            .buckets
+            .get_mut(&key)
+            .expect("tuple-space relocate: unknown bucket");
+        let r = bucket
+            .iter_mut()
+            .find(|r| r.id == old_id)
+            .expect("tuple-space relocate: id not resident");
+        r.id = new_id;
+    }
+
+    /// Probe order: tuple indices, descending `max_rank`, empties
+    /// dropped. Deterministic — ties sort by tuple creation index.
+    fn ensure_order(&mut self) {
+        if self.order_dirty {
+            let tuples = &self.tuples;
+            self.order = (0..tuples.len()).filter(|&i| tuples[i].len > 0).collect();
+            self.order
+                .sort_by_key(|&i| std::cmp::Reverse((tuples[i].max_rank(), std::cmp::Reverse(i))));
+            self.order_dirty = false;
+        }
+    }
+
+    /// Best-match lookup: probe tuples in descending max-rank order,
+    /// early-exit once the best hit strictly outranks every remaining
+    /// tuple. Returns the winning entry id.
+    pub fn lookup(&mut self, in_port: u16, key: &FlowKey) -> Option<usize> {
+        self.ensure_order();
+        let mut best: Option<Best> = None;
+        for &ti in &self.order {
+            let t = &self.tuples[ti];
+            if t.len == 0 {
+                continue;
+            }
+            let bound = t.max_rank().expect("non-empty tuple has a max rank");
+            if let Some(b) = &best {
+                // Strict: an equal-rank resident can still win by seq.
+                if b.rank > bound {
+                    break;
+                }
+            }
+            if let Some(bucket) = t.buckets.get(&t.probe_key(in_port, key)) {
+                for r in bucket {
+                    let cand = Best {
+                        rank: r.rank,
+                        seq: r.seq,
+                        id: r.id,
+                    };
+                    if cand.beats(&best) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best.map(|b| b.id as usize)
+    }
+
+    /// Block lookup: classify every occupied lane of `block` tuple by
+    /// tuple, with per-lane undecided masking — a lane leaves the probe
+    /// set as soon as its best hit strictly outranks the current tuple's
+    /// bound (tuples only get worse from there). Lane `i` of the result
+    /// equals [`TupleSpace::lookup`] on key `i`.
+    pub fn lookup_block(
+        &mut self,
+        in_port: u16,
+        block: &FlowKeyBlock,
+    ) -> [Option<usize>; BLOCK_LANES] {
+        let occupied: u8 = if block.len() >= BLOCK_LANES {
+            u8::MAX
+        } else {
+            (1u8 << block.len()) - 1
+        };
+        self.ensure_order();
+        let mut best: [Option<Best>; BLOCK_LANES] = [None; BLOCK_LANES];
+        let mut undecided = occupied;
+        for &ti in &self.order {
+            if undecided == 0 {
+                break;
+            }
+            let t = &self.tuples[ti];
+            if t.len == 0 {
+                continue;
+            }
+            let bound = t.max_rank().expect("non-empty tuple has a max rank");
+            let mut lanes = undecided;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                if let Some(b) = &best[lane] {
+                    if b.rank > bound {
+                        undecided &= !(1u8 << lane);
+                        continue;
+                    }
+                }
+                let probe = BucketKey {
+                    words: block.masked_lane(lane, &t.mask),
+                    port: if t.port_masked { in_port } else { 0 },
+                };
+                if let Some(bucket) = t.buckets.get(&probe) {
+                    for r in bucket {
+                        let cand = Best {
+                            rank: r.rank,
+                            seq: r.seq,
+                            id: r.id,
+                        };
+                        if cand.beats(&best[lane]) {
+                            best[lane] = Some(cand);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = [None; BLOCK_LANES];
+        for (o, b) in out.iter_mut().zip(best) {
+            *o = b.map(|b| b.id as usize);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osnt_openflow::OfMatch;
+    use osnt_packet::{MacAddr, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn key_of(dst_ip: Ipv4Addr, dst_port: u16) -> FlowKey {
+        let p = PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), dst_ip)
+            .udp(1000, dst_port)
+            .build();
+        FlowKey::extract(&p.parse())
+    }
+
+    fn rank_of(m: &OfMatch, priority: u16) -> Rank {
+        (priority, m.specificity())
+    }
+
+    #[test]
+    fn exact_probe_and_rank_order() {
+        let mut ts = TupleSpace::new();
+        let any = OfMatch::any();
+        let porty = OfMatch::udp_dst_port(9001);
+        ts.insert(0, 0, rank_of(&any, 1), &CompiledOfMatch::compile(&any));
+        ts.insert(1, 1, rank_of(&porty, 5), &CompiledOfMatch::compile(&porty));
+        assert_eq!(ts.active_tuples(), 2);
+        assert_eq!(
+            ts.lookup(0, &key_of(Ipv4Addr::new(1, 1, 1, 1), 9001)),
+            Some(1)
+        );
+        assert_eq!(
+            ts.lookup(0, &key_of(Ipv4Addr::new(1, 1, 1, 1), 80)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn equal_rank_breaks_by_seq_across_tuples() {
+        // Two rules, equal (priority, specificity), different masks —
+        // so they live in different tuples. The earlier install must
+        // win, which is exactly why pruning can't exit on rank equality.
+        let mut src = OfMatch::any();
+        src.nw_src = Ipv4Addr::new(10, 0, 0, 0);
+        src.set_nw_src_prefix(8);
+        let mut dst = OfMatch::any();
+        dst.nw_dst = Ipv4Addr::new(10, 0, 0, 0);
+        dst.set_nw_dst_prefix(8);
+        assert_eq!(src.specificity(), dst.specificity());
+
+        // Install in both orders; the winner must follow seq, not
+        // tuple-creation order.
+        for flip in [false, true] {
+            let mut ts = TupleSpace::new();
+            let (first, second) = if flip { (&dst, &src) } else { (&src, &dst) };
+            ts.insert(0, 0, rank_of(first, 5), &CompiledOfMatch::compile(first));
+            ts.insert(1, 1, rank_of(second, 5), &CompiledOfMatch::compile(second));
+            // 10.0.0.1 -> 10.9.9.9 hits both prefixes.
+            let k = key_of(Ipv4Addr::new(10, 9, 9, 9), 80);
+            assert_eq!(ts.lookup(0, &k), Some(0), "flip={flip}");
+        }
+    }
+
+    #[test]
+    fn remove_and_relocate_keep_the_index_exact() {
+        let mut ts = TupleSpace::new();
+        let any = OfMatch::any();
+        let porty = OfMatch::udp_dst_port(9001);
+        let c_any = CompiledOfMatch::compile(&any);
+        let c_porty = CompiledOfMatch::compile(&porty);
+        ts.insert(0, 0, rank_of(&any, 1), &c_any);
+        ts.insert(1, 1, rank_of(&porty, 5), &c_porty);
+        let k = key_of(Ipv4Addr::new(1, 1, 1, 1), 9001);
+        assert_eq!(ts.lookup(0, &k), Some(1));
+        ts.remove(1, &c_porty);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.active_tuples(), 1);
+        assert_eq!(ts.lookup(0, &k), Some(0));
+        // Simulate a swap_remove: entry 0 becomes entry 5.
+        ts.relocate(0, 5, &c_any);
+        assert_eq!(ts.lookup(0, &k), Some(5));
+    }
+
+    #[test]
+    fn block_lookup_equals_scalar() {
+        let mut ts = TupleSpace::new();
+        let any = OfMatch::any();
+        let porty = OfMatch::udp_dst_port(9001);
+        let exact = OfMatch::ipv4_dst(Ipv4Addr::new(10, 1, 0, 1));
+        for (id, m, prio) in [(0u32, &any, 1u16), (1, &porty, 5), (2, &exact, 5)] {
+            ts.insert(
+                id,
+                id as u64,
+                rank_of(m, prio),
+                &CompiledOfMatch::compile(m),
+            );
+        }
+        let keys = [
+            key_of(Ipv4Addr::new(10, 1, 0, 1), 9001),
+            key_of(Ipv4Addr::new(10, 1, 0, 1), 80),
+            key_of(Ipv4Addr::new(192, 168, 0, 1), 9001),
+            key_of(Ipv4Addr::new(192, 168, 0, 1), 80),
+        ];
+        let mut block = FlowKeyBlock::new();
+        for k in &keys {
+            block.push(k);
+        }
+        let lanes = ts.lookup_block(3, &block);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(lanes[i], ts.lookup(3, k), "lane {i}");
+        }
+        for lane in &lanes[keys.len()..] {
+            assert_eq!(*lane, None);
+        }
+    }
+}

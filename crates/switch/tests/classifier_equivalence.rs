@@ -1,0 +1,311 @@
+//! Classifier equivalence: the tuple-space engine must be
+//! observationally identical to the linear reference — same verdicts
+//! (including the priority/specificity/insertion-order tie-break), same
+//! hit counters, same table contents — across arbitrary interleavings
+//! of flow_mods, expiry, and lookups.
+//!
+//! Two tables run the *same* operation sequence, one per classifier.
+//! Because all mutation logic is engine-independent, their entry
+//! vectors must stay byte-identical, so lookup verdicts can be compared
+//! as raw indices. The interpreter (`lookup_idx`) is additionally
+//! consulted as the semantic ground truth.
+
+use osnt_openflow::match_field::wildcards;
+use osnt_openflow::{Action, OfMatch};
+use osnt_packet::{FlowKey, FlowKeyBlock, MacAddr, Packet, PacketBuilder};
+use osnt_switch::flowtable::{FlowEntry, FlowTable};
+use osnt_switch::Classifier;
+use osnt_time::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const IP_POOL: [Ipv4Addr; 4] = [
+    Ipv4Addr::new(10, 0, 0, 1),
+    Ipv4Addr::new(10, 0, 0, 2),
+    Ipv4Addr::new(10, 1, 0, 1),
+    Ipv4Addr::new(192, 168, 1, 1),
+];
+const PREFIX_POOL: [u8; 4] = [8, 16, 24, 32];
+const PORT_POOL: [u16; 4] = [53, 80, 443, 9001];
+
+/// A generatable wildcard match: a few overlapping field shapes drawn
+/// from small pools, so random sets collide on masks, values, and
+/// ranks (equal-priority ties are frequent by construction).
+#[derive(Debug, Clone, Copy)]
+struct MatchSpec {
+    ipv4: bool,
+    nw_dst: Option<(u8, u8)>,
+    tp_dst: Option<u8>,
+    in_port: Option<u8>,
+    priority: u16,
+    hard_timeout: u16,
+}
+
+impl MatchSpec {
+    fn build(&self) -> OfMatch {
+        let mut m = OfMatch::any();
+        if self.ipv4 {
+            m.dl_type = 0x0800;
+            m.wildcards &= !wildcards::DL_TYPE;
+        }
+        if let Some((ip, plen)) = self.nw_dst {
+            m.nw_dst = IP_POOL[ip as usize];
+            m.set_nw_dst_prefix(PREFIX_POOL[plen as usize]);
+        }
+        if let Some(p) = self.tp_dst {
+            m.tp_dst = PORT_POOL[p as usize];
+            m.wildcards &= !wildcards::TP_DST;
+        }
+        if let Some(p) = self.in_port {
+            m.in_port = p as u16 + 1;
+            m.wildcards &= !wildcards::IN_PORT;
+        }
+        m
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(MatchSpec),
+    DeleteStrict(MatchSpec),
+    Delete(MatchSpec),
+    ModifyStrict(MatchSpec),
+    Expire,
+}
+
+fn match_spec() -> impl Strategy<Value = MatchSpec> {
+    (0u8..2, 0u8..17, 0u8..5, 0u8..4, 0u8..4, 0u8..5).prop_map(|(ipv4, nw, tp, inp, prio, hto)| {
+        MatchSpec {
+            ipv4: ipv4 == 1,
+            nw_dst: (nw < 16).then_some((nw & 3, nw >> 2)),
+            tp_dst: (tp < 4).then_some(tp),
+            in_port: (inp < 3).then_some(inp),
+            priority: [1u16, 5, 5, 9][prio as usize],
+            hard_timeout: [0u16, 0, 0, 1, 2][hto as usize],
+        }
+    })
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..8, match_spec()).prop_map(|(k, s)| match k {
+        0..=3 => Op::Add(s),
+        4 => Op::DeleteStrict(s),
+        5 => Op::Delete(s),
+        6 => Op::ModifyStrict(s),
+        _ => Op::Expire,
+    })
+}
+
+fn udp_frame(dst_ip: Ipv4Addr, dst_port: u16) -> Packet {
+    PacketBuilder::ethernet(MacAddr::local(1), MacAddr::local(2))
+        .ipv4(Ipv4Addr::new(10, 9, 9, 9), dst_ip)
+        .udp(1000, dst_port)
+        .build()
+}
+
+fn out(port: u16) -> Vec<Action> {
+    vec![Action::Output { port, max_len: 0 }]
+}
+
+/// Apply one op to a table. All mutation logic is engine-independent,
+/// so both tables stay structurally identical.
+fn apply(t: &mut FlowTable, i: usize, op: &Op) {
+    let now = SimTime::from_ms(i as u64);
+    match op {
+        Op::Add(s) => {
+            let mut e = FlowEntry::new(s.build(), s.priority, out(i as u16), now);
+            e.hard_timeout = s.hard_timeout;
+            let _ = t.add(e); // TableFull rejections are part of the behaviour
+        }
+        Op::DeleteStrict(s) => {
+            t.delete(&s.build(), s.priority, true);
+        }
+        Op::Delete(s) => {
+            t.delete(&s.build(), s.priority, false);
+        }
+        Op::ModifyStrict(s) => {
+            t.modify(
+                &s.build(),
+                s.priority,
+                true,
+                &out((i as u16).wrapping_add(10_000)),
+            );
+        }
+        Op::Expire => {
+            t.expire(now);
+        }
+    }
+}
+
+/// The state both engines must agree on, entry for entry.
+fn snapshot(t: &FlowTable) -> Vec<(OfMatch, u16, Vec<Action>, u64, u64)> {
+    t.iter()
+        .map(|e| {
+            (
+                e.of_match,
+                e.priority,
+                e.actions.clone(),
+                e.packets,
+                e.bytes,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random flow_mod histories + random traffic: both classifiers
+    /// must return identical verdicts on every lookup path (scalar key,
+    /// 8-lane block, interpreter ground truth) and accumulate identical
+    /// hit counters — under overlapping masks, equal-priority ties, and
+    /// capacity-constrained (table-full) histories.
+    #[test]
+    fn tuple_space_equals_linear(
+        capacity in 4usize..24,
+        ops in proptest::collection::vec(op(), 1..80),
+        keys in proptest::collection::vec((0u8..4, 0u8..4), 1..24),
+    ) {
+        let mut linear = FlowTable::with_classifier(capacity, Classifier::Linear);
+        let mut tuple = FlowTable::with_classifier(capacity, Classifier::TupleSpace);
+        for (i, o) in ops.iter().enumerate() {
+            apply(&mut linear, i, o);
+            apply(&mut tuple, i, o);
+        }
+        prop_assert_eq!(snapshot(&linear), snapshot(&tuple));
+
+        let frames: Vec<Packet> = keys
+            .iter()
+            .map(|&(ip, port)| udp_frame(IP_POOL[ip as usize], PORT_POOL[port as usize]))
+            .collect();
+        for in_port in [1u16, 2, 3] {
+            // Scalar verdicts, all three paths.
+            for frame in &frames {
+                let parsed = frame.parse();
+                let key = FlowKey::extract(&parsed);
+                let truth = linear.lookup_idx(in_port, &parsed);
+                prop_assert_eq!(linear.lookup_key_idx(in_port, &key), truth);
+                prop_assert_eq!(tuple.lookup_key_idx(in_port, &key), truth);
+                // Account on both so counters must track together.
+                if let Some(i) = truth {
+                    let now = SimTime::from_secs(999);
+                    FlowTable::account(linear.entry_mut(i), now, frame.frame_len());
+                    FlowTable::account(tuple.entry_mut(i), now, frame.frame_len());
+                }
+            }
+            // Block verdicts, 8 lanes at a time.
+            for chunk in frames.chunks(8) {
+                let mut block = FlowKeyBlock::new();
+                let mut expect = Vec::new();
+                for frame in chunk {
+                    let parsed = frame.parse();
+                    block.push(&FlowKey::extract(&parsed));
+                    expect.push(linear.lookup_idx(in_port, &parsed));
+                }
+                let lin = linear.lookup_block_idx(in_port, &block);
+                let tup = tuple.lookup_block_idx(in_port, &block);
+                prop_assert_eq!(&lin[..expect.len()], &expect[..]);
+                prop_assert_eq!(&tup[..expect.len()], &expect[..]);
+            }
+        }
+        prop_assert_eq!(snapshot(&linear), snapshot(&tuple));
+    }
+}
+
+/// Deterministic splitmix64 — a seeded op stream without touching the
+/// tables' entropy or adding dependencies.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// 100k-flow_mod churn with interleaved lookups: the tuple engine's
+/// incremental maintenance (insert/remove/relocate under `swap_remove`
+/// storage) must never drift from the linear reference, no matter how
+/// long the history. Verdicts are cross-checked periodically (the
+/// linear table recompiles O(n) rows per check, so checks are sampled);
+/// final table state is compared entry-for-entry.
+#[test]
+fn hundred_k_flowmod_churn_stays_equivalent() {
+    const OPS: usize = 100_000;
+    const CAPACITY: usize = 1024;
+    let mut rng = SplitMix(0xE15_F10);
+    let mut linear = FlowTable::with_classifier(CAPACITY, Classifier::Linear);
+    let mut tuple = FlowTable::with_classifier(CAPACITY, Classifier::TupleSpace);
+
+    let spec_from = |r: u64| {
+        let nw = (r >> 8) & 0xf;
+        MatchSpec {
+            ipv4: r & 1 == 0,
+            nw_dst: (nw < 12).then_some(((nw & 3) as u8, ((nw >> 2) & 3) as u8)),
+            tp_dst: ((r >> 16) & 3 != 3).then_some(((r >> 18) & 3) as u8),
+            in_port: ((r >> 24) & 7 == 0).then_some(((r >> 27) & 1) as u8),
+            priority: [1u16, 5, 5, 9][((r >> 32) & 3) as usize],
+            hard_timeout: [0u16, 0, 0, 1][((r >> 40) & 3) as usize],
+        }
+    };
+    let mut lookups = 0u64;
+    let mut hits = 0u64;
+    for i in 0..OPS {
+        let r = rng.next();
+        let s = spec_from(r);
+        let o = match r % 16 {
+            0..=8 => Op::Add(s),
+            9..=11 => Op::DeleteStrict(s),
+            12 => Op::Delete(s),
+            13..=14 => Op::ModifyStrict(s),
+            _ => Op::Expire,
+        };
+        apply(&mut linear, i, &o);
+        apply(&mut tuple, i, &o);
+        assert_eq!(linear.len(), tuple.len(), "len diverged at op {i}");
+        // Tuple-engine lookups are cheap — probe every 8 ops; pull the
+        // linear reference in every 512th op (it recompiles O(n) rows).
+        if i % 8 == 0 {
+            let k = rng.next();
+            let frame = udp_frame(
+                IP_POOL[(k & 3) as usize],
+                PORT_POOL[((k >> 2) & 3) as usize],
+            );
+            let in_port = ((k >> 4) & 1) as u16 + 1;
+            let key = FlowKey::extract(&frame.parse());
+            let t = tuple.lookup_key_idx(in_port, &key);
+            lookups += 1;
+            hits += t.is_some() as u64;
+            if i % 512 == 0 {
+                assert_eq!(
+                    linear.lookup_key_idx(in_port, &key),
+                    t,
+                    "verdict diverged at op {i}"
+                );
+                assert_eq!(
+                    linear.lookup_idx(in_port, &frame.parse()),
+                    t,
+                    "interpreter diverged at op {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(snapshot(&linear), snapshot(&tuple));
+    assert!(lookups >= (OPS / 8) as u64);
+    // The workload must actually exercise matches, not just misses.
+    assert!(hits > 0, "churn produced no matching lookups");
+    // And a final exhaustive sweep across the whole key pool.
+    for ip in IP_POOL {
+        for port in PORT_POOL {
+            let frame = udp_frame(ip, port);
+            let parsed = frame.parse();
+            let key = FlowKey::extract(&parsed);
+            for in_port in [1u16, 2] {
+                let truth = linear.lookup_idx(in_port, &parsed);
+                assert_eq!(linear.lookup_key_idx(in_port, &key), truth);
+                assert_eq!(tuple.lookup_key_idx(in_port, &key), truth);
+            }
+        }
+    }
+}

@@ -29,12 +29,21 @@ import pathlib
 import sys
 
 THRESHOLD = 0.15
-RATE_KEYS = ("frames_per_wall_s", "events_per_wall_s", "sim_frames_per_wall_s")
+RATE_KEYS = (
+    "frames_per_wall_s",
+    "events_per_wall_s",
+    "sim_frames_per_wall_s",
+    "ops_per_wall_s",
+)
 # Keys that are measurements (vary run to run), not row identity.
 MEASURED = set(RATE_KEYS) | {
     "wall_s",
     "scalar_wall_s",
     "burst_wall_s",
+    "linear_wall_s",
+    "tuple_wall_s",
+    "linear_ops_per_wall_s",
+    "ops",
     "speedup",
     "achieved_pps",
     "deficit_pct",
