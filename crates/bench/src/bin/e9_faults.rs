@@ -197,6 +197,7 @@ fn control_plane() {
         retry: RetryPolicy {
             timeout: SimDuration::from_ms(2),
             max_retries: 4,
+            ..RetryPolicy::default()
         },
         ..TestbedSpec::control_only()
     };

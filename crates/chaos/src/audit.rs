@@ -371,7 +371,76 @@ impl InvariantAuditor {
     }
 }
 
+/// The run service's session-conservation books, in plain counts so
+/// the auditor stays independent of the service crate (the service
+/// depends on chaos, not the other way around). Snapshot them *after*
+/// the service drains — in-flight sessions are counted as admitted but
+/// not yet settled, and the ledger only balances at rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounts {
+    /// Sessions the wire protocol accepted a submission for.
+    pub submitted: u64,
+    /// Sessions past admission control (queued or executed).
+    pub admitted: u64,
+    /// Sessions refused at the door (`Rejected{retry_after}`).
+    pub rejected: u64,
+    /// Sessions that ran to completion and produced a report.
+    pub completed: u64,
+    /// Queued sessions shed under overload, with notice.
+    pub shed: u64,
+    /// Sessions that failed terminally (quota kill, bad config,
+    /// retries exhausted).
+    pub failed: u64,
+    /// Reports published to clients. At-most-once: never above
+    /// `completed`, and exactly `completed` once the service drains.
+    pub published: u64,
+    /// Worker-crash retries (informational; not part of conservation —
+    /// a retried session still settles exactly once).
+    pub retries: u64,
+}
+
 impl InvariantAuditor {
+    /// Audit the run service's session-conservation ledger after a
+    /// drain: every submitted session settles exactly once — admitted
+    /// sessions as completed, shed, or failed; the rest rejected at
+    /// the door — and every completed session's report is published
+    /// exactly once.
+    pub fn audit_session_ledger(&mut self, label: &str, c: &SessionCounts) {
+        self.audited += 1;
+        self.check(
+            "session-ledger",
+            c.admitted + c.rejected == c.submitted,
+            || {
+                format!(
+                    "{label}: admitted {} + rejected {} != submitted {}",
+                    c.admitted, c.rejected, c.submitted
+                )
+            },
+        );
+        self.check(
+            "session-ledger",
+            c.completed + c.shed + c.failed == c.admitted,
+            || {
+                format!(
+                    "{label}: completed {} + shed {} + failed {} != admitted {}",
+                    c.completed, c.shed, c.failed, c.admitted
+                )
+            },
+        );
+        self.check("session-publication", c.published <= c.completed, || {
+            format!(
+                "{label}: {} reports published for {} completed sessions (at-most-once broken)",
+                c.published, c.completed
+            )
+        });
+        self.check("session-publication", c.published == c.completed, || {
+            format!(
+                "{label}: {} completed session(s) never published a report",
+                c.completed.saturating_sub(c.published)
+            )
+        });
+    }
+
     /// Audit the fault ledger of a merged roll-up (the campaign
     /// accumulates per-run [`FaultStats`] with
     /// [`FaultStats::accumulate`]; the merged books must still
@@ -531,6 +600,62 @@ mod tests {
             .any(|v| v.invariant == "control-ledger"));
         let e = a.into_result().unwrap_err();
         assert!(matches!(e, OsntError::InvariantViolated { .. }));
+    }
+
+    #[test]
+    fn session_ledger_balances_or_fails() {
+        let mut a = InvariantAuditor::new();
+        let ok = SessionCounts {
+            submitted: 250,
+            admitted: 230,
+            rejected: 20,
+            completed: 200,
+            shed: 25,
+            failed: 5,
+            published: 200,
+            retries: 7,
+        };
+        a.audit_session_ledger("ok", &ok);
+        assert!(a.violations().is_empty(), "{:?}", a.violations());
+
+        // A session that vanished without settling.
+        let mut lost = ok;
+        lost.shed = 24;
+        a.audit_session_ledger("lost", &lost);
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "session-ledger"));
+
+        // Double publication breaks at-most-once.
+        let mut a = InvariantAuditor::new();
+        let mut twice = ok;
+        twice.published = 201;
+        a.audit_session_ledger("twice", &twice);
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "session-publication"));
+
+        // A completed session whose report never went out.
+        let mut a = InvariantAuditor::new();
+        let mut silent = ok;
+        silent.published = 199;
+        a.audit_session_ledger("silent", &silent);
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "session-publication"));
+
+        // Rejections hiding inside admission.
+        let mut a = InvariantAuditor::new();
+        let mut off_door = ok;
+        off_door.rejected = 19;
+        a.audit_session_ledger("door", &off_door);
+        assert!(a
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "session-ledger"));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod crash;
 pub mod plan;
 pub mod toml;
 
-pub use audit::{InvariantAuditor, Violation};
+pub use audit::{InvariantAuditor, SessionCounts, Violation};
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, ScenarioResult};
 pub use crash::{crash_point_sweep, journal_torture, CrashSweepReport, TortureReport};
-pub use plan::{ChaosPlan, ChaosScenario, Episode, LoweredScenario};
+pub use plan::{ChaosPlan, ChaosScenario, Episode, LoweredScenario, OverloadStorm};

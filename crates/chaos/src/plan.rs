@@ -97,6 +97,25 @@ pub enum Episode {
     /// finished run's journal before resuming it. See
     /// [`crate::crash::journal_torture`].
     JournalTorture,
+    /// Service path: SIGKILL-equivalent the worker executing a session
+    /// at its k-th journal append (lowered onto the supervisor's
+    /// `crash_after_appends` arm). The service must retry with backoff
+    /// and resume the session to a byte-identical report.
+    WorkerKill {
+        /// Kill at the k-th journal append of the session's run
+        /// (1-based; 1 kills right after the header).
+        after_appends: u64,
+    },
+    /// Service path: an overload storm — submit `factor` times the
+    /// service's total capacity in bursts, forcing admission control
+    /// and deterministic load shedding.
+    OverloadStorm {
+        /// Offered load as a multiple of service capacity (2.0 = the
+        /// acceptance criterion's 2x storm).
+        factor: f64,
+        /// Sessions per submission burst.
+        burst: u32,
+    },
 }
 
 impl Episode {
@@ -114,6 +133,8 @@ impl Episode {
             Episode::ControlTruncate { .. } => "control-truncate",
             Episode::CrashSweep => "crash-sweep",
             Episode::JournalTorture => "journal-torture",
+            Episode::WorkerKill { .. } => "worker-kill",
+            Episode::OverloadStorm { .. } => "overload-storm",
         }
     }
 }
@@ -148,6 +169,15 @@ impl Default for ChaosScenario {
     }
 }
 
+/// An overload storm lowered to the knobs the run service consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadStorm {
+    /// Offered sessions as a multiple of service capacity.
+    pub factor: f64,
+    /// Sessions per submission burst.
+    pub burst: u32,
+}
+
 /// What a scenario's episodes compile down to.
 #[derive(Debug, Clone, Default)]
 pub struct LoweredScenario {
@@ -162,6 +192,12 @@ pub struct LoweredScenario {
     pub crash_sweep: bool,
     /// Run journal torture (torn tail + bit flips) for this scenario.
     pub journal_torture: bool,
+    /// Service path: kill the session's worker at this journal append
+    /// (`None` = workers live). Consumed by `osnt-service` via the
+    /// supervisor's `crash_after_appends` arm.
+    pub worker_kill: Option<u64>,
+    /// Service path: drive an overload storm through admission control.
+    pub overload_storm: Option<OverloadStorm>,
 }
 
 impl ChaosScenario {
@@ -281,6 +317,27 @@ impl ChaosScenario {
                 }
                 Episode::CrashSweep => out.crash_sweep = true,
                 Episode::JournalTorture => out.journal_torture = true,
+                Episode::WorkerKill { after_appends } => {
+                    if after_appends == 0 {
+                        return Err(self.conflict("worker-kill at append 0 (appends are 1-based)"));
+                    }
+                    if out.worker_kill.is_some() {
+                        return Err(self.conflict("two worker-kill episodes"));
+                    }
+                    out.worker_kill = Some(after_appends);
+                }
+                Episode::OverloadStorm { factor, burst } => {
+                    if factor <= 0.0 || factor.is_nan() {
+                        return Err(self.conflict("overload storm with non-positive factor"));
+                    }
+                    if burst == 0 {
+                        return Err(self.conflict("overload storm with empty bursts"));
+                    }
+                    if out.overload_storm.is_some() {
+                        return Err(self.conflict("two overload-storm episodes"));
+                    }
+                    out.overload_storm = Some(OverloadStorm { factor, burst });
+                }
             }
         }
 
@@ -519,6 +576,48 @@ impl ChaosPlan {
         plan.validate().expect("builtin plan is valid");
         plan
     }
+
+    /// The service-path corpus: chaos driven *through* the run service
+    /// rather than straight at a kernel — a worker SIGKILLed mid-
+    /// session (the service must retry with backoff and resume to a
+    /// byte-identical report) and a 2x overload storm (admission
+    /// control must shed deterministically with full accounting). The
+    /// E16 bench and the service chaos tests consume these via the
+    /// `worker_kill` / `overload_storm` fields of [`LoweredScenario`].
+    pub fn service() -> ChaosPlan {
+        let plan = ChaosPlan {
+            name: "service".into(),
+            base_seed: 23,
+            scenarios: vec![
+                ChaosScenario {
+                    name: "worker-kill-mid-session".into(),
+                    episodes: vec![Episode::WorkerKill { after_appends: 2 }],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "overload-storm-2x".into(),
+                    episodes: vec![Episode::OverloadStorm {
+                        factor: 2.0,
+                        burst: 16,
+                    }],
+                    ..ChaosScenario::default()
+                },
+                ChaosScenario {
+                    name: "kill-under-storm".into(),
+                    episodes: vec![
+                        Episode::WorkerKill { after_appends: 3 },
+                        Episode::OverloadStorm {
+                            factor: 1.5,
+                            burst: 8,
+                        },
+                    ],
+                    ..ChaosScenario::default()
+                },
+            ],
+        };
+        plan.validate().expect("service plan is valid");
+        plan
+    }
 }
 
 fn parse_episode(t: &TomlTable) -> Result<Episode, OsntError> {
@@ -578,6 +677,13 @@ fn parse_episode(t: &TomlTable) -> Result<Episode, OsntError> {
         },
         "crash-sweep" => Episode::CrashSweep,
         "journal-torture" => Episode::JournalTorture,
+        "worker-kill" => Episode::WorkerKill {
+            after_appends: t.u64_of("after_appends")?.unwrap_or(2),
+        },
+        "overload-storm" => Episode::OverloadStorm {
+            factor: t.f64_of("factor")?.unwrap_or(2.0),
+            burst: t.u64_of("burst")?.unwrap_or(16) as u32,
+        },
         other => {
             return Err(OsntError::config(
                 "chaos plan",
@@ -685,6 +791,60 @@ mod tests {
         assert_eq!(c.disconnects.len(), 1);
         assert_eq!(c.truncate_probability, 0.1);
         assert!(low.faults.is_none());
+    }
+
+    #[test]
+    fn service_episodes_lower_to_service_knobs() {
+        let plan = ChaosPlan::service();
+        let lowered: Vec<_> = plan
+            .scenarios
+            .iter()
+            .map(|s| s.lower(plan.base_seed).unwrap())
+            .collect();
+        assert_eq!(lowered[0].worker_kill, Some(2));
+        assert!(lowered[0].overload_storm.is_none());
+        let storm = lowered[1].overload_storm.unwrap();
+        assert_eq!(storm.factor, 2.0);
+        assert_eq!(storm.burst, 16);
+        assert!(lowered[1].worker_kill.is_none());
+        assert_eq!(lowered[2].worker_kill, Some(3));
+        assert!(lowered[2].overload_storm.is_some());
+        // Degenerate episodes are typed errors, not silent no-ops.
+        let bad = ChaosScenario {
+            episodes: vec![Episode::WorkerKill { after_appends: 0 }],
+            ..ChaosScenario::default()
+        };
+        assert!(matches!(bad.lower(1), Err(OsntError::Config { .. })));
+        let bad = ChaosScenario {
+            episodes: vec![Episode::OverloadStorm {
+                factor: 0.0,
+                burst: 4,
+            }],
+            ..ChaosScenario::default()
+        };
+        assert!(matches!(bad.lower(1), Err(OsntError::Config { .. })));
+        let twice = ChaosScenario {
+            episodes: vec![
+                Episode::WorkerKill { after_appends: 1 },
+                Episode::WorkerKill { after_appends: 2 },
+            ],
+            ..ChaosScenario::default()
+        };
+        assert!(matches!(twice.lower(1), Err(OsntError::Config { .. })));
+        // And they parse from TOML like every other kind.
+        let parsed = ChaosPlan::parse(
+            "[[scenario]]\nname=\"svc\"\n[[scenario.episode]]\nkind=\"worker-kill\"\nafter_appends=4\n[[scenario.episode]]\nkind=\"overload-storm\"\nfactor=2.5\nburst=8",
+        )
+        .unwrap();
+        let low = parsed.scenarios[0].lower(1).unwrap();
+        assert_eq!(low.worker_kill, Some(4));
+        assert_eq!(
+            low.overload_storm,
+            Some(OverloadStorm {
+                factor: 2.5,
+                burst: 8
+            })
+        );
     }
 
     #[test]

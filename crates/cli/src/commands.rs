@@ -15,6 +15,7 @@ use osnt_gen::{GenConfig, GeneratorPort, IdtMode, PcapReplay, Schedule};
 use osnt_mon::{FilterAction, FilterTable, MonConfig, MonitorPort, ThinConfig};
 use osnt_netsim::{Component, ComponentId, Kernel, LinkSpec, SimBuilder};
 use osnt_packet::{line_rate_pps, Packet, WildcardRule};
+use osnt_service::ServiceConfig;
 use osnt_supervisor::{SupervisorConfig, WatchdogConfig};
 use osnt_switch::{LegacyConfig, OfSwitchConfig};
 use osnt_time::{HwClock, SimDuration, SimTime};
@@ -482,4 +483,144 @@ pub fn chaos(args: &Args) -> Result<(), CliError> {
     // error so scripts get a non-zero exit and a parseable reason.
     report.into_result()?;
     Ok(())
+}
+
+/// `osnt serve` — the multi-tenant run service behind a TCP listener:
+/// bounded worker pool, admission control, per-session quotas,
+/// weighted-fair scheduling, crash retry with journal resume. Prints
+/// `listening on <addr>` (bind port 0 for an ephemeral port), accepts
+/// submissions until a client sends shutdown, then drains and prints
+/// the session ledger.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    let addr = args.get_str("addr").unwrap_or("127.0.0.1:0").to_string();
+    let workers: usize = args.get("workers", 2)?;
+    let queue_cap: usize = args.get("queue-cap", 64)?;
+    let tenant_queue_cap: usize = args.get("tenant-queue-cap", 32)?;
+    let spool = args.get_str("spool").map(str::to_string);
+    let seed: u64 = args.get("seed", 1)?;
+    let retry_base_ms: u64 = args.get("retry-base-ms", 2)?;
+    let max_attempts: u32 = args.get("max-attempts", 4)?;
+    args.reject_unknown()?;
+
+    let mut cfg = ServiceConfig {
+        workers,
+        queue_cap,
+        tenant_queue_cap,
+        seed,
+        retry_base: Duration::from_millis(retry_base_ms.max(1)),
+        max_attempts,
+        ..ServiceConfig::default()
+    };
+    if let Some(dir) = spool {
+        cfg.spool = dir.into();
+    }
+    let service = osnt_service::serve(&addr, cfg)?;
+    let c = service.counts();
+    println!("# session ledger");
+    println!(
+        "submitted {} | admitted {} | rejected {}",
+        c.submitted, c.admitted, c.rejected
+    );
+    println!(
+        "completed {} | shed {} | failed {} | published {} | retries {}",
+        c.completed, c.shed, c.failed, c.published, c.retries
+    );
+    let mut auditor = osnt_chaos::InvariantAuditor::new();
+    service.audit(&mut auditor, "serve");
+    service.shutdown();
+    // A ledger that does not balance is a service bug: fail loudly.
+    auditor.into_result()?;
+    Ok(())
+}
+
+/// `osnt submit` — submit one session to a serving `--addr` and (by
+/// default) wait for its outcome. Exit codes follow the session's
+/// class: completed 0, rejected/shed 4 (no usable answer, by policy),
+/// failed 3 (the run died).
+pub fn submit(args: &Args) -> Result<(), CliError> {
+    let addr = args
+        .get_str("addr")
+        .ok_or_else(|| UsageError("submit needs --addr <host:port>".into()))?
+        .to_string();
+    let tenant = args.get_str("tenant").unwrap_or("cli").to_string();
+    let weight: u32 = args.get("weight", 1)?;
+    let priority: u8 = args.get("priority", 0)?;
+    let frame: usize = args.get("frame", 512)?;
+    let probe_load: f64 = args.get("probe-load", 0.02)?;
+    let loads_str = args.get_str("loads").unwrap_or("0.0,0.5").to_string();
+    let ms: u64 = args.get("duration-ms", 5)?;
+    let warmup_ms: u64 = args.get("warmup-ms", 1)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let sim_budget_us: Option<u64> = args.get_opt("sim-budget-us")?;
+    let deadline_ms: Option<u64> = args.get_opt("deadline-ms")?;
+    let capture_cap: Option<usize> = args.get_opt("capture-cap")?;
+    let kill_after: Option<u64> = args.get_opt("kill-after-appends")?;
+    let wait: bool = args.get("wait", true)?;
+    let shutdown: bool = args.get("shutdown", false)?;
+    let out = args.get_str("out").map(str::to_string);
+    args.reject_unknown()?;
+
+    if shutdown {
+        osnt_service::shutdown_over_tcp(&*addr)?;
+        println!("server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+
+    let spec = osnt_service::SessionSpec {
+        tenant,
+        weight,
+        priority,
+        sweep: SweepConfig {
+            frame_len: frame,
+            probe_load,
+            loads: parse_loads(&loads_str)?,
+            duration: SimDuration::from_ms(ms),
+            warmup: SimDuration::from_ms(warmup_ms),
+            seed,
+        },
+        quota: osnt_service::SessionQuota {
+            sim_budget: sim_budget_us.map(SimDuration::from_us),
+            wall_deadline: deadline_ms.map(Duration::from_millis),
+            capture_cap,
+        },
+        kill_after_appends: kill_after,
+    };
+    match osnt_service::submit_over_tcp(&*addr, spec, wait)? {
+        osnt_service::SubmitReply::Rejected { retry_after } => Err(CliError::Partial(format!(
+            "admission rejected; retry after {retry_after:?}"
+        ))),
+        osnt_service::SubmitReply::Admitted { session, record } => {
+            println!("admitted as session {session}");
+            let Some(rec) = record else {
+                return Ok(()); // fire and forget
+            };
+            match rec.outcome {
+                osnt_service::SessionOutcome::Completed => {
+                    let report = rec.report.unwrap_or_default();
+                    print!("{report}");
+                    if let Some(path) = out {
+                        std::fs::write(&path, &report)
+                            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+                    }
+                    if rec.attempts > 1 {
+                        eprintln!(
+                            "note: session survived {} worker crash(es); \
+                             the report is byte-identical to an uninterrupted run",
+                            rec.attempts - 1
+                        );
+                    }
+                    Ok(())
+                }
+                osnt_service::SessionOutcome::Shed { reason } => Err(CliError::Partial(format!(
+                    "session {session} shed: {reason}"
+                ))),
+                osnt_service::SessionOutcome::Failed { reason } => {
+                    Err(CliError::Aborted(osnt_error::OsntError::RunAborted {
+                        phase: format!("session {session}: {reason}"),
+                        last_progress: 0,
+                    }))
+                }
+            }
+        }
+    }
 }

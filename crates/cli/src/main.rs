@@ -44,6 +44,17 @@ COMMANDS:
                    --plan <file.toml>        episode schedule (default: builtin corpus)
                    --seeds <4> --shards <1,2,4> --out <report.txt>
                    --crash-points <true>     false skips crash sweeps / journal torture
+    serve        multi-tenant run service behind TCP (prints `listening on <addr>`)
+                   --addr <127.0.0.1:0> --workers <2> --queue-cap <64>
+                   --tenant-queue-cap <32> --spool <dir> --seed <1>
+                   --retry-base-ms <2> --max-attempts <4>
+    submit       submit one session to a serving --addr and await its outcome
+                   --addr <host:port> --tenant <cli> --weight <1> --priority <0>
+                   --frame <B=512> --probe-load <0.02> --loads <0.0,0.5>
+                   --duration-ms <5> --warmup-ms <1> --seed <1>
+                   --sim-budget-us <n> --deadline-ms <n> --capture-cap <n>
+                   --kill-after-appends <n>  fault injection: crash the worker
+                   --wait <true> --out <report.txt> --shutdown <false>
     help         print this text
 
 EXIT CODES:
@@ -76,6 +87,8 @@ fn dispatch(command: &str, rest: Vec<String>) -> Result<(), CliError> {
         "oflops-mod" => commands::oflops_mod(&args),
         "run" => commands::run(&args),
         "chaos" => commands::chaos(&args),
+        "serve" => commands::serve(&args),
+        "submit" => commands::submit(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -72,7 +72,7 @@ pub mod link;
 pub mod queue;
 pub mod shard;
 pub mod stats;
-mod sync;
+pub mod sync;
 pub mod trace;
 pub mod wheel;
 
@@ -86,5 +86,6 @@ pub use link::LinkSpec;
 pub use queue::ByteFifo;
 pub use shard::{ShardPlan, ShardedSim};
 pub use stats::PortCounters;
+pub use sync::{BarrierPoisoned, SpinBarrier, SpscRing};
 pub use trace::{TraceEvent, Tracer};
 pub use wheel::TimerWheel;

@@ -21,7 +21,7 @@ use std::sync::Mutex;
 /// into a mutex-protected spill vector (slow path, but the window
 /// barrier guarantees it is uncontended in practice — the consumer only
 /// takes the spill lock while the producer is parked at a barrier).
-pub(crate) struct SpscRing<T> {
+pub struct SpscRing<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
     /// Next slot the consumer reads. Monotonic; slot = head % cap.
     head: AtomicUsize,
@@ -39,7 +39,9 @@ unsafe impl<T: Send> Send for SpscRing<T> {}
 unsafe impl<T: Send> Sync for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A ring with `capacity` lock-free slots (overflow spills to the
+    /// mutex-protected vector). Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         SpscRing {
             buf: (0..capacity)
@@ -53,7 +55,7 @@ impl<T> SpscRing<T> {
 
     /// Producer side. Never blocks on the consumer; overflows to the
     /// spill vector when the ring is full.
-    pub(crate) fn push(&self, value: T) {
+    pub fn push(&self, value: T) {
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) >= self.buf.len() {
@@ -72,7 +74,7 @@ impl<T> SpscRing<T> {
     /// pushed concurrently with the drain may or may not be included —
     /// the shard executive only drains at a barrier, where the producer
     /// is quiescent, so in practice this empties the channel.
-    pub(crate) fn drain_into(&self, out: &mut Vec<T>) {
+    pub fn drain_into(&self, out: &mut Vec<T>) {
         let tail = self.tail.load(Ordering::Acquire);
         let mut head = self.head.load(Ordering::Relaxed);
         while head != tail {
@@ -90,7 +92,7 @@ impl<T> SpscRing<T> {
 
     /// True when no entry is buffered (ring or spill). Only meaningful
     /// while the producer is quiescent.
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
             && self.spill.lock().expect("spill lock poisoned").is_empty()
     }
@@ -112,7 +114,7 @@ impl<T> Drop for SpscRing<T> {
 /// The barrier reported poisoned: some other worker panicked mid-window
 /// and will never arrive. Callers unwind (panic) rather than deadlock.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct BarrierPoisoned;
+pub struct BarrierPoisoned;
 
 /// A sense-reversing spin barrier for the shard workers.
 ///
@@ -121,7 +123,7 @@ pub(crate) struct BarrierPoisoned;
 /// whole scheduling quantum of the one runnable worker. A worker that
 /// panics poisons the barrier from its drop guard so its peers return
 /// [`BarrierPoisoned`] instead of waiting forever.
-pub(crate) struct SpinBarrier {
+pub struct SpinBarrier {
     n: usize,
     arrived: AtomicUsize,
     /// Flipped by the last arriver of each generation.
@@ -130,7 +132,8 @@ pub(crate) struct SpinBarrier {
 }
 
 impl SpinBarrier {
-    pub(crate) fn new(n: usize) -> Self {
+    /// A barrier for `n` workers. Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
         assert!(n > 0);
         SpinBarrier {
             n,
@@ -143,7 +146,7 @@ impl SpinBarrier {
     /// Block until all `n` workers arrive. `local_sense` is per-worker
     /// state: initialise to `false` and pass the same variable to every
     /// wait on this barrier.
-    pub(crate) fn wait(&self, local_sense: &mut bool) -> Result<(), BarrierPoisoned> {
+    pub fn wait(&self, local_sense: &mut bool) -> Result<(), BarrierPoisoned> {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(BarrierPoisoned);
         }
@@ -174,7 +177,7 @@ impl SpinBarrier {
 
     /// Mark the barrier dead: every current and future `wait` returns
     /// [`BarrierPoisoned`]. Called from a panicking worker's drop guard.
-    pub(crate) fn poison(&self) {
+    pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
     }
 }

@@ -1,0 +1,231 @@
+//! Forced-contention stress coverage for the shard executive's
+//! lock-light primitives: the `SpscRing` mutex-spill path and
+//! `SpinBarrier` poison propagation. The unit tests in `sync.rs` pin
+//! the semantics under friendly schedules; these loops hammer the
+//! *unfriendly* ones — tiny rings with a producer that outruns the
+//! consumer (every push a coin-flip between the lock-free slot and the
+//! spill lock), and barriers whose workers die mid-window at every
+//! possible round.
+
+use osnt_netsim::{SpinBarrier, SpscRing};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// How hard to push. Override with OSNT_SYNC_STRESS for soak runs.
+fn stress_iters(default: u64) -> u64 {
+    std::env::var("OSNT_SYNC_STRESS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn ring_spill_under_sustained_overrun_loses_nothing() {
+    // Capacity 1 makes nearly every push race the consumer for the
+    // spill lock: the ring is almost always "full", so the producer is
+    // forced down the mutex path while the consumer concurrently
+    // drains both the slot and the spill vector. Every value must
+    // arrive exactly once, across many capacities and rounds.
+    let total = stress_iters(30_000);
+    for capacity in [1usize, 2, 3, 7] {
+        let ring = Arc::new(SpscRing::new(capacity));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..total {
+                    ring.push(i);
+                    if i % 64 == 0 {
+                        thread::yield_now(); // vary the interleaving
+                    }
+                }
+            })
+        };
+        let mut got = Vec::with_capacity(total as usize);
+        while got.len() < total as usize {
+            ring.drain_into(&mut got);
+            thread::yield_now();
+        }
+        producer.join().unwrap();
+        ring.drain_into(&mut got);
+        assert!(ring.is_empty(), "cap {capacity}: ring must drain clean");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            got.len(),
+            "cap {capacity}: duplicated delivery"
+        );
+        assert_eq!(
+            sorted,
+            (0..total).collect::<Vec<_>>(),
+            "cap {capacity}: lost entries"
+        );
+    }
+}
+
+#[test]
+fn ring_spill_ping_pong_rounds_stay_fifo() {
+    // Barrier-phased like the real executive, but with the ring sized
+    // far below the burst so every round exercises slot reuse *after*
+    // a spill. Within a round the drain must be exactly FIFO (ring
+    // part first, spill part after, both in push order).
+    let rounds = stress_iters(2_000);
+    let ring = SpscRing::new(3);
+    let mut next = 0u64;
+    for round in 0..rounds {
+        let burst = 1 + (round % 13); // 1..=13, hits both paths
+        let start = next;
+        for _ in 0..burst {
+            ring.push(next);
+            next += 1;
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(
+            out,
+            (start..next).collect::<Vec<_>>(),
+            "round {round}: drain must preserve push order"
+        );
+        assert!(ring.is_empty());
+    }
+}
+
+#[test]
+fn barrier_full_rounds_under_oversubscription() {
+    // More workers than the host has cores (CI runners are often
+    // 1-core) forces the yield path; every round's increments must be
+    // visible to every worker between barriers, hundreds of times.
+    let workers = 8usize;
+    let rounds = stress_iters(300);
+    let barrier = Arc::new(SpinBarrier::new(workers));
+    let counter = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                let mut sense = false;
+                for round in 1..=rounds {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait(&mut sense).unwrap();
+                    assert_eq!(counter.load(Ordering::SeqCst), round * workers as u64);
+                    barrier.wait(&mut sense).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn barrier_poison_releases_workers_at_every_round() {
+    // Sweep the kill point: one worker dies (unwinds through its
+    // poison guard) at round k while its peers are mid-rendezvous.
+    // Every survivor must return `BarrierPoisoned` — at whatever round
+    // it happens to be parked in — and never deadlock. This is the
+    // executive's one-panic-means-clean-all-stop contract under every
+    // phase alignment, not just the first.
+    struct PoisonGuard(Arc<SpinBarrier>);
+    impl Drop for PoisonGuard {
+        fn drop(&mut self) {
+            self.0.poison();
+        }
+    }
+    let sweeps = stress_iters(20);
+    for kill_round in 0..sweeps {
+        let workers = 4usize;
+        let barrier = Arc::new(SpinBarrier::new(workers));
+        let released = Arc::new(AtomicUsize::new(0));
+        let survivors: Vec<_> = (0..workers - 1)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let released = Arc::clone(&released);
+                thread::spawn(move || {
+                    let mut sense = false;
+                    loop {
+                        if barrier.wait(&mut sense).is_err() {
+                            released.fetch_add(1, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let dying = {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let guard = PoisonGuard(Arc::clone(&barrier));
+                let mut sense = false;
+                for _ in 0..kill_round {
+                    if barrier.wait(&mut sense).is_err() {
+                        unreachable!("nobody else poisons");
+                    }
+                }
+                drop(guard); // the unwind path, without the panic noise
+            })
+        };
+        dying.join().unwrap();
+        for s in survivors {
+            s.join().unwrap();
+        }
+        assert_eq!(
+            released.load(Ordering::SeqCst),
+            workers - 1,
+            "kill at round {kill_round}: every survivor must be released"
+        );
+        let mut sense = false;
+        assert!(
+            barrier.wait(&mut sense).is_err(),
+            "kill at round {kill_round}: poison must be permanent"
+        );
+    }
+}
+
+#[test]
+fn ring_and_barrier_compose_like_the_executive() {
+    // A miniature two-worker shard executive: each window, worker A
+    // pushes a burst into its ring, both meet at the barrier, worker B
+    // drains and checks, both meet again. The ring is deliberately
+    // smaller than the burst so every window crosses the spill path;
+    // the barrier is what publishes the spill contents. Any missing or
+    // duplicated entry is a memory-ordering bug in the pair.
+    let windows = stress_iters(1_000);
+    let ring = Arc::new(SpscRing::new(2));
+    let barrier = Arc::new(SpinBarrier::new(2));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        let barrier = Arc::clone(&barrier);
+        thread::spawn(move || {
+            let mut sense = false;
+            let mut next = 0u64;
+            for _ in 0..windows {
+                for _ in 0..5 {
+                    ring.push(next);
+                    next += 1;
+                }
+                barrier.wait(&mut sense).unwrap(); // burst published
+                barrier.wait(&mut sense).unwrap(); // drain finished
+            }
+        })
+    };
+    let mut sense = false;
+    let mut expect = 0u64;
+    for window in 0..windows {
+        barrier.wait(&mut sense).unwrap();
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(
+            out,
+            (expect..expect + 5).collect::<Vec<_>>(),
+            "window {window}: burst must arrive whole and in order"
+        );
+        expect += 5;
+        assert!(ring.is_empty());
+        barrier.wait(&mut sense).unwrap();
+    }
+    producer.join().unwrap();
+}

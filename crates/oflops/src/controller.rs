@@ -91,11 +91,25 @@ pub struct ControlError {
 /// Per-request timeout and retry budget for tracked sends.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
-    /// Time to wait for a response before resending. Backoff doubles it
-    /// on every retry.
+    /// Time to wait for a response before resending. Subsequent waits
+    /// grow from this base: decorrelated jitter when [`Self::jitter_seed`]
+    /// is set, plain doubling otherwise.
     pub timeout: SimDuration,
     /// Resends allowed after the first attempt before giving up.
     pub max_retries: u32,
+    /// Seed for decorrelated-jitter backoff. When set, each retry waits
+    /// `uniform(timeout, prev_wait * 3)` capped at `timeout << 16` —
+    /// requests that time out together spread their resends apart
+    /// instead of hammering the channel in lockstep. `None` keeps the
+    /// legacy deterministic doubling. The stream is seeded, so a given
+    /// (policy, run seed) still replays bit-for-bit.
+    pub jitter_seed: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// Default decorrelated-jitter seed (an arbitrary odd constant; any
+    /// fixed value keeps runs reproducible).
+    pub const DEFAULT_JITTER_SEED: u64 = 0x0F1C_E5D5_3B4C_9D21;
 }
 
 impl Default for RetryPolicy {
@@ -106,6 +120,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             timeout: SimDuration::from_ms(50),
             max_retries: 3,
+            jitter_seed: Some(Self::DEFAULT_JITTER_SEED),
         }
     }
 }
@@ -114,6 +129,9 @@ impl Default for RetryPolicy {
 struct PendingRequest {
     message: Message,
     attempt: u32,
+    /// The wait armed for the *current* timeout timer, in picoseconds —
+    /// the `prev` term of the decorrelated-jitter recurrence.
+    backoff_ps: u64,
 }
 
 /// What a measurement module can do with the testbed.
@@ -162,6 +180,7 @@ impl ModuleCtx<'_> {
             PendingRequest {
                 message,
                 attempt: 0,
+                backoff_ps: self.policy.timeout.as_ps(),
             },
         );
         self.kernel.schedule_timer(
@@ -231,6 +250,9 @@ pub struct OflopsController {
     errors: Rc<RefCell<Vec<ControlError>>>,
     pending: HashMap<u32, PendingRequest>,
     policy: RetryPolicy,
+    /// Decorrelated-jitter stream for retry backoff; `None` under the
+    /// legacy deterministic-doubling policy.
+    backoff_rng: Option<rand::rngs::SmallRng>,
     next_xid: u32,
     handshake_done: bool,
     /// Latched once a module callback panics: the unwind is contained
@@ -253,6 +275,7 @@ impl OflopsController {
         module: Box<dyn MeasurementModule>,
         policy: RetryPolicy,
     ) -> (Self, Rc<RefCell<Vec<ControlLogEntry>>>) {
+        use rand::SeedableRng;
         let log = Rc::new(RefCell::new(Vec::new()));
         (
             OflopsController {
@@ -260,6 +283,7 @@ impl OflopsController {
                 log: log.clone(),
                 errors: Rc::new(RefCell::new(Vec::new())),
                 pending: HashMap::new(),
+                backoff_rng: policy.jitter_seed.map(rand::rngs::SmallRng::seed_from_u64),
                 policy,
                 next_xid: 1,
                 handshake_done: false,
@@ -436,8 +460,23 @@ impl Component for OflopsController {
             self.record_error(kernel, me, ControlErrorKind::GaveUp { xid });
             return;
         }
-        // Resend the same request under the same xid with exponential
-        // backoff on the next timeout.
+        // Resend the same request under the same xid. The next wait
+        // backs off: decorrelated jitter (uniform between the base
+        // timeout and 3x the previous wait, capped) when the policy
+        // carries a jitter seed, legacy deterministic doubling otherwise.
+        // Jitter keeps a burst of simultaneous timeouts from resending —
+        // and timing out again — in lockstep forever.
+        let base_ps = self.policy.timeout.as_ps();
+        let backoff_ps = match self.backoff_rng.as_mut() {
+            Some(rng) => {
+                use rand::Rng;
+                let cap_ps = base_ps.saturating_mul(1 << 16);
+                let hi_ps = req.backoff_ps.saturating_mul(3).clamp(base_ps, cap_ps);
+                rng.gen_range(base_ps..=hi_ps)
+            }
+            None => base_ps << attempt.min(16),
+        };
+        req.backoff_ps = backoff_ps;
         let message = req.message.clone();
         let frame = encap_control(&message, xid);
         self.log.borrow_mut().push(ControlLogEntry {
@@ -447,8 +486,7 @@ impl Component for OflopsController {
             xid,
         });
         let _ = kernel.transmit(me, 0, frame);
-        let backoff = SimDuration::from_ps(self.policy.timeout.as_ps() << attempt.min(16));
-        kernel.schedule_timer(me, backoff, tag);
+        kernel.schedule_timer(me, SimDuration::from_ps(backoff_ps), tag);
         self.record_error(kernel, me, ControlErrorKind::Timeout { xid, attempt });
     }
 

@@ -81,9 +81,15 @@ impl MeasurementModule for TrackedEcho {
 }
 
 fn fast_retry() -> RetryPolicy {
+    // Decorrelated jitter draws each wait from [timeout, 3 * prev], so
+    // the worst case is every wait at the 2 ms floor. Six resends put
+    // the last one at >= first-timeout + 5 * 2 ms = 12 ms past the
+    // send — beyond the longest outage window (8 ms) these tests use,
+    // for every jitter seed, not just the default one.
     RetryPolicy {
         timeout: SimDuration::from_ms(2),
-        max_retries: 3,
+        max_retries: 6,
+        ..RetryPolicy::default()
     }
 }
 
@@ -195,6 +201,7 @@ fn stall_window_delays_but_loses_nothing() {
         retry: RetryPolicy {
             timeout: SimDuration::from_ms(20),
             max_retries: 3,
+            ..RetryPolicy::default()
         },
         ..TestbedSpec::control_only()
     };
@@ -233,6 +240,7 @@ fn truncated_reads_become_decode_errors_not_crashes() {
         retry: RetryPolicy {
             timeout: SimDuration::from_ms(2),
             max_retries: 8,
+            ..RetryPolicy::default()
         },
         ..TestbedSpec::control_only()
     };

@@ -1,0 +1,349 @@
+//! The service's wire protocol: CRC-framed request/response messages
+//! over a byte stream (TCP in practice, any `Read`/`Write` in tests).
+//!
+//! Reuses the supervisor's [`Enc`]/[`Dec`]/[`crc32`] — the same
+//! little-endian, length-prefixed, checksummed discipline the run
+//! journal uses, so there is exactly one binary dialect in the
+//! platform. A frame is:
+//!
+//! ```text
+//! magic  u32  "OSVC" (LE)
+//! type   u8   message discriminant
+//! len    u32  payload length
+//! payload     len bytes
+//! crc    u32  crc32(payload)
+//! ```
+//!
+//! A bad magic, unknown type, or CRC mismatch is a typed decode error;
+//! the connection is then dropped — the protocol has no resync.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use osnt_core::SweepConfig;
+use osnt_error::OsntError;
+use osnt_supervisor::{crc32, Dec, Enc};
+use osnt_time::SimDuration;
+
+use crate::session::{SessionId, SessionOutcome, SessionQuota, SessionSpec};
+
+/// Frame magic: `OSVC` little-endian.
+const MAGIC: u32 = u32::from_le_bytes(*b"OSVC");
+
+/// Refuse absurd frames before allocating (a corrupt length field must
+/// not look like an allocation request).
+const MAX_FRAME: u32 = 16 << 20;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: run this session.
+    Submit {
+        /// The submission (tenant, weight, priority, quota, sweep,
+        /// optional crash injection).
+        spec: SessionSpec,
+        /// Keep the connection open and send [`Message::Final`] when
+        /// the session is terminal.
+        wait: bool,
+    },
+    /// Server → client: admitted under this id.
+    Admitted {
+        /// The assigned session id.
+        session: SessionId,
+    },
+    /// Server → client: not admitted; resubmit after the hint.
+    Rejected {
+        /// Honest backlog-derived resubmission hint.
+        retry_after: Duration,
+    },
+    /// Server → client: the terminal outcome (only after a
+    /// `Submit { wait: true }`).
+    Final {
+        /// The session id.
+        session: SessionId,
+        /// Stable outcome class: `completed` / `shed` / `failed`.
+        class: String,
+        /// Failure/shed reason (empty for completed).
+        reason: String,
+        /// Dispatch attempts.
+        attempts: u32,
+        /// The rendered report (empty unless completed).
+        report: String,
+    },
+    /// Client → server: stop accepting and exit once idle.
+    Shutdown,
+    /// Server → client: shutdown acknowledged.
+    ShutdownOk,
+    /// Server → client: the request failed structurally.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Submit { .. } => 1,
+            Message::Admitted { .. } => 2,
+            Message::Rejected { .. } => 3,
+            Message::Final { .. } => 4,
+            Message::Shutdown => 5,
+            Message::ShutdownOk => 6,
+            Message::Error { .. } => 7,
+        }
+    }
+
+    fn encode_payload(&self, e: &mut Enc) {
+        match self {
+            Message::Submit { spec, wait } => {
+                e.str(&spec.tenant);
+                e.u32(spec.weight);
+                e.u8(spec.priority);
+                e.u8(u8::from(*wait));
+                e.u64(spec.kill_after_appends.unwrap_or(0));
+                e.u64(spec.quota.sim_budget.map_or(0, |d| d.as_ps()));
+                e.u64(spec.quota.wall_deadline.map_or(0, |d| d.as_millis() as u64));
+                e.u32(spec.quota.capture_cap.map_or(0, |c| c as u32));
+                e.bytes(&spec.sweep.encode());
+            }
+            Message::Admitted { session } => e.u64(*session),
+            Message::Rejected { retry_after } => e.u64(retry_after.as_millis() as u64),
+            Message::Final {
+                session,
+                class,
+                reason,
+                attempts,
+                report,
+            } => {
+                e.u64(*session);
+                e.str(class);
+                e.str(reason);
+                e.u32(*attempts);
+                e.str(report);
+            }
+            Message::Shutdown | Message::ShutdownOk => {}
+            Message::Error { message } => e.str(message),
+        }
+    }
+
+    fn decode_payload(tag: u8, d: &mut Dec) -> Result<Message, OsntError> {
+        Ok(match tag {
+            1 => {
+                let tenant = d.str()?;
+                let weight = d.u32()?;
+                let priority = d.u8()?;
+                let wait = d.u8()? != 0;
+                let kill = d.u64()?;
+                let sim_budget = d.u64()?;
+                let deadline_ms = d.u64()?;
+                let capture_cap = d.u32()?;
+                let sweep = SweepConfig::decode(d.bytes()?)?;
+                Message::Submit {
+                    spec: SessionSpec {
+                        tenant,
+                        weight,
+                        priority,
+                        sweep,
+                        quota: SessionQuota {
+                            sim_budget: (sim_budget > 0).then(|| SimDuration::from_ps(sim_budget)),
+                            wall_deadline: (deadline_ms > 0)
+                                .then(|| Duration::from_millis(deadline_ms)),
+                            capture_cap: (capture_cap > 0).then_some(capture_cap as usize),
+                        },
+                        kill_after_appends: (kill > 0).then_some(kill),
+                    },
+                    wait,
+                }
+            }
+            2 => Message::Admitted { session: d.u64()? },
+            3 => Message::Rejected {
+                retry_after: Duration::from_millis(d.u64()?),
+            },
+            4 => Message::Final {
+                session: d.u64()?,
+                class: d.str()?,
+                reason: d.str()?,
+                attempts: d.u32()?,
+                report: d.str()?,
+            },
+            5 => Message::Shutdown,
+            6 => Message::ShutdownOk,
+            7 => Message::Error { message: d.str()? },
+            other => {
+                return Err(OsntError::decode(
+                    "service frame",
+                    format!("unknown message type {other}"),
+                ))
+            }
+        })
+    }
+
+    /// A terminal-record view for [`Message::Final`].
+    pub fn final_from(
+        session: SessionId,
+        outcome: &SessionOutcome,
+        attempts: u32,
+        report: Option<&str>,
+    ) -> Message {
+        let reason = match outcome {
+            SessionOutcome::Completed => String::new(),
+            SessionOutcome::Shed { reason } | SessionOutcome::Failed { reason } => reason.clone(),
+        };
+        Message::Final {
+            session,
+            class: outcome.class().into(),
+            reason,
+            attempts,
+            report: report.unwrap_or("").into(),
+        }
+    }
+}
+
+/// Write one frame to `w` (flushes).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<(), OsntError> {
+    let mut e = Enc::new();
+    msg.encode_payload(&mut e);
+    let payload = e.into_bytes();
+    let mut head = Enc::new();
+    head.u32(MAGIC);
+    head.u8(msg.tag());
+    head.u32(payload.len() as u32);
+    let io = |e: std::io::Error| OsntError::decode("service frame", format!("write: {e}"));
+    w.write_all(&head.into_bytes()).map_err(io)?;
+    w.write_all(&payload).map_err(io)?;
+    w.write_all(&crc32(&payload).to_le_bytes()).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Read one frame from `r`. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer hung up between messages).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Message>, OsntError> {
+    // The first byte decides between "clean EOF at a frame boundary"
+    // (Ok(None)) and "truncated mid-frame" (an error): read_exact
+    // alone cannot tell the two apart.
+    let mut head = [0u8; 9];
+    loop {
+        match r.read(&mut head[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(OsntError::decode("service frame", format!("read: {e}")));
+            }
+        }
+    }
+    r.read_exact(&mut head[1..])
+        .map_err(|e| OsntError::decode("service frame", format!("truncated header: {e}")))?;
+    let mut d = Dec::new(&head);
+    let magic = d.u32()?;
+    if magic != MAGIC {
+        return Err(OsntError::decode(
+            "service frame",
+            format!("bad magic {magic:#010x}"),
+        ));
+    }
+    let tag = d.u8()?;
+    let len = d.u32()?;
+    if len > MAX_FRAME {
+        return Err(OsntError::decode(
+            "service frame",
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut crc = [0u8; 4];
+    let io = |e: std::io::Error| OsntError::decode("service frame", format!("read: {e}"));
+    r.read_exact(&mut payload).map_err(io)?;
+    r.read_exact(&mut crc).map_err(io)?;
+    let want = u32::from_le_bytes(crc);
+    let got = crc32(&payload);
+    if want != got {
+        return Err(OsntError::decode(
+            "service frame",
+            format!("payload CRC mismatch: stored {want:#010x}, computed {got:#010x}"),
+        ));
+    }
+    Message::decode_payload(tag, &mut Dec::new(&payload)).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) -> Message {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let mut spec = SessionSpec::new("tenant-a");
+        spec.weight = 4;
+        spec.priority = 2;
+        spec.quota = SessionQuota {
+            sim_budget: Some(SimDuration::from_ms(3)),
+            wall_deadline: Some(Duration::from_millis(1500)),
+            capture_cap: Some(128),
+        };
+        spec.kill_after_appends = Some(2);
+        let msgs = [
+            Message::Submit {
+                spec: spec.clone(),
+                wait: true,
+            },
+            Message::Submit {
+                spec: SessionSpec::new("plain"),
+                wait: false,
+            },
+            Message::Admitted { session: 42 },
+            Message::Rejected {
+                retry_after: Duration::from_millis(120),
+            },
+            Message::Final {
+                session: 42,
+                class: "completed".into(),
+                reason: String::new(),
+                attempts: 2,
+                report: "# OSNT supervised latency sweep\n".into(),
+            },
+            Message::Shutdown,
+            Message::ShutdownOk,
+            Message::Error {
+                message: "sweep has no load phases".into(),
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean_none() {
+        assert_eq!(
+            read_frame(&mut std::io::Cursor::new(Vec::new())).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Admitted { session: 7 }).unwrap();
+        // Flip a payload bit: the CRC must catch it.
+        let payload_start = 9;
+        buf[payload_start] ^= 0x40;
+        let err = read_frame(&mut std::io::Cursor::new(buf.clone())).unwrap_err();
+        assert!(err.to_string().contains("CRC"));
+        // Bad magic.
+        buf[0] ^= 0xFF;
+        let err = read_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+        // Truncated mid-frame: an error, not a clean EOF.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Shutdown).unwrap();
+        buf.truncate(5);
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

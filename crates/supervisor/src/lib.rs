@@ -27,5 +27,5 @@ pub mod wire;
 
 pub use journal::{recover, recover_bytes, AbortRecord, JournalWriter, RecoveredRun, RunHeader};
 pub use supervisor::{AbortInfo, PhaseCtx, PhasePayload, RunOutcome, Supervisor, SupervisorConfig};
-pub use watchdog::{StallReport, Watchdog, WatchdogConfig};
+pub use watchdog::{ProbeGroup, StallReport, Watchdog, WatchdogConfig};
 pub use wire::{crc32, Dec, Enc};

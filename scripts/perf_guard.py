@@ -34,6 +34,7 @@ RATE_KEYS = (
     "events_per_wall_s",
     "sim_frames_per_wall_s",
     "ops_per_wall_s",
+    "sessions_per_wall_s",
 )
 # Keys that are measurements (vary run to run), not row identity.
 MEASURED = set(RATE_KEYS) | {
@@ -55,6 +56,9 @@ MEASURED = set(RATE_KEYS) | {
     "digest",
     "captured",
     "events",
+    # Fairness is a quality score the bench already asserts on (> 0.95);
+    # tiny float drift must not split row identity.
+    "jain_fairness",
 }
 
 
