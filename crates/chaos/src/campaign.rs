@@ -277,6 +277,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, OsntError> {
             // Data plane at 1/2/4 shards, byte-identical.
             let mut reference: Option<String> = None;
             for &shards in &cfg.shard_counts {
+                // Side channel for the executive's window/ring ledger:
+                // deterministic counters, audited below, and kept out
+                // of the byte-compared report.
+                let window_stats = std::sync::Arc::new(std::sync::Mutex::new(Vec::<
+                    osnt_netsim::ShardStats,
+                >::new(
+                )));
                 let exp = LatencyExperiment {
                     frame_len: 512,
                     background_load: scenario.background_load,
@@ -288,6 +295,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, OsntError> {
                     capture_limit: scenario.capture_limit,
                     record_raw: true,
                     shards: Some(shards),
+                    shard_stats_sink: Some(std::sync::Arc::clone(&window_stats)),
                     ..LatencyExperiment::default()
                 };
                 let r = match exp.run_legacy(LegacyConfig::default()) {
@@ -324,6 +332,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, OsntError> {
                     Some(reference) => {
                         auditor.audit_shard_parity(&label, shards, reference, &rendered);
                     }
+                }
+                if shards >= 2 {
+                    // The latency topology has exactly two Rc-independent
+                    // islands, so any requested count >= 2 lowers to a
+                    // 2-shard plan — see `LatencyExperiment::run_boxed`.
+                    let stats = window_stats.lock().expect("window stats sink poisoned");
+                    auditor.audit_window_ledger(&format!("{label}@{shards}shards"), 2, &stats);
                 }
                 if let Some(f) = &r.fault_stats {
                     result.fault_totals.accumulate(f);

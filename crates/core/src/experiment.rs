@@ -93,6 +93,16 @@ pub struct LatencyExperiment {
     /// (default) captures without bound. See
     /// [`osnt_mon::MonConfig::capture_limit`].
     pub capture_limit: Option<usize>,
+    /// Side channel for the sharded executive's deterministic
+    /// window/ring counters. When set, a sharded run *replaces* the
+    /// sink's contents with its per-shard [`osnt_netsim::ShardStats`]
+    /// (a single-kernel run clears it), so chaos campaigns can audit
+    /// the window-accounting ledger. Deliberately **not** part of
+    /// [`LatencyReport`]: reports are byte-compared across shard
+    /// counts and the executive's ledger legitimately differs per
+    /// shard count. An `Arc<Mutex<..>>` (not `Rc`) so the experiment
+    /// config stays `Send` for the run service's worker threads.
+    pub shard_stats_sink: Option<std::sync::Arc<std::sync::Mutex<Vec<osnt_netsim::ShardStats>>>>,
 }
 
 impl Default for LatencyExperiment {
@@ -111,6 +121,7 @@ impl Default for LatencyExperiment {
             shards: None,
             gps_signal: None,
             capture_limit: None,
+            shard_stats_sink: None,
         }
     }
 }
@@ -374,12 +385,18 @@ impl LatencyExperiment {
             // surface as a typed error instead of unwinding through
             // the experiment.
             sim.try_run_until(horizon)?;
+            if let Some(sink) = &self.shard_stats_sink {
+                *sink.lock().expect("shard-stats sink poisoned") = sim.shard_stats();
+            }
         } else {
             let mut sim = b.build();
             if let Some(probe) = &self.progress {
                 sim.attach_progress(std::sync::Arc::clone(probe));
             }
             sim.run_until(horizon);
+            if let Some(sink) = &self.shard_stats_sink {
+                sink.lock().expect("shard-stats sink poisoned").clear();
+            }
         }
         if let Some(probe) = &self.progress {
             if probe.abort_requested() {

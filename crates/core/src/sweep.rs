@@ -321,6 +321,7 @@ impl SupervisedSweep {
             shards: None,
             gps_signal: None,
             capture_limit: None,
+            shard_stats_sink: None,
         };
         let report = if self.wedge_at_phase == Some(phase) {
             exp.run_boxed(Box::new(WedgeDut), 3)

@@ -84,8 +84,8 @@ pub use impair::{ImpairConfig, Impairment};
 pub use kernel::{BatchTx, Kernel, TxResult};
 pub use link::LinkSpec;
 pub use queue::ByteFifo;
-pub use shard::{ShardPlan, ShardedSim};
-pub use stats::PortCounters;
-pub use sync::{BarrierPoisoned, SpinBarrier, SpscRing};
+pub use shard::{ShardPlan, ShardedSim, WindowPolicy};
+pub use stats::{PortCounters, ShardStats};
+pub use sync::{BarrierPoisoned, RingCounters, SpinBarrier, SpscRing};
 pub use trace::{TraceEvent, Tracer};
 pub use wheel::TimerWheel;

@@ -3,15 +3,46 @@
 //! The component graph is partitioned into *shards*; each shard runs
 //! the ordinary single-threaded [`Kernel`] + timer-wheel dispatch loop
 //! on its own worker thread. Shards synchronise with a conservative
-//! time-window barrier: the window length is the **lookahead** `L`,
-//! the minimum propagation delay over every link that crosses a shard
-//! boundary. Because a frame transmitted at simulated time `t` cannot
-//! arrive at its (cross-shard) peer before `t + L`, every shard may
-//! dispatch all events in `[M, M + L)` — where `M` is the global
-//! minimum next-event time — without ever receiving an event that
-//! belongs inside the window it is executing. Cross-shard events
-//! travel over bounded SPSC rings and are folded into the destination
-//! wheel at the next window boundary.
+//! time-window barrier in the CMB (Chandy–Misra–Bryant) tradition:
+//! each round, every shard publishes the time of its earliest pending
+//! event — which is also the earliest instant it could possibly hand
+//! a frame to a cross-shard link — and every shard derives its window
+//! bound from its **incoming influence channels only**:
+//!
+//! ```text
+//! bound(s) = min over shards p that can influence s of
+//!                published_min(p) + D(p→s)
+//! ```
+//!
+//! where `D(p→s)` is the minimum *path* delay from a component on `p`
+//! to a component on `s` — the all-pairs shortest path (computed once
+//! at build time) over the graph whose edge `p→q` is the minimum
+//! propagation delay of the cross-shard links from `p` to `q`. Any
+//! event chain that eventually lands on `s` starts at some event
+//! currently pending on some shard `p` (at time `≥ published_min(p)`),
+//! and every boundary it crosses — including hops through relay shards
+//! that are idle *right now* — adds at least that channel's lookahead,
+//! so the chain cannot deliver to `s` before `published_min(p) +
+//! D(p→s)`. The diagonal `D(s→s)` is the minimum cycle through `s`
+//! (a shard's own sends can come back to it), not zero. `s` may
+//! therefore dispatch every event strictly below `bound(s)` without
+//! ever receiving an event that belongs inside the window it is
+//! executing. Because the bound starts from each *peer's next event*
+//! rather than the global minimum, windows automatically jump over
+//! provably empty regions: an idle peer (published min = ∞, or far in
+//! the future) contributes a huge bound, and a shard whose only busy
+//! influencers are far away executes thousands of local events in one
+//! round instead of marching in global-minimum-lookahead steps. See
+//! [`WindowPolicy`] for the legacy scalar-lookahead mode kept as a
+//! verification reference, and DESIGN.md §5k for the full safety
+//! argument.
+//!
+//! Cross-shard events travel over bounded SPSC rings and are folded
+//! into the destination wheel at the next window boundary. Per-shard
+//! [`ShardStats`] counters (windows, barrier waits, ring traffic) are
+//! deterministic — functions of the topology and traffic only, never
+//! of host scheduling — and feed both the `e17_windows` bench gate and
+//! the chaos auditor's window-accounting ledger.
 //!
 //! # Determinism
 //!
@@ -25,6 +56,10 @@
 //! ever touched by the owning shard, so every handler observes exactly
 //! the state it would have observed single-threaded. Channel arrival
 //! order is irrelevant: entries are keyed and the wheel re-sorts them.
+//! Window *boundaries* affect only how the same totally ordered event
+//! sequence is sliced across rounds, never which events run or in what
+//! order — which is why both window policies (and any shard count)
+//! produce byte-identical results.
 //!
 //! # Safety model
 //!
@@ -38,9 +73,10 @@ use crate::component::{Component, ComponentId};
 use crate::engine::dispatch_events;
 use crate::event::EventKind;
 use crate::kernel::Kernel;
-use crate::stats::PortCounters;
+use crate::stats::{PortCounters, ShardStats};
 use crate::sync::{SpinBarrier, SpscRing};
 use osnt_error::OsntError;
+use osnt_packet::pool::PacketPool;
 use osnt_packet::SendPacket;
 use osnt_time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,8 +86,43 @@ use std::sync::Arc;
 /// mutex-protected vector (correct, slower) — see [`SpscRing`].
 const RING_CAPACITY: usize = 1024;
 
-/// Sentinel for "no pending events" in the published per-shard minima.
+/// Sentinel for "no pending events" in the published per-shard minima,
+/// and for "no channel" in the lookahead matrix.
 const IDLE: u64 = u64::MAX;
+
+/// How the executive sizes each shard's conservative window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Per-incoming-channel lookahead bounds with next-event window
+    /// extension (the module-level algorithm). The default.
+    #[default]
+    Adaptive,
+    /// The pre-adaptive reference: every shard bounds every window by
+    /// `global_min + L` where `L` is the single minimum lookahead over
+    /// *all* cross-shard links. Kept selectable (API or
+    /// `OSNT_WINDOW_POLICY=legacy`) because it is the natural
+    /// differential-testing oracle for the adaptive policy — both must
+    /// produce byte-identical simulation results, differing only in
+    /// `ShardStats` — and the baseline the `e17_windows` window-count
+    /// gate measures against.
+    GlobalLookahead,
+}
+
+impl WindowPolicy {
+    /// Resolve the startup default: `OSNT_WINDOW_POLICY` when set
+    /// (`adaptive`, or `legacy`/`global` for [`GlobalLookahead`]),
+    /// adaptive otherwise.
+    fn from_env() -> WindowPolicy {
+        match std::env::var("OSNT_WINDOW_POLICY").ok().as_deref() {
+            None | Some("adaptive") => WindowPolicy::Adaptive,
+            Some("legacy") | Some("global") => WindowPolicy::GlobalLookahead,
+            Some(other) => panic!(
+                "OSNT_WINDOW_POLICY={other:?} is not a window policy \
+                 (expected \"adaptive\", \"legacy\" or \"global\")"
+            ),
+        }
+    }
+}
 
 /// A thread-portable event: what crosses a shard boundary. `Deliver`
 /// flattens its [`osnt_packet::Packet`] into a [`SendPacket`] (stealing
@@ -122,17 +193,22 @@ impl CrossEntry {
         }
     }
 
-    fn into_event(self) -> (SimTime, u64, EventKind) {
+    /// Reconstruct the kernel event on the receiving shard. Packet
+    /// buffers are rehomed into `pool` — the receiving shard's local
+    /// pool — so the eventual retirement of a frame that crossed a
+    /// shard boundary recycles shard-locally instead of handing the
+    /// buffer back to whichever core's allocator arena produced it.
+    fn into_event(self, pool: &PacketPool) -> (SimTime, u64, EventKind) {
         let kind = match self.kind {
             CrossKind::Deliver { dst, port, packet } => EventKind::Deliver {
                 dst,
                 port,
-                packet: packet.into_packet(),
+                packet: packet.into_packet_pooled(pool),
             },
             CrossKind::DeliverBurst { dst, port, members } => {
                 let mut burst = Box::new(crate::burst::PacketBurst::new(self.key));
                 for (t, p) in members {
-                    burst.push(SimTime::from_ps(t), p.into_packet());
+                    burst.push(SimTime::from_ps(t), p.into_packet_pooled(pool));
                 }
                 EventKind::DeliverBurst { dst, port, burst }
             }
@@ -267,7 +343,8 @@ impl ShardPlan {
 
 /// One shard's worth of simulation state: a full [`Kernel`] replica
 /// (only the rows of components this shard owns are ever mutated) plus
-/// the owned components and the consumer ends of the inbound rings.
+/// the owned components, the consumer ends of the inbound rings, a
+/// shard-local packet pool and the shard's deterministic counters.
 pub(crate) struct ShardSlot {
     pub(crate) kernel: Kernel,
     /// Indexed by global component id; `Some` only for owned ids.
@@ -276,12 +353,20 @@ pub(crate) struct ShardSlot {
     inboxes: Vec<Option<Arc<SpscRing<CrossEntry>>>>,
     /// Drain scratch buffer, reused across windows.
     scratch: Vec<CrossEntry>,
+    /// Shard-local recycling pool: every packet buffer that crosses
+    /// into this shard is rehomed here, so frame retirement never
+    /// touches another core's allocator state.
+    pool: PacketPool,
+    /// Window/barrier counters (ring counters live on the rings and are
+    /// merged in by [`ShardedSim::shard_stats`]).
+    stats: ShardStats,
 }
 
 // SAFETY: `ShardSlot` contains non-`Send` state (`Box<dyn Component>`
-// holding `Rc` handles, pool-backed packets queued in the wheel). It
-// is sound to move a `&mut ShardSlot` to a worker thread because the
-// executive enforces *confinement with hand-off*:
+// holding `Rc` handles, pool-backed packets queued in the wheel, the
+// shard-local `PacketPool`). It is sound to move a `&mut ShardSlot` to
+// a worker thread because the executive enforces *confinement with
+// hand-off*:
 //
 // 1. Each slot is borrowed by exactly one worker per run; workers are
 //    scoped threads, so the main thread is blocked until every worker
@@ -289,8 +374,11 @@ pub(crate) struct ShardSlot {
 //    make the alternating (main ↔ worker) access sequential.
 // 2. No `Rc` graph spans two slots: the partitioning contract (see
 //    `SimBuilder::build_sharded`) requires components sharing non-Send
-//    state to be co-sharded, and cross-shard packets are flattened to
-//    owned buffers (`SendPacket`) before entering a ring.
+//    state to be co-sharded, cross-shard packets are flattened to
+//    owned buffers (`SendPacket`) before entering a ring, and the
+//    shard-local pool is created inside the slot and never handed out,
+//    so its `Rc`/`Weak` graph (pool ↔ packets homed into it) is
+//    confined to this slot by construction.
 // 3. Harness-side `Rc` aliases (result vectors etc.) are only touched
 //    by the main thread between runs, never during one — the same
 //    discipline `thread::scope` users apply to captured `&mut`.
@@ -304,7 +392,7 @@ impl ShardSlot {
             ring.drain_into(&mut self.scratch);
         }
         for entry in self.scratch.drain(..) {
-            let (time, key, kind) = entry.into_event();
+            let (time, key, kind) = entry.into_event(&self.pool);
             self.kernel.inject(time, key, kind);
         }
     }
@@ -314,6 +402,9 @@ impl ShardSlot {
 struct RunShared {
     barrier: SpinBarrier,
     /// Per-shard earliest pending event time (ps), [`IDLE`] when none.
+    /// This doubles as the shard's earliest-possible-cross-shard-send
+    /// floor: a shard cannot transmit anything before it dispatches an
+    /// event, and it cannot dispatch before its earliest pending event.
     mins: Vec<AtomicU64>,
     /// Cumulative events dispatched across shards this run.
     dispatched: AtomicU64,
@@ -361,15 +452,61 @@ impl Drop for PoisonGuard<'_> {
     }
 }
 
+/// Window-sizing inputs shared by all workers of a run (read-only).
+struct WindowConfig {
+    policy: WindowPolicy,
+    /// Global minimum cross-shard lookahead (legacy policy), ps.
+    global_lookahead_ps: Option<u64>,
+    /// `matrix[p * n + s]` = minimum influence-path delay `D(p→s)` in
+    /// ps ([`IDLE`] when no path exists); the diagonal holds the
+    /// minimum cycle through each shard. See the module docs.
+    matrix: Arc<Vec<u64>>,
+    n_shards: usize,
+}
+
+impl WindowConfig {
+    /// This shard's window end (inclusive) for a round with published
+    /// minima `mins`, capped at `limit_ps`. `m` is the global minimum.
+    ///
+    /// Adaptive: `min over incoming channels p→my of mins[p] + L[p][my]`,
+    /// exclusive, so subtract one — the module-level bound. A shard
+    /// with no incoming channels is never sent anything and may run to
+    /// the horizon. Legacy: the historical `[m, m + L)` global window.
+    fn window_end(&self, my_shard: usize, mins: &[u64], m: u64, limit_ps: u64) -> u64 {
+        match self.policy {
+            WindowPolicy::GlobalLookahead => match self.global_lookahead_ps {
+                Some(l) => limit_ps.min(m.saturating_add(l).saturating_sub(1)),
+                None => limit_ps,
+            },
+            WindowPolicy::Adaptive => {
+                let n = self.n_shards;
+                let mut bound = IDLE;
+                // All shards, *including* our own: `matrix[my][my]` is
+                // the minimum cycle through this shard, bounding how
+                // soon our own sends can boomerang back to us.
+                for (p, &peer_min) in mins.iter().enumerate() {
+                    let d = self.matrix[p * n + my_shard];
+                    if d == IDLE {
+                        continue;
+                    }
+                    bound = bound.min(peer_min.saturating_add(d));
+                }
+                limit_ps.min(bound.saturating_sub(1))
+            }
+        }
+    }
+}
+
 /// The per-worker window loop. All workers compute the identical
-/// window decision from the shared minima, so control flow stays in
-/// lockstep without a coordinator thread.
+/// global-minimum decision from the shared minima, so control flow
+/// stays in lockstep without a coordinator thread; each worker's
+/// *window end* is its own (deterministic) per-channel bound.
 fn run_windows(
     slot: &mut ShardSlot,
     my_shard: usize,
     shared: &RunShared,
+    windows: &WindowConfig,
     limit_ps: u64,
-    lookahead_ps: Option<u64>,
     max_events: Option<u64>,
     stress_seed: Option<u64>,
 ) {
@@ -382,9 +519,14 @@ fn run_windows(
         // Distinct, nonzero stream per shard.
         YieldStress(s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (my_shard as u64 + 1))
     });
+    // Reused snapshot of the published minima (read once per round;
+    // the adaptive bound needs the individual values, not just the
+    // minimum).
+    let mut mins = vec![IDLE; windows.n_shards];
     loop {
         // Window boundary A: every worker has finished the previous
         // window, so every ring's producer is quiescent.
+        slot.stats.barrier_waits += 1;
         if shared.barrier.wait(&mut sense).is_err() {
             std::panic::panic_any("shard worker aborted: a peer worker panicked");
         }
@@ -405,6 +547,7 @@ fn run_windows(
         // published. Between here and the next boundary A no worker
         // re-publishes, so all read the same values and take the same
         // branch.
+        slot.stats.barrier_waits += 1;
         if shared.barrier.wait(&mut sense).is_err() {
             std::panic::panic_any("shard worker aborted: a peer worker panicked");
         }
@@ -414,37 +557,43 @@ fn run_windows(
             guard.armed = false;
             return;
         }
-        let m = shared
-            .mins
-            .iter()
-            .map(|a| a.load(Ordering::SeqCst))
-            .min()
-            .expect(">=1 shard");
+        for (p, v) in mins.iter_mut().enumerate() {
+            *v = shared.mins[p].load(Ordering::SeqCst);
+        }
+        let m = mins.iter().copied().min().expect(">=1 shard");
         if m == IDLE || m > limit_ps {
             break;
         }
-        // Dispatch every event in [m, end] — the conservative window.
-        // With lookahead L the window is [M, M+L): no cross-shard send
-        // from inside it can land inside it. With no cross-shard links
-        // (lookahead None) the whole horizon is one window.
-        let end_inclusive = match lookahead_ps {
-            Some(l) => limit_ps.min(m.saturating_add(l).saturating_sub(1)),
-            None => limit_ps,
-        };
-        let n = dispatch_events(
-            &mut slot.kernel,
-            &mut slot.components,
-            SimTime::from_ps(end_inclusive),
-        );
+        // Dispatch every event in [now, end] — this shard's
+        // conservative window. The bound is strictly below every
+        // possible cross-shard arrival (see `WindowConfig::window_end`
+        // and DESIGN.md §5k), so nothing that lands later belongs
+        // inside it. Progress is guaranteed: the shard owning the
+        // global minimum `m` has `end >= m` (every incoming bound is
+        // `>= m + lookahead > m`), so `m` strictly advances each round.
+        let end_inclusive = windows.window_end(my_shard, &mins, m, limit_ps);
+        if mins[my_shard] <= end_inclusive {
+            slot.stats.windows_executed += 1;
+            let n = dispatch_events(
+                &mut slot.kernel,
+                &mut slot.components,
+                SimTime::from_ps(end_inclusive),
+            );
+            let total = shared.dispatched.fetch_add(n, Ordering::SeqCst) + n;
+            if let Some(cap) = max_events {
+                assert!(
+                    total <= cap,
+                    "simulation did not quiesce within {cap} events"
+                );
+            }
+        } else {
+            // Nothing of ours inside the window: an empty round this
+            // shard deterministically sits out (counted — the e17 gate
+            // and the chaos ledger both consume these).
+            slot.stats.windows_skipped += 1;
+        }
         if let Some(st) = stress.as_mut() {
             st.jitter();
-        }
-        let total = shared.dispatched.fetch_add(n, Ordering::SeqCst) + n;
-        if let Some(cap) = max_events {
-            assert!(
-                total <= cap,
-                "simulation did not quiesce within {cap} events"
-            );
         }
     }
     slot.kernel.advance_now(SimTime::from_ps(limit_ps));
@@ -454,11 +603,21 @@ fn run_windows(
 /// A simulation partitioned across worker threads. Built with
 /// [`crate::SimBuilder::build_sharded`]; produces byte-identical
 /// per-component state, counters and event streams to [`crate::Sim`]
-/// for any shard plan.
+/// for any shard plan — and for either [`WindowPolicy`].
 pub struct ShardedSim {
     slots: Vec<ShardSlot>,
     shard_of: Arc<Vec<usize>>,
+    /// Global minimum cross-shard lookahead, ps (legacy window policy;
+    /// also the coarse summary [`ShardedSim::lookahead`] reports).
     lookahead_ps: Option<u64>,
+    /// Influence matrix `D`, `matrix[p * n + s]` = minimum path delay
+    /// p→s in ps ([`IDLE`] where no influence path exists); diagonal =
+    /// minimum cycle. See the module docs.
+    lookahead_matrix: Arc<Vec<u64>>,
+    /// All rings, `rings[producer][consumer]`, kept for the stats
+    /// roll-up (workers hold clones of the `Arc`s).
+    rings: Vec<Vec<Option<Arc<SpscRing<CrossEntry>>>>>,
+    policy: WindowPolicy,
     names: Vec<String>,
     started: bool,
     stress_seed: Option<u64>,
@@ -483,12 +642,16 @@ impl ShardedSim {
         let n = plan.n_shards;
         let shard_of = Arc::new(plan.assign);
 
-        // Lookahead: the minimum propagation delay over links that
-        // cross a shard boundary. A zero-delay cross link would make
-        // the window empty — reject it at build time.
+        // Single-hop lookahead: for every ordered shard pair (p, s),
+        // the minimum propagation delay over links from a component on
+        // `p` to one on `s`. A zero-delay cross link would make some
+        // window empty — reject it at build time. The scalar global
+        // minimum (the legacy policy's `L`) is the single-hop minimum.
+        let mut matrix = vec![IDLE; n * n];
         let mut lookahead_ps: Option<u64> = None;
         for (src, peer, propagation) in kernel.wire_endpoints() {
-            if shard_of[src.index()] == shard_of[peer.index()] {
+            let (sp, dp) = (shard_of[src.index()], shard_of[peer.index()]);
+            if sp == dp {
                 continue;
             }
             let ps = propagation.as_ps();
@@ -497,11 +660,38 @@ impl ShardedSim {
                 "link between component {} (shard {}) and {} (shard {}) has zero \
                  propagation delay: cross-shard links need nonzero delay for lookahead",
                 src.index(),
-                shard_of[src.index()],
+                sp,
                 peer.index(),
-                shard_of[peer.index()],
+                dp,
             );
+            let cell = &mut matrix[sp * n + dp];
+            *cell = (*cell).min(ps);
             lookahead_ps = Some(lookahead_ps.map_or(ps, |l| l.min(ps)));
+        }
+        // Close it into the influence matrix D (all-pairs shortest
+        // path, Floyd–Warshall): an event chain can reach `s` from `p`
+        // through relay shards, and the safe bound for that chain is
+        // the minimum total delay along *any* path, not the direct
+        // hop. The diagonal deliberately starts at IDLE (not zero) so
+        // D[s][s] comes out as the minimum cycle through `s` — the
+        // earliest a shard's own sends can return to it. Shard counts
+        // are tiny (≤ core count), so O(n³) here is noise.
+        for via in 0..n {
+            for p in 0..n {
+                let a = matrix[p * n + via];
+                if a == IDLE {
+                    continue;
+                }
+                for s in 0..n {
+                    let b = matrix[via * n + s];
+                    if b == IDLE {
+                        continue;
+                    }
+                    let through = a.saturating_add(b);
+                    let cell = &mut matrix[p * n + s];
+                    *cell = (*cell).min(through);
+                }
+            }
         }
 
         // One SPSC ring per ordered (producer, consumer) shard pair.
@@ -531,6 +721,8 @@ impl ShardedSim {
                     components: comps,
                     inboxes: (0..n).map(|p| rings[p][s].clone()).collect(),
                     scratch: Vec::new(),
+                    pool: PacketPool::new(),
+                    stats: ShardStats::default(),
                 }
             })
             .collect();
@@ -543,6 +735,9 @@ impl ShardedSim {
             slots,
             shard_of,
             lookahead_ps,
+            lookahead_matrix: Arc::new(matrix),
+            rings,
+            policy: WindowPolicy::from_env(),
             names,
             started: false,
             stress_seed,
@@ -554,10 +749,36 @@ impl ShardedSim {
         self.slots.len()
     }
 
-    /// The conservative window length, `None` when no link crosses a
-    /// shard boundary (the whole horizon is one window).
+    /// The minimum cross-shard lookahead over the whole topology —
+    /// the legacy policy's scalar window length. `None` when no link
+    /// crosses a shard boundary (the whole horizon is one window).
     pub fn lookahead(&self) -> Option<SimDuration> {
         self.lookahead_ps.map(SimDuration::from_ps)
+    }
+
+    /// The influence lookahead from shard `from` to shard `to`: the
+    /// minimum total propagation delay over any cross-shard path
+    /// `from`→…→`to` (with `from == to` the minimum cycle), `None`
+    /// when no such path exists — `from` can never influence `to`, so
+    /// it never bounds `to`'s window.
+    pub fn lookahead_between(&self, from: usize, to: usize) -> Option<SimDuration> {
+        let n = self.slots.len();
+        assert!(from < n && to < n, "shard index out of range");
+        let ps = self.lookahead_matrix[from * n + to];
+        (ps != IDLE).then(|| SimDuration::from_ps(ps))
+    }
+
+    /// The window policy runs execute under.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.policy
+    }
+
+    /// Override the window policy (defaults to [`WindowPolicy::Adaptive`]
+    /// or the `OSNT_WINDOW_POLICY` environment override). Either policy
+    /// yields byte-identical simulation results; they differ only in
+    /// how many rounds/windows the executive needs ([`ShardStats`]).
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.policy = policy;
     }
 
     /// Current simulated time (all shards agree between runs).
@@ -592,6 +813,34 @@ impl ShardedSim {
             .iter()
             .map(|s| s.kernel.events_dispatched())
             .sum()
+    }
+
+    /// Per-shard executive counters, cumulative over every run so far
+    /// (window/barrier counts from the worker loops, ring traffic from
+    /// the rings). Deterministic — see [`ShardStats`] — and therefore
+    /// **not** part of any experiment report that is byte-compared
+    /// across shard counts: a 4-shard ledger legitimately differs from
+    /// a 1-shard one. Read it between runs (never mid-run).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let n = self.slots.len();
+        (0..n)
+            .map(|s| {
+                let mut st = self.slots[s].stats;
+                for ring in self.rings[s].iter().flatten() {
+                    // Outbound: this shard is the producer.
+                    let c = ring.counters();
+                    st.ring_pushes += c.pushes;
+                    st.spill_events += c.spills;
+                }
+                for p in 0..n {
+                    if let Some(ring) = &self.rings[p][s] {
+                        // Inbound: this shard is the consumer.
+                        st.ring_drains += ring.counters().ring_drains;
+                    }
+                }
+                st
+            })
+            .collect()
     }
 
     /// Events pending across all shards (rings are empty between runs).
@@ -684,11 +933,15 @@ impl ShardedSim {
             slot.drain_inboxes(); // no-op; keeps the code path honest
             let mut dispatched = 0;
             loop {
-                dispatched += dispatch_events(
+                let n = dispatch_events(
                     &mut slot.kernel,
                     &mut slot.components,
                     SimTime::from_ps(limit_ps),
                 );
+                if n > 0 {
+                    slot.stats.windows_executed += 1;
+                }
+                dispatched += n;
                 if let Some(cap) = max_events {
                     if dispatched > cap {
                         return Err(OsntError::Panicked {
@@ -722,7 +975,12 @@ impl ShardedSim {
             dispatched: AtomicU64::new(0),
             abort: std::sync::atomic::AtomicBool::new(false),
         };
-        let lookahead_ps = self.lookahead_ps;
+        let windows = WindowConfig {
+            policy: self.policy,
+            global_lookahead_ps: self.lookahead_ps,
+            matrix: self.lookahead_matrix.clone(),
+            n_shards: n,
+        };
         let stress_seed = self.stress_seed;
         let mut failures: Vec<String> = Vec::new();
         std::thread::scope(|scope| {
@@ -732,21 +990,14 @@ impl ShardedSim {
                 .enumerate()
                 .map(|(i, slot)| {
                     let shared = &shared;
+                    let windows = &windows;
                     scope.spawn(move || {
                         // Containment boundary: a panicking worker is
                         // caught here; its `PoisonGuard` has already
                         // poisoned the barrier during the unwind, so
                         // peers return instead of spinning forever.
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_windows(
-                                slot,
-                                i,
-                                shared,
-                                limit_ps,
-                                lookahead_ps,
-                                max_events,
-                                stress_seed,
-                            )
+                            run_windows(slot, i, shared, windows, limit_ps, max_events, stress_seed)
                         }))
                         .map_err(|p| {
                             match OsntError::from_panic("shard worker", p.as_ref()) {

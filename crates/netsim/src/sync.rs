@@ -1,5 +1,6 @@
 //! Lock-light primitives for the sharded kernel: a bounded SPSC ring
-//! with a mutex spill for overflow, and a sense-reversing spin barrier.
+//! with a mutex spill for overflow, and a sense-reversing spin barrier
+//! with a spin → yield → park backoff.
 //!
 //! Both are tailored to the shard executive's *barrier-phased* access
 //! pattern (see `shard.rs`): within a time window exactly one producer
@@ -10,11 +11,69 @@
 //! across that boundary (the barrier's own synchronisation would too,
 //! but the ring does not rely on it: it is a correct SPSC queue even
 //! under fully concurrent push/drain).
+//!
+//! # Memory layout
+//!
+//! The ring's producer-side and consumer-side indices live on separate
+//! 64-byte cache lines ([`CachePadded`]). With `head` and `tail` as
+//! adjacent `AtomicUsize`s (the naive layout) every `push` invalidates
+//! the consumer's line and every drain invalidates the producer's —
+//! pure false sharing, since neither side ever needs the other's index
+//! on its fast path. The producer additionally keeps a *cached* copy
+//! of the consumer's `head`: as long as `tail - cached_head` leaves
+//! room, a push touches only producer-local state and skips the
+//! Acquire load of `head` entirely. The cache is refreshed (one
+//! Acquire load) only when the ring *looks* full, i.e. at most once
+//! per `capacity` pushes in steady state.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// Pads and aligns its contents to a 64-byte cache line so two
+/// instances never share one (the `crossbeam::CachePadded` idea,
+/// without the dependency). 64 bytes covers x86-64 and mainstream
+/// aarch64; on 128-byte-line parts the cost is a missed optimisation,
+/// not a correctness issue.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Cumulative traffic counters of one [`SpscRing`], for the executive's
+/// window-accounting ledger. All three are monotonic over the ring's
+/// lifetime; once the ring is empty, `pushes == ring_drains + spills`
+/// (every entry either travelled through a ring slot and was drained,
+/// or overflowed into the spill vector).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingCounters {
+    /// Entries offered to the ring (fast path + spill overflow).
+    pub pushes: u64,
+    /// Entries drained out of ring slots (spill deliveries excluded).
+    pub ring_drains: u64,
+    /// Entries that overflowed into the spill vector.
+    pub spills: u64,
+}
+
+/// Producer-owned hot state: everything a fast-path `push` touches.
+struct ProducerSide {
+    /// Next slot the producer writes. Monotonic; slot = tail % cap.
+    tail: AtomicUsize,
+    /// Producer's last observed value of the consumer's `head`. Always
+    /// a *lower bound* on the true head (the consumer only moves it
+    /// forward), so acting on a stale value is conservative: the ring
+    /// can only look fuller than it is, never emptier.
+    cached_head: Cell<usize>,
+    pushes: AtomicU64,
+    spills: AtomicU64,
+}
+
+/// Consumer-owned hot state.
+struct ConsumerSide {
+    /// Next slot the consumer reads. Monotonic; slot = head % cap.
+    head: AtomicUsize,
+    drained: AtomicU64,
+}
 
 /// A bounded single-producer single-consumer ring. `push` never blocks
 /// and never loses an entry: when the ring is full the entry overflows
@@ -23,18 +82,24 @@ use std::sync::Mutex;
 /// takes the spill lock while the producer is parked at a barrier).
 pub struct SpscRing<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    /// Next slot the consumer reads. Monotonic; slot = head % cap.
-    head: AtomicUsize,
-    /// Next slot the producer writes. Monotonic; slot = tail % cap.
-    tail: AtomicUsize,
+    prod: CachePadded<ProducerSide>,
+    cons: CachePadded<ConsumerSide>,
     spill: Mutex<Vec<T>>,
+    /// Entries currently in the spill vector, maintained under the
+    /// spill lock. Lets `drain_into` and `is_empty` skip the mutex in
+    /// the (overwhelmingly common) no-overflow case.
+    spill_len: AtomicUsize,
 }
 
 // SAFETY: the ring hands each `T` from exactly one thread to exactly
 // one other, with a Release store on `tail` (push) happens-before the
 // Acquire load of `tail` (drain) that licenses reading the slot — the
 // standard SPSC argument. `T: Send` is required because ownership
-// crosses threads.
+// crosses threads. `cached_head` is a `Cell` inside a `Sync` type;
+// that is sound because it is part of the *producer's* state and the
+// SPSC contract (exactly one pushing thread at a time, successive
+// producers ordered by external synchronisation — here the window
+// barrier or thread join) means it is never accessed concurrently.
 unsafe impl<T: Send> Send for SpscRing<T> {}
 unsafe impl<T: Send> Sync for SpscRing<T> {}
 
@@ -47,62 +112,108 @@ impl<T> SpscRing<T> {
             buf: (0..capacity)
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
+            prod: CachePadded(ProducerSide {
+                tail: AtomicUsize::new(0),
+                cached_head: Cell::new(0),
+                pushes: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
+            }),
+            cons: CachePadded(ConsumerSide {
+                head: AtomicUsize::new(0),
+                drained: AtomicU64::new(0),
+            }),
             spill: Mutex::new(Vec::new()),
+            spill_len: AtomicUsize::new(0),
         }
     }
 
     /// Producer side. Never blocks on the consumer; overflows to the
-    /// spill vector when the ring is full.
+    /// spill vector when the ring is full. Fast path: no shared-line
+    /// load at all while the cached head shows room.
     pub fn push(&self, value: T) {
-        let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) >= self.buf.len() {
-            self.spill.lock().expect("spill lock poisoned").push(value);
-            return;
+        let p = &self.prod.0;
+        p.pushes.fetch_add(1, Ordering::Relaxed);
+        let tail = p.tail.load(Ordering::Relaxed);
+        let cap = self.buf.len();
+        let mut head = p.cached_head.get();
+        if tail.wrapping_sub(head) >= cap {
+            // Looks full through the cache: refresh from the consumer
+            // (the one Acquire the fast path avoids) and re-check.
+            head = self.cons.0.head.load(Ordering::Acquire);
+            p.cached_head.set(head);
+            if tail.wrapping_sub(head) >= cap {
+                p.spills.fetch_add(1, Ordering::Relaxed);
+                let mut spill = self.spill.lock().expect("spill lock poisoned");
+                spill.push(value);
+                self.spill_len.store(spill.len(), Ordering::Release);
+                return;
+            }
         }
-        let slot = tail % self.buf.len();
-        // SAFETY: `head <= tail - cap` was just excluded, so the
-        // consumer has already drained this slot (or never filled it);
-        // only this producer writes slots at `tail`.
+        let slot = tail % cap;
+        // SAFETY: `head <= tail - cap` was just excluded against a
+        // lower bound on the true head, so the consumer has already
+        // drained this slot (or never filled it); only this producer
+        // writes slots at `tail`.
         unsafe { (*self.buf[slot].get()).write(value) };
-        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        p.tail.store(tail.wrapping_add(1), Ordering::Release);
     }
 
-    /// Consumer side: move every available entry into `out`. Entries
-    /// pushed concurrently with the drain may or may not be included —
-    /// the shard executive only drains at a barrier, where the producer
-    /// is quiescent, so in practice this empties the channel.
+    /// Consumer side: move every available entry into `out`, batched
+    /// under a **single** Acquire load of `tail` (one synchronising
+    /// access per drain, however many entries transfer). Entries pushed
+    /// concurrently with the drain may or may not be included — the
+    /// shard executive only drains at a barrier, where the producer is
+    /// quiescent, so in practice this empties the channel.
     pub fn drain_into(&self, out: &mut Vec<T>) {
-        let tail = self.tail.load(Ordering::Acquire);
-        let mut head = self.head.load(Ordering::Relaxed);
-        while head != tail {
-            let slot = head % self.buf.len();
-            // SAFETY: `head < tail` means the producer's Release store
-            // made this slot's write visible; only this consumer reads
-            // slots at `head`.
-            out.push(unsafe { (*self.buf[slot].get()).assume_init_read() });
-            head = head.wrapping_add(1);
+        let tail = self.prod.0.tail.load(Ordering::Acquire);
+        let mut head = self.cons.0.head.load(Ordering::Relaxed);
+        let n = tail.wrapping_sub(head);
+        if n > 0 {
+            out.reserve(n);
+            for _ in 0..n {
+                let slot = head % self.buf.len();
+                // SAFETY: `head < tail` means the producer's Release
+                // store made this slot's write visible; only this
+                // consumer reads slots at `head`.
+                out.push(unsafe { (*self.buf[slot].get()).assume_init_read() });
+                head = head.wrapping_add(1);
+            }
+            self.cons.0.head.store(head, Ordering::Release);
+            self.cons.0.drained.fetch_add(n as u64, Ordering::Relaxed);
         }
-        self.head.store(head, Ordering::Release);
-        let mut spill = self.spill.lock().expect("spill lock poisoned");
-        out.append(&mut spill);
+        // Spill path: only touch the mutex when something overflowed.
+        if self.spill_len.load(Ordering::Acquire) > 0 {
+            let mut spill = self.spill.lock().expect("spill lock poisoned");
+            out.append(&mut spill);
+            self.spill_len.store(0, Ordering::Release);
+        }
     }
 
     /// True when no entry is buffered (ring or spill). Only meaningful
     /// while the producer is quiescent.
     pub fn is_empty(&self) -> bool {
-        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
-            && self.spill.lock().expect("spill lock poisoned").is_empty()
+        self.cons.0.head.load(Ordering::Acquire) == self.prod.0.tail.load(Ordering::Acquire)
+            && self.spill_len.load(Ordering::Acquire) == 0
+    }
+
+    /// Lifetime counter snapshot. Deterministic for a deterministic
+    /// push/drain schedule (the executive's is — window boundaries are
+    /// functions of simulated time only), so these feed both
+    /// [`crate::ShardStats`] and the chaos window-accounting ledger.
+    pub fn counters(&self) -> RingCounters {
+        RingCounters {
+            pushes: self.prod.0.pushes.load(Ordering::Relaxed),
+            ring_drains: self.cons.0.drained.load(Ordering::Relaxed),
+            spills: self.prod.0.spills.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
         // Drop any undrained entries (e.g. a run that panicked).
-        let tail = *self.tail.get_mut();
-        let mut head = *self.head.get_mut();
+        let tail = *self.prod.0.tail.get_mut();
+        let mut head = *self.cons.0.head.get_mut();
         while head != tail {
             let slot = head % self.buf.len();
             unsafe { (*self.buf[slot].get()).assume_init_drop() };
@@ -116,19 +227,40 @@ impl<T> Drop for SpscRing<T> {
 #[derive(Debug, Clone, Copy)]
 pub struct BarrierPoisoned;
 
-/// A sense-reversing spin barrier for the shard workers.
+/// Spin iterations before the first `yield_now` (cheap, keeps latency
+/// minimal when all workers are genuinely running in parallel).
+const SPIN_LIMIT: u32 = 64;
+/// Yield iterations before escalating to parking. On an oversubscribed
+/// host a few yields hand the timeslice to the straggler; only a
+/// genuinely long wait (a peer descheduled for a full quantum, or a
+/// much larger window on another shard) reaches the park path.
+const YIELD_LIMIT: u32 = 256;
+/// Park timeout: a pure backstop against any lost-wakeup window — a
+/// parked waiter re-checks the sense at least this often even if no
+/// unpark ever reaches it.
+const PARK_TIMEOUT: Duration = Duration::from_micros(100);
+
+/// A sense-reversing barrier for the shard workers with a three-stage
+/// backoff: bounded spin, bounded `yield_now`, then `park_timeout`.
 ///
-/// Spins briefly then yields — the simulation must stay correct (if
-/// slow) on a single-core host, where pure spinning would burn the
-/// whole scheduling quantum of the one runnable worker. A worker that
-/// panics poisons the barrier from its drop guard so its peers return
-/// [`BarrierPoisoned`] instead of waiting forever.
+/// The simulation must stay correct *and cheap* on a single-core host,
+/// where pure spinning burns the whole scheduling quantum of the one
+/// runnable worker and even yield-looping keeps N-1 threads runnable
+/// at all times. Parked waiters are registered in a wake list; the
+/// last arriver (and [`SpinBarrier::poison`]) unparks them. A worker
+/// that panics poisons the barrier from its drop guard so its peers
+/// return [`BarrierPoisoned`] instead of waiting forever.
 pub struct SpinBarrier {
     n: usize,
     arrived: AtomicUsize,
     /// Flipped by the last arriver of each generation.
     sense: AtomicBool,
     poisoned: AtomicBool,
+    /// Threads currently parked (or about to park) on this barrier.
+    /// Entries may be stale across generations — an unpark token on a
+    /// running thread only costs one spurious wake — but never missing:
+    /// waiters register *before* their pre-park sense re-check.
+    parked: Mutex<Vec<std::thread::Thread>>,
 }
 
 impl SpinBarrier {
@@ -140,6 +272,13 @@ impl SpinBarrier {
             arrived: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn wake_all(&self) {
+        for t in self.parked.lock().expect("parked lock poisoned").drain(..) {
+            t.unpark();
         }
     }
 
@@ -153,32 +292,55 @@ impl SpinBarrier {
         let my_sense = !*local_sense;
         *local_sense = my_sense;
         if self.arrived.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
-            // Last arriver: reset and release the generation.
+            // Last arriver: reset, release the generation, wake anyone
+            // who escalated to parking. The wake list is drained under
+            // the same lock waiters register under, so a waiter either
+            // registered in time (and is unparked here) or registers
+            // after this drain — in which case its pre-park re-check,
+            // ordered after this store by that same lock, sees the
+            // flipped sense and never parks unwoken.
             self.arrived.store(0, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
+            self.wake_all();
             return Ok(());
         }
         let mut spins = 0u32;
-        while self.sense.load(Ordering::Acquire) != my_sense {
+        let mut registered = false;
+        loop {
+            if self.sense.load(Ordering::Acquire) == my_sense {
+                return Ok(());
+            }
             if self.poisoned.load(Ordering::Acquire) {
                 return Err(BarrierPoisoned);
             }
-            spins += 1;
-            if spins < 64 {
+            spins = spins.saturating_add(1);
+            if spins < SPIN_LIMIT {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < SPIN_LIMIT + YIELD_LIMIT {
                 // On an oversubscribed (or single-core) host the peer
                 // we're waiting on needs our timeslice.
                 std::thread::yield_now();
+            } else if !registered {
+                self.parked
+                    .lock()
+                    .expect("parked lock poisoned")
+                    .push(std::thread::current());
+                registered = true;
+                // Loop back for one more sense/poison check before the
+                // first park — closes the register-vs-release race.
+            } else {
+                std::thread::park_timeout(PARK_TIMEOUT);
             }
         }
-        Ok(())
     }
 
     /// Mark the barrier dead: every current and future `wait` returns
-    /// [`BarrierPoisoned`]. Called from a panicking worker's drop guard.
+    /// [`BarrierPoisoned`]. Called from a panicking worker's drop
+    /// guard. Unparks every registered waiter so the poison is
+    /// observed promptly, not after a park timeout.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        self.wake_all();
     }
 }
 
@@ -245,6 +407,46 @@ mod tests {
     }
 
     #[test]
+    fn counters_balance_once_drained() {
+        // The window-accounting ledger's ring identity: after a full
+        // drain, pushes == ring_drains + spills, spills counted exactly.
+        let r = SpscRing::new(4);
+        for i in 0..11 {
+            r.push(i); // 4 into slots, 7 spilled
+        }
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        r.push(99);
+        r.drain_into(&mut out);
+        assert!(r.is_empty());
+        let c = r.counters();
+        assert_eq!(c.pushes, 12);
+        assert_eq!(c.spills, 7);
+        assert_eq!(c.ring_drains, 5);
+        assert_eq!(c.pushes, c.ring_drains + c.spills);
+        assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn cached_head_refreshes_after_consumer_progress() {
+        // Fill to capacity (cached head goes stale), drain, then push
+        // again: the producer must refresh its cache and reuse slots
+        // instead of spilling.
+        let r = SpscRing::new(3);
+        for i in 0..3 {
+            r.push(i);
+        }
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        for i in 3..6 {
+            r.push(i);
+        }
+        r.drain_into(&mut out);
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert_eq!(r.counters().spills, 0, "room existed; nothing may spill");
+    }
+
+    #[test]
     fn barrier_synchronizes_counter() {
         use std::sync::atomic::AtomicU64;
         let n = 4;
@@ -262,6 +464,38 @@ mod tests {
                         // Between barriers every worker observes the
                         // full round's increments.
                         assert_eq!(c.load(Ordering::SeqCst), round * n as u64);
+                        b.wait(&mut sense).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn barrier_completes_under_single_core_style_contention() {
+        // The `taskset -c 0` regression shape: more workers than any CI
+        // host has cores, one deliberate straggler per round that
+        // sleeps past the spin *and* yield budgets, so every other
+        // worker must reach the park path — and still be woken. A
+        // deadlock here hangs the test (caught by the harness timeout);
+        // completion is the assertion.
+        let n = 4;
+        let rounds = 50u64;
+        let barrier = Arc::new(SpinBarrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|w| {
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut sense = false;
+                    for round in 0..rounds {
+                        if w as u64 == round % n as u64 {
+                            // Straggler: guarantee peers exhaust their
+                            // spin/yield budgets and park.
+                            std::thread::sleep(Duration::from_micros(300));
+                        }
                         b.wait(&mut sense).unwrap();
                     }
                 })
@@ -302,6 +536,9 @@ mod tests {
                 })
             })
             .collect();
+        // Give the waiters time to escalate into the parked state, so
+        // the poison's unpark path (not just the flag) is exercised.
+        std::thread::sleep(Duration::from_millis(5));
         barrier.poison();
         for w in waiters {
             assert!(w.join().unwrap().is_err(), "parked waiter not released");
@@ -370,6 +607,9 @@ mod tests {
             assert_eq!(out, ((next - 8)..next).collect::<Vec<_>>());
             assert!(r.is_empty());
         }
+        let c = r.counters();
+        assert_eq!(c.pushes, 400);
+        assert_eq!(c.pushes, c.ring_drains + c.spills);
     }
 
     #[test]
@@ -395,5 +635,8 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got, (0..20_000).collect::<Vec<_>>());
+        let c = r.counters();
+        assert_eq!(c.pushes, 20_000);
+        assert_eq!(c.pushes, c.ring_drains + c.spills);
     }
 }

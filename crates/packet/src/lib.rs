@@ -317,6 +317,22 @@ impl SendPacket {
         p
     }
 
+    /// Rebuild a [`Packet`] on the receiving shard **homed into
+    /// `pool`**: zero-copy like [`SendPacket::into_packet`], but the
+    /// carried buffer is adopted by the pool, so when the packet's last
+    /// owner drops, the storage parks on *this* pool's free list
+    /// instead of going back to the global allocator. This is what
+    /// keeps cross-shard traffic from bouncing allocator state between
+    /// cores: each shard recycles every buffer it retires — including
+    /// ones another shard allocated — entirely shard-locally.
+    pub fn into_packet_pooled(self, pool: &pool::PacketPool) -> Packet {
+        let mut p = Packet::from_pool_parts(self.data, pool.handle());
+        if !self.fcs_ok {
+            p.mark_fcs_bad();
+        }
+        p
+    }
+
     /// Conventional frame length (stored bytes + FCS), as
     /// [`Packet::frame_len`] would report after reconstruction.
     pub fn frame_len(&self) -> usize {
@@ -529,6 +545,25 @@ mod tests {
         assert_eq!(back.data(), &reference.0[..]);
         assert_eq!(back.frame_len(), reference.1);
         assert_eq!(back.fcs_ok(), reference.2);
+    }
+
+    #[test]
+    fn pooled_reconstruction_is_zero_copy_and_rehomes() {
+        let pool = pool::PacketPool::new();
+        let mut p = Packet::from_vec(vec![3; 60]);
+        p.mark_fcs_bad();
+        let ptr = p.data().as_ptr();
+        let back = p.into_send().into_packet_pooled(&pool);
+        // Zero-copy: the buffer that crossed the boundary is the
+        // storage of the reconstructed packet.
+        assert_eq!(back.data().as_ptr(), ptr);
+        assert!(!back.fcs_ok());
+        assert_eq!(back.data(), &[3; 60][..]);
+        // Rehomed: retiring the packet parks the buffer on the
+        // receiving pool's free list.
+        drop(back);
+        assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.stats().recycled, 1);
     }
 
     #[test]

@@ -563,6 +563,7 @@ fn run_session(inner: &Arc<Inner>, mut entry: Queued) {
             shards: None,
             gps_signal: None,
             capture_limit: spec.quota.capture_cap,
+            shard_stats_sink: None,
         };
         let report = exp.run_legacy(osnt_switch::LegacyConfig::default())?;
         if let Some(raw) = &report.raw_latencies_ps {
